@@ -1,0 +1,77 @@
+// Command apriori mines a transaction database centrally: frequent
+// itemsets via the classic Apriori algorithm plus the correct rules
+// R[DB] the distributed algorithms converge to. It is the ground-truth
+// and debugging tool of the repository.
+//
+// Usage:
+//
+//	apriori -minfreq 0.01 -minconf 0.5 db.dat
+//	questgen -preset T5I2 -n 100000 | apriori -minfreq 0.02 -minconf 0.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"secmr/internal/arm"
+)
+
+func main() {
+	var (
+		minFreq  = flag.Float64("minfreq", 0.01, "frequency threshold MinFreq")
+		minConf  = flag.Float64("minconf", 0.5, "confidence threshold MinConf")
+		maxItems = flag.Int("maxitems", 0, "cap |LHS∪RHS| (0 = unlimited)")
+		itemsets = flag.Bool("itemsets", false, "print frequent itemsets only")
+		quiet    = flag.Bool("q", false, "print counts only")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	db, err := arm.ReadDatabase(in)
+	if err != nil {
+		fatal(err)
+	}
+	th := arm.Thresholds{MinFreq: *minFreq, MinConf: *minConf}
+
+	if *itemsets {
+		f := arm.Apriori(db, *minFreq)
+		fmt.Printf("# %d transactions, %d frequent itemsets at MinFreq=%.4f\n",
+			db.Len(), len(f.Sets), *minFreq)
+		if !*quiet {
+			for _, s := range f.Sets {
+				fmt.Printf("%-30s support=%d freq=%.4f\n", s, f.Support[s.Key()],
+					float64(f.Support[s.Key()])/float64(db.Len()))
+			}
+		}
+		return
+	}
+
+	truth := arm.GroundTruth(db, th, nil, *maxItems)
+	fmt.Printf("# %d transactions, %d correct rules at MinFreq=%.4f MinConf=%.4f\n",
+		db.Len(), len(truth), *minFreq, *minConf)
+	if *quiet {
+		return
+	}
+	fmt.Printf("# %-42s %8s %8s %8s %8s %8s\n",
+		"rule", "support", "conf", "lift", "leverage", "convict")
+	for _, r := range truth.Sorted() {
+		m := arm.Evaluate(db, r)
+		fmt.Printf("%-44s %8.4f %8.4f %8.3f %8.4f %8.3f\n",
+			r, m.Support, m.Confidence, m.Lift, m.Leverage, m.Conviction)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apriori:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command topogen generates overlay topologies like the BRITE
+// generator the paper uses (§6), printing an edge list "u v delay"
+// plus summary statistics.
+//
+// Usage:
+//
+//	topogen -model ba -n 2000 -m 2 -dmin 1 -dmax 5 -seed 1 -tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"secmr/internal/topology"
+)
+
+func main() {
+	var (
+		model = flag.String("model", "ba", "topology model: ba, waxman, hier, ring, line, star, grid, tree")
+		n     = flag.Int("n", 2000, "number of nodes")
+		m     = flag.Int("m", 2, "BA attachment degree")
+		alpha = flag.Float64("alpha", 0.15, "Waxman alpha")
+		beta  = flag.Float64("beta", 0.2, "Waxman beta")
+		rows  = flag.Int("rows", 0, "grid rows (default sqrt-ish)")
+		ases  = flag.Int("as", 16, "hier: number of AS domains")
+		dmin  = flag.Int("dmin", 1, "minimum link delay (ticks)")
+		dmax  = flag.Int("dmax", 5, "maximum link delay (ticks)")
+		seed  = flag.Int64("seed", 1, "seed")
+		tree  = flag.Bool("tree", false, "emit the BFS spanning tree instead of the full graph")
+		out   = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	d := topology.DelayRange{Min: *dmin, Max: *dmax}
+	var g *topology.Graph
+	switch *model {
+	case "ba":
+		g = topology.BarabasiAlbert(*n, *m, d, rng)
+	case "waxman":
+		g = topology.Waxman(*n, *alpha, *beta, d, rng)
+	case "hier":
+		routers := (*n + *ases - 1) / *ases
+		intra := topology.DelayRange{Min: *dmin, Max: *dmin}
+		g = topology.Hierarchical(*ases, routers, *m, intra, d, rng)
+	case "ring":
+		g = topology.Ring(*n, d, rng)
+	case "line":
+		g = topology.Line(*n, d, rng)
+	case "star":
+		g = topology.Star(*n, d, rng)
+	case "grid":
+		r := *rows
+		if r == 0 {
+			for r = 1; r*r < *n; r++ {
+			}
+		}
+		g = topology.Grid(r, (*n+r-1)/r, d, rng)
+	case "tree":
+		g = topology.RandomTree(*n, d, rng)
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown model %q\n", *model)
+		os.Exit(1)
+	}
+	if *tree {
+		g = g.SpanningTree(0)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := topology.WriteGraph(w, g); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "model=%s nodes=%d edges=%d connected=%v diameter=%d\n",
+		*model, g.N, g.NumEdges(), g.IsConnected(), diameterIfSmall(g))
+}
+
+// diameterIfSmall avoids the O(N·E) diameter computation on huge
+// graphs.
+func diameterIfSmall(g *topology.Graph) int {
+	if g.N > 5000 {
+		return -1
+	}
+	return g.Diameter()
+}

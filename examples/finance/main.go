@@ -1,0 +1,156 @@
+// Finance scenario — the paper's second motivating domain (§1):
+// "account information should be shared in order to detect money
+// laundering", but no bank may expose a customer's records or its own
+// aggregate statistics.
+//
+// Each bank's database holds account-activity "transactions" whose
+// items encode behavioural flags. A laundering pattern (structuring:
+// many just-under-threshold cash deposits, rapid layering transfers,
+// shell-company counterparties) is planted across banks so that no
+// single bank sees enough of it to act alone — but the grid, mining
+// with k-security, surfaces it for everyone. A second, benign pattern
+// (salary → mortgage payments) shows the miner does not just flag
+// everything.
+//
+// This example also demonstrates real cryptography end-to-end: the
+// grid runs over Paillier (256-bit here to keep the demo snappy).
+//
+// Run with: go run ./examples/finance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"secmr"
+)
+
+var flags = []string{
+	0: "cash-deposit-just-under-10k",
+	1: "many-small-deposits-same-day",
+	2: "rapid-outbound-transfer",
+	3: "shell-company-counterparty",
+	4: "flagged-jurisdiction",
+	5: "salary-credit",
+	6: "mortgage-debit",
+	7: "card-spending",
+	8: "savings-transfer",
+	9: "account-closed-early",
+}
+
+// account synthesizes one account-month activity profile.
+func account(rng *rand.Rand) secmr.Transaction {
+	var items []secmr.Item
+	add := func(i int) { items = append(items, secmr.Item(i)) }
+	switch roll := rng.Float64(); {
+	case roll < 0.12: // structuring/layering pattern (the target)
+		add(0)
+		add(1)
+		if rng.Float64() < 0.85 {
+			add(2)
+		}
+		if rng.Float64() < 0.6 {
+			add(3)
+		}
+		if rng.Float64() < 0.3 {
+			add(4)
+		}
+		if rng.Float64() < 0.25 {
+			add(9)
+		}
+	case roll < 0.70: // ordinary salaried account
+		add(5)
+		add(7)
+		if rng.Float64() < 0.5 {
+			add(6)
+		}
+		if rng.Float64() < 0.4 {
+			add(8)
+		}
+	default: // low-activity account
+		add(7)
+		if rng.Float64() < 0.2 {
+			add(8)
+		}
+	}
+	return secmr.NewItemset(items...)
+}
+
+func main() {
+	// k must not exceed the number of participating banks: no bank may
+	// ever aggregate fewer than k participants, so with banks < k the
+	// grid would (correctly) never release anything.
+	const (
+		banks = 12
+		k     = 10
+	)
+	rng := rand.New(rand.NewSource(1986))
+	global := &secmr.Database{}
+	for i := 0; i < banks*500; i++ {
+		global.Append(account(rng))
+	}
+
+	fmt.Printf("%d banks pooling %d account profiles under %d-security (Paillier-256)...\n",
+		banks, global.Len(), k)
+	start := time.Now()
+	grid, err := secmr.NewGrid(global, secmr.GridConfig{
+		Algorithm:    secmr.AlgorithmSecure,
+		Crypto:       secmr.CryptoPaillier,
+		PaillierBits: 256, // demo-sized; use 1024+ for real deployments
+		Resources:    banks,
+		K:            k,
+		MinFreq:      0.08,
+		MinConf:      0.75,
+		ScanBudget:   100,
+		MaxRuleItems: 3,
+		Seed:         1986,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !grid.RunUntilQuality(0.9, 2000) {
+		r, p := grid.Quality()
+		log.Fatalf("did not converge: recall=%.2f precision=%.2f", r, p)
+	}
+	rec, prec := grid.Quality()
+	fmt.Printf("converged after %d steps in %v (recall=%.2f precision=%.2f)\n\n",
+		grid.Steps(), time.Since(start).Round(time.Second), rec, prec)
+
+	out := grid.Output(0)
+	fmt.Println("laundering indicators every bank can now act on:")
+	printed := 0
+	for _, r := range out.Sorted() {
+		if len(r.LHS) == 0 {
+			continue
+		}
+		if r.Union().Contains(3) || r.Union().Contains(1) { // laundering-flavoured
+			fmt.Printf("  %s => %s\n", names(r.LHS), names(r.RHS))
+			printed++
+		}
+	}
+	if printed == 0 {
+		fmt.Println("  (none found — increase the run length)")
+	}
+	fmt.Println("\n...while ordinary banking patterns are mined equally well:")
+	for _, r := range out.Sorted() {
+		if len(r.LHS) == 0 || !r.LHS.Contains(6) {
+			continue
+		}
+		fmt.Printf("  %s => %s\n", names(r.LHS), names(r.RHS))
+	}
+	fmt.Printf("\nno bank learned any other bank's statistics (k=%d, reports=%d)\n",
+		k, len(grid.Reports()))
+}
+
+func names(s secmr.Itemset) string {
+	out := ""
+	for i, it := range s {
+		if i > 0 {
+			out += " + "
+		}
+		out += flags[int(it)]
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+// TCP grid demo: the complete Secure-Majority-Rule stack — Paillier
+// oblivious counters, SFE gates, share and timestamp verification —
+// deployed over real TCP sockets on localhost. No simulator: each
+// resource is a network endpoint with its own step ticker, messages
+// are length-prefixed frames produced by the wire codec, and inbound
+// ciphertexts are validated (adopted) before use.
+//
+// Run with: go run ./examples/tcpgrid
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+	mrand "math/rand"
+	"time"
+
+	"secmr/internal/arm"
+	"secmr/internal/core"
+	"secmr/internal/hashing"
+	"secmr/internal/metrics"
+	"secmr/internal/netgrid"
+	"secmr/internal/paillier"
+	"secmr/internal/quest"
+	"secmr/internal/topology"
+)
+
+func main() {
+	const (
+		n    = 6
+		k    = 3
+		seed = 11
+	)
+	fmt.Printf("generating grid keys (Paillier-256)...\n")
+	scheme, err := paillier.GenerateKey(rand.Reader, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := mrand.New(mrand.NewSource(seed))
+	global := quest.Generate(quest.Params{NumTransactions: n * 150, NumItems: 20,
+		NumPatterns: 8, AvgTransLen: 5, AvgPatternLen: 2, Seed: seed})
+	th := arm.Thresholds{MinFreq: 0.15, MinConf: 0.7}
+	universe := arm.Itemset{}
+	for i := 0; i < 20; i++ {
+		universe = append(universe, arm.Item(i))
+	}
+	truth := arm.GroundTruth(global, th, universe, 3)
+	parts := hashing.Partition(global, n, rng)
+	overlay := topology.BarabasiAlbert(n, 2, topology.DelayRange{Min: 1, Max: 1}, rng)
+	tree := overlay.SpanningTree(0)
+
+	cfg := core.Config{Th: th, Universe: universe, ScanBudget: 50,
+		CandidateEvery: 5, K: k, MaxRuleItems: 3, IntraDelay: true}
+	hosts := make([]*netgrid.Host, n)
+	for i := 0; i < n; i++ {
+		res := core.NewResource(i, cfg, scheme, parts[i], nil, nil)
+		h, err := netgrid.NewHost(i, res, scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hosts[i] = h
+		defer h.Close()
+		fmt.Printf("resource %d listening on %s\n", i, h.Node().Addr())
+	}
+	for i := 0; i < n; i++ {
+		peers := map[int]string{}
+		for _, w := range tree.Neighbors(i) {
+			if w < i {
+				peers[w] = hosts[w].Node().Addr()
+			}
+		}
+		if err := hosts[i].Node().Connect(peers); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !hosts[i].Node().WaitFor(tree.Neighbors(i), 10*time.Second) {
+			log.Fatalf("resource %d: neighbours never connected", i)
+		}
+	}
+	fmt.Printf("\n%d resources wired over TCP; mining %d transactions at k=%d...\n\n",
+		n, global.Len(), k)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		hosts[i].Run(tree.Neighbors(i), 2*time.Millisecond)
+	}
+
+	for {
+		time.Sleep(500 * time.Millisecond)
+		outs := make([]arm.RuleSet, n)
+		for i, h := range hosts {
+			outs[i] = snapshotRules(h)
+		}
+		rec, prec := metrics.Average(outs, truth)
+		var frames int64
+		for _, h := range hosts {
+			frames += h.Node().Sent()
+		}
+		fmt.Printf("t=%-6s recall=%.2f precision=%.2f tcp-frames=%d\n",
+			time.Since(start).Round(time.Second), rec, prec, frames)
+		if rec >= 0.95 && prec >= 0.95 {
+			// Two-phase shutdown: stop every ticker first, then tear
+			// down the sockets, so no host sends into a closed peer.
+			for _, h := range hosts {
+				h.StopTicking()
+			}
+			for _, h := range hosts {
+				h.Close()
+			}
+			fmt.Printf("\nconverged: every resource mined the grid's rules over real sockets,\n")
+			fmt.Printf("with no plaintext ever leaving an accountant (k=%d)\n", k)
+			return
+		}
+		if time.Since(start) > 3*time.Minute {
+			log.Fatal("did not converge in 3 minutes")
+		}
+	}
+}
+
+// snapshotRules reads a host's interim output.
+func snapshotRules(h *netgrid.Host) arm.RuleSet {
+	return h.OutputSnapshot()
+}

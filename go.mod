@@ -1,0 +1,3 @@
+module secmr
+
+go 1.22

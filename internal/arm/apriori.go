@@ -1,0 +1,198 @@
+package arm
+
+import "sort"
+
+// FrequentItemsets holds the output of a frequent-itemset mining pass:
+// every itemset X with Freq(X, DB) ≥ MinFreq, with its support.
+type FrequentItemsets struct {
+	// Support maps Itemset.Key() to absolute support.
+	Support map[string]int
+	// Sets lists the frequent itemsets in a deterministic order
+	// (by size, then lexicographically by key).
+	Sets []Itemset
+	// DBSize is |DB| at mining time.
+	DBSize int
+	// MinFreq is the threshold used.
+	MinFreq float64
+}
+
+// Contains reports whether x was found frequent.
+func (f *FrequentItemsets) Contains(x Itemset) bool {
+	_, ok := f.Support[x.Key()]
+	return ok
+}
+
+// Apriori computes all frequent itemsets of db at the given relative
+// frequency threshold, using the classic level-wise algorithm
+// (Agrawal–Srikant, VLDB '94): candidates of size k+1 are joins of
+// frequent k-itemsets sharing a (k−1)-prefix, pruned by the downward-
+// closure property, then counted in one database scan per level.
+//
+// This is the reference/ground-truth miner: R[DB] for the
+// recall/precision metrics of §6.1 is derived from its output.
+func Apriori(db *Database, minFreq float64) *FrequentItemsets {
+	out := &FrequentItemsets{
+		Support: map[string]int{},
+		DBSize:  db.Len(),
+		MinFreq: minFreq,
+	}
+	if db.Len() == 0 {
+		return out
+	}
+	minSup := minSupport(db.Len(), minFreq)
+
+	// Level 1: count single items.
+	counts := map[Item]int{}
+	for _, t := range db.Tx {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	var level []Itemset
+	for it, c := range counts {
+		if c >= minSup {
+			s := Itemset{it}
+			level = append(level, s)
+			out.Support[s.Key()] = c
+		}
+	}
+	sortItemsets(level)
+	out.Sets = append(out.Sets, level...)
+
+	for len(level) > 0 {
+		cands := aprioriGen(level, out)
+		if len(cands) == 0 {
+			break
+		}
+		// Count all candidates in one scan.
+		supp := make([]int, len(cands))
+		for _, t := range db.Tx {
+			for i, c := range cands {
+				if t.ContainsAll(c) {
+					supp[i]++
+				}
+			}
+		}
+		var next []Itemset
+		for i, c := range cands {
+			if supp[i] >= minSup {
+				next = append(next, c)
+				out.Support[c.Key()] = supp[i]
+			}
+		}
+		sortItemsets(next)
+		out.Sets = append(out.Sets, next...)
+		level = next
+	}
+	return out
+}
+
+// minSupport converts a relative threshold into the smallest absolute
+// support that satisfies Freq ≥ minFreq.
+func minSupport(dbSize int, minFreq float64) int {
+	ms := int(minFreq * float64(dbSize))
+	if float64(ms) < minFreq*float64(dbSize) {
+		ms++
+	}
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// aprioriGen performs the join+prune candidate generation.
+func aprioriGen(level []Itemset, known *FrequentItemsets) []Itemset {
+	var cands []Itemset
+	seen := map[string]bool{}
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			k := len(a)
+			if !samePrefix(a, b, k-1) {
+				continue
+			}
+			var c Itemset
+			if a[k-1] < b[k-1] {
+				c = append(a.Clone(), b[k-1])
+			} else {
+				c = append(b.Clone(), a[k-1])
+			}
+			key := c.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if pruneByClosure(c, known) {
+				continue
+			}
+			cands = append(cands, c)
+		}
+	}
+	return cands
+}
+
+func samePrefix(a, b Itemset, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pruneByClosure reports whether some (|c|−1)-subset of c is not known
+// frequent, in which case c cannot be frequent.
+func pruneByClosure(c Itemset, known *FrequentItemsets) bool {
+	for _, it := range c {
+		if !known.Contains(c.Without(it)) {
+			return true
+		}
+	}
+	return false
+}
+
+func sortItemsets(sets []Itemset) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// BruteForceFrequent enumerates frequent itemsets by exhaustive search
+// over the powerset of observed items. Exponential; only usable on tiny
+// databases. It exists as an independent oracle for property-testing
+// Apriori.
+func BruteForceFrequent(db *Database, minFreq float64) *FrequentItemsets {
+	out := &FrequentItemsets{
+		Support: map[string]int{},
+		DBSize:  db.Len(),
+		MinFreq: minFreq,
+	}
+	items := db.Items()
+	if len(items) > 20 {
+		panic("arm: BruteForceFrequent limited to 20 distinct items")
+	}
+	minSup := minSupport(db.Len(), minFreq)
+	for mask := 1; mask < 1<<len(items); mask++ {
+		var s Itemset
+		for i, it := range items {
+			if mask&(1<<i) != 0 {
+				s = append(s, it)
+			}
+		}
+		if sup := db.Support(s); sup >= minSup {
+			out.Support[s.Key()] = sup
+			out.Sets = append(out.Sets, s)
+		}
+	}
+	sortItemsets(out.Sets)
+	return out
+}

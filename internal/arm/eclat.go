@@ -1,0 +1,107 @@
+package arm
+
+import "sort"
+
+// Eclat computes the frequent itemsets of db by depth-first search
+// over the vertical (tidlist) representation: each itemset carries the
+// list of transaction IDs containing it, and extending an itemset
+// intersects tidlists instead of rescanning the database (Zaki et al.,
+// KDD '97).
+//
+// Eclat and Apriori are independent algorithms over different data
+// layouts; the test suite runs them differentially as mutual oracles.
+// Eclat is also the faster choice for the dense, low-threshold mining
+// the ground-truth computations at paper scale need.
+func Eclat(db *Database, minFreq float64) *FrequentItemsets {
+	out := &FrequentItemsets{
+		Support: map[string]int{},
+		DBSize:  db.Len(),
+		MinFreq: minFreq,
+	}
+	if db.Len() == 0 {
+		return out
+	}
+	minSup := minSupport(db.Len(), minFreq)
+
+	// Build the vertical layout: item -> sorted tidlist.
+	tidlists := map[Item][]int32{}
+	for tid, t := range db.Tx {
+		for _, it := range t {
+			tidlists[it] = append(tidlists[it], int32(tid))
+		}
+	}
+	// Frequent single items, in item order for a deterministic DFS.
+	items := make([]Item, 0, len(tidlists))
+	for it, tids := range tidlists {
+		if len(tids) >= minSup {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+
+	type node struct {
+		set  Itemset
+		tids []int32
+	}
+	var frontier []node
+	for _, it := range items {
+		n := node{set: Itemset{it}, tids: tidlists[it]}
+		out.Support[n.set.Key()] = len(n.tids)
+		out.Sets = append(out.Sets, n.set)
+		frontier = append(frontier, n)
+	}
+
+	// DFS: extend each node with its right siblings (equivalence-class
+	// style), intersecting tidlists.
+	var dfs func(class []node)
+	dfs = func(class []node) {
+		for i, a := range class {
+			var next []node
+			for _, b := range class[i+1:] {
+				tids := intersectTids(a.tids, b.tids)
+				if len(tids) < minSup {
+					continue
+				}
+				set := a.set.With(b.set[len(b.set)-1])
+				out.Support[set.Key()] = len(tids)
+				out.Sets = append(out.Sets, set)
+				next = append(next, node{set: set, tids: tids})
+			}
+			if len(next) > 1 {
+				dfs(next)
+			} else if len(next) == 1 {
+				// Single-element classes cannot extend further.
+				continue
+			}
+		}
+	}
+	dfs(frontier)
+	sortItemsets(out.Sets)
+	return out
+}
+
+// intersectTids merges two sorted tidlists.
+func intersectTids(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

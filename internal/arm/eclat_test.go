@@ -1,0 +1,97 @@
+package arm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEclatKnownAnswer(t *testing.T) {
+	db := NewDatabase(
+		NewItemset(1, 3, 4),
+		NewItemset(2, 3, 5),
+		NewItemset(1, 2, 3, 5),
+		NewItemset(2, 5),
+	)
+	f := Eclat(db, 0.5)
+	want := map[string]int{
+		"1": 2, "2": 3, "3": 3, "5": 3,
+		"1,3": 2, "2,3": 2, "2,5": 3, "3,5": 2,
+		"2,3,5": 2,
+	}
+	if len(f.Support) != len(want) {
+		t.Fatalf("found %d itemsets want %d: %v", len(f.Support), len(want), f.Support)
+	}
+	for k, v := range want {
+		if f.Support[k] != v {
+			t.Errorf("support[%s]=%d want %d", k, f.Support[k], v)
+		}
+	}
+}
+
+func TestEclatAgainstAprioriProperty(t *testing.T) {
+	// Two independent algorithms over different layouts must agree on
+	// every database.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		db := &Database{}
+		nTx := 10 + rng.Intn(120)
+		nItems := 4 + rng.Intn(14)
+		for i := 0; i < nTx; i++ {
+			tx := make([]Item, 1+rng.Intn(6))
+			for j := range tx {
+				tx[j] = Item(rng.Intn(nItems))
+			}
+			db.Append(NewItemset(tx...))
+		}
+		minFreq := 0.05 + 0.45*rng.Float64()
+		ap := Apriori(db, minFreq)
+		ec := Eclat(db, minFreq)
+		if len(ap.Support) != len(ec.Support) {
+			t.Fatalf("trial %d (minFreq=%.3f): apriori %d itemsets, eclat %d",
+				trial, minFreq, len(ap.Support), len(ec.Support))
+		}
+		for k, v := range ap.Support {
+			if ec.Support[k] != v {
+				t.Fatalf("trial %d: support[%s] apriori=%d eclat=%d", trial, k, v, ec.Support[k])
+			}
+		}
+		// Deterministic ordering matches too.
+		for i := range ap.Sets {
+			if !ap.Sets[i].Equal(ec.Sets[i]) {
+				t.Fatalf("trial %d: set order differs at %d: %v vs %v",
+					trial, i, ap.Sets[i], ec.Sets[i])
+			}
+		}
+	}
+}
+
+func TestEclatEmptyAndDegenerate(t *testing.T) {
+	if f := Eclat(&Database{}, 0.5); len(f.Sets) != 0 {
+		t.Fatal("empty db")
+	}
+	db := NewDatabase(NewItemset(1), NewItemset(1), NewItemset(2))
+	f := Eclat(db, 0.9)
+	if len(f.Sets) != 0 {
+		t.Fatalf("nothing is 90%% frequent here: %v", f.Sets)
+	}
+	f = Eclat(db, 0.6)
+	if len(f.Sets) != 1 || !f.Contains(NewItemset(1)) {
+		t.Fatalf("only {1} is frequent: %v", f.Sets)
+	}
+}
+
+func BenchmarkEclat(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	db := &Database{}
+	for i := 0; i < 5000; i++ {
+		tx := make([]Item, 1+rng.Intn(9))
+		for j := range tx {
+			tx[j] = Item(rng.Intn(50))
+		}
+		db.Append(NewItemset(tx...))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Eclat(db, 0.05)
+	}
+}

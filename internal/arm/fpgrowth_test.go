@@ -1,0 +1,107 @@
+package arm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFPGrowthKnownAnswer(t *testing.T) {
+	db := NewDatabase(
+		NewItemset(1, 3, 4),
+		NewItemset(2, 3, 5),
+		NewItemset(1, 2, 3, 5),
+		NewItemset(2, 5),
+	)
+	f := FPGrowth(db, 0.5)
+	want := map[string]int{
+		"1": 2, "2": 3, "3": 3, "5": 3,
+		"1,3": 2, "2,3": 2, "2,5": 3, "3,5": 2,
+		"2,3,5": 2,
+	}
+	if len(f.Support) != len(want) {
+		t.Fatalf("found %d itemsets want %d: %v", len(f.Support), len(want), f.Support)
+	}
+	for k, v := range want {
+		if f.Support[k] != v {
+			t.Errorf("support[%s]=%d want %d", k, f.Support[k], v)
+		}
+	}
+}
+
+func TestThreeMinersAgreeProperty(t *testing.T) {
+	// Apriori, Eclat and FP-growth are three independent algorithms
+	// over three different data layouts (horizontal, vertical, prefix
+	// tree); they must produce identical results on every input.
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 40; trial++ {
+		db := &Database{}
+		nTx := 10 + rng.Intn(150)
+		nItems := 4 + rng.Intn(16)
+		for i := 0; i < nTx; i++ {
+			tx := make([]Item, 1+rng.Intn(7))
+			for j := range tx {
+				tx[j] = Item(rng.Intn(nItems))
+			}
+			db.Append(NewItemset(tx...))
+		}
+		minFreq := 0.05 + 0.4*rng.Float64()
+		ap := Apriori(db, minFreq)
+		ec := Eclat(db, minFreq)
+		fp := FPGrowth(db, minFreq)
+		if len(ap.Support) != len(ec.Support) || len(ap.Support) != len(fp.Support) {
+			t.Fatalf("trial %d (minFreq=%.3f): apriori=%d eclat=%d fpgrowth=%d itemsets",
+				trial, minFreq, len(ap.Support), len(ec.Support), len(fp.Support))
+		}
+		for k, v := range ap.Support {
+			if ec.Support[k] != v || fp.Support[k] != v {
+				t.Fatalf("trial %d: support[%s]: apriori=%d eclat=%d fpgrowth=%d",
+					trial, k, v, ec.Support[k], fp.Support[k])
+			}
+		}
+	}
+}
+
+func TestFPGrowthEmptyAndSingleton(t *testing.T) {
+	if f := FPGrowth(&Database{}, 0.5); len(f.Sets) != 0 {
+		t.Fatal("empty db")
+	}
+	db := NewDatabase(NewItemset(7), NewItemset(7), NewItemset(7))
+	f := FPGrowth(db, 1.0)
+	if len(f.Sets) != 1 || f.Support["7"] != 3 {
+		t.Fatalf("singleton: %v", f.Support)
+	}
+}
+
+func TestFPGrowthDeepTree(t *testing.T) {
+	// A database where every transaction shares a long prefix stresses
+	// the conditional-tree recursion.
+	db := &Database{}
+	for i := 0; i < 20; i++ {
+		db.Append(NewItemset(1, 2, 3, 4, 5, 6))
+	}
+	db.Append(NewItemset(1, 2, 3))
+	f := FPGrowth(db, 0.9)
+	// All 2^6−1 subsets of {1..6} have support 20 ≥ ceil(0.9·21)=19.
+	if len(f.Sets) != 63 {
+		t.Fatalf("expected 63 frequent subsets, got %d", len(f.Sets))
+	}
+	if f.Support["1,2,3"] != 21 {
+		t.Fatalf("support(1,2,3) = %d want 21", f.Support["1,2,3"])
+	}
+}
+
+func BenchmarkFPGrowth(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	db := &Database{}
+	for i := 0; i < 5000; i++ {
+		tx := make([]Item, 1+rng.Intn(9))
+		for j := range tx {
+			tx[j] = Item(rng.Intn(50))
+		}
+		db.Append(NewItemset(tx...))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FPGrowth(db, 0.05)
+	}
+}

@@ -1,0 +1,62 @@
+package arm
+
+import "math"
+
+// Measures are the standard interestingness statistics of an
+// association rule beyond support and confidence. They are evaluation
+// aids (the paper's protocol decides on support/confidence votes
+// only); cmd/apriori reports them so mined rule sets can be ranked the
+// way practitioners do.
+type Measures struct {
+	// Support is Freq(LHS ∪ RHS): the fraction of transactions
+	// containing the whole rule.
+	Support float64
+	// Confidence is Freq(LHS∪RHS)/Freq(LHS).
+	Confidence float64
+	// Lift is Confidence / Freq(RHS): > 1 means LHS and RHS co-occur
+	// more than independence predicts.
+	Lift float64
+	// Leverage is Freq(LHS∪RHS) − Freq(LHS)·Freq(RHS): the absolute
+	// co-occurrence surplus.
+	Leverage float64
+	// Conviction is (1 − Freq(RHS)) / (1 − Confidence): how much more
+	// often LHS appears without RHS than independence predicts;
+	// +Inf for exact rules.
+	Conviction float64
+}
+
+// Evaluate computes the rule's measures against db. Degenerate cases
+// (empty database, unsupported LHS) return zero measures.
+func Evaluate(db *Database, r Rule) Measures {
+	n := db.Len()
+	if n == 0 {
+		return Measures{}
+	}
+	countLHS, countBoth := db.SupportPair(r.LHS, r.RHS)
+	if len(r.LHS) == 0 {
+		countLHS = n
+	}
+	countRHS := db.Support(r.RHS)
+	if countLHS == 0 {
+		return Measures{}
+	}
+	fN := float64(n)
+	supp := float64(countBoth) / fN
+	conf := float64(countBoth) / float64(countLHS)
+	freqL := float64(countLHS) / fN
+	freqR := float64(countRHS) / fN
+	m := Measures{
+		Support:    supp,
+		Confidence: conf,
+		Leverage:   supp - freqL*freqR,
+	}
+	if freqR > 0 {
+		m.Lift = conf / freqR
+	}
+	if conf >= 1 {
+		m.Conviction = math.Inf(1)
+	} else {
+		m.Conviction = (1 - freqR) / (1 - conf)
+	}
+	return m
+}

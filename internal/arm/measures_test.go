@@ -1,0 +1,72 @@
+package arm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateHandComputed(t *testing.T) {
+	// 10 transactions: {1,2} x6, {1} x2, {2} x1, {3} x1.
+	db := &Database{}
+	for i := 0; i < 6; i++ {
+		db.Append(NewItemset(1, 2))
+	}
+	db.Append(NewItemset(1))
+	db.Append(NewItemset(1))
+	db.Append(NewItemset(2))
+	db.Append(NewItemset(3))
+
+	m := Evaluate(db, NewRule(NewItemset(1), NewItemset(2), ThresholdConf))
+	// support = 6/10, conf = 6/8, freq(2) = 7/10.
+	if math.Abs(m.Support-0.6) > 1e-12 {
+		t.Errorf("support = %v", m.Support)
+	}
+	if math.Abs(m.Confidence-0.75) > 1e-12 {
+		t.Errorf("confidence = %v", m.Confidence)
+	}
+	if math.Abs(m.Lift-0.75/0.7) > 1e-12 {
+		t.Errorf("lift = %v", m.Lift)
+	}
+	if math.Abs(m.Leverage-(0.6-0.8*0.7)) > 1e-12 {
+		t.Errorf("leverage = %v", m.Leverage)
+	}
+	if math.Abs(m.Conviction-(1-0.7)/(1-0.75)) > 1e-12 {
+		t.Errorf("conviction = %v", m.Conviction)
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	if m := Evaluate(&Database{}, NewRule(nil, NewItemset(1), ThresholdFreq)); m != (Measures{}) {
+		t.Error("empty db should be zero measures")
+	}
+	db := NewDatabase(NewItemset(2), NewItemset(2))
+	// LHS never occurs.
+	if m := Evaluate(db, NewRule(NewItemset(9), NewItemset(2), ThresholdConf)); m != (Measures{}) {
+		t.Error("unsupported LHS should be zero measures")
+	}
+	// Exact rule: conviction +Inf, lift = 1/freq(RHS).
+	m := Evaluate(db, NewRule(nil, NewItemset(2), ThresholdFreq))
+	if !math.IsInf(m.Conviction, 1) {
+		t.Errorf("conviction = %v want +Inf", m.Conviction)
+	}
+	if m.Lift != 1.0 {
+		t.Errorf("lift = %v want 1 (freq(RHS)=1)", m.Lift)
+	}
+	if m.Leverage != 0 {
+		t.Errorf("leverage = %v want 0", m.Leverage)
+	}
+}
+
+func TestLiftIndependenceIsOne(t *testing.T) {
+	// Independent items: freq(1)=0.5, freq(2)=0.5, freq(1,2)=0.25.
+	db := NewDatabase(
+		NewItemset(1, 2), NewItemset(1), NewItemset(2), NewItemset(3),
+	)
+	m := Evaluate(db, NewRule(NewItemset(1), NewItemset(2), ThresholdConf))
+	if math.Abs(m.Lift-1.0) > 1e-12 {
+		t.Errorf("independent items should have lift 1, got %v", m.Lift)
+	}
+	if math.Abs(m.Leverage) > 1e-12 {
+		t.Errorf("independent items should have leverage 0, got %v", m.Leverage)
+	}
+}

@@ -1,0 +1,284 @@
+// Package attack implements the malicious-participant behaviours of
+// §5.2's threat analysis and the assertions that the protocol's
+// defences catch them:
+//
+//   - arbitrary-value injection (harms validity, not privacy — no
+//     detection expected, by design);
+//   - counting a neighbour more than once or not at all when building
+//     SFE inputs (caught by the share field decrypting ≠ 1);
+//   - submitting isolated or differenced counters to learn statistics
+//     of fewer than k participants (caught the same way);
+//   - reusing old counters instead of the latest (caught by the
+//     timestamp vector).
+//
+// Each adversary implements core.Adversary and tampers with exactly
+// one protocol surface.
+package attack
+
+import (
+	"math/rand"
+	"sort"
+
+	"secmr/internal/core"
+	"secmr/internal/homo"
+	"secmr/internal/oblivious"
+)
+
+// honest sums all parts — the behaviour Algorithm 1 dictates.
+func honest(pub homo.Public, parts map[int]*oblivious.Counter) *oblivious.Counter {
+	var full *oblivious.Counter
+	for _, c := range parts {
+		if full == nil {
+			full = c
+		} else {
+			full = oblivious.Add(pub, full, c)
+		}
+	}
+	return full
+}
+
+// DoubleCount adds the victim's counter twice into the SFE input —
+// the miscounting attack §5.2 addresses with the share field.
+type DoubleCount struct {
+	Victim int
+	// Tampered counts how many tampered inputs were produced.
+	Tampered int
+}
+
+func (d *DoubleCount) Name() string { return "double-count" }
+
+func (d *DoubleCount) TamperFull(pub homo.Public, rule string, parts map[int]*oblivious.Counter,
+	history func(int) []*oblivious.Counter) *oblivious.Counter {
+	v, ok := parts[d.Victim]
+	if !ok {
+		return nil
+	}
+	d.Tampered++
+	return oblivious.Add(pub, honest(pub, parts), v)
+}
+
+func (d *DoubleCount) TamperPayload(pub homo.Public, rule string, to int,
+	h *oblivious.Counter) *oblivious.Counter {
+	return nil
+}
+
+// Omit leaves the victim's counter out of the SFE input — the
+// complementary miscounting attack.
+type Omit struct {
+	Victim   int
+	Tampered int
+}
+
+func (o *Omit) Name() string { return "omit" }
+
+func (o *Omit) TamperFull(pub homo.Public, rule string, parts map[int]*oblivious.Counter,
+	history func(int) []*oblivious.Counter) *oblivious.Counter {
+	if _, ok := parts[o.Victim]; !ok {
+		return nil
+	}
+	o.Tampered++
+	rest := map[int]*oblivious.Counter{}
+	for k, c := range parts {
+		if k != o.Victim {
+			rest[k] = c
+		}
+	}
+	return honest(pub, rest)
+}
+
+func (o *Omit) TamperPayload(pub homo.Public, rule string, to int,
+	h *oblivious.Counter) *oblivious.Counter {
+	return nil
+}
+
+// Isolate submits only the victim's counter as the SFE input — the
+// privacy attack proper: learning the sign of a single participant's
+// statistics.
+type Isolate struct {
+	Victim   int
+	Tampered int
+}
+
+func (a *Isolate) Name() string { return "isolate" }
+
+func (a *Isolate) TamperFull(pub homo.Public, rule string, parts map[int]*oblivious.Counter,
+	history func(int) []*oblivious.Counter) *oblivious.Counter {
+	v, ok := parts[a.Victim]
+	if !ok {
+		return nil
+	}
+	a.Tampered++
+	return v.Clone()
+}
+
+func (a *Isolate) TamperPayload(pub homo.Public, rule string, to int,
+	h *oblivious.Counter) *oblivious.Counter {
+	return nil
+}
+
+// Replay alternates between the victim's latest and an older recorded
+// counter across successive SFE inputs — the differencing pattern that
+// would isolate the victim's recent increment. The share field still
+// sums to 1 (the old counter carries a valid share), so only the
+// timestamp vector can catch it (§5.2's third attack category): once
+// the controller has seen the newer stamp, the older one is stale.
+// (A broker that replays the same old counter *consistently* is
+// indistinguishable from an idle neighbour and gains nothing — the
+// gate simply never sees growth from that component.)
+type Replay struct {
+	Victim   int
+	calls    int
+	Tampered int
+}
+
+func (r *Replay) Name() string { return "replay" }
+
+func (r *Replay) TamperFull(pub homo.Public, rule string, parts map[int]*oblivious.Counter,
+	history func(int) []*oblivious.Counter) *oblivious.Counter {
+	old := history(r.Victim)
+	if len(old) < 2 {
+		return nil // nothing older than the latest yet; behave honestly
+	}
+	r.calls++
+	if r.calls%2 == 1 {
+		return nil // honest query: the controller records the fresh stamp
+	}
+	r.Tampered++
+	rest := map[int]*oblivious.Counter{}
+	for k, c := range parts {
+		rest[k] = c
+	}
+	rest[r.Victim] = old[len(old)-1] // most recent superseded counter
+	return honest(pub, rest)
+}
+
+func (r *Replay) TamperPayload(pub homo.Public, rule string, to int,
+	h *oblivious.Counter) *oblivious.Counter {
+	return nil
+}
+
+// Garbage replaces outgoing payload values with meaningless
+// ciphertexts (random scalar multiples of the honest values — all a
+// key-less broker can fabricate). §5.2: "the first attack does not
+// endanger privacy ... it can only set the value to a random number,
+// which might harm the validity of the result but not the privacy."
+// No detection is expected.
+type Garbage struct {
+	Rng      *rand.Rand
+	Tampered int
+}
+
+func (g *Garbage) Name() string { return "garbage" }
+
+func (g *Garbage) TamperFull(pub homo.Public, rule string, parts map[int]*oblivious.Counter,
+	history func(int) []*oblivious.Counter) *oblivious.Counter {
+	return nil
+}
+
+func (g *Garbage) TamperPayload(pub homo.Public, rule string, to int,
+	h *oblivious.Counter) *oblivious.Counter {
+	g.Tampered++
+	out := h.Clone()
+	out.Sum = pub.ScalarMul(g.Rng.Int63n(1<<20)+2, h.Sum)
+	out.Count = pub.ScalarMul(g.Rng.Int63n(1<<20)+2, h.Count)
+	return out
+}
+
+var (
+	_ core.Adversary = (*DoubleCount)(nil)
+	_ core.Adversary = (*Omit)(nil)
+	_ core.Adversary = (*Isolate)(nil)
+	_ core.Adversary = (*Replay)(nil)
+	_ core.Adversary = (*Garbage)(nil)
+)
+
+// LyingController corrupts a controller: it flips every FlipEvery-th
+// SFE answer it returns to its own broker. The paper's boundary for a
+// corrupted controller is the same as for garbage-injecting brokers —
+// "harm the validity of the result but not the privacy" — and the
+// tests verify exactly that: no detection (nobody audits a controller;
+// the lies concern only its own resource's view), and honest resources
+// keep converging.
+type LyingController struct {
+	FlipEvery int
+	calls     int
+	Flipped   int
+}
+
+func (l *LyingController) Name() string { return "lying-controller" }
+
+// TamperAnswer flips every FlipEvery-th answer.
+func (l *LyingController) TamperAnswer(kind, rule string, honest bool) bool {
+	l.calls++
+	if l.FlipEvery > 0 && l.calls%l.FlipEvery == 0 {
+		l.Flipped++
+		return !honest
+	}
+	return honest
+}
+
+var _ core.ControllerAdversary = (*LyingController)(nil)
+
+// RandomTamperer draws a random deviation on every protocol decision:
+// with probability PFull it corrupts its SFE input (double-count,
+// omission, or isolation of a random neighbour — all share-breaking),
+// and with probability PPayload it garbles an outgoing payload. It
+// exists for the boundary property test: any run in which it corrupted
+// an SFE input must end detected; a run in which it only garbled
+// payloads must not.
+type RandomTamperer struct {
+	Rng             *rand.Rand
+	PFull, PPayload float64
+	FullTampers     int
+	PayloadTampers  int
+}
+
+func (rt *RandomTamperer) Name() string { return "random-tamperer" }
+
+func (rt *RandomTamperer) TamperFull(pub homo.Public, rule string, parts map[int]*oblivious.Counter,
+	history func(int) []*oblivious.Counter) *oblivious.Counter {
+	if rt.Rng.Float64() >= rt.PFull {
+		return nil
+	}
+	// Pick a neighbour (not the local part) deterministically from the
+	// sorted key set.
+	keys := make([]int, 0, len(parts))
+	for k := range parts {
+		if k >= 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	sort.Ints(keys)
+	victim := keys[rt.Rng.Intn(len(keys))]
+	rt.FullTampers++
+	switch rt.Rng.Intn(3) {
+	case 0: // double count
+		return oblivious.Add(pub, honest(pub, parts), parts[victim])
+	case 1: // omit
+		rest := map[int]*oblivious.Counter{}
+		for k, c := range parts {
+			if k != victim {
+				rest[k] = c
+			}
+		}
+		return honest(pub, rest)
+	default: // isolate
+		return parts[victim].Clone()
+	}
+}
+
+func (rt *RandomTamperer) TamperPayload(pub homo.Public, rule string, to int,
+	h *oblivious.Counter) *oblivious.Counter {
+	if rt.Rng.Float64() >= rt.PPayload {
+		return nil
+	}
+	rt.PayloadTampers++
+	out := h.Clone()
+	out.Sum = pub.ScalarMul(rt.Rng.Int63n(1<<16)+2, h.Sum)
+	return out
+}
+
+var _ core.Adversary = (*RandomTamperer)(nil)

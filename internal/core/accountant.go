@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math/rand"
+
+	"secmr/internal/arm"
+	"secmr/internal/homo"
+	"secmr/internal/oblivious"
+)
+
+// Accountant implements Algorithm 2: it guards the local database
+// partition, counts candidate support incrementally (ScanBudget
+// transactions per step per rule), and emits encrypted replies that a
+// broker cannot read or forge. The accountant is trusted to answer
+// queries correctly even when observed by an attacker (§3's attack
+// model: accountants can be monitored but must return correct,
+// encrypted outputs).
+type Accountant struct {
+	id  int
+	cfg Config
+	enc homo.Encryptor
+	pub homo.Public
+
+	db      *arm.Database
+	feed    []arm.Transaction
+	feedPos int
+
+	// shares: plaintext share values per slot (slot 0 = ⊥/self). The
+	// accountant keeps plaintexts so it can re-issue encryptions for
+	// late-created candidates' placeholder counters. epoch counts share
+	// dealings: every neighbourhood change re-deals all shares
+	// (Algorithm 2: "On initialization or on change in N_t^u"), and
+	// counters from different dealings must never be mixed.
+	shareVals []int64
+	epoch     int
+	slotOf    map[int]int // neighbor id -> slot (≥1)
+	neighbors []int
+
+	// per-rule scan state.
+	scans     map[string]*scanState
+	scanOrder []string
+
+	// t is the Algorithm 2 reply counter (the accountant's logical
+	// clock for the ⊥ timestamp slot).
+	t int64
+
+	// replies staged for the broker this step (the accountant→broker
+	// hop; drained by the broker, possibly one step later under
+	// IntraDelay).
+	replies map[string]*oblivious.Counter
+
+	rng *rand.Rand
+}
+
+type scanState struct {
+	rule       arm.Rule
+	pos        int
+	sum, count int64
+}
+
+func newAccountant(id int, cfg Config, enc homo.Encryptor, pub homo.Public, local *arm.Database, feed []arm.Transaction) *Accountant {
+	return &Accountant{
+		id: id, cfg: cfg, enc: enc, pub: pub,
+		db: local, feed: feed,
+		scans:   map[string]*scanState{},
+		replies: map[string]*oblivious.Counter{},
+		slotOf:  map[int]int{},
+		rng:     rand.New(rand.NewSource(int64(id)*7919 + 13)),
+	}
+}
+
+// setup creates the shares for this resource's neighbourhood and
+// returns the grant each neighbour must receive (Algorithm 2: "Create
+// and distribute random shares such that Σ D(share) = 1").
+func (a *Accountant) setup(neighbors []int) map[int]ShareGrant {
+	a.neighbors = append([]int(nil), neighbors...)
+	for i, v := range neighbors {
+		a.slotOf[v] = i + 1
+	}
+	return a.redeal()
+}
+
+// redeal draws a fresh share vector summing to 1 over the current
+// neighbourhood and returns the grant for every neighbour.
+func (a *Accountant) redeal() map[int]ShareGrant {
+	a.epoch++
+	n := len(a.neighbors) + 1 // slot 0 is ⊥
+	a.shareVals = make([]int64, n)
+	acc := int64(0)
+	for i := 1; i < n; i++ {
+		v := a.rng.Int63n(1 << 40)
+		a.shareVals[i] = v
+		acc += v
+	}
+	a.shareVals[0] = 1 - acc
+	// Undrained replies were built under the previous dealing (stale
+	// share, short stamp vector); rebuild them from the scan totals.
+	for key := range a.replies {
+		a.replies[key] = a.reply(a.scans[key])
+	}
+	grants := make(map[int]ShareGrant, len(a.neighbors))
+	for _, v := range a.neighbors {
+		grants[v] = ShareGrant{
+			Share:    a.enc.EncryptInt(a.shareVals[a.slotOf[v]]),
+			Slot:     a.slotOf[v],
+			NumSlots: n,
+			Epoch:    a.epoch,
+		}
+	}
+	return grants
+}
+
+// addNeighbor grows the neighbourhood by one resource and re-deals the
+// shares; the returned grants (including the new neighbour's) must be
+// distributed, and the broker must swap the share fields of every
+// stored counter via shareEnc.
+func (a *Accountant) addNeighbor(v int) map[int]ShareGrant {
+	if _, ok := a.slotOf[v]; ok {
+		return a.redeal()
+	}
+	a.neighbors = append(a.neighbors, v)
+	a.slotOf[v] = len(a.neighbors)
+	return a.redeal()
+}
+
+// shareEnc returns a fresh encryption of the current share for a slot
+// (0 = ⊥); the broker uses it to re-bind stored counters to the
+// current dealing after a join.
+func (a *Accountant) shareEnc(slot int) *homo.Ciphertext {
+	return a.enc.EncryptInt(a.shareVals[slot])
+}
+
+// slotFor exposes a neighbour's stamp slot.
+func (a *Accountant) slotFor(v int) int { return a.slotOf[v] }
+
+// numSlots returns the size of this resource's timestamp vector.
+func (a *Accountant) numSlots() int { return len(a.neighbors) + 1 }
+
+// placeholderFor builds the initial zero counter for an inbound edge,
+// carrying the neighbour's share so the full-neighbourhood share
+// invariant (Σ = 1) holds from step zero, before the neighbour's first
+// real message arrives.
+func (a *Accountant) placeholderFor(v int) *oblivious.Counter {
+	c := oblivious.NewZero(a.pub, a.numSlots())
+	c.Share = a.enc.EncryptInt(a.shareVals[a.slotOf[v]])
+	return c
+}
+
+// localPlaceholder builds the initial ⊥ counter for a fresh candidate:
+// zero values carrying the accountant's own share, so full sums verify
+// before the first reply.
+func (a *Accountant) localPlaceholder() *oblivious.Counter {
+	c := oblivious.NewZero(a.pub, a.numSlots())
+	c.Share = a.enc.EncryptInt(a.shareVals[0])
+	return c
+}
+
+// encryptedOne provisions an E(1) for the broker's padding dance
+// (Algorithm 1 has the broker assign s±E(1); the encryption itself
+// must come from a key holder).
+func (a *Accountant) encryptedOne() *homo.Ciphertext { return a.enc.EncryptInt(1) }
+
+// register starts counting support for a candidate rule.
+func (a *Accountant) register(rule arm.Rule) {
+	key := rule.Key()
+	if _, ok := a.scans[key]; !ok {
+		a.scans[key] = &scanState{rule: rule}
+		a.scanOrder = append(a.scanOrder, key)
+	}
+}
+
+// tick performs one step of Algorithm 2's cyclic reading: grow the
+// database from the feed, then advance every candidate's counters by
+// up to ScanBudget transactions, staging an encrypted reply for each
+// rule whose counters changed.
+func (a *Accountant) tick() {
+	for i := 0; i < a.cfg.GrowthPerStep && a.feedPos < len(a.feed); i++ {
+		a.db.Append(a.feed[a.feedPos])
+		a.feedPos++
+	}
+	for _, key := range a.scanOrder {
+		s := a.scans[key]
+		if s.pos >= a.db.Len() {
+			continue
+		}
+		end := s.pos + a.cfg.ScanBudget
+		if end > a.db.Len() {
+			end = a.db.Len()
+		}
+		union := s.rule.Union()
+		changed := false
+		for ; s.pos < end; s.pos++ {
+			t := a.db.Tx[s.pos]
+			if len(s.rule.LHS) == 0 || t.ContainsAll(s.rule.LHS) {
+				s.count++
+				changed = true
+				if t.ContainsAll(union) {
+					s.sum++
+				}
+			}
+		}
+		if changed {
+			a.replies[key] = a.reply(s)
+		}
+	}
+}
+
+// reply encrypts the rule's current totals as the ⊥ counter: the
+// share field carries the accountant's own share and the timestamp
+// vector carries E(t) in slot ⊥ (Algorithm 2's message structure).
+func (a *Accountant) reply(s *scanState) *oblivious.Counter {
+	a.t++
+	c := &oblivious.Counter{
+		Sum:    a.enc.EncryptInt(s.sum),
+		Count:  a.enc.EncryptInt(s.count),
+		Num:    a.enc.EncryptInt(1),
+		Share:  a.enc.EncryptInt(a.shareVals[0]),
+		Stamps: make([]*homo.Ciphertext, a.numSlots()),
+	}
+	c.Stamps[0] = a.enc.EncryptInt(a.t)
+	for i := 1; i < len(c.Stamps); i++ {
+		c.Stamps[i] = a.pub.EncryptZero()
+	}
+	return c
+}
+
+// drainReplies hands staged replies to the broker.
+func (a *Accountant) drainReplies() map[string]*oblivious.Counter {
+	if len(a.replies) == 0 {
+		return nil
+	}
+	out := a.replies
+	a.replies = map[string]*oblivious.Counter{}
+	return out
+}

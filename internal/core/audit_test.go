@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"secmr/internal/homo"
+	"secmr/internal/ktp"
+)
+
+// TestAuditTrailIsKTTPAdmissible is the end-to-end §5.3 check: every
+// fresh (data-dependent) answer any controller granted during a real
+// protocol run must correspond to a request a literal
+// Definition 3.1 k-TTP would have allowed — in both dimensions,
+// transactions and resources — given the accumulating-group structure
+// of the protocol (groups only grow, so granted groups form inclusion
+// chains).
+func TestAuditTrailIsKTTPAdmissible(t *testing.T) {
+	scheme := homo.NewPlain(96)
+	const k = 3
+	e, resources, _ := buildSecureGrid(t, scheme, 6, k, 31,
+		func(cfg *Config) { cfg.Audit = true }, nil)
+	e.Run(500)
+
+	totalFresh := 0
+	for ri, r := range resources {
+		// Group decisions by stream; each stream is one k-TTP
+		// requester in each dimension.
+		type chain struct{ counts, nums []int64 }
+		streams := map[string]*chain{}
+		for _, entry := range r.Controller.AuditTrail() {
+			c, ok := streams[entry.Stream]
+			if !ok {
+				c = &chain{}
+				streams[entry.Stream] = c
+			}
+			if entry.Fresh {
+				totalFresh++
+				c.counts = append(c.counts, entry.Count)
+				c.nums = append(c.nums, entry.Num)
+			}
+		}
+		for stream, c := range streams {
+			verifyChain(t, ri, stream+"/transactions", k, c.counts)
+			verifyChain(t, ri, stream+"/resources", k, c.nums)
+		}
+	}
+	if totalFresh == 0 {
+		t.Fatal("no fresh decisions recorded; audit inactive?")
+	}
+}
+
+// verifyChain feeds a monotone sequence of group sizes to a real k-TTP
+// and asserts each granted size is admissible. Groups are modelled as
+// prefixes of a fixed participant enumeration — exactly the
+// accumulating-votes structure (Definition 3.1's condition then
+// reduces to the inclusion-chain case ktp handles exactly). Equal
+// consecutive sizes model the saturated-group refresh (DESIGN.md §2
+// resolution 6), which is admissible in the *other* dimension; they
+// are skipped here and checked by the cross-dimension rule below.
+func verifyChain(t *testing.T, resource int, stream string, k int, sizes []int64) {
+	t.Helper()
+	ttp := ktp.New(k)
+	var last int64 = -1
+	for i, size := range sizes {
+		if size < last {
+			t.Fatalf("resource %d %s: group shrank at step %d: %d -> %d (votes must accumulate)",
+				resource, stream, i, last, size)
+		}
+		if size == last {
+			continue // saturated-group refresh; admitted via the other dimension
+		}
+		group := ktp.Group{}
+		for id := int64(0); id < size; id++ {
+			group[int(id)] = true
+		}
+		if !ttp.Admissible(stream, group) {
+			t.Fatalf("resource %d %s: fresh answer over %d participants rejected by the k-TTP (history %v)",
+				resource, stream, size, sizes[:i])
+		}
+		if _, ok := ttp.Request(stream, group); !ok {
+			t.Fatal("admissible request refused")
+		}
+		last = size
+	}
+}
+
+// TestAuditCrossDimensionRule pins resolution 6 exactly: whenever a
+// fresh answer reused an unchanged resource group (Δnum = 0), the
+// transaction dimension must have grown by ≥ k — the re-answer is
+// justified by the transaction-level k-TTP.
+func TestAuditCrossDimensionRule(t *testing.T) {
+	scheme := homo.NewPlain(96)
+	const k = 2
+	e, resources, _ := buildSecureGrid(t, scheme, 5, k, 32,
+		func(cfg *Config) {
+			cfg.Audit = true
+			cfg.GrowthPerStep = 0
+		}, nil)
+	e.Run(400)
+	for ri, r := range resources {
+		lastByStream := map[string][2]int64{}
+		for _, entry := range r.Controller.AuditTrail() {
+			if !entry.Fresh {
+				continue
+			}
+			if prev, ok := lastByStream[entry.Stream]; ok {
+				dCnt := entry.Count - prev[0]
+				dNum := entry.Num - prev[1]
+				if dNum == 0 && dCnt < k {
+					t.Fatalf("resource %d %s: same-group re-answer with only %d new transactions",
+						ri, entry.Stream, dCnt)
+				}
+				if dNum > 0 && dNum < k {
+					t.Fatalf("resource %d %s: fresh answer with sub-k resource growth %d",
+						ri, entry.Stream, dNum)
+				}
+			}
+			lastByStream[entry.Stream] = [2]int64{entry.Count, entry.Num}
+		}
+	}
+}

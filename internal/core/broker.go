@@ -1,0 +1,612 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"secmr/internal/arm"
+	"secmr/internal/homo"
+	"secmr/internal/oblivious"
+)
+
+// Adversary lets the attack harness replace parts of a broker's
+// behaviour (§3's attack model: a taken-over broker "can do whatever
+// it pleases"). A nil return from either hook means "behave honestly
+// for this call".
+type Adversary interface {
+	Name() string
+	// TamperFull may replace the full-neighbourhood counter the broker
+	// submits to its own controller as SFE input — the detection
+	// surface guarded by the share and timestamp fields. parts maps
+	// source → current counter (-1 is the accountant/local part);
+	// history returns older inbound counters for replay attacks.
+	TamperFull(pub homo.Public, rule string, parts map[int]*oblivious.Counter,
+		history func(from int) []*oblivious.Counter) *oblivious.Counter
+	// TamperPayload may replace the outgoing counter for one edge —
+	// the validity surface the paper proves cannot break privacy.
+	TamperPayload(pub homo.Public, rule string, to int,
+		honest *oblivious.Counter) *oblivious.Counter
+}
+
+// BrokerStats counts broker activity.
+type BrokerStats struct {
+	MessagesSent   int64
+	RepliesApplied int64
+	CandidatesSeen int64
+	// BytesSent approximates wire volume: the sum of ciphertext sizes
+	// of every transmitted counter (§5.2's messages are pure
+	// ciphertext, so this tracks the real communication cost of the
+	// chosen cryptosystem).
+	BytesSent int64
+}
+
+// secEdge is the broker's per-(rule, edge) protocol state.
+type secEdge struct {
+	inbound            *oblivious.Counter // latest counter from this neighbour (this resource's slot space)
+	sentSum, sentCount *homo.Ciphertext   // value components of the last transmission
+	contacted          bool
+	dirty              bool
+	// staleSinceSend is set whenever a payload input changes and only
+	// cleared by a transmission; together with lastSendStep it drives
+	// the anti-entropy refresh (see evaluateSends).
+	staleSinceSend bool
+	lastSendStep   int64
+}
+
+// secCandidate is one rule's encrypted voting state.
+type secCandidate struct {
+	rule             arm.Rule
+	key              string
+	lambdaN, lambdaD int64
+	local            *oblivious.Counter // the ⊥ counter (accountant replies)
+	edges            map[int]*secEdge
+	// outDirty marks that some input ciphertext was replaced since the
+	// last Output() SFE; when clear, the controller's answer is
+	// necessarily its cache (totals unchanged), so the broker skips the
+	// query. The flag tracks ciphertext-replacement events only — a
+	// data-independent observation the broker legitimately has.
+	outDirty bool
+}
+
+// brokerEdge is per-edge (rule-independent) link state.
+type brokerEdge struct {
+	grant    ShareGrant // from the neighbour's accountant
+	hasGrant bool
+}
+
+// Broker implements Algorithms 1 and 4 over oblivious counters. It
+// holds no keys: every ciphertext manipulation goes through the
+// homo.Public capability, and every plaintext-dependent decision
+// through an SFE with the controller.
+type Broker struct {
+	id  int
+	cfg Config
+	pub homo.Public
+	acc *Accountant
+	ctl *Controller
+	adv Adversary
+
+	neighbors []int
+	links     map[int]*brokerEdge
+	cands     map[string]*secCandidate
+	// order keeps candidate keys in creation order so per-tick walks
+	// are deterministic (map iteration order is randomized in Go).
+	order []string
+	step  int64
+
+	// shareEpoch is the accountant's current share-dealing epoch;
+	// inbound counters from other dealings are dropped.
+	shareEpoch int
+
+	// inited flips when init wires the overlay; messages arriving
+	// before that (possible on a real transport, where peers boot
+	// independently) are buffered and replayed at init — processing
+	// them early would create candidates with no edges.
+	inited  bool
+	preInit []preInitMsg
+
+	// stagedReplies models the accountant→broker hop under IntraDelay.
+	stagedReplies map[string]*oblivious.Counter
+
+	// history keeps superseded inbound counters per rule and source
+	// for replay adversaries (only populated when adv != nil).
+	history map[string]map[int][]*oblivious.Counter
+
+	rng   *rand.Rand
+	stats BrokerStats
+}
+
+func newBroker(id int, cfg Config, pub homo.Public, acc *Accountant, ctl *Controller, adv Adversary) *Broker {
+	return &Broker{
+		id: id, cfg: cfg, pub: pub, acc: acc, ctl: ctl, adv: adv,
+		links:   map[int]*brokerEdge{},
+		cands:   map[string]*secCandidate{},
+		history: map[string]map[int][]*oblivious.Counter{},
+		rng:     rand.New(rand.NewSource(int64(id)*104729 + 7)),
+	}
+}
+
+// preInitMsg is a buffered pre-initialization message.
+type preInitMsg struct {
+	from  int
+	grant *ShareGrant
+	rule  *RuleCipherMsg
+}
+
+// maxPreInit bounds the pre-initialization buffer.
+const maxPreInit = 4096
+
+// init seeds the universe candidates and the per-edge state, then
+// replays any messages that arrived before initialization.
+func (b *Broker) init(neighbors []int) {
+	b.neighbors = append([]int(nil), neighbors...)
+	b.shareEpoch = b.acc.epoch
+	for _, v := range neighbors {
+		if _, ok := b.links[v]; !ok {
+			b.links[v] = &brokerEdge{}
+		}
+	}
+	for _, i := range b.cfg.Universe {
+		b.addCandidate(arm.NewRule(nil, arm.Itemset{i}, arm.ThresholdFreq))
+	}
+	b.inited = true
+	replay := b.preInit
+	b.preInit = nil
+	for _, m := range replay {
+		switch {
+		case m.grant != nil:
+			b.onShareGrant(m.from, *m.grant)
+		case m.rule != nil:
+			b.onRuleMsg(m.from, *m.rule)
+		}
+	}
+}
+
+// addCandidate registers a rule with the accountant and creates its
+// encrypted state, with placeholder inbound counters that keep the
+// share invariant valid before any real traffic (see
+// Accountant.placeholderFor). Returns nil when the size cap rejects
+// the rule.
+func (b *Broker) addCandidate(rule arm.Rule) *secCandidate {
+	key := rule.Key()
+	if c, ok := b.cands[key]; ok {
+		return c
+	}
+	if b.cfg.MaxRuleItems > 0 && len(rule.LHS)+len(rule.RHS) > b.cfg.MaxRuleItems {
+		return nil
+	}
+	ln, ld := rational(b.cfg.Th.Lambda(rule.Kind))
+	c := &secCandidate{
+		rule: rule, key: key, lambdaN: ln, lambdaD: ld,
+		local:    b.acc.localPlaceholder(),
+		edges:    map[int]*secEdge{},
+		outDirty: true,
+	}
+	for _, v := range b.neighbors {
+		c.edges[v] = &secEdge{
+			inbound:   b.acc.placeholderFor(v),
+			sentSum:   b.pub.EncryptZero(),
+			sentCount: b.pub.EncryptZero(),
+		}
+	}
+	b.cands[key] = c
+	b.order = append(b.order, key)
+	b.acc.register(rule)
+	b.stats.CandidatesSeen++
+	return c
+}
+
+// onShareGrant stores a neighbour's grant; edges become usable for
+// transmission once granted.
+func (b *Broker) onShareGrant(from int, g ShareGrant) {
+	if !b.inited {
+		if len(b.preInit) < maxPreInit {
+			b.preInit = append(b.preInit, preInitMsg{from: from, grant: &g})
+		}
+		return
+	}
+	l, ok := b.links[from]
+	if !ok {
+		l = &brokerEdge{}
+		b.links[from] = l
+	}
+	l.grant = g
+	l.hasGrant = true
+}
+
+// onRuleMsg ingests a neighbour's oblivious counter, creating the
+// candidate (and its frequency companion) if unknown — Algorithm 4's
+// receive handler.
+func (b *Broker) onRuleMsg(from int, m RuleCipherMsg) {
+	if !b.inited {
+		if len(b.preInit) < maxPreInit {
+			b.preInit = append(b.preInit, preInitMsg{from: from, rule: &m})
+		}
+		return
+	}
+	c, ok := b.cands[m.Rule.Key()]
+	if !ok {
+		c = b.addCandidate(m.Rule)
+		if c == nil {
+			return // above the size cap
+		}
+		b.addCandidate(arm.NewRule(nil, m.Rule.Union(), arm.ThresholdFreq))
+	}
+	e, ok := c.edges[from]
+	if !ok {
+		return // not a tree neighbour; ignore
+	}
+	if m.Epoch != b.shareEpoch {
+		// The sender attached a share from a superseded dealing (its
+		// refreshed grant is still in flight after a join); mixing
+		// dealings would break the Σshares = 1 invariant. Drop — the
+		// anti-entropy refresh re-delivers under the new grant.
+		return
+	}
+	if len(m.Counter.Stamps) > b.acc.numSlots() {
+		return // malformed; ignore (cannot be verified)
+	}
+	for len(m.Counter.Stamps) < b.acc.numSlots() {
+		// Pad older, shorter stamp vectors (sent before the sender
+		// learned about a joined neighbour) with E(0).
+		m.Counter.Stamps = append(m.Counter.Stamps, b.pub.EncryptZero())
+	}
+	if b.adv != nil {
+		h := b.history[c.key]
+		if h == nil {
+			h = map[int][]*oblivious.Counter{}
+			b.history[c.key] = h
+		}
+		h[from] = append(h[from], e.inbound)
+	}
+	e.inbound = m.Counter
+	c.outDirty = true
+	for v, other := range c.edges {
+		if v != from {
+			other.dirty = true
+			other.staleSinceSend = true
+		}
+	}
+	// Δ^uv toward the sender changed as well; the evaluation is
+	// harmless because unchanged aggregates are suppressed at the
+	// controller.
+	e.dirty = true
+}
+
+// applyAccountantReplies moves staged encrypted vote updates into the
+// candidates' ⊥ counters, modelling the accountant→broker hop.
+func (b *Broker) applyAccountantReplies(tr Transport) {
+	apply := func(replies map[string]*oblivious.Counter) {
+		keys := make([]string, 0, len(replies))
+		for key := range replies {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			reply := replies[key]
+			c, ok := b.cands[key]
+			if !ok {
+				continue
+			}
+			b.stats.RepliesApplied++
+			if b.cfg.PaddingDance {
+				b.paddingDance(tr, c, reply)
+			}
+			c.local = reply
+			c.outDirty = true
+			for _, e := range c.edges {
+				e.dirty = true
+				e.staleSinceSend = true
+			}
+		}
+	}
+	apply(b.stagedReplies)
+	b.stagedReplies = nil
+	fresh := b.acc.drainReplies()
+	if b.cfg.IntraDelay {
+		b.stagedReplies = fresh
+	} else {
+		apply(fresh)
+	}
+}
+
+// paddingDance performs Algorithm 1's obfuscation sequence on a local
+// vote change from s to s′: the sum passes through s±E(1) and s′±E(1),
+// with a full evaluation after each assignment, before settling on s′.
+// The sequence makes the number of triggered evaluations independent
+// of the direction and magnitude of the actual change.
+func (b *Broker) paddingDance(tr Transport, c *secCandidate, next *oblivious.Counter) {
+	variants := []*homo.Ciphertext{
+		b.pub.Add(c.local.Sum, b.encOne()),
+		b.pub.Sub(c.local.Sum, b.encOne()),
+		b.pub.Add(next.Sum, b.encOne()),
+		b.pub.Sub(next.Sum, b.encOne()),
+	}
+	saved := c.local.Sum
+	for _, v := range variants {
+		c.local.Sum = v
+		for _, e := range c.edges {
+			e.dirty = true
+		}
+		b.evaluateSends(tr)
+	}
+	c.local.Sum = saved
+}
+
+// encOne builds E(1) without the encryption key: E(0)+E(0) scaled —
+// impossible; instead the accountant pre-provisions encrypted ones.
+func (b *Broker) encOne() *homo.Ciphertext { return b.acc.encryptedOne() }
+
+// fullSum aggregates the ⊥ counter and every inbound counter — the
+// quantity all SFE inputs are built from. The adversary hook may
+// replace it (detection surface).
+func (b *Broker) fullSum(c *secCandidate) *oblivious.Counter {
+	if b.adv != nil {
+		parts := map[int]*oblivious.Counter{-1: c.local}
+		for v, e := range c.edges {
+			parts[v] = e.inbound
+		}
+		hist := func(from int) []*oblivious.Counter {
+			if h, ok := b.history[c.key]; ok {
+				return h[from]
+			}
+			return nil
+		}
+		if tampered := b.adv.TamperFull(b.pub, c.key, parts, hist); tampered != nil {
+			return tampered
+		}
+	}
+	full := c.local
+	for _, e := range c.edges {
+		full = oblivious.Add(b.pub, full, e.inbound)
+	}
+	return full
+}
+
+// sumValues aggregates only the value components (sum, count, num) of
+// the ⊥ counter and every inbound counter except the recipient's —
+// the outgoing payload of Update(v).
+func (b *Broker) sumValues(c *secCandidate, except int) (sum, count, num *homo.Ciphertext) {
+	sum, count, num = c.local.Sum, c.local.Count, c.local.Num
+	for v, e := range c.edges {
+		if v == except {
+			continue
+		}
+		sum = b.pub.Add(sum, e.inbound.Sum)
+		count = b.pub.Add(count, e.inbound.Count)
+		num = b.pub.Add(num, e.inbound.Num)
+	}
+	return
+}
+
+// evaluateSends runs the per-edge send SFEs for every dirty
+// (candidate, edge) pair and transmits approved messages.
+func (b *Broker) evaluateSends(tr Transport) {
+	b.step++
+	neighborAt := func(slot int) int { return b.acc.neighbors[slot-1] }
+	for _, key := range b.order {
+		c := b.cands[key]
+		var full *oblivious.Counter
+		for _, v := range b.neighbors {
+			e := c.edges[v]
+			link := b.links[v]
+			if !link.hasGrant {
+				continue // cannot stamp/share messages for v yet
+			}
+			// Anti-entropy refresh: Scalable-Majority's locality
+			// deliberately withholds aggregates once signs agree, but
+			// the k-gate needs every resource to eventually aggregate
+			// ≥ k resources' votes; a periodic, timer-driven re-send of
+			// changed payloads guarantees that delivery. The trigger is
+			// data-independent (a timer plus ciphertext-replacement
+			// events), so it adds no leak. See DESIGN.md §2.
+			refresh := e.contacted && e.staleSinceSend &&
+				b.step-e.lastSendStep >= refreshEvery
+			if e.contacted && !e.dirty && !refresh {
+				continue
+			}
+			first := !e.contacted
+			e.dirty = false
+			if full == nil {
+				full = b.fullSum(c)
+			}
+			if refresh {
+				b.transmit(tr, c, v, e, b.ctl.RefreshStamps(link.grant.NumSlots, link.grant.Slot))
+				continue
+			}
+			// Δ^uv and Δ^uv − Δ^u, blinded for the sign SFE.
+			duv := b.pub.Sub(
+				b.pub.ScalarMul(c.lambdaD, b.pub.Add(e.inbound.Sum, e.sentSum)),
+				b.pub.ScalarMul(c.lambdaN, b.pub.Add(e.inbound.Count, e.sentCount)))
+			du := b.pub.Sub(
+				b.pub.ScalarMul(c.lambdaD, full.Sum),
+				b.pub.ScalarMul(c.lambdaN, full.Count))
+			diff := b.pub.Sub(duv, du)
+			send, stamps, ok := b.ctl.SendDecision(c.key, v, full,
+				oblivious.Blind(b.pub, duv, b.cfg.BlindBits, b.rng),
+				oblivious.Blind(b.pub, diff, b.cfg.BlindBits, b.rng),
+				first, link.grant.NumSlots, link.grant.Slot, neighborAt)
+			if !ok {
+				return // violation detected; Resource will halt us
+			}
+			if !send {
+				continue
+			}
+			b.transmit(tr, c, v, e, stamps)
+		}
+	}
+}
+
+// transmit builds and sends the payload for edge v with the given
+// timestamp vector, updating the edge's transmission state.
+func (b *Broker) transmit(tr Transport, c *secCandidate, v int, e *secEdge, stamps []*homo.Ciphertext) {
+	link := b.links[v]
+	sum, count, num := b.sumValues(c, v)
+	out := &oblivious.Counter{
+		Sum:    b.pub.Rerandomize(sum),
+		Count:  b.pub.Rerandomize(count),
+		Num:    b.pub.Rerandomize(num),
+		Share:  b.pub.Rerandomize(link.grant.Share),
+		Stamps: stamps,
+	}
+	if b.adv != nil {
+		if tampered := b.adv.TamperPayload(b.pub, c.key, v, out); tampered != nil {
+			out = tampered
+		}
+	}
+	e.sentSum, e.sentCount = sum, count
+	e.contacted = true
+	e.staleSinceSend = false
+	e.lastSendStep = b.step
+	b.stats.MessagesSent++
+	b.stats.BytesSent += counterBytes(out)
+	tr.Send(v, RuleCipherMsg{Rule: c.rule, Counter: out, Epoch: link.grant.Epoch})
+}
+
+// onNeighborJoin handles a new overlay edge: the accountant re-deals
+// its shares (new epoch), the broker re-binds the share field of every
+// stored counter to the new dealing and pads stamp vectors with the
+// new slot, and a fresh edge (with a share-correct placeholder) is
+// added to every candidate. Returns the grants to distribute — the new
+// neighbour's plus refreshed ones for everyone else (their NumSlots
+// and share values changed).
+func (b *Broker) onNeighborJoin(v int) map[int]ShareGrant {
+	grants := b.acc.addNeighbor(v)
+	b.shareEpoch = b.acc.epoch
+	b.neighbors = append(b.neighbors, v)
+	if _, ok := b.links[v]; !ok {
+		b.links[v] = &brokerEdge{}
+	}
+	slots := b.acc.numSlots()
+	rebind := func(c *oblivious.Counter, slot int) {
+		c.Share = b.acc.shareEnc(slot)
+		for len(c.Stamps) < slots {
+			c.Stamps = append(c.Stamps, b.pub.EncryptZero())
+		}
+	}
+	for _, key := range b.order {
+		c := b.cands[key]
+		rebind(c.local, 0)
+		for w, e := range c.edges {
+			rebind(e.inbound, b.acc.slotFor(w))
+		}
+		c.edges[v] = &secEdge{
+			inbound:   b.acc.placeholderFor(v),
+			sentSum:   b.pub.EncryptZero(),
+			sentCount: b.pub.EncryptZero(),
+		}
+		c.outDirty = true
+		for _, e := range c.edges {
+			e.dirty = true
+			e.staleSinceSend = true
+		}
+	}
+	// Staged accountant replies carry old-geometry stamp vectors and a
+	// superseded share; rebind them too.
+	for _, reply := range b.stagedReplies {
+		rebind(reply, 0)
+	}
+	return grants
+}
+
+// generateCandidates is Algorithm 4's periodic pass: an Output() SFE
+// per candidate, then lattice expansion from the believed-correct set.
+func (b *Broker) generateCandidates() {
+	neighborAt := func(slot int) int { return b.acc.neighbors[slot-1] }
+	answers := map[string]bool{}
+	for _, key := range b.order {
+		c := b.cands[key]
+		if !c.outDirty {
+			// No input ciphertext was replaced since the last query, so
+			// the controller's totals are unchanged and its answer is
+			// necessarily the cached one; skip the SFE.
+			answers[key] = b.ctl.PeekOutput(key)
+			continue
+		}
+		c.outDirty = false
+		full := b.fullSum(c)
+		du := b.pub.Sub(
+			b.pub.ScalarMul(c.lambdaD, full.Sum),
+			b.pub.ScalarMul(c.lambdaN, full.Count))
+		correct, ok := b.ctl.OutputDecision(key, full,
+			oblivious.Blind(b.pub, du, b.cfg.BlindBits, b.rng), neighborAt)
+		if !ok {
+			return
+		}
+		answers[key] = correct
+	}
+	truth := b.assembleOutput(func(key string) bool { return answers[key] })
+	existing := arm.RuleSet{}
+	for _, c := range b.cands {
+		existing.Add(c.rule)
+	}
+	before := len(existing)
+	arm.GenerateCandidates(truth, existing)
+	if len(existing) == before {
+		return
+	}
+	for _, rule := range existing.Sorted() {
+		if _, ok := b.cands[rule.Key()]; !ok {
+			b.addCandidate(rule)
+		}
+	}
+}
+
+// refreshEvery is the anti-entropy period in steps; see evaluateSends.
+const refreshEvery = 20
+
+// counterBytes approximates the wire size of one oblivious counter:
+// the byte lengths of all component ciphertexts.
+func counterBytes(c *oblivious.Counter) int64 {
+	n := int64(len(c.Sum.V.Bytes()) + len(c.Count.V.Bytes()) +
+		len(c.Num.V.Bytes()) + len(c.Share.V.Bytes()))
+	for _, s := range c.Stamps {
+		n += int64(len(s.V.Bytes()))
+	}
+	return n
+}
+
+// Output assembles R̃_u from the controller's cached answers without
+// running SFEs.
+func (b *Broker) Output() arm.RuleSet {
+	return b.assembleOutput(b.ctl.PeekOutput)
+}
+
+// assembleOutput applies the "confident rules between frequent
+// itemsets" filter: a confidence rule is reported only when its own
+// vote and its union's frequency vote both pass.
+func (b *Broker) assembleOutput(decide func(key string) bool) arm.RuleSet {
+	out := arm.RuleSet{}
+	for key, c := range b.cands {
+		if c.rule.Kind != arm.ThresholdFreq {
+			continue
+		}
+		if decide(key) {
+			out.Add(c.rule)
+		}
+	}
+	for key, c := range b.cands {
+		if c.rule.Kind != arm.ThresholdConf {
+			continue
+		}
+		companion := arm.NewRule(nil, c.rule.Union(), arm.ThresholdFreq)
+		if decide(key) && out.Has(companion) {
+			out.Add(c.rule)
+		}
+	}
+	return out
+}
+
+// DebugAggregate decrypts a candidate's full aggregate through the
+// resource's own controller capability — test/diagnostic use only.
+func (b *Broker) DebugAggregate(key string) (sum, count, num int64, ok bool) {
+	c, ok := b.cands[key]
+	if !ok {
+		return 0, 0, 0, false
+	}
+	full := b.fullSum(c)
+	dec := b.ctl.dec
+	return dec.DecryptSigned(full.Sum).Int64(),
+		dec.DecryptSigned(full.Count).Int64(),
+		dec.DecryptSigned(full.Num).Int64(), true
+}

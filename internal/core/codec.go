@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"secmr/internal/homo"
+	"secmr/internal/oblivious"
+)
+
+// Wire codec: a real deployment exchanges ShareGrant, RuleCipherMsg
+// and MaliciousReport over the network. The simulator passes them as
+// Go values; EncodeMessage/DecodeMessage provide the byte encoding
+// (gob, stdlib-only), and decoding re-binds every ciphertext to the
+// local scheme instance via homo.Adopter — both validating the raw
+// group elements and restoring the in-process tag protection.
+
+// envelope wraps a message with its kind for self-describing frames.
+type envelope struct {
+	Kind string
+	Body []byte
+}
+
+const (
+	kindShareGrant = "share-grant"
+	kindRuleCipher = "rule-cipher"
+	kindReport     = "malicious-report"
+)
+
+// EncodeMessage serializes one grid message (ShareGrant, RuleCipherMsg
+// or MaliciousReport).
+func EncodeMessage(msg any) ([]byte, error) {
+	var kind string
+	switch msg.(type) {
+	case ShareGrant:
+		kind = kindShareGrant
+	case RuleCipherMsg:
+		kind = kindRuleCipher
+	case MaliciousReport:
+		kind = kindReport
+	default:
+		return nil, fmt.Errorf("core: cannot encode message type %T", msg)
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(msg); err != nil {
+		return nil, fmt.Errorf("core: encoding %s: %w", kind, err)
+	}
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(envelope{Kind: kind, Body: body.Bytes()}); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// DecodeMessage deserializes a frame produced by EncodeMessage,
+// adopting every contained ciphertext into the given scheme. A nil
+// adopter is allowed only for ciphertext-free messages
+// (MaliciousReport).
+func DecodeMessage(data []byte, adopter homo.Adopter) (any, error) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("core: decoding envelope: %w", err)
+	}
+	dec := gob.NewDecoder(bytes.NewReader(env.Body))
+	switch env.Kind {
+	case kindShareGrant:
+		var m ShareGrant
+		if err := dec.Decode(&m); err != nil {
+			return nil, err
+		}
+		if err := adoptInto(adopter, &m.Share); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case kindRuleCipher:
+		var m RuleCipherMsg
+		if err := dec.Decode(&m); err != nil {
+			return nil, err
+		}
+		if m.Counter == nil {
+			return nil, fmt.Errorf("core: rule message without counter")
+		}
+		if err := adoptCounter(adopter, m.Counter); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case kindReport:
+		var m MaliciousReport
+		if err := dec.Decode(&m); err != nil {
+			return nil, err
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("core: unknown message kind %q", env.Kind)
+	}
+}
+
+func adoptInto(adopter homo.Adopter, c **homo.Ciphertext) error {
+	if adopter == nil {
+		return fmt.Errorf("core: ciphertext-bearing message needs an adopter")
+	}
+	adopted, err := adopter.Adopt(*c)
+	if err != nil {
+		return err
+	}
+	*c = adopted
+	return nil
+}
+
+// adoptCounter re-binds every component of an oblivious counter.
+func adoptCounter(adopter homo.Adopter, c *oblivious.Counter) error {
+	for _, field := range []**homo.Ciphertext{&c.Sum, &c.Count, &c.Num, &c.Share} {
+		if err := adoptInto(adopter, field); err != nil {
+			return err
+		}
+	}
+	for i := range c.Stamps {
+		if err := adoptInto(adopter, &c.Stamps[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

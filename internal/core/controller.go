@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+
+	"secmr/internal/homo"
+	"secmr/internal/oblivious"
+)
+
+// ControllerAdversary corrupts a controller's SFE answers — §3's
+// attack model lets a taken-over controller "do whatever it pleases".
+// Its reach is exactly what the paper claims: it can lie to its own
+// broker (harming the validity of results built on those answers) but
+// cannot learn more than an honest controller would (the broker only
+// ever hands it blinded Δs and verification fields), and it cannot
+// break other resources' privacy.
+type ControllerAdversary interface {
+	Name() string
+	// TamperAnswer may replace an SFE answer; kind is "send" or
+	// "output".
+	TamperAnswer(kind, rule string, honest bool) bool
+}
+
+// Controller implements Algorithm 3: the SFE counterpart holding the
+// decryption key. It verifies the share and timestamp fields of every
+// full-neighbourhood counter a broker submits, enforces the k-privacy
+// gate on every data-dependent answer, produces the timestamp vectors
+// for outgoing messages, and raises a MaliciousReport when a
+// violation is detected.
+//
+// The controller never sees raw counters: the broker submits the
+// verification fields as-is (share, stamps, and the count/num totals
+// the k-gate needs — exactly what Algorithm 1's Cond(x1,x2,x3) hands
+// it) and every Δ quantity only in multiplicatively blinded form, so
+// the controller learns signs, not magnitudes (§5.1's ad-hoc sign
+// SFE).
+type Controller struct {
+	id  int
+	cfg Config
+	dec homo.Decryptor
+	enc homo.Encryptor
+	pub homo.Public
+
+	// clock is the Lamport clock for outgoing timestamps.
+	clock int64
+	// seen is T̃: the last verified timestamp per (rule, slot).
+	seen map[string][]int64
+
+	// Per-(rule,edge) send-decision gate state.
+	sendGates map[string]*gateState
+	// Per-rule output gate state (Algorithm 1's Output()).
+	outGates map[string]*gateState
+
+	// pendingReport is the detection raised by the latest SFE, if any.
+	pendingReport *MaliciousReport
+
+	// adv, when set, corrupts answers (attack harness).
+	adv ControllerAdversary
+
+	// audit, when enabled, records every gate decision for offline
+	// k-TTP admissibility checking (Definition 3.1).
+	audit []AuditEntry
+
+	stats ControllerStats
+}
+
+// AuditEntry records one controller gate decision: the totals behind
+// the query and whether a fresh (data-dependent) answer was granted.
+// Stream identifies the decision stream ("out:<rule>" or
+// "send:<rule>#<edge>").
+type AuditEntry struct {
+	Stream     string
+	Count, Num int64
+	Fresh      bool
+}
+
+// ControllerStats counts SFE outcomes.
+type ControllerStats struct {
+	SFEs           int64
+	FreshDecisions int64 // answered with a fresh (data-dependent) evaluation
+	GatedDecisions int64 // answered with the in-gate default / cached value
+	Suppressed     int64 // no-change queries suppressed
+	Violations     int64
+}
+
+// gateState is the k-gate bookkeeping for one decision stream.
+type gateState struct {
+	gateCount, gateNum int64 // totals at the last fresh evaluation
+	lastCount, lastNum int64 // totals at the last query (no-op suppression)
+	queried            bool
+	freshed            bool // a first fresh answer has been granted
+	cached             bool // last answer (output gates)
+}
+
+// open evaluates the k-gate: a fresh (data-dependent) answer is
+// granted when the vote count grew by ≥ k AND the resource count
+// either grew by ≥ k or is exactly unchanged since the last fresh
+// answer. The latter clause resolves a contradiction in the paper
+// (DESIGN.md §2): Definition 3.1 taken literally freezes every output
+// once the resource set saturates, defeating the dynamic-database
+// behaviour of §1/§6; re-answering an identical ≥ k-resource group
+// over ≥ k fresh transactions is admissible to the transaction-level
+// k-TTP and never exposes a group smaller than k resources. Partial
+// resource growth (0 < Δnum < k) remains blocked — that is the
+// resource-differencing attack the symmetric-difference condition
+// exists to stop.
+func (g *gateState) open(k, cnt, num int64) bool {
+	if cnt-g.gateCount < k {
+		return false
+	}
+	if num-g.gateNum >= k || (g.freshed && num == g.gateNum) {
+		g.gateCount, g.gateNum = cnt, num
+		g.freshed = true
+		return true
+	}
+	return false
+}
+
+func newController(id int, cfg Config, dec homo.Decryptor, enc homo.Encryptor, pub homo.Public) *Controller {
+	return &Controller{
+		id: id, cfg: cfg, dec: dec, enc: enc, pub: pub,
+		seen:      map[string][]int64{},
+		sendGates: map[string]*gateState{},
+		outGates:  map[string]*gateState{},
+	}
+}
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() ControllerStats { return c.stats }
+
+// SetAdversary installs a controller corruption (attack harness).
+func (c *Controller) SetAdversary(adv ControllerAdversary) { c.adv = adv }
+
+// AuditTrail returns the recorded gate decisions (empty unless
+// Config.Audit is set).
+func (c *Controller) AuditTrail() []AuditEntry { return c.audit }
+
+// record appends an audit entry when auditing is on.
+func (c *Controller) record(stream string, cnt, num int64, fresh bool) {
+	if c.cfg.Audit {
+		c.audit = append(c.audit, AuditEntry{Stream: stream, Count: cnt, Num: num, Fresh: fresh})
+	}
+}
+
+// takeReport pops the pending detection, if any.
+func (c *Controller) takeReport() (MaliciousReport, bool) {
+	if c.pendingReport == nil {
+		return MaliciousReport{}, false
+	}
+	r := *c.pendingReport
+	c.pendingReport = nil
+	return r, true
+}
+
+// verify checks the share and timestamp fields of a full-neighbourhood
+// counter (Algorithm 3's first two steps). neighborAt maps stamp slots
+// (≥1) back to resource IDs for accusation; slot 0 is the accountant.
+// Returns false when a violation was detected (and records the
+// report).
+func (c *Controller) verify(rule string, full *oblivious.Counter, neighborAt func(slot int) int) bool {
+	if c.dec.DecryptSigned(full.Share).Int64() != 1 {
+		c.stats.Violations++
+		c.pendingReport = &MaliciousReport{
+			Accused: c.id, Reporter: c.id,
+			Reason: fmt.Sprintf("broker share-sum violation on rule %s", rule),
+		}
+		return false
+	}
+	prev, ok := c.seen[rule]
+	if !ok {
+		prev = make([]int64, len(full.Stamps))
+		c.seen[rule] = prev
+	}
+	for len(prev) < len(full.Stamps) {
+		// The stamp vector grew: a neighbour joined (new slot).
+		prev = append(prev, 0)
+		c.seen[rule] = prev
+	}
+	for slot, ct := range full.Stamps {
+		t := c.dec.DecryptSigned(ct).Int64()
+		if t < prev[slot] {
+			c.stats.Violations++
+			accused := c.id
+			reason := "accountant counter replay"
+			if slot > 0 {
+				accused = neighborAt(slot)
+				reason = fmt.Sprintf("stale timestamp for rule %s (replayed counter)", rule)
+			}
+			c.pendingReport = &MaliciousReport{Accused: accused, Reporter: c.id, Reason: reason}
+			return false
+		}
+		prev[slot] = t
+	}
+	return true
+}
+
+// SendDecision is the SFE a broker runs before transmitting on one
+// edge (§5.1's first SFE occasion). Inputs: the full-neighbourhood
+// counter (verification fields + the x1/x2 totals of Cond), and the
+// blinded Δ^uv and Δ^uv−Δ^u. Output: whether to send, and — when
+// sending — the timestamp vector for the recipient (Algorithm 3's
+// reply). Returns ok=false when verification failed.
+//
+// Gate semantics (DESIGN.md §2 resolution 2): a fresh Majority-Rule
+// evaluation is granted only when both totals grew by ≥ k since the
+// last fresh evaluation on this edge; inside the gate the decision is
+// the data-independent default TRUE, except that a query whose totals
+// are unchanged since the previous query is answered FALSE — nothing
+// new can flow, so resending is pure echo (this is the controller-side
+// equivalent of the plaintext no-op suppression, computed from totals
+// the controller legitimately holds for the gate).
+func (c *Controller) SendDecision(rule string, edge int, full *oblivious.Counter,
+	blindDuv, blindDiff *homo.Ciphertext, firstContact bool,
+	recipientSlots int, recipientSlot int, neighborAt func(int) int) (send bool, stamps []*homo.Ciphertext, ok bool) {
+
+	c.stats.SFEs++
+	if !c.verify(rule, full, neighborAt) {
+		return false, nil, false
+	}
+	cnt := c.dec.DecryptSigned(full.Count).Int64()
+	num := c.dec.DecryptSigned(full.Num).Int64()
+	key := fmt.Sprintf("%s#%d", rule, edge)
+	g, okG := c.sendGates[key]
+	if !okG {
+		g = &gateState{}
+		c.sendGates[key] = g
+	}
+	switch {
+	case firstContact:
+		// Majority-Rule sends unconditionally on first contact; the
+		// encrypted body reveals nothing.
+		send = true
+		g.lastCount, g.lastNum, g.queried = cnt, num, true
+	case g.queried && cnt == g.lastCount && num == g.lastNum:
+		c.stats.Suppressed++
+		send = false
+	case g.open(c.cfg.K, cnt, num):
+		c.stats.FreshDecisions++
+		c.record("send:"+key, cnt, num, true)
+		g.lastCount, g.lastNum, g.queried = cnt, num, true
+		sDuv := oblivious.SignOf(c.dec, blindDuv)
+		sDiff := oblivious.SignOf(c.dec, blindDiff)
+		// (Δuv ≥ 0 ∧ Δuv > Δu) ∨ (Δuv < 0 ∧ Δuv < Δu).
+		send = (sDuv >= 0 && sDiff > 0) || (sDuv < 0 && sDiff < 0)
+	default:
+		c.stats.GatedDecisions++
+		c.record("send:"+key, cnt, num, false)
+		g.lastCount, g.lastNum, g.queried = cnt, num, true
+		send = true
+	}
+	if c.adv != nil {
+		send = c.adv.TamperAnswer("send", rule, send)
+	}
+	if !send {
+		return false, nil, true
+	}
+	return true, c.outgoingStamps(recipientSlots, recipientSlot), true
+}
+
+// RefreshStamps produces the timestamp vector for an anti-entropy
+// refresh transmission — the same Lamport stamping as a decision-
+// approved send (the refresh itself is timer-triggered, so no SFE
+// decision is involved).
+func (c *Controller) RefreshStamps(slots, slot int) []*homo.Ciphertext {
+	return c.outgoingStamps(slots, slot)
+}
+
+// outgoingStamps builds the recipient-slot-space timestamp vector:
+// zero everywhere except the sender's designated slot, which carries
+// the next Lamport time (Algorithm 3's reply).
+func (c *Controller) outgoingStamps(slots, slot int) []*homo.Ciphertext {
+	c.clock++
+	out := make([]*homo.Ciphertext, slots)
+	for i := range out {
+		if i == slot {
+			out[i] = c.enc.EncryptInt(c.clock)
+		} else {
+			out[i] = c.pub.EncryptZero()
+		}
+	}
+	return out
+}
+
+// OutputDecision is the SFE behind Algorithm 1's Output(): whether the
+// candidate's Δ^u is non-negative, answered freshly only when both
+// totals grew by ≥ k since the last fresh answer (Cond(x1,x2,x3));
+// otherwise the cached previous answer stands (a k-TTP "ignores" the
+// request, leaving the requester with its prior knowledge). Returns
+// ok=false on a verification failure.
+func (c *Controller) OutputDecision(rule string, full *oblivious.Counter,
+	blindDu *homo.Ciphertext, neighborAt func(int) int) (correct bool, ok bool) {
+
+	c.stats.SFEs++
+	if !c.verify(rule, full, neighborAt) {
+		return false, false
+	}
+	cnt := c.dec.DecryptSigned(full.Count).Int64()
+	num := c.dec.DecryptSigned(full.Num).Int64()
+	g, okG := c.outGates[rule]
+	if !okG {
+		g = &gateState{}
+		c.outGates[rule] = g
+	}
+	if g.open(c.cfg.K, cnt, num) {
+		c.stats.FreshDecisions++
+		c.record("out:"+rule, cnt, num, true)
+		g.cached = oblivious.SignOf(c.dec, blindDu) >= 0
+	} else {
+		c.stats.GatedDecisions++
+		c.record("out:"+rule, cnt, num, false)
+	}
+	if c.adv != nil {
+		return c.adv.TamperAnswer("output", rule, g.cached), true
+	}
+	return g.cached, true
+}
+
+// PeekOutput reads the cached answer without running an SFE (metric
+// observation).
+func (c *Controller) PeekOutput(rule string) bool {
+	if g, ok := c.outGates[rule]; ok {
+		return g.cached
+	}
+	return false
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"secmr/internal/homo"
+	"secmr/internal/oblivious"
+)
+
+// mkController builds a controller over the plain scheme with k.
+func mkController(k int64) (*Controller, homo.Scheme) {
+	s := homo.NewPlain(96)
+	cfg := Config{K: k}.withDefaults()
+	cfg.K = k
+	return newController(0, cfg, s, s, s), s
+}
+
+// counter builds a full-neighbourhood counter with the given fields.
+func counter(s homo.Scheme, sum, cnt, num, share int64, stamps ...int64) *oblivious.Counter {
+	c := &oblivious.Counter{
+		Sum:   s.EncryptInt(sum),
+		Count: s.EncryptInt(cnt),
+		Num:   s.EncryptInt(num),
+		Share: s.EncryptInt(share),
+	}
+	for _, t := range stamps {
+		c.Stamps = append(c.Stamps, s.EncryptInt(t))
+	}
+	return c
+}
+
+func neighborAt(slot int) int { return 100 + slot }
+
+func TestGateStateOpen(t *testing.T) {
+	g := &gateState{}
+	// First answer: needs ≥k in both dimensions.
+	if g.open(5, 4, 10) {
+		t.Fatal("opened below count k")
+	}
+	if g.open(5, 10, 4) {
+		t.Fatal("opened below num k")
+	}
+	if !g.open(5, 10, 10) {
+		t.Fatal("refused at k")
+	}
+	// Unchanged num, grown count: allowed (dynamic databases).
+	if !g.open(5, 15, 10) {
+		t.Fatal("refused saturated-num refresh")
+	}
+	// Partial num growth (< k): the differencing window — blocked.
+	if g.open(5, 20, 12) {
+		t.Fatal("opened on sub-k resource growth")
+	}
+	// Full k growth on both: allowed again.
+	if !g.open(5, 20, 15) {
+		t.Fatal("refused k growth")
+	}
+}
+
+func TestOutputDecisionCachesAcrossGate(t *testing.T) {
+	ctl, s := mkController(3)
+	rng := mrand.New(mrand.NewSource(1))
+	// First query: Δ=+1 over cnt=10, num=3 → fresh, true.
+	full := counter(s, 6, 10, 3, 1, 1, 0)
+	du := oblivious.Blind(s, s.EncryptInt(1), 8, rng)
+	correct, ok := ctl.OutputDecision("r", full, du, neighborAt)
+	if !ok || !correct {
+		t.Fatalf("first: correct=%v ok=%v", correct, ok)
+	}
+	// Second query with tiny growth and Δ now negative: the gate is
+	// closed, so the cached TRUE must stand (data independence).
+	full2 := counter(s, 6, 11, 3, 1, 2, 0)
+	duNeg := oblivious.Blind(s, s.EncryptInt(-5), 8, rng)
+	correct, ok = ctl.OutputDecision("r", full2, duNeg, neighborAt)
+	if !ok || !correct {
+		t.Fatalf("gated: correct=%v ok=%v (cache must persist)", correct, ok)
+	}
+	// Third: enough growth → fresh negative answer.
+	full3 := counter(s, 6, 14, 3, 1, 3, 0)
+	correct, ok = ctl.OutputDecision("r", full3, oblivious.Blind(s, s.EncryptInt(-5), 8, rng), neighborAt)
+	if !ok || correct {
+		t.Fatalf("fresh negative: correct=%v ok=%v", correct, ok)
+	}
+	if got := ctl.PeekOutput("r"); got {
+		t.Fatal("peek should reflect the fresh negative answer")
+	}
+	if ctl.PeekOutput("unknown-rule") {
+		t.Fatal("unknown rule should peek false")
+	}
+}
+
+func TestVerifyShareViolation(t *testing.T) {
+	ctl, s := mkController(1)
+	rng := mrand.New(mrand.NewSource(2))
+	bad := counter(s, 1, 5, 2, 7 /* share != 1 */, 1, 0)
+	_, ok := ctl.OutputDecision("r", bad, oblivious.Blind(s, s.EncryptInt(1), 8, rng), neighborAt)
+	if ok {
+		t.Fatal("share violation not flagged")
+	}
+	rep, bad2 := ctl.takeReport()
+	if !bad2 || rep.Accused != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if _, again := ctl.takeReport(); again {
+		t.Fatal("report not consumed")
+	}
+	if ctl.Stats().Violations != 1 {
+		t.Fatal("violation not counted")
+	}
+}
+
+func TestVerifyTimestampReplay(t *testing.T) {
+	ctl, s := mkController(1)
+	rng := mrand.New(mrand.NewSource(3))
+	// Establish stamps (acct=1, neighbor slot=5).
+	good := counter(s, 1, 5, 2, 1, 1, 5)
+	if _, ok := ctl.OutputDecision("r", good, oblivious.Blind(s, s.EncryptInt(1), 8, rng), neighborAt); !ok {
+		t.Fatal("good counter rejected")
+	}
+	// Same rule, neighbor stamp regressed to 3 < 5: replay.
+	stale := counter(s, 2, 9, 2, 1, 2, 3)
+	if _, ok := ctl.OutputDecision("r", stale, oblivious.Blind(s, s.EncryptInt(1), 8, rng), neighborAt); ok {
+		t.Fatal("stale stamp accepted")
+	}
+	rep, bad := ctl.takeReport()
+	if !bad || rep.Accused != neighborAt(1) {
+		t.Fatalf("replay must accuse the stale slot's resource: %+v", rep)
+	}
+	// Stamps are tracked per rule: the same stamp values on another
+	// rule are fine.
+	other := counter(s, 1, 5, 2, 1, 1, 3)
+	if _, ok := ctl.OutputDecision("r2", other, oblivious.Blind(s, s.EncryptInt(1), 8, rng), neighborAt); !ok {
+		t.Fatal("per-rule stamp tracking broken")
+	}
+}
+
+func TestSendDecisionFirstContactAndSuppression(t *testing.T) {
+	ctl, s := mkController(3)
+	rng := mrand.New(mrand.NewSource(4))
+	blind := func(v int64) *homo.Ciphertext { return oblivious.Blind(s, s.EncryptInt(v), 8, rng) }
+	full := counter(s, 1, 2, 1, 1, 1, 0)
+	// First contact always sends and returns stamps.
+	send, stamps, ok := ctl.SendDecision("r", 7, full, blind(0), blind(0), true, 4, 2, neighborAt)
+	if !ok || !send || len(stamps) != 4 {
+		t.Fatalf("first contact: send=%v stamps=%d ok=%v", send, len(stamps), ok)
+	}
+	// The recipient-slot stamp must carry the clock; others zero.
+	if s.DecryptSigned(stamps[2]).Int64() == 0 {
+		t.Fatal("designated slot carries no timestamp")
+	}
+	if s.DecryptSigned(stamps[0]).Int64() != 0 {
+		t.Fatal("non-designated slot nonzero")
+	}
+	// Unchanged totals: suppressed.
+	send, _, ok = ctl.SendDecision("r", 7, counter(s, 1, 2, 1, 1, 2, 0), blind(0), blind(0), false, 4, 2, neighborAt)
+	if !ok || send {
+		t.Fatalf("unchanged totals must be suppressed: send=%v", send)
+	}
+	if ctl.Stats().Suppressed != 1 {
+		t.Fatal("suppression not counted")
+	}
+	// Changed but sub-k growth: the data-independent default (send).
+	send, _, ok = ctl.SendDecision("r", 7, counter(s, 2, 3, 2, 1, 3, 0), blind(9), blind(9), false, 4, 2, neighborAt)
+	if !ok || !send {
+		t.Fatalf("in-gate default must be send: send=%v", send)
+	}
+}
+
+func TestSendDecisionFreshUsesMajorityCondition(t *testing.T) {
+	ctl, s := mkController(2)
+	rng := mrand.New(mrand.NewSource(5))
+	blind := func(v int64) *homo.Ciphertext { return oblivious.Blind(s, s.EncryptInt(v), 8, rng) }
+	// First contact bootstraps.
+	ctl.SendDecision("r", 7, counter(s, 1, 2, 1, 1, 1, 0), blind(0), blind(0), true, 3, 1, neighborAt)
+	// Growth ≥ k in both: fresh evaluation of the §4.1 condition.
+	// Δuv = +5, Δuv − Δu = +3 → (Δuv ≥ 0 ∧ Δuv > Δu) → send.
+	send, _, ok := ctl.SendDecision("r", 7, counter(s, 4, 6, 3, 1, 2, 0), blind(5), blind(3), false, 3, 1, neighborAt)
+	if !ok || !send {
+		t.Fatalf("positive-overshoot must send: %v", send)
+	}
+	// Again with growth: Δuv = +5, diff = −3 → condition false.
+	send, _, ok = ctl.SendDecision("r", 7, counter(s, 9, 11, 5, 1, 3, 0), blind(5), blind(-3), false, 3, 1, neighborAt)
+	if !ok || send {
+		t.Fatalf("agreeing edge must not send: %v", send)
+	}
+	// Negative branch: Δuv = −5, diff = −2 (Δuv < Δu) → send.
+	send, _, ok = ctl.SendDecision("r", 7, counter(s, 12, 16, 7, 1, 4, 0), blind(-5), blind(-2), false, 3, 1, neighborAt)
+	if !ok || !send {
+		t.Fatalf("negative-overshoot must send: %v", send)
+	}
+}
+
+func TestLamportClockMonotone(t *testing.T) {
+	ctl, s := mkController(1)
+	prev := int64(0)
+	for i := 0; i < 5; i++ {
+		stamps := ctl.outgoingStamps(2, 1)
+		v := s.DecryptSigned(stamps[1]).Int64()
+		if v <= prev {
+			t.Fatalf("clock not strictly increasing: %d then %d", prev, v)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,316 @@
+// Package core implements Secure-Majority-Rule (§5, Algorithms 1–4) —
+// the paper's primary contribution: a k-secure distributed
+// association-rule mining algorithm that withstands malicious brokers
+// and controllers.
+//
+// Each grid resource (Figure 1) hosts three entities:
+//
+//   - the Accountant guards the local database partition and the
+//     encryption key; it answers support queries with oblivious
+//     counters and creates the random shares that bind brokers to the
+//     protocol;
+//   - the Broker runs the (encrypted) Scalable-Majority votes and all
+//     inter-resource communication; it holds no keys and can only
+//     apply the public homomorphic operators;
+//   - the Controller holds the decryption key; every data-dependent
+//     decision the broker needs (send a message? is this rule
+//     correct?) is obtained through an SFE with the controller, which
+//     enforces the k-privacy gate and verifies the share and timestamp
+//     fields, broadcasting a report when a malicious participant is
+//     detected.
+//
+// Design resolutions of the paper's pseudo-code ambiguities are
+// documented in DESIGN.md §2; each is also marked at the code site.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"secmr/internal/arm"
+	"secmr/internal/homo"
+	"secmr/internal/oblivious"
+	"secmr/internal/sim"
+)
+
+// Config parameterizes one secure mining resource. The zero value is
+// completed by withDefaults.
+type Config struct {
+	Th       arm.Thresholds
+	Universe arm.Itemset
+	// ScanBudget transactions are counted per candidate per step
+	// (paper: 100).
+	ScanBudget int
+	// CandidateEvery steps between controller consultations for
+	// candidate generation (paper: 5).
+	CandidateEvery int
+	// GrowthPerStep transactions flow from the feed into the local
+	// database each step (paper: 20).
+	GrowthPerStep int
+	// K is the privacy parameter (paper default: 10).
+	K int64
+	// MaxRuleItems caps |LHS∪RHS| of candidates (0 = unlimited).
+	MaxRuleItems int
+	// IntraDelay models the accountant→broker hop: encrypted vote
+	// updates produced at step t reach the broker's counters at t+1.
+	// This is the "intra-resource communication" the Figure 2 caption
+	// blames for the extra scan; on by default.
+	IntraDelay bool
+	// PaddingDance enables Algorithm 1's obfuscating ±E(1) assignment
+	// sequence on local vote changes (ablation A3).
+	PaddingDance bool
+	// BlindBits sizes the multiplicative blinding of the sign SFE.
+	BlindBits int
+	// Audit records every controller gate decision for offline k-TTP
+	// admissibility verification (testing/analysis; off by default).
+	Audit bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ScanBudget == 0 {
+		c.ScanBudget = 100
+	}
+	if c.CandidateEvery == 0 {
+		c.CandidateEvery = 5
+	}
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.BlindBits == 0 {
+		c.BlindBits = 16
+	}
+	return c
+}
+
+// rational converts a float threshold to an exact fraction, preferring
+// the smallest denominator that represents it exactly: thresholds like
+// 0.15 become 15/100 rather than 157286/2^20, which keeps encrypted Δ
+// magnitudes small — important for schemes with bounded decryption
+// (exponential ElGamal's BSGS).
+func rational(x float64) (int64, int64) {
+	for _, den := range []int64{10, 100, 1000, 10000, 1 << 20} {
+		n := math.Round(x * float64(den))
+		if math.Abs(x*float64(den)-n) < 1e-9 {
+			return int64(n), den
+		}
+	}
+	return int64(math.Round(x * (1 << 20))), 1 << 20
+}
+
+// ShareGrant is the link-setup message from resource u's accountant to
+// neighbour v's broker: the encrypted share v must attach to every
+// counter it sends to u, and v's slot in u's timestamp vector.
+type ShareGrant struct {
+	Share    *homo.Ciphertext
+	Slot     int
+	NumSlots int
+	// Epoch identifies the share dealing this grant belongs to;
+	// dealings change when the granting resource's neighbourhood does.
+	Epoch int
+}
+
+// RuleCipherMsg is one Secure-Scalable-Majority exchange: the
+// oblivious counter for one candidate rule. Epoch names the
+// *recipient's* share dealing the attached share belongs to; the
+// recipient drops counters from stale dealings (they would break the
+// Σshares = 1 invariant) and the anti-entropy refresh re-delivers the
+// data under the current dealing.
+type RuleCipherMsg struct {
+	Rule    arm.Rule
+	Counter *oblivious.Counter
+	Epoch   int
+}
+
+// Transport abstracts where protocol messages go: the deterministic
+// simulator, the goroutine runtime, or a real network (internal/
+// netgrid hosts a Resource over TCP through this interface).
+type Transport interface {
+	// Send delivers one grid message (ShareGrant, RuleCipherMsg or
+	// MaliciousReport) to a neighbour.
+	Send(to int, msg any)
+}
+
+// simTransport adapts a sim.Context to Transport.
+type simTransport struct{ ctx *sim.Context }
+
+func (t simTransport) Send(to int, msg any) { t.ctx.Send(to, msg) }
+
+// MaliciousReport is broadcast (flooded over the tree) when a
+// controller detects a protocol violation (Algorithm 3).
+type MaliciousReport struct {
+	Accused  int
+	Reporter int
+	Reason   string
+}
+
+func (m MaliciousReport) String() string {
+	return fmt.Sprintf("resource %d reported malicious by %d: %s", m.Accused, m.Reporter, m.Reason)
+}
+
+// Resource hosts the three entities at one grid node.
+type Resource struct {
+	ID  int
+	cfg Config
+
+	Accountant *Accountant
+	Broker     *Broker
+	Controller *Controller
+
+	// halted is set when this resource's controller detects a
+	// violation or a report reaches it; a halted resource stops
+	// participating (Algorithm 3: "halt further execution").
+	halted bool
+	// reports collects every MaliciousReport seen at this resource.
+	reports     []MaliciousReport
+	reportsSeen map[string]bool
+
+	neighbors []int
+	step      int64
+}
+
+// NewResource assembles a secure resource. scheme is the grid-wide
+// cryptosystem: the accountant receives its Encryptor capability, the
+// controller its Decryptor, and the broker only homo.Public. local is
+// the resource's database partition; feed supplies dynamic growth.
+// adv, when non-nil, replaces the broker's honest payload construction
+// (the attack harness).
+func NewResource(id int, cfg Config, scheme homo.Scheme, local *arm.Database, feed []arm.Transaction, adv Adversary) *Resource {
+	cfg = cfg.withDefaults()
+	r := &Resource{ID: id, cfg: cfg, reportsSeen: map[string]bool{}}
+	r.Accountant = newAccountant(id, cfg, scheme, scheme, local, feed)
+	r.Controller = newController(id, cfg, scheme, scheme, scheme)
+	r.Broker = newBroker(id, cfg, scheme, r.Accountant, r.Controller, adv)
+	return r
+}
+
+// Halted reports whether the resource stopped after a detection.
+func (r *Resource) Halted() bool { return r.halted }
+
+// Reports returns the malicious-participant reports seen here.
+func (r *Resource) Reports() []MaliciousReport { return r.reports }
+
+// Output returns R̃_u — the rules this resource currently believes
+// correct (non-mutating; metric observation is not a controller
+// query).
+func (r *Resource) Output() arm.RuleSet { return r.Broker.Output() }
+
+// Stats returns broker counters.
+func (r *Resource) Stats() BrokerStats { return r.Broker.stats }
+
+// DBSize returns the accountant's current database size.
+func (r *Resource) DBSize() int { return r.Accountant.db.Len() }
+
+// Bootstrap wires the resource to its overlay neighbours and emits the
+// initial share grants over the given transport. It is the transport-
+// independent core of Init; hosting environments (the simulator, a
+// TCP host) call it exactly once before the first Tick.
+func (r *Resource) Bootstrap(neighbors []int, tr Transport) {
+	r.neighbors = append([]int(nil), neighbors...)
+	grants := r.Accountant.setup(neighbors)
+	for v, g := range grants {
+		tr.Send(v, g)
+	}
+	r.Broker.init(neighbors)
+}
+
+// HandleMessage ingests one grid message.
+func (r *Resource) HandleMessage(tr Transport, from int, payload any) {
+	switch m := payload.(type) {
+	case ShareGrant:
+		r.Broker.onShareGrant(from, m)
+	case RuleCipherMsg:
+		if r.halted {
+			return
+		}
+		r.Broker.onRuleMsg(from, m)
+	case MaliciousReport:
+		r.propagateReport(tr, m, from)
+	default:
+		panic(fmt.Sprintf("core: unknown message %T", payload))
+	}
+}
+
+// Tick advances one §6 step over the given transport.
+func (r *Resource) Tick(tr Transport) {
+	if r.halted {
+		return
+	}
+	r.step++
+	r.Accountant.tick()
+	r.Broker.applyAccountantReplies(tr)
+	if rep, bad := r.Controller.takeReport(); bad {
+		r.raiseReport(tr, rep)
+		return
+	}
+	r.Broker.evaluateSends(tr)
+	if rep, bad := r.Controller.takeReport(); bad {
+		r.raiseReport(tr, rep)
+		return
+	}
+	if r.step%int64(r.cfg.CandidateEvery) == 0 {
+		r.Broker.generateCandidates()
+		if rep, bad := r.Controller.takeReport(); bad {
+			r.raiseReport(tr, rep)
+			return
+		}
+	}
+}
+
+// HandleNeighborJoin implements the paper's dynamic-grid model: a new
+// edge appears in E_t^u (Algorithm 1 "on join of a neighbor v";
+// Algorithm 2 "on change in N_t^u"). The accountant re-deals its
+// shares, the broker re-binds stored counters to the new dealing and
+// opens the edge, and every neighbour receives a refreshed grant.
+func (r *Resource) HandleNeighborJoin(tr Transport, v int) {
+	if r.halted {
+		return
+	}
+	r.neighbors = append(r.neighbors, v)
+	grants := r.Broker.onNeighborJoin(v)
+	for w, g := range grants {
+		tr.Send(w, g)
+	}
+}
+
+// Init implements sim.Node.
+func (r *Resource) Init(ctx *sim.Context) {
+	r.Bootstrap(ctx.Neighbors(), simTransport{ctx})
+}
+
+// OnMessage implements sim.Node.
+func (r *Resource) OnMessage(ctx *sim.Context, from sim.NodeID, payload any) {
+	r.HandleMessage(simTransport{ctx}, from, payload)
+}
+
+// OnTick implements sim.Node.
+func (r *Resource) OnTick(ctx *sim.Context) {
+	r.Tick(simTransport{ctx})
+}
+
+// OnNeighborJoin implements sim.NeighborJoiner.
+func (r *Resource) OnNeighborJoin(ctx *sim.Context, v sim.NodeID) {
+	r.HandleNeighborJoin(simTransport{ctx}, v)
+}
+
+// raiseReport records a locally detected violation and floods it.
+func (r *Resource) raiseReport(tr Transport, rep MaliciousReport) {
+	r.propagateReport(tr, rep, -1)
+	r.halted = true
+}
+
+// propagateReport floods a report across the tree exactly once.
+func (r *Resource) propagateReport(tr Transport, rep MaliciousReport, from int) {
+	key := fmt.Sprintf("%d/%d/%s", rep.Accused, rep.Reporter, rep.Reason)
+	if r.reportsSeen[key] {
+		return
+	}
+	r.reportsSeen[key] = true
+	r.reports = append(r.reports, rep)
+	for _, v := range r.neighbors {
+		if v != from {
+			tr.Send(v, rep)
+		}
+	}
+}
+
+var _ sim.Node = (*Resource)(nil)

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+
+	"secmr/internal/arm"
+	"secmr/internal/homo"
+	"secmr/internal/metrics"
+	"secmr/internal/oblivious"
+	"secmr/internal/sim"
+	"secmr/internal/topology"
+)
+
+// TestResourceJoin exercises the paper's dynamic-grid model: resources
+// join the communication tree mid-run (Algorithm 1 "on join of a
+// neighbor v"), the affected accountants re-deal their shares, and the
+// grid re-converges to the truth *including* the newcomers' data —
+// without a single false malicious-detection along the way.
+//
+// Note that k resources must join before their data can surface: the
+// k-TTP condition |V △ V′| ≥ k protects a lone joiner from being
+// isolated by differencing two answers (see TestSingleJoinerStaysGated
+// for that guarantee); this test therefore joins k = 2 newcomers.
+func TestResourceJoin(t *testing.T) {
+	scheme := homo.NewPlain(96)
+	th := arm.Thresholds{MinFreq: 0.3, MinConf: 0.7}
+	universe := arm.NewItemset(1, 2, 99)
+
+	// Resources 0..3 hold {1,2}-heavy data; resources 4 and 5 hold the
+	// only {99}s — enough to make {99} globally frequent once joined.
+	mkOld := func() *arm.Database {
+		db := &arm.Database{}
+		for i := 0; i < 60; i++ {
+			db.Append(arm.NewItemset(1, 2))
+		}
+		return db
+	}
+	mkNew := func() *arm.Database {
+		db := &arm.Database{}
+		for i := 0; i < 120; i++ {
+			db.Append(arm.NewItemset(99))
+		}
+		return db
+	}
+
+	full := arm.Merge(mkOld(), mkOld(), mkOld(), mkOld(), mkNew(), mkNew())
+	truthFull := arm.GroundTruth(full, th, universe, 2)
+	rule99 := arm.NewRule(nil, arm.NewItemset(99), arm.ThresholdFreq)
+	if !truthFull.Has(rule99) {
+		t.Fatal("test setup: {99} should be frequent in the full database")
+	}
+
+	// Topology: line 0-1-2-3; nodes 4 and 5 isolated until they join.
+	g := topology.NewGraph(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+
+	cfg := Config{Th: th, Universe: universe, ScanBudget: 50, CandidateEvery: 2,
+		K: 2, MaxRuleItems: 2, IntraDelay: true}
+	resources := make([]*Resource, 6)
+	nodes := make([]sim.Node, 6)
+	for i := 0; i < 4; i++ {
+		resources[i] = NewResource(i, cfg, scheme, mkOld(), nil, nil)
+		nodes[i] = resources[i]
+	}
+	for i := 4; i < 6; i++ {
+		resources[i] = NewResource(i, cfg, scheme, mkNew(), nil, nil)
+		nodes[i] = resources[i]
+	}
+	e := sim.NewEngine(g, nodes, 3)
+
+	// Phase 1: converge without the newcomers.
+	e.Run(150)
+	if resources[0].Output().Has(rule99) {
+		t.Fatal("{99} reported before the holders joined")
+	}
+
+	// Phase 2: resources 4 and 5 join (k new participants).
+	e.AddLink(3, 4, 1)
+	e.Run(10)
+	e.AddLink(0, 5, 1)
+	e.Run(500)
+
+	for i, r := range resources {
+		if r.Halted() {
+			t.Fatalf("resource %d halted after an honest join", i)
+		}
+		if len(r.Reports()) != 0 {
+			t.Fatalf("false detection after join at %d: %v", i, r.Reports())
+		}
+		if !r.Output().Has(rule99) {
+			t.Fatalf("resource %d never learned {99} after the joins; output=%v",
+				i, r.Output().Sorted())
+		}
+	}
+	// Overall quality against the full-truth reference.
+	outs := make([]arm.RuleSet, 6)
+	for i, r := range resources {
+		outs[i] = r.Output()
+	}
+	rec, prec := metrics.Average(outs, truthFull)
+	if rec < 0.9 || prec < 0.9 {
+		t.Fatalf("post-join quality: recall=%.3f precision=%.3f", rec, prec)
+	}
+}
+
+// TestSingleJoinerStaysGated pins the privacy guarantee for newcomers:
+// after a single resource joins a converged grid (fewer than k new
+// participants), established resources must NOT refresh answers whose
+// resource group changed by less than k — doing so would isolate the
+// joiner's statistics by differencing (Definition 3.1's symmetric-
+// difference condition).
+func TestSingleJoinerStaysGated(t *testing.T) {
+	scheme := homo.NewPlain(96)
+	th := arm.Thresholds{MinFreq: 0.3, MinConf: 0.7}
+	universe := arm.NewItemset(1, 99)
+	mk := func(item arm.Item, n int) *arm.Database {
+		db := &arm.Database{}
+		for i := 0; i < n; i++ {
+			db.Append(arm.NewItemset(item))
+		}
+		return db
+	}
+	g := topology.NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	cfg := Config{Th: th, Universe: universe, ScanBudget: 50, CandidateEvery: 2,
+		K: 3, MaxRuleItems: 1, IntraDelay: true}
+	resources := make([]*Resource, 4)
+	nodes := make([]sim.Node, 4)
+	for i := 0; i < 3; i++ {
+		resources[i] = NewResource(i, cfg, scheme, mk(1, 50), nil, nil)
+		nodes[i] = resources[i]
+	}
+	// The lone joiner holds enough {99}s to make it globally frequent —
+	// but its data must stay gated.
+	resources[3] = NewResource(3, cfg, scheme, mk(99, 400), nil, nil)
+	nodes[3] = resources[3]
+	e := sim.NewEngine(g, nodes, 7)
+	e.Run(120)
+	e.AddLink(2, 3, 1)
+	e.Run(400)
+	rule99 := arm.NewRule(nil, arm.NewItemset(99), arm.ThresholdFreq)
+	for i := 0; i < 3; i++ {
+		if resources[i].Output().Has(rule99) {
+			t.Fatalf("resource %d refreshed an answer over a sub-k resource change; the joiner's data leaked", i)
+		}
+	}
+}
+
+// TestJoinShareRedealDetectsAttacksAfterwards verifies the share
+// machinery still works after a re-deal: a broker that starts
+// double-counting after the join is caught.
+func TestJoinShareRedealDetectsAttacksAfterwards(t *testing.T) {
+	scheme := homo.NewPlain(96)
+	th := arm.Thresholds{MinFreq: 0.3, MinConf: 0.7}
+	universe := arm.NewItemset(1, 2)
+	mk := func() *arm.Database {
+		db := &arm.Database{}
+		for i := 0; i < 50; i++ {
+			db.Append(arm.NewItemset(1, 2))
+		}
+		return db
+	}
+	g := topology.NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	cfg := Config{Th: th, Universe: universe, ScanBudget: 25, CandidateEvery: 2,
+		K: 1, MaxRuleItems: 2, IntraDelay: true}
+	adv := &lateDoubleCounter{victim: 0, armAfter: 60}
+	resources := []*Resource{
+		NewResource(0, cfg, scheme, mk(), nil, nil),
+		NewResource(1, cfg, scheme, mk(), nil, adv), // will turn evil
+		NewResource(2, cfg, scheme, mk(), nil, nil), // joins later
+	}
+	nodes := []sim.Node{resources[0], resources[1], resources[2]}
+	e := sim.NewEngine(g, nodes, 5)
+	e.Run(40)
+	// Arm the adversary at the join, while the re-deal keeps the
+	// protocol active (a quiescent broker runs no SFEs to tamper).
+	adv.armed = true
+	e.AddLink(1, 2, 1)
+	e.Run(150)
+	if !resources[1].Halted() {
+		t.Fatal("post-join double-counting went undetected")
+	}
+}
+
+// lateDoubleCounter behaves honestly until armed, then double-counts
+// the victim's counter in its SFE inputs.
+type lateDoubleCounter struct {
+	victim   int
+	armAfter int
+	armed    bool
+}
+
+func (d *lateDoubleCounter) Name() string { return "late-double-count" }
+
+func (d *lateDoubleCounter) TamperFull(pub homo.Public, rule string,
+	parts map[int]*oblivious.Counter, history func(int) []*oblivious.Counter) *oblivious.Counter {
+	if !d.armed {
+		return nil
+	}
+	victim, ok := parts[d.victim]
+	if !ok {
+		return nil
+	}
+	var full *oblivious.Counter
+	for _, c := range parts {
+		if full == nil {
+			full = c
+		} else {
+			full = oblivious.Add(pub, full, c)
+		}
+	}
+	return oblivious.Add(pub, full, victim)
+}
+
+func (d *lateDoubleCounter) TamperPayload(pub homo.Public, rule string, to int,
+	honest *oblivious.Counter) *oblivious.Counter {
+	return nil
+}

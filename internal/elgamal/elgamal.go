@@ -1,0 +1,254 @@
+// Package elgamal implements exponential (additively homomorphic)
+// ElGamal over a Schnorr group — the second cryptosystem family the
+// paper's oblivious counters can be built on: Kikuchi's oblivious
+// counter and majority protocol [12], which the paper recommends for
+// the ad-hoc sign SFE, is constructed over exactly this scheme.
+//
+// Exponential ElGamal encrypts m as (g^r, g^m·h^r): ciphertexts
+// multiply componentwise to add plaintexts, rerandomization multiplies
+// by an encryption of zero, and decryption recovers g^m, from which m
+// is extracted by a baby-step/giant-step discrete logarithm — feasible
+// only for small plaintext spaces, which is precisely the oblivious-
+// counter regime (counts bounded by the global database size).
+//
+// The package satisfies homo.Scheme, so the entire secure protocol
+// stack runs over it unchanged (see TestSecureMiningOverElGamal); it
+// serves as a second witness that the broker/accountant/controller
+// code depends only on the abstract homomorphic interface.
+package elgamal
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sync/atomic"
+
+	"secmr/internal/homo"
+)
+
+var one = big.NewInt(1)
+
+// Scheme is an exponential-ElGamal instance implementing homo.Scheme.
+type Scheme struct {
+	p *big.Int // group modulus, p = 2q+1 (safe prime)
+	q *big.Int // subgroup order
+	g *big.Int // generator of the order-q subgroup
+	h *big.Int // public key h = g^x
+	x *big.Int // secret key
+
+	// msgBound bounds |plaintext|; decryption solves a discrete log in
+	// [−msgBound, msgBound] via BSGS.
+	msgBound int64
+	// babySteps maps g^i for i in [0, babyCount) to i.
+	babySteps map[string]int64
+	babyCount int64
+	giant     *big.Int // g^{−babyCount}
+
+	tag uint64
+}
+
+var tagCounter atomic.Uint64
+
+// GenerateKey creates an instance over a fresh safe-prime group of the
+// given bit length. msgBound is the largest |plaintext| decryption must
+// recover; the BSGS table costs O(√msgBound) space and each decryption
+// O(√msgBound) group operations.
+func GenerateKey(rng io.Reader, bits int, msgBound int64) (*Scheme, error) {
+	if bits < 16 {
+		return nil, errors.New("elgamal: modulus below 16 bits")
+	}
+	if msgBound < 1 {
+		return nil, errors.New("elgamal: message bound must be positive")
+	}
+	// Find a safe prime p = 2q+1.
+	var p, q *big.Int
+	for {
+		var err error
+		q, err = rand.Prime(rng, bits-1)
+		if err != nil {
+			return nil, fmt.Errorf("elgamal: generating q: %w", err)
+		}
+		p = new(big.Int).Lsh(q, 1)
+		p.Add(p, one)
+		if p.ProbablyPrime(20) {
+			break
+		}
+	}
+	// A generator of the order-q subgroup: any square ≠ 1.
+	g := big.NewInt(4) // 2² is a quadratic residue
+	s := &Scheme{p: p, q: q, g: g, msgBound: msgBound, tag: tagCounter.Add(1)}
+	x, err := rand.Int(rng, q)
+	if err != nil {
+		return nil, err
+	}
+	s.x = x
+	s.h = new(big.Int).Exp(g, x, p)
+	s.buildBSGS()
+	return s, nil
+}
+
+// buildBSGS precomputes the baby-step table over [0, ceil(√(2B+1))).
+// Keys are raw byte strings (decimal formatting of big.Int is far more
+// expensive than the group operation itself).
+func (s *Scheme) buildBSGS() {
+	span := 2*s.msgBound + 1
+	count := int64(1)
+	for count*count < span {
+		count++
+	}
+	s.babyCount = count
+	s.babySteps = make(map[string]int64, count)
+	cur := big.NewInt(1)
+	for i := int64(0); i < count; i++ {
+		s.babySteps[string(cur.Bytes())] = i
+		cur = new(big.Int).Mul(cur, s.g)
+		cur.Mod(cur, s.p)
+	}
+	inv := new(big.Int).ModInverse(new(big.Int).Exp(s.g, big.NewInt(count), s.p), s.p)
+	s.giant = inv
+}
+
+// Name identifies the scheme.
+func (s *Scheme) Name() string { return fmt.Sprintf("elgamal-%d", s.p.BitLen()) }
+
+// PlaintextSpace returns the subgroup order q (plaintexts live mod q;
+// decryption additionally requires |m| ≤ msgBound).
+func (s *Scheme) PlaintextSpace() *big.Int { return new(big.Int).Set(s.q) }
+
+// MsgBound returns the decryptable range.
+func (s *Scheme) MsgBound() int64 { return s.msgBound }
+
+func (s *Scheme) randExp() *big.Int {
+	r, err := rand.Int(rand.Reader, s.q)
+	if err != nil {
+		panic("elgamal: crypto/rand failure: " + err.Error())
+	}
+	return r
+}
+
+// ct packs the ElGamal pair (a, b) into one big.Int as a·p + b so it
+// fits homo.Ciphertext's single-value container.
+func (s *Scheme) pack(a, b *big.Int) *homo.Ciphertext {
+	v := new(big.Int).Mul(a, s.p)
+	v.Add(v, b)
+	return &homo.Ciphertext{V: v, Tag: s.tag}
+}
+
+func (s *Scheme) unpack(c *homo.Ciphertext) (a, b *big.Int) {
+	if c.Tag != s.tag {
+		panic("elgamal: ciphertext from a different scheme instance")
+	}
+	a, b = new(big.Int).DivMod(c.V, s.p, new(big.Int))
+	return
+}
+
+// Encrypt encrypts m (interpreted mod q; must satisfy |signed(m)| ≤
+// msgBound to be decryptable).
+func (s *Scheme) Encrypt(m *big.Int) *homo.Ciphertext {
+	mm := homo.EncodeMod(m, s.q)
+	r := s.randExp()
+	a := new(big.Int).Exp(s.g, r, s.p)
+	b := new(big.Int).Exp(s.g, mm, s.p)
+	b.Mul(b, new(big.Int).Exp(s.h, r, s.p)).Mod(b, s.p)
+	return s.pack(a, b)
+}
+
+// EncryptInt encrypts an int64.
+func (s *Scheme) EncryptInt(m int64) *homo.Ciphertext { return s.Encrypt(big.NewInt(m)) }
+
+// EncryptZero returns a fresh encryption of zero.
+func (s *Scheme) EncryptZero() *homo.Ciphertext { return s.EncryptInt(0) }
+
+// Decrypt recovers m ∈ [0, q) — practically, the signed value in
+// [−msgBound, msgBound] re-encoded mod q. Panics if the plaintext is
+// outside the decryptable range (counter overflow).
+func (s *Scheme) Decrypt(c *homo.Ciphertext) *big.Int {
+	v := s.DecryptSigned(c)
+	return homo.EncodeMod(v, s.q)
+}
+
+// DecryptSigned recovers the signed plaintext via BSGS on g^m.
+func (s *Scheme) DecryptSigned(c *homo.Ciphertext) *big.Int {
+	a, b := s.unpack(c)
+	// g^m = b / a^x
+	ax := new(big.Int).Exp(a, s.x, s.p)
+	axInv := new(big.Int).ModInverse(ax, s.p)
+	gm := new(big.Int).Mul(b, axInv)
+	gm.Mod(gm, s.p)
+	// Bidirectional BSGS outward from zero: protocol plaintexts
+	// (counts, shares, stamps) are overwhelmingly small, so searching
+	// |m| in increasing order makes the common case one or two lookups
+	// instead of O(√bound).
+	pos := new(big.Int).Set(gm) // solves m = k·C + i         (m ≥ 0)
+	neg := new(big.Int).Set(gm) // solves m = −(k+1)·C + i    (m < 0, via m+(k+1)C)
+	gC := new(big.Int).Exp(s.g, big.NewInt(s.babyCount), s.p)
+	for k := int64(0); k <= s.babyCount; k++ {
+		if i, ok := s.babySteps[string(pos.Bytes())]; ok {
+			return big.NewInt(k*s.babyCount + i)
+		}
+		neg.Mul(neg, gC).Mod(neg, s.p)
+		if i, ok := s.babySteps[string(neg.Bytes())]; ok {
+			return big.NewInt(i - (k+1)*s.babyCount)
+		}
+		pos.Mul(pos, s.giant).Mod(pos, s.p)
+	}
+	panic("elgamal: plaintext outside the decryptable range (counter overflow)")
+}
+
+// Add multiplies ciphertext components: E(a)·E(b) = E(a+b).
+func (s *Scheme) Add(x, y *homo.Ciphertext) *homo.Ciphertext {
+	xa, xb := s.unpack(x)
+	ya, yb := s.unpack(y)
+	a := new(big.Int).Mul(xa, ya)
+	a.Mod(a, s.p)
+	b := new(big.Int).Mul(xb, yb)
+	b.Mod(b, s.p)
+	return s.pack(a, b)
+}
+
+// Sub adds the inverse.
+func (s *Scheme) Sub(x, y *homo.Ciphertext) *homo.Ciphertext {
+	ya, yb := s.unpack(y)
+	yaInv := new(big.Int).ModInverse(ya, s.p)
+	ybInv := new(big.Int).ModInverse(yb, s.p)
+	xa, xb := s.unpack(x)
+	a := new(big.Int).Mul(xa, yaInv)
+	a.Mod(a, s.p)
+	b := new(big.Int).Mul(xb, ybInv)
+	b.Mod(b, s.p)
+	return s.pack(a, b)
+}
+
+// ScalarMul exponentiates both components.
+func (s *Scheme) ScalarMul(m int64, x *homo.Ciphertext) *homo.Ciphertext {
+	e := homo.EncodeMod(big.NewInt(m), s.q)
+	xa, xb := s.unpack(x)
+	a := new(big.Int).Exp(xa, e, s.p)
+	b := new(big.Int).Exp(xb, e, s.p)
+	return s.pack(a, b)
+}
+
+// Rerandomize multiplies by a fresh encryption of zero.
+func (s *Scheme) Rerandomize(x *homo.Ciphertext) *homo.Ciphertext {
+	return s.Add(x, s.EncryptZero())
+}
+
+// Adopt validates and re-tags a deserialized ciphertext: both packed
+// components must lie in [1, p).
+func (s *Scheme) Adopt(c *homo.Ciphertext) (*homo.Ciphertext, error) {
+	if c == nil || c.V == nil || c.V.Sign() < 0 {
+		return nil, errors.New("elgamal: malformed ciphertext")
+	}
+	a, b := new(big.Int).DivMod(c.V, s.p, new(big.Int))
+	if a.Sign() <= 0 || b.Sign() <= 0 || a.Cmp(s.p) >= 0 {
+		return nil, errors.New("elgamal: ciphertext component out of range")
+	}
+	return &homo.Ciphertext{V: new(big.Int).Set(c.V), Tag: s.tag}, nil
+}
+
+var (
+	_ homo.Scheme  = (*Scheme)(nil)
+	_ homo.Adopter = (*Scheme)(nil)
+)

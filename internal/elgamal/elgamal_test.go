@@ -1,0 +1,149 @@
+package elgamal
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"secmr/internal/homo"
+)
+
+// The bound covers the property test extremes (int16 × int8 ≈ ±4.2M).
+var testScheme = mustScheme(128, 1<<23)
+
+func mustScheme(bits int, bound int64) *Scheme {
+	s, err := GenerateKey(rand.Reader, bits, bound)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := testScheme
+	for _, m := range []int64{0, 1, -1, 42, -999, 1 << 19, -(1 << 19)} {
+		if got := s.DecryptSigned(s.EncryptInt(m)).Int64(); got != m {
+			t.Errorf("round trip %d: got %d", m, got)
+		}
+	}
+}
+
+func TestProbabilistic(t *testing.T) {
+	s := testScheme
+	a, b := s.EncryptInt(7), s.EncryptInt(7)
+	if a.Equal(b) {
+		t.Fatal("not probabilistic")
+	}
+	r := s.Rerandomize(a)
+	if r.Equal(a) || s.DecryptSigned(r).Int64() != 7 {
+		t.Fatal("rerandomize broken")
+	}
+}
+
+func TestHomomorphismProperty(t *testing.T) {
+	s := testScheme
+	f := func(x, y int16, m int8) bool {
+		sum := s.DecryptSigned(s.Add(s.EncryptInt(int64(x)), s.EncryptInt(int64(y)))).Int64()
+		diff := s.DecryptSigned(s.Sub(s.EncryptInt(int64(x)), s.EncryptInt(int64(y)))).Int64()
+		prod := s.DecryptSigned(s.ScalarMul(int64(m), s.EncryptInt(int64(x)))).Int64()
+		return sum == int64(x)+int64(y) && diff == int64(x)-int64(y) && prod == int64(m)*int64(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverflowPanics(t *testing.T) {
+	// The bidirectional search covers ≈ ±(√(2B+1))²; values moderately
+	// past the bound may still decrypt (and must decrypt correctly),
+	// but far-out values panic rather than return garbage.
+	s := mustScheme(64, 100)
+	nearby := s.Add(s.EncryptInt(90), s.EncryptInt(90))
+	if got := s.DecryptSigned(nearby).Int64(); got != 180 {
+		t.Fatalf("in-range-ish sum decrypted to %d", got)
+	}
+	way := s.ScalarMul(50, s.EncryptInt(90)) // 4500 ≫ search range
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decrypting far outside the bound must panic")
+		}
+	}()
+	s.DecryptSigned(way)
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := GenerateKey(rand.Reader, 8, 100); err == nil {
+		t.Fatal("tiny modulus accepted")
+	}
+	if _, err := GenerateKey(rand.Reader, 64, 0); err == nil {
+		t.Fatal("zero bound accepted")
+	}
+}
+
+func TestCrossSchemePanics(t *testing.T) {
+	a := testScheme
+	b := mustScheme(64, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on cross-scheme ciphertext")
+		}
+	}()
+	a.Add(a.EncryptInt(1), b.EncryptInt(1))
+}
+
+func TestAgainstPlainOracle(t *testing.T) {
+	pl := homo.NewPlain(64)
+	eg := testScheme
+	// Random expression evaluated over both schemes.
+	exprs := []struct{ a, b, m int64 }{{5, -3, 4}, {100, 27, -2}, {-50, -50, 3}}
+	for _, e := range exprs {
+		p := pl.DecryptSigned(pl.ScalarMul(e.m, pl.Add(pl.EncryptInt(e.a), pl.EncryptInt(e.b)))).Int64()
+		g := eg.DecryptSigned(eg.ScalarMul(e.m, eg.Add(eg.EncryptInt(e.a), eg.EncryptInt(e.b)))).Int64()
+		if p != g {
+			t.Fatalf("(%+v): plain=%d elgamal=%d", e, p, g)
+		}
+	}
+}
+
+func TestNameAndSpaces(t *testing.T) {
+	s := testScheme
+	if s.Name() == "" || s.MsgBound() != 1<<23 {
+		t.Fatal("accessors")
+	}
+	if s.PlaintextSpace().Cmp(big.NewInt(0)) <= 0 {
+		t.Fatal("plaintext space")
+	}
+	// PlaintextSpace must return a copy.
+	m := s.PlaintextSpace()
+	m.SetInt64(1)
+	if s.PlaintextSpace().Int64() == 1 {
+		t.Fatal("internal state leaked")
+	}
+}
+
+func BenchmarkElGamalEncrypt(b *testing.B) {
+	s := testScheme
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.EncryptInt(int64(i % 1000))
+	}
+}
+
+func BenchmarkElGamalDecryptBSGS(b *testing.B) {
+	s := testScheme
+	c := s.EncryptInt(999983) // near the bound: worst-ish case
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.DecryptSigned(c)
+	}
+}
+
+func BenchmarkElGamalAdd(b *testing.B) {
+	s := testScheme
+	x, y := s.EncryptInt(1), s.EncryptInt(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(x, y)
+	}
+}

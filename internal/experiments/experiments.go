@@ -1,0 +1,196 @@
+// Package experiments contains the harnesses that regenerate every
+// figure of the paper's evaluation (§6), shared by the repository-root
+// benchmarks and by cmd/experiments. Each harness reproduces the
+// experimental setup described in the paper — workload generation,
+// partitioning, topology, step semantics — at a configurable scale,
+// because the paper's full scale (2,000 resources × 10,000 local
+// transactions, one-million-transaction databases) is available but
+// not CI-sized. See EXPERIMENTS.md for measured-vs-paper comparisons.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"secmr/internal/arm"
+	"secmr/internal/core"
+	"secmr/internal/hashing"
+	"secmr/internal/homo"
+	"secmr/internal/majorityrule"
+	"secmr/internal/metrics"
+	"secmr/internal/quest"
+	"secmr/internal/sim"
+	"secmr/internal/topology"
+)
+
+// Algorithm selects which miner an experiment runs.
+type Algorithm string
+
+const (
+	// AlgPlain is Majority-Rule [20] (no privacy).
+	AlgPlain Algorithm = "majority-rule"
+	// AlgKPrivate is the honest-but-curious k-private variant [15].
+	AlgKPrivate Algorithm = "k-private"
+	// AlgSecure is Secure-Majority-Rule (this paper).
+	AlgSecure Algorithm = "secure"
+)
+
+// Algorithms lists the Figure 2 competitors in paper order.
+func Algorithms() []Algorithm { return []Algorithm{AlgPlain, AlgKPrivate, AlgSecure} }
+
+// Scale bundles every size knob of the §6 setup.
+type Scale struct {
+	Name           string
+	Resources      int
+	LocalDB        int // transactions per resource at t=0
+	K              int64
+	ScanBudget     int // transactions processed per step (paper: 100)
+	CandidateEvery int // controller consultation period (paper: 5)
+	GrowthPerStep  int // dynamic growth (paper: 20)
+	MaxSteps       int
+	SampleEvery    int
+	NumItems       int
+	NumPatterns    int
+	MaxRuleItems   int
+	MinFreq        float64
+	MinConf        float64
+	Seed           int64
+}
+
+// CI is the test/bench-sized scale: minutes, not days.
+func CI() Scale {
+	return Scale{
+		Name: "ci", Resources: 12, LocalDB: 200, K: 4,
+		ScanBudget: 50, CandidateEvery: 5, GrowthPerStep: 4,
+		MaxSteps: 1500, SampleEvery: 25,
+		NumItems: 24, NumPatterns: 10, MaxRuleItems: 3,
+		MinFreq: 0.15, MinConf: 0.7, Seed: 1,
+	}
+}
+
+// Paper is the §6 configuration: 2,000 resources, 10,000-transaction
+// local databases sampled from a million-transaction global database,
+// k = 10, 100 transactions per step, candidate generation every fifth
+// step, +20 transactions per step.
+func Paper() Scale {
+	return Scale{
+		Name: "paper", Resources: 2000, LocalDB: 10000, K: 10,
+		ScanBudget: 100, CandidateEvery: 5, GrowthPerStep: 20,
+		MaxSteps: 60000, SampleEvery: 100,
+		NumItems: 1000, NumPatterns: 2000, MaxRuleItems: 0,
+		MinFreq: 0.01, MinConf: 0.5, Seed: 1,
+	}
+}
+
+// miner is the common face of the three resource implementations.
+type miner interface {
+	sim.Node
+	Output() arm.RuleSet
+}
+
+// grid is one assembled experiment instance.
+type grid struct {
+	engine *sim.Engine
+	miners []miner
+	truth  arm.RuleSet
+	sc     Scale
+}
+
+// avgQuality returns mean recall/precision across resources.
+func (g *grid) avgQuality() (float64, float64) {
+	outs := make([]arm.RuleSet, len(g.miners))
+	for i, m := range g.miners {
+		outs[i] = m.Output()
+	}
+	return metrics.Average(outs, g.truth)
+}
+
+// scans converts a step count to local-database scans (§6: one scan
+// per LocalDB/ScanBudget steps).
+func (sc Scale) scans(step int) float64 {
+	if sc.LocalDB == 0 {
+		return 0
+	}
+	return float64(step) * float64(sc.ScanBudget) / float64(sc.LocalDB)
+}
+
+// universe enumerates the item domain.
+func (sc Scale) universe() arm.Itemset {
+	u := make(arm.Itemset, sc.NumItems)
+	for i := range u {
+		u[i] = arm.Item(i)
+	}
+	return u
+}
+
+// buildGrid assembles one simulation: Quest data partitioned with the
+// pairwise-independent hasher over a BA-overlay spanning tree.
+func buildGrid(alg Algorithm, sc Scale, preset string, scheme homo.Scheme) (*grid, error) {
+	rng := rand.New(rand.NewSource(sc.Seed))
+	params, err := quest.Preset(preset, sc.Resources*sc.LocalDB, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	params.NumItems = sc.NumItems
+	params.NumPatterns = sc.NumPatterns
+	gen := quest.NewGenerator(params)
+	global := gen.Generate(params.NumTransactions)
+	th := arm.Thresholds{MinFreq: sc.MinFreq, MinConf: sc.MinConf}
+	universe := sc.universe()
+	truth := arm.GroundTruth(global, th, universe, sc.MaxRuleItems)
+	parts := hashing.Partition(global, sc.Resources, rng)
+	// Dynamic feeds: fresh transactions from the same generator.
+	feeds := make([][]arm.Transaction, sc.Resources)
+	if sc.GrowthPerStep > 0 {
+		perResource := sc.MaxSteps * sc.GrowthPerStep / 50 // bounded feed
+		for i := range feeds {
+			feeds[i] = gen.Generate(perResource).Tx
+		}
+	}
+	ba := topology.BarabasiAlbert(sc.Resources, 2, topology.DelayRange{Min: 1, Max: 3}, rng)
+	tree := ba.SpanningTree(0)
+	g := &grid{truth: truth, sc: sc}
+	nodes := make([]sim.Node, sc.Resources)
+	for i := 0; i < sc.Resources; i++ {
+		var m miner
+		switch alg {
+		case AlgPlain, AlgKPrivate:
+			mode := majorityrule.ModePlain
+			if alg == AlgKPrivate {
+				mode = majorityrule.ModeKPrivate
+			}
+			cfg := majorityrule.Config{Th: th, Universe: universe,
+				ScanBudget: sc.ScanBudget, CandidateEvery: sc.CandidateEvery,
+				GrowthPerStep: sc.GrowthPerStep, K: sc.K, Mode: mode,
+				MaxRuleItems: sc.MaxRuleItems}
+			m = majorityrule.NewResource(i, cfg, parts[i], feeds[i])
+		case AlgSecure:
+			cfg := core.Config{Th: th, Universe: universe,
+				ScanBudget: sc.ScanBudget, CandidateEvery: sc.CandidateEvery,
+				GrowthPerStep: sc.GrowthPerStep, K: sc.K,
+				MaxRuleItems: sc.MaxRuleItems, IntraDelay: true}
+			m = core.NewResource(i, cfg, scheme, parts[i], feeds[i], nil)
+		default:
+			return nil, fmt.Errorf("experiments: unknown algorithm %q", alg)
+		}
+		g.miners = append(g.miners, m)
+		nodes[i] = m
+	}
+	g.engine = sim.NewEngine(tree, nodes, sc.Seed)
+	return g, nil
+}
+
+// ConvergenceRun drives a grid until recall and precision reach the
+// target (or MaxSteps), sampling a metrics.Series along the way.
+func (g *grid) convergenceRun(label string, target float64) *metrics.Series {
+	s := &metrics.Series{Label: label}
+	for step := 0; step <= g.sc.MaxSteps; step += g.sc.SampleEvery {
+		rec, prec := g.avgQuality()
+		s.Add(metrics.Point{Step: int64(step), Scans: g.sc.scans(step), Recall: rec, Precision: prec})
+		if rec >= target && prec >= target {
+			break
+		}
+		g.engine.Run(g.sc.SampleEvery)
+	}
+	return s
+}

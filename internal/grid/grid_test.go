@@ -1,0 +1,201 @@
+package grid
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"secmr/internal/majority"
+	"secmr/internal/topology"
+)
+
+// majorityActor hosts one majority.Instance under the async runtime.
+type majorityActor struct {
+	mu        sync.Mutex
+	inst      *majority.Instance
+	neighbors []int
+	sum       int64
+	cnt       int64
+}
+
+func (a *majorityActor) OnStart(self int, send func(to int, payload any)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Wiring neighbors and casting the local vote both yield protocol
+	// messages (first contacts included) that must actually be sent.
+	for _, v := range a.neighbors {
+		for _, o := range a.inst.AddNeighbor(v) {
+			send(o.To, majority.Msg{Sum: o.Sum, Count: o.Count})
+		}
+	}
+	for _, o := range a.inst.SetLocalVote(a.sum, a.cnt) {
+		send(o.To, majority.Msg{Sum: o.Sum, Count: o.Count})
+	}
+}
+
+func (a *majorityActor) OnMessage(self, from int, payload any, send func(to int, payload any)) {
+	m := payload.(majority.Msg)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, o := range a.inst.OnReceive(from, m.Sum, m.Count) {
+		send(o.To, majority.Msg{Sum: o.Sum, Count: o.Count})
+	}
+}
+
+func (a *majorityActor) decision() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inst.Decision()
+}
+
+// runAsyncVote runs one majority vote concurrently and returns the
+// per-node decisions.
+func runAsyncVote(t *testing.T, tree *topology.Graph, votes [][2]int64, ln, ld int64, delay time.Duration) []bool {
+	t.Helper()
+	actors := make([]Actor, tree.N)
+	mas := make([]*majorityActor, tree.N)
+	for i := 0; i < tree.N; i++ {
+		inst := majority.NewInstance(ln, ld)
+		mas[i] = &majorityActor{inst: inst,
+			neighbors: tree.Neighbors(i), sum: votes[i][0], cnt: votes[i][1]}
+		actors[i] = mas[i]
+	}
+	rt := NewRuntime(tree, actors)
+	rt.DelayUnit = delay
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if !rt.Run(ctx) {
+		t.Fatal("async vote did not quiesce")
+	}
+	out := make([]bool, tree.N)
+	for i, a := range mas {
+		out[i] = a.decision()
+	}
+	return out
+}
+
+func TestAsyncMajorityAgreesWithGroundTruth(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := 3 + rng.Intn(30)
+		tree := topology.RandomTree(n, topology.DelayRange{Min: 1, Max: 3}, rng)
+		votes := make([][2]int64, n)
+		var s, c int64
+		for i := range votes {
+			cnt := int64(1 + rng.Intn(15))
+			sum := int64(rng.Intn(int(cnt) + 1))
+			votes[i] = [2]int64{sum, cnt}
+			s += sum
+			c += cnt
+		}
+		if 2*s-c == 0 {
+			continue // skip exact ties
+		}
+		want := 2*s-c >= 0
+		got := runAsyncVote(t, tree, votes, 1, 2, 0)
+		for i, d := range got {
+			if d != want {
+				t.Fatalf("trial %d: node %d decided %v want %v", trial, i, d, want)
+			}
+		}
+	}
+}
+
+func TestAsyncWithWallClockDelays(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tree := topology.RandomTree(12, topology.DelayRange{Min: 1, Max: 4}, rng)
+	votes := make([][2]int64, 12)
+	for i := range votes {
+		votes[i] = [2]int64{9, 10}
+	}
+	got := runAsyncVote(t, tree, votes, 1, 2, 200*time.Microsecond)
+	for i, d := range got {
+		if !d {
+			t.Fatalf("node %d wrong under delays", i)
+		}
+	}
+}
+
+// chattyActor relays a token around a ring a fixed number of times.
+type chattyActor struct {
+	mu    sync.Mutex
+	seen  int
+	limit int
+	next  int
+}
+
+func (c *chattyActor) OnStart(self int, send func(int, any)) {
+	if self == 0 {
+		send(c.next, 1)
+	}
+}
+
+func (c *chattyActor) OnMessage(self, from int, payload any, send func(int, any)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seen++
+	hops := payload.(int)
+	if hops < c.limit {
+		send(c.next, hops+1)
+	}
+}
+
+func TestQuiescenceDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 8
+	ring := topology.Ring(n, topology.DelayRange{Min: 1, Max: 1}, rng)
+	actors := make([]Actor, n)
+	cas := make([]*chattyActor, n)
+	for i := range actors {
+		cas[i] = &chattyActor{limit: 100, next: (i + 1) % n}
+		actors[i] = cas[i]
+	}
+	rt := NewRuntime(ring, actors)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if !rt.Run(ctx) {
+		t.Fatal("did not quiesce")
+	}
+	if rt.Stats().Delivered != 100 {
+		t.Fatalf("delivered %d, want exactly 100 token hops", rt.Stats().Delivered)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	// Actors that chat forever: Run must return false on cancellation.
+	rng := rand.New(rand.NewSource(2))
+	ring := topology.Ring(4, topology.DelayRange{Min: 1, Max: 1}, rng)
+	actors := make([]Actor, 4)
+	for i := range actors {
+		actors[i] = &chattyActor{limit: 1 << 60, next: (i + 1) % 4}
+	}
+	rt := NewRuntime(ring, actors)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if rt.Run(ctx) {
+		t.Fatal("endless chatter reported quiescence")
+	}
+}
+
+func TestActorCountValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRuntime(topology.NewGraph(3), []Actor{})
+}
+
+func TestNonEdgeSendPanics(t *testing.T) {
+	g := topology.NewGraph(2)
+	g.AddEdge(0, 1, 1)
+	rt := NewRuntime(g, []Actor{&chattyActor{}, &chattyActor{}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rt.send(0, 0, nil)
+}

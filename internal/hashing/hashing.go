@@ -1,0 +1,102 @@
+// Package hashing provides the pairwise-independent hash family the
+// paper uses to sample each resource's local database from the global
+// one (§6: "Using standard, pair-wise independent hashing techniques,
+// transactions were sampled from the database to simulate the local
+// database of each resource").
+//
+// The family is the classic Carter–Wegman construction
+// h_{a,b}(x) = ((a·x + b) mod p) mod m over a Mersenne prime p = 2⁶¹−1,
+// which is pairwise independent over Z_p and close to uniform over the
+// m buckets for m ≪ p.
+package hashing
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"secmr/internal/arm"
+)
+
+// mersenne61 is the prime 2^61 − 1.
+const mersenne61 = (1 << 61) - 1
+
+// Hash is one member of the pairwise-independent family mapping
+// uint64 keys to buckets [0, m).
+type Hash struct {
+	a, b uint64
+	m    uint64
+}
+
+// New draws a random family member with m buckets.
+func New(rng *rand.Rand, m int) Hash {
+	if m <= 0 {
+		panic("hashing: bucket count must be positive")
+	}
+	a := rng.Uint64()%(mersenne61-1) + 1 // a ∈ [1, p−1]
+	b := rng.Uint64() % mersenne61       // b ∈ [0, p−1]
+	return Hash{a: a, b: b, m: uint64(m)}
+}
+
+// Buckets returns m.
+func (h Hash) Buckets() int { return int(h.m) }
+
+// Map hashes x to its bucket.
+func (h Hash) Map(x uint64) int {
+	return int(mod61(mulmod61(h.a, x)+h.b) % h.m)
+}
+
+// mulmod61 computes a·b mod 2⁶¹−1 for a, b < 2⁶¹ via the 128-bit
+// product: with p = 2⁶¹−1 we have 2⁶¹ ≡ 1 and 2⁶⁴ ≡ 8 (mod p), so
+// writing a·b = hi·2⁶⁴ + lo the product folds to hi·8 + (lo mod-split).
+func mulmod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(mod61(a), mod61(b))
+	// lo = l1·2⁶¹ + l0 with l1 < 8; hi < 2⁵⁸ so hi·8 < 2⁶¹.
+	l1, l0 := lo>>61, lo&mersenne61
+	return mod61(mod61(hi<<3) + l1 + l0)
+}
+
+// mod61 reduces x modulo 2⁶¹−1 (x < 2⁶³ assumed).
+func mod61(x uint64) uint64 {
+	x = (x & mersenne61) + (x >> 61)
+	if x >= mersenne61 {
+		x -= mersenne61
+	}
+	return x
+}
+
+// Partition splits the global database into n local partitions by
+// hashing the transaction identifier (its index), exactly as the
+// paper's simulator builds per-resource databases. Every transaction
+// lands in exactly one partition.
+func Partition(db *arm.Database, n int, rng *rand.Rand) []*arm.Database {
+	h := New(rng, n)
+	parts := make([]*arm.Database, n)
+	for i := range parts {
+		parts[i] = &arm.Database{}
+	}
+	for i, tx := range db.Tx {
+		parts[h.Map(uint64(i))].Append(tx)
+	}
+	return parts
+}
+
+// Sample draws a local database of exactly size transactions for
+// resource r out of db by hashing (transaction, resource) pairs —
+// the memory-saving sampling variant the paper describes, which allows
+// simulating more resources than disjoint partitioning would. The same
+// (db, seed, r) always yields the same sample. Sampling is with
+// replacement across resources (resources may share transactions) but
+// without replacement within one resource.
+func Sample(db *arm.Database, r, size int, seed int64) *arm.Database {
+	rng := rand.New(rand.NewSource(seed ^ int64(uint64(r)*0x9e3779b97f4a7c15)))
+	if size > db.Len() {
+		size = db.Len()
+	}
+	out := &arm.Database{Tx: make([]arm.Transaction, 0, size)}
+	// Partial Fisher–Yates over indices.
+	idx := rng.Perm(db.Len())[:size]
+	for _, i := range idx {
+		out.Append(db.Tx[i])
+	}
+	return out
+}

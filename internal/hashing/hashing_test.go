@@ -1,0 +1,171 @@
+package hashing
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"secmr/internal/arm"
+)
+
+func TestMulMod61AgainstBigInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := new(big.Int).SetUint64(mersenne61)
+	for i := 0; i < 2000; i++ {
+		a := rng.Uint64() % mersenne61
+		b := rng.Uint64() % mersenne61
+		got := mulmod61(a, b)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, p)
+		if got != want.Uint64() {
+			t.Fatalf("mulmod61(%d,%d)=%d want %s", a, b, got, want)
+		}
+	}
+	// Edge cases.
+	edge := []uint64{0, 1, mersenne61 - 1, mersenne61, 1 << 60}
+	for _, a := range edge {
+		for _, b := range edge {
+			got := mulmod61(a, b)
+			want := new(big.Int).Mul(new(big.Int).SetUint64(a%mersenne61), new(big.Int).SetUint64(b%mersenne61))
+			want.Mod(want, p)
+			if got != want.Uint64() {
+				t.Fatalf("edge mulmod61(%d,%d)=%d want %s", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMapRangeAndDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := New(rng, 17)
+	for x := uint64(0); x < 10000; x++ {
+		v := h.Map(x)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Map(%d)=%d out of range", x, v)
+		}
+		if v != h.Map(x) {
+			t.Fatal("Map not deterministic")
+		}
+	}
+	if h.Buckets() != 17 {
+		t.Fatal("Buckets wrong")
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const m, n = 20, 100000
+	h := New(rng, m)
+	counts := make([]int, m)
+	for x := 0; x < n; x++ {
+		counts[h.Map(uint64(x))]++
+	}
+	expected := float64(n) / m
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 19 degrees of freedom; 99.9th percentile ~ 43.8. Be generous.
+	if chi2 > 60 {
+		t.Fatalf("chi² = %.1f; bucket distribution too skewed: %v", chi2, counts)
+	}
+}
+
+func TestPairwiseIndependenceCollisions(t *testing.T) {
+	// For a pairwise-independent family, Pr[h(x)=h(y)] ≈ 1/m over the
+	// random choice of h.
+	const m = 16
+	const trials = 4000
+	rng := rand.New(rand.NewSource(4))
+	coll := 0
+	for i := 0; i < trials; i++ {
+		h := New(rng, m)
+		if h.Map(12345) == h.Map(67890) {
+			coll++
+		}
+	}
+	rate := float64(coll) / trials
+	if math.Abs(rate-1.0/m) > 0.02 {
+		t.Fatalf("collision rate %.4f, want ≈ %.4f", rate, 1.0/m)
+	}
+}
+
+func TestPartitionCoversExactly(t *testing.T) {
+	db := &arm.Database{}
+	for i := 0; i < 1000; i++ {
+		db.Append(arm.NewItemset(arm.Item(i)))
+	}
+	parts := Partition(db, 7, rand.New(rand.NewSource(5)))
+	if len(parts) != 7 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	total := 0
+	seen := map[arm.Item]bool{}
+	for _, p := range parts {
+		total += p.Len()
+		for _, tx := range p.Tx {
+			if seen[tx[0]] {
+				t.Fatalf("transaction %v appears in two partitions", tx)
+			}
+			seen[tx[0]] = true
+		}
+	}
+	if total != db.Len() {
+		t.Fatalf("partitions cover %d of %d transactions", total, db.Len())
+	}
+	// Balance: no partition should be empty at these sizes.
+	for i, p := range parts {
+		if p.Len() == 0 {
+			t.Fatalf("partition %d empty", i)
+		}
+	}
+}
+
+func TestSampleDeterministicAndSized(t *testing.T) {
+	db := &arm.Database{}
+	for i := 0; i < 500; i++ {
+		db.Append(arm.NewItemset(arm.Item(i)))
+	}
+	a := Sample(db, 3, 100, 99)
+	b := Sample(db, 3, 100, 99)
+	if a.Len() != 100 || b.Len() != 100 {
+		t.Fatalf("sample sizes %d, %d", a.Len(), b.Len())
+	}
+	for i := range a.Tx {
+		if !a.Tx[i].Equal(b.Tx[i]) {
+			t.Fatal("Sample not deterministic")
+		}
+	}
+	c := Sample(db, 4, 100, 99)
+	same := 0
+	for i := range a.Tx {
+		if a.Tx[i].Equal(c.Tx[i]) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different resources drew identical samples")
+	}
+	// No duplicates within one sample.
+	seen := map[arm.Item]bool{}
+	for _, tx := range a.Tx {
+		if seen[tx[0]] {
+			t.Fatal("duplicate transaction within a sample")
+		}
+		seen[tx[0]] = true
+	}
+	// Oversized request clamps.
+	if d := Sample(db, 0, 10000, 1); d.Len() != db.Len() {
+		t.Fatalf("oversized sample len %d", d.Len())
+	}
+}
+
+func BenchmarkMap(b *testing.B) {
+	h := New(rand.New(rand.NewSource(1)), 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Map(uint64(i))
+	}
+}

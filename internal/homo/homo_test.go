@@ -1,0 +1,121 @@
+package homo
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlainRoundTrip(t *testing.T) {
+	s := NewPlain(64)
+	for _, m := range []int64{0, 1, -1, 42, -9999, 1 << 50} {
+		if got := s.DecryptSigned(s.EncryptInt(m)).Int64(); got != m {
+			t.Errorf("round trip %d: got %d", m, got)
+		}
+	}
+}
+
+func TestPlainProbabilisticFacade(t *testing.T) {
+	s := NewPlain(64)
+	a, b := s.EncryptInt(5), s.EncryptInt(5)
+	if a.Equal(b) {
+		t.Fatal("plain scheme ciphertexts should carry distinct nonces")
+	}
+	if r := s.Rerandomize(a); r.Equal(a) {
+		t.Fatal("rerandomize returned identical ciphertext")
+	}
+}
+
+func TestPlainHomomorphismProperty(t *testing.T) {
+	s := NewPlain(80)
+	f := func(x, y int64, m int16) bool {
+		sum := s.DecryptSigned(s.Add(s.EncryptInt(x), s.EncryptInt(y)))
+		wantSum := new(big.Int).Add(big.NewInt(x), big.NewInt(y))
+		diff := s.DecryptSigned(s.Sub(s.EncryptInt(x), s.EncryptInt(y)))
+		wantDiff := new(big.Int).Sub(big.NewInt(x), big.NewInt(y))
+		prod := s.DecryptSigned(s.ScalarMul(int64(m), s.EncryptInt(x)))
+		wantProd := new(big.Int).Mul(big.NewInt(x), big.NewInt(int64(m)))
+		return sum.Cmp(wantSum) == 0 && diff.Cmp(wantDiff) == 0 && prod.Cmp(wantProd) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlainCrossInstancePanics(t *testing.T) {
+	a, b := NewPlain(32), NewPlain(32)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on cross-instance ciphertext")
+		}
+	}()
+	a.Add(a.EncryptInt(1), b.EncryptInt(1))
+}
+
+func TestDecodeSigned(t *testing.T) {
+	m := big.NewInt(100)
+	cases := []struct{ in, want int64 }{
+		{0, 0}, {1, 1}, {50, 50}, {51, -49}, {99, -1},
+	}
+	for _, c := range cases {
+		got := DecodeSigned(big.NewInt(c.in), m)
+		if got.Int64() != c.want {
+			t.Errorf("DecodeSigned(%d) = %s, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEncodeMod(t *testing.T) {
+	m := big.NewInt(100)
+	cases := []struct{ in, want int64 }{
+		{0, 0}, {-1, 99}, {-100, 0}, {250, 50}, {-101, 99},
+	}
+	for _, c := range cases {
+		got := EncodeMod(big.NewInt(c.in), m)
+		if got.Int64() != c.want {
+			t.Errorf("EncodeMod(%d) = %s, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEncodeDecodeInverseProperty(t *testing.T) {
+	m := new(big.Int).Lsh(big.NewInt(1), 70)
+	f := func(x int64) bool {
+		return DecodeSigned(EncodeMod(big.NewInt(x), m), m).Int64() == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCiphertextCloneIndependence(t *testing.T) {
+	s := NewPlain(32)
+	c := s.EncryptInt(7)
+	d := c.Clone()
+	d.V.Add(d.V, big.NewInt(1))
+	if s.Decrypt(c).Int64() != 7 {
+		t.Fatal("mutating a clone affected the original")
+	}
+	var nilCt *Ciphertext
+	if nilCt.Clone() != nil {
+		t.Fatal("Clone of nil should be nil")
+	}
+}
+
+func TestPlaintextSpaceIsCopy(t *testing.T) {
+	s := NewPlain(32)
+	m := s.PlaintextSpace()
+	m.SetInt64(1)
+	if s.PlaintextSpace().Int64() == 1 {
+		t.Fatal("PlaintextSpace returned internal state")
+	}
+}
+
+func BenchmarkPlainAdd(b *testing.B) {
+	s := NewPlain(64)
+	x, y := s.EncryptInt(1), s.EncryptInt(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(x, y)
+	}
+}

@@ -1,0 +1,125 @@
+package homo
+
+import (
+	"fmt"
+	"math/big"
+	"sync/atomic"
+)
+
+// Plain is a transparent stand-in for a homomorphic cryptosystem. It
+// performs arithmetic directly on plaintexts but mimics the observable
+// behaviour of a probabilistic scheme: every "ciphertext" carries a
+// random nonce, so two encryptions of the same value are unequal, and
+// Rerandomize produces a distinct value.
+//
+// Plain provides no privacy whatsoever. It exists (a) to run the
+// large-scale shape experiments of Figures 3–4 at thousands of
+// resources without paying modular-exponentiation constant factors —
+// convergence is measured in protocol steps, which are scheme
+// independent — and (b) as a differential-testing oracle against the
+// Paillier scheme.
+//
+// Representation: V = plaintext·2^nonceBits + nonce, with the plaintext
+// reduced into [0, M).
+type Plain struct {
+	m   *big.Int // plaintext modulus
+	tag uint64
+	// nonceCtr supplies unique low bits so two "encryptions" of the
+	// same value never compare equal. A counter (not crypto/rand) is
+	// deliberate: Plain provides no privacy anyway, and drawing system
+	// randomness per operation dominated large-simulation profiles.
+	nonceCtr atomic.Uint64
+}
+
+const plainNonceBits = 32
+
+var schemeTagCounter atomic.Uint64
+
+// NewPlain returns a Plain scheme with the given plaintext-space bit
+// length (the modulus is 2^bits).
+func NewPlain(bits int) *Plain {
+	if bits <= 1 {
+		panic("homo: plaintext space too small")
+	}
+	m := new(big.Int).Lsh(big.NewInt(1), uint(bits))
+	return &Plain{m: m, tag: schemeTagCounter.Add(1)}
+}
+
+func (p *Plain) Name() string { return fmt.Sprintf("plain-%d", p.m.BitLen()-1) }
+
+// PlaintextSpace returns the plaintext modulus.
+func (p *Plain) PlaintextSpace() *big.Int { return new(big.Int).Set(p.m) }
+
+func (p *Plain) nonce() uint64 {
+	return p.nonceCtr.Add(1) & (1<<plainNonceBits - 1)
+}
+
+func (p *Plain) wrap(v *big.Int) *Ciphertext {
+	val := new(big.Int).Lsh(EncodeMod(v, p.m), plainNonceBits)
+	val.Or(val, new(big.Int).SetUint64(p.nonce()))
+	return &Ciphertext{V: val, Tag: p.tag}
+}
+
+func (p *Plain) unwrap(c *Ciphertext) *big.Int {
+	if c.Tag != p.tag {
+		panic("homo: ciphertext from a different scheme instance")
+	}
+	return new(big.Int).Rsh(c.V, plainNonceBits)
+}
+
+// Encrypt encrypts m (mod M) under the stand-in scheme.
+func (p *Plain) Encrypt(m *big.Int) *Ciphertext { return p.wrap(m) }
+
+// EncryptInt encrypts the given int64.
+func (p *Plain) EncryptInt(m int64) *Ciphertext { return p.wrap(big.NewInt(m)) }
+
+// EncryptZero returns a fresh encryption of zero.
+func (p *Plain) EncryptZero() *Ciphertext { return p.wrap(big.NewInt(0)) }
+
+// Decrypt returns the plaintext in [0, M).
+func (p *Plain) Decrypt(c *Ciphertext) *big.Int { return p.unwrap(c) }
+
+// DecryptSigned returns the plaintext decoded into (−M/2, M/2].
+func (p *Plain) DecryptSigned(c *Ciphertext) *big.Int {
+	return DecodeSigned(p.unwrap(c), p.m)
+}
+
+// Add returns an encryption of the plaintext sum.
+func (p *Plain) Add(a, b *Ciphertext) *Ciphertext {
+	s := new(big.Int).Add(p.unwrap(a), p.unwrap(b))
+	return p.wrap(s)
+}
+
+// Sub returns an encryption of the plaintext difference.
+func (p *Plain) Sub(a, b *Ciphertext) *Ciphertext {
+	s := new(big.Int).Sub(p.unwrap(a), p.unwrap(b))
+	return p.wrap(s)
+}
+
+// ScalarMul returns an encryption of m times the plaintext.
+func (p *Plain) ScalarMul(m int64, a *Ciphertext) *Ciphertext {
+	s := new(big.Int).Mul(big.NewInt(m), p.unwrap(a))
+	return p.wrap(s)
+}
+
+// Rerandomize returns a distinct ciphertext with the same plaintext.
+func (p *Plain) Rerandomize(a *Ciphertext) *Ciphertext {
+	return p.wrap(p.unwrap(a))
+}
+
+// Adopt validates and re-tags a deserialized ciphertext.
+func (p *Plain) Adopt(c *Ciphertext) (*Ciphertext, error) {
+	if c == nil || c.V == nil || c.V.Sign() < 0 {
+		return nil, fmt.Errorf("homo: malformed plain ciphertext")
+	}
+	limit := new(big.Int).Lsh(p.m, plainNonceBits)
+	if c.V.Cmp(limit) >= 0 {
+		return nil, fmt.Errorf("homo: plain ciphertext out of range")
+	}
+	return &Ciphertext{V: new(big.Int).Set(c.V), Tag: p.tag}, nil
+}
+
+var (
+	_ Scheme  = (*Plain)(nil)
+	_ Adopter = (*Plain)(nil)
+)

@@ -1,0 +1,111 @@
+package ktp
+
+import (
+	"sort"
+
+	"secmr/internal/arm"
+)
+
+// IdealMiner is the "ideal model" of Definition 3.2: participants hand
+// their inputs to a k-TTP and every output anyone obtains is a k-TTP
+// response. A protocol is k-private exactly when it can be simulated by
+// this model, so the ideal miner serves two purposes:
+//
+//   - as an executable upper bound on what any k-private protocol may
+//     compute (tests compare the real miners' outputs against it);
+//   - as the reference for the privacy/utility frontier: with fewer
+//     than k participants the ideal miner — like the real one — must
+//     output nothing at all.
+//
+// The miner asks one TTP per candidate rule for the votes of the full
+// participant group, expanding candidates through the same Algorithm 4
+// lattice as every other miner in this repository.
+type IdealMiner struct {
+	K  int
+	Th arm.Thresholds
+	// parts maps participant id -> local database partition.
+	parts map[int]*arm.Database
+}
+
+// NewIdealMiner creates the ideal-model miner over the given
+// partitions.
+func NewIdealMiner(k int, th arm.Thresholds, parts map[int]*arm.Database) *IdealMiner {
+	return &IdealMiner{K: k, Th: th, parts: parts}
+}
+
+// Mine runs the ideal protocol: for every candidate rule a fresh
+// majority request to a per-rule k-TTP over the full participant
+// group. When the group is admissible (≥ k participants), the answer
+// is the exact global vote; otherwise the rule is unanswerable and
+// never output — the ideal model's privacy/utility frontier.
+func (m *IdealMiner) Mine(universe arm.Itemset, maxItems int) arm.RuleSet {
+	ids := make([]int, 0, len(m.parts))
+	for id := range m.parts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	group := NewGroup(ids...)
+
+	// vote asks one k-TTP for the rule's (sum, count) over all
+	// participants; ok=false when the group is inadmissible.
+	vote := func(r arm.Rule) (ok, correct bool) {
+		sums := New(m.K)
+		counts := New(m.K)
+		for _, id := range ids {
+			cl, cb := m.parts[id].SupportPair(r.LHS, r.RHS)
+			if len(r.LHS) == 0 {
+				cl = m.parts[id].Len()
+			}
+			sums.SetInput(id, int64(cb))
+			counts.SetInput(id, int64(cl))
+		}
+		sum, okS := sums.Request("miner", group)
+		cnt, okC := counts.Request("miner", group)
+		if !okS || !okC {
+			return false, false
+		}
+		return true, cnt > 0 && float64(sum) >= m.Th.Lambda(r.Kind)*float64(cnt)
+	}
+
+	cands := arm.RuleSet{}
+	for _, i := range universe {
+		cands.Add(arm.NewRule(nil, arm.Itemset{i}, arm.ThresholdFreq))
+	}
+	truth := arm.RuleSet{}
+	for {
+		grew := false
+		for _, r := range cands.Sorted() {
+			if truth.Has(r) {
+				continue
+			}
+			ok, correct := vote(r)
+			if !ok {
+				return arm.RuleSet{} // sub-k grid: nothing may be released
+			}
+			if !correct {
+				continue
+			}
+			if r.Kind == arm.ThresholdConf &&
+				!truth.Has(arm.NewRule(nil, r.Union(), arm.ThresholdFreq)) {
+				continue
+			}
+			truth.Add(r)
+			grew = true
+		}
+		before := len(cands)
+		arm.GenerateCandidates(truth, cands)
+		if maxItems > 0 {
+			for key, r := range cands {
+				if len(r.LHS)+len(r.RHS) > maxItems {
+					delete(cands, key)
+				}
+			}
+		}
+		if len(cands) > before {
+			grew = true
+		}
+		if !grew {
+			return truth
+		}
+	}
+}

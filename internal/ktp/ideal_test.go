@@ -1,0 +1,71 @@
+package ktp
+
+import (
+	"math/rand"
+	"testing"
+
+	"secmr/internal/arm"
+)
+
+func randomParts(seed int64, n, txPer, items int) (map[int]*arm.Database, *arm.Database) {
+	rng := rand.New(rand.NewSource(seed))
+	parts := map[int]*arm.Database{}
+	global := &arm.Database{}
+	for id := 0; id < n; id++ {
+		db := &arm.Database{}
+		for i := 0; i < txPer; i++ {
+			tx := make([]arm.Item, 1+rng.Intn(4))
+			for j := range tx {
+				tx[j] = arm.Item(rng.Intn(items))
+			}
+			t := arm.NewItemset(tx...)
+			db.Append(t)
+			global.Append(t)
+		}
+		parts[id] = db
+	}
+	return parts, global
+}
+
+func TestIdealMinerMatchesGroundTruth(t *testing.T) {
+	// With an admissible group (≥ k participants) the ideal model
+	// computes exactly R[DB]: full utility at the privacy frontier.
+	for seed := int64(1); seed <= 5; seed++ {
+		parts, global := randomParts(seed, 6, 40, 8)
+		th := arm.Thresholds{MinFreq: 0.2, MinConf: 0.6}
+		universe := global.Items()
+		ideal := NewIdealMiner(3, th, parts).Mine(universe, 3)
+		want := arm.GroundTruth(global, th, universe, 3)
+		if len(ideal) != len(want) {
+			t.Fatalf("seed %d: ideal %d rules, truth %d", seed, len(ideal), len(want))
+		}
+		for k := range want {
+			if _, ok := ideal[k]; !ok {
+				t.Fatalf("seed %d: ideal missing %s", seed, k)
+			}
+		}
+	}
+}
+
+func TestIdealMinerSubKGroupReleasesNothing(t *testing.T) {
+	// Fewer participants than k: the k-TTP refuses every request and
+	// the ideal model outputs nothing — the baseline the real protocol
+	// must also respect (cf. the facade's k ≤ resources validation).
+	parts, global := randomParts(9, 2, 50, 6)
+	th := arm.Thresholds{MinFreq: 0.2, MinConf: 0.6}
+	out := NewIdealMiner(5, th, parts).Mine(global.Items(), 3)
+	if len(out) != 0 {
+		t.Fatalf("sub-k ideal model released %d rules", len(out))
+	}
+}
+
+func TestIdealMinerRespectsSizeCap(t *testing.T) {
+	parts, global := randomParts(3, 4, 60, 5)
+	th := arm.Thresholds{MinFreq: 0.1, MinConf: 0.4}
+	out := NewIdealMiner(2, th, parts).Mine(global.Items(), 2)
+	for _, r := range out {
+		if len(r.LHS)+len(r.RHS) > 2 {
+			t.Fatalf("rule %v exceeds the cap", r)
+		}
+	}
+}

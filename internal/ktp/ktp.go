@@ -1,0 +1,203 @@
+// Package ktp implements the k-TTP of Definition 3.1 — the honest,
+// event-based reference entity against which k-privacy and k-security
+// are defined: a protocol is k-private exactly when it can be
+// simulated by participants talking only to a k-TTP.
+//
+// The package serves as an executable specification: property tests
+// verify that the decision gates of the k-private and secure miners
+// grant outputs only in situations where the k-TTP would (the
+// simulation argument of §5.3).
+package ktp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group is a set of participant identifiers.
+type Group map[int]bool
+
+// NewGroup builds a group from ids.
+func NewGroup(ids ...int) Group {
+	g := make(Group, len(ids))
+	for _, id := range ids {
+		g[id] = true
+	}
+	return g
+}
+
+// Clone copies the group.
+func (g Group) Clone() Group {
+	out := make(Group, len(g))
+	for id := range g {
+		out[id] = true
+	}
+	return out
+}
+
+// Key returns a canonical string for the group.
+func (g Group) Key() string {
+	ids := make([]int, 0, len(g))
+	for id := range g {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return fmt.Sprint(ids)
+}
+
+// symDiffSize returns |a △ b|.
+func symDiffSize(a, b Group) int {
+	n := 0
+	for id := range a {
+		if !b[id] {
+			n++
+		}
+	}
+	for id := range b {
+		if !a[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// union returns a ∪ b.
+func union(a, b Group) Group {
+	out := a.Clone()
+	for id := range b {
+		out[id] = true
+	}
+	return out
+}
+
+// maxGrantedGroups bounds the exponential subset enumeration of
+// Definition 3.1's condition in the general case. When the granted
+// groups form an inclusion chain — which they always do for the
+// accumulating-votes protocol — Admissible uses an exact linear
+// shortcut instead and no bound applies.
+const maxGrantedGroups = 20
+
+// isSubset reports a ⊆ b.
+func isSubset(a, b Group) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// isChain reports whether the groups form an inclusion chain when
+// ordered by size.
+func isChain(groups []Group) bool {
+	bySize := append([]Group(nil), groups...)
+	sort.Slice(bySize, func(i, j int) bool { return len(bySize[i]) < len(bySize[j]) })
+	for i := 1; i < len(bySize); i++ {
+		if !isSubset(bySize[i-1], bySize[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TTP is the k-trusted-third-party. SumFunc aggregates the latest
+// inputs of a group (the f of Definition 3.1 specialized to the sum
+// reduction the majority votes need).
+type TTP struct {
+	K       int
+	inputs  map[int]int64
+	granted map[string][]Group // G_i per requester
+}
+
+// New returns a k-TTP.
+func New(k int) *TTP {
+	if k < 1 {
+		panic("ktp: k must be positive")
+	}
+	return &TTP{K: k, inputs: map[int]int64{}, granted: map[string][]Group{}}
+}
+
+// SetInput records participant i's latest input x_t^i.
+func (t *TTP) SetInput(participant int, v int64) { t.inputs[participant] = v }
+
+// Admissible evaluates Definition 3.1's condition for requester i and
+// group V without recording anything:
+//
+//	∀ G ⊆ G_i : |V △ (∪_{j∈G} G_j)| ≥ k
+//
+// (The empty subset yields |V| ≥ k: the very first output already
+// needs a group of at least k participants.)
+func (t *TTP) Admissible(requester string, v Group) bool {
+	groups := t.granted[requester]
+	if isChain(groups) {
+		// For an inclusion chain, ∪_{j∈G} G_j is the chain's maximal
+		// element of G, so checking the empty set and each granted
+		// group individually is exact — and linear.
+		if len(v) < t.K {
+			return false
+		}
+		for _, g := range groups {
+			if symDiffSize(v, g) < t.K {
+				return false
+			}
+		}
+		return true
+	}
+	if len(groups) > maxGrantedGroups {
+		panic("ktp: too many non-chain granted groups for exact subset enumeration")
+	}
+	for mask := 0; mask < 1<<len(groups); mask++ {
+		u := Group{}
+		for j := range groups {
+			if mask&(1<<j) != 0 {
+				u = union(u, groups[j])
+			}
+		}
+		if symDiffSize(v, u) < t.K {
+			return false
+		}
+	}
+	return true
+}
+
+// Request asks for the sum over group V. When the condition holds, the
+// group is recorded in G_i and the sum of the latest inputs of V's
+// members is returned; otherwise the request is ignored (ok=false),
+// exactly as Definition 3.1 prescribes.
+func (t *TTP) Request(requester string, v Group) (sum int64, ok bool) {
+	if !t.Admissible(requester, v) {
+		return 0, false
+	}
+	t.granted[requester] = append(t.granted[requester], v.Clone())
+	for id := range v {
+		sum += t.inputs[id]
+	}
+	return sum, true
+}
+
+// GrantedCount returns |G_i| for a requester.
+func (t *TTP) GrantedCount(requester string) int { return len(t.granted[requester]) }
+
+// Gate mirrors the controller's k-gate decision stream for one
+// requester: it grants a fresh evaluation when the queried group has
+// grown by at least k members since the last granted query (groups are
+// monotone in the accumulating-votes protocol). Gate exists so the
+// property tests can state the exact claim of §5.3: every grant the
+// gate makes is admissible to a real k-TTP.
+type Gate struct {
+	K           int
+	lastGranted int // size at last fresh grant; 0 initially
+}
+
+// Admit reports whether a query over a group of the given size is
+// granted a fresh answer, updating the gate when it is.
+func (g *Gate) Admit(groupSize int) bool {
+	if groupSize-g.lastGranted >= g.K {
+		g.lastGranted = groupSize
+		return true
+	}
+	return false
+}

@@ -1,0 +1,168 @@
+package ktp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFirstRequestNeedsKParticipants(t *testing.T) {
+	ttp := New(3)
+	ttp.SetInput(1, 10)
+	ttp.SetInput(2, 20)
+	ttp.SetInput(3, 30)
+	if _, ok := ttp.Request("u", NewGroup(1, 2)); ok {
+		t.Fatal("group of 2 granted at k=3")
+	}
+	sum, ok := ttp.Request("u", NewGroup(1, 2, 3))
+	if !ok || sum != 60 {
+		t.Fatalf("group of 3: ok=%v sum=%d", ok, sum)
+	}
+}
+
+func TestRepeatQueryRejected(t *testing.T) {
+	ttp := New(2)
+	v := NewGroup(1, 2, 3)
+	if _, ok := ttp.Request("u", v); !ok {
+		t.Fatal("first request should pass")
+	}
+	// Identical group: |V △ V| = 0 < k.
+	if _, ok := ttp.Request("u", v); ok {
+		t.Fatal("identical repeat granted")
+	}
+	// One new member: |V' △ V| = 1 < 2.
+	if _, ok := ttp.Request("u", NewGroup(1, 2, 3, 4)); ok {
+		t.Fatal("single-member growth granted at k=2")
+	}
+	// Two new members: granted.
+	if _, ok := ttp.Request("u", NewGroup(1, 2, 3, 4, 5)); !ok {
+		t.Fatal("two-member growth rejected")
+	}
+}
+
+func TestDifferencingAttackRejected(t *testing.T) {
+	// Classic isolation: learn {1..k} then {1..k, victim}; the second
+	// query must be refused because it differs from the first by one.
+	ttp := New(5)
+	first := NewGroup(1, 2, 3, 4, 5)
+	if _, ok := ttp.Request("u", first); !ok {
+		t.Fatal("bootstrap rejected")
+	}
+	withVictim := first.Clone()
+	withVictim[99] = true
+	if _, ok := ttp.Request("u", withVictim); ok {
+		t.Fatal("differencing attack granted: victim's input isolatable")
+	}
+}
+
+func TestUnionSubsetCondition(t *testing.T) {
+	// The condition quantifies over all subsets of G_i: a query that is
+	// far from each granted group individually can still be close to a
+	// union of them.
+	ttp := New(3)
+	if _, ok := ttp.Request("u", NewGroup(1, 2, 3)); !ok {
+		t.Fatal("g1 rejected")
+	}
+	if _, ok := ttp.Request("u", NewGroup(4, 5, 6)); !ok {
+		t.Fatal("g2 rejected")
+	}
+	// V = {1..6, 7}: |V △ g1| = 4 ≥ 3, |V △ g2| = 4 ≥ 3, but
+	// |V △ (g1∪g2)| = 1 < 3 → must be rejected.
+	v := NewGroup(1, 2, 3, 4, 5, 6, 7)
+	if _, ok := ttp.Request("u", v); ok {
+		t.Fatal("union differencing granted")
+	}
+}
+
+func TestRequestersIndependent(t *testing.T) {
+	ttp := New(2)
+	v := NewGroup(1, 2)
+	if _, ok := ttp.Request("a", v); !ok {
+		t.Fatal("a rejected")
+	}
+	// A different requester has its own G_i.
+	if _, ok := ttp.Request("b", v); !ok {
+		t.Fatal("b rejected despite fresh history")
+	}
+	if ttp.GrantedCount("a") != 1 || ttp.GrantedCount("b") != 1 {
+		t.Fatal("granted bookkeeping wrong")
+	}
+}
+
+func TestLatestInputsUsed(t *testing.T) {
+	ttp := New(1)
+	ttp.SetInput(1, 5)
+	sum, ok := ttp.Request("u", NewGroup(1))
+	if !ok || sum != 5 {
+		t.Fatalf("sum=%d ok=%v", sum, ok)
+	}
+	ttp.SetInput(1, 7)
+	ttp.SetInput(2, 1)
+	sum, ok = ttp.Request("u", NewGroup(1, 2))
+	if !ok || sum != 8 {
+		t.Fatalf("updated inputs not used: sum=%d ok=%v", sum, ok)
+	}
+}
+
+func TestGateGrantsAreTTPAdmissibleProperty(t *testing.T) {
+	// §5.3's simulation argument, as a property test: for monotone
+	// group growth (votes only accumulate), every fresh evaluation the
+	// controller's k-gate grants corresponds to a request a real k-TTP
+	// would allow. Randomized growth traces across many k values.
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		k := 1 + rng.Intn(8)
+		ttp := New(k)
+		gate := &Gate{K: k}
+		group := Group{}
+		next := 0
+		for step := 0; step < 60; step++ {
+			// Random monotone growth: 0–3 new participants join.
+			for j := rng.Intn(4); j > 0; j-- {
+				group[next] = true
+				next++
+			}
+			if gate.Admit(len(group)) {
+				if !ttp.Admissible("u", group) {
+					t.Fatalf("trial %d (k=%d): gate granted a group of %d that the k-TTP rejects",
+						trial, k, len(group))
+				}
+				if _, ok := ttp.Request("u", group); !ok {
+					t.Fatal("admissible request rejected")
+				}
+			}
+		}
+	}
+}
+
+func TestGateIsNotVacuous(t *testing.T) {
+	// The gate must actually grant for sufficient growth and refuse
+	// sub-k growth.
+	g := &Gate{K: 5}
+	if g.Admit(4) {
+		t.Fatal("granted below k")
+	}
+	if !g.Admit(5) {
+		t.Fatal("refused at exactly k")
+	}
+	if g.Admit(9) {
+		t.Fatal("granted growth of 4 < k")
+	}
+	if !g.Admit(10) {
+		t.Fatal("refused growth of k")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 must panic")
+		}
+	}()
+	New(0)
+}
+
+func TestGroupKey(t *testing.T) {
+	if NewGroup(3, 1, 2).Key() != NewGroup(2, 3, 1).Key() {
+		t.Fatal("key not canonical")
+	}
+}

@@ -1,0 +1,177 @@
+// Package majority implements Scalable-Majority, the local majority-
+// voting protocol of Wolff & Schuster (ICDM '03) that the paper builds
+// on (§4.1). Nodes on a communication tree carry an agglomerated vote
+// ⟨sum, count⟩ and exchange partial aggregates; when the protocol
+// quiesces every node agrees with the global majority — whether
+// Σsum ≥ λ·Σcount — having typically communicated with only a local
+// neighborhood ("local algorithm").
+//
+// The majority ratio λ is rational, λ = λn/λd, so all arithmetic is
+// exact over int64.
+//
+// The Instance type is a pure state machine (no I/O), which the
+// simulator wrapper (Node), the plain Majority-Rule miner, and — in
+// encrypted form — the secure broker all drive. Keeping it pure makes
+// the protocol unit-testable against a ground-truth oracle.
+package majority
+
+import "fmt"
+
+// NeighborID identifies a neighbor of this node (the overlay node ID).
+type NeighborID = int
+
+// Outgoing is a protocol message this node wants delivered to a
+// neighbor: the sum of everything the node knows except what the
+// recipient itself contributed.
+type Outgoing struct {
+	To         NeighborID
+	Sum, Count int64
+}
+
+// edgeState tracks the last values exchanged over one edge
+// (sum^vu/count^vu received, sum^uv/count^uv sent).
+type edgeState struct {
+	recvSum, recvCount int64
+	sentSum, sentCount int64
+	contacted          bool
+}
+
+// Instance is the per-node state of one majority vote.
+type Instance struct {
+	lambdaN, lambdaD int64
+	localSum         int64 // sum^⊥u — local votes in favour
+	localCount       int64 // count^⊥u — local votes cast
+	edges            map[NeighborID]*edgeState
+}
+
+// NewInstance creates a vote with majority ratio lambdaN/lambdaD
+// (e.g. MinFreq = 30% → 3/10). lambdaD must be positive.
+func NewInstance(lambdaN, lambdaD int64) *Instance {
+	if lambdaD <= 0 {
+		panic(fmt.Sprintf("majority: lambdaD = %d", lambdaD))
+	}
+	return &Instance{lambdaN: lambdaN, lambdaD: lambdaD, edges: map[NeighborID]*edgeState{}}
+}
+
+// Lambda returns the majority ratio as (λn, λd).
+func (in *Instance) Lambda() (int64, int64) { return in.lambdaN, in.lambdaD }
+
+// Neighbors returns the currently known neighbor IDs in arbitrary
+// order.
+func (in *Instance) Neighbors() []NeighborID {
+	out := make([]NeighborID, 0, len(in.edges))
+	for v := range in.edges {
+		out = append(out, v)
+	}
+	return out
+}
+
+// edge returns (possibly creating) the state for neighbor v.
+func (in *Instance) edge(v NeighborID) *edgeState {
+	e, ok := in.edges[v]
+	if !ok {
+		e = &edgeState{}
+		in.edges[v] = e
+	}
+	return e
+}
+
+// deltaU computes Δ^u = Σ_{v∈N} (λd·sum^vu − λn·count^vu), where N
+// includes the virtual neighbor ⊥ carrying the local vote.
+func (in *Instance) deltaU() int64 {
+	d := in.lambdaD*in.localSum - in.lambdaN*in.localCount
+	for _, e := range in.edges {
+		d += in.lambdaD*e.recvSum - in.lambdaN*e.recvCount
+	}
+	return d
+}
+
+// deltaUV computes Δ^uv = λd(sum^vu+sum^uv) − λn(count^vu+count^uv)
+// (the Algorithm 1 form; §4.1's prose has a sign typo).
+func (in *Instance) deltaUV(e *edgeState) int64 {
+	return in.lambdaD*(e.recvSum+e.sentSum) - in.lambdaN*(e.recvCount+e.sentCount)
+}
+
+// Decision reports the node's current belief about the global vote:
+// true when Δ^u ≥ 0, i.e. the fraction of positive votes is at least λ.
+func (in *Instance) Decision() bool { return in.deltaU() >= 0 }
+
+// Delta exposes Δ^u for significance analysis.
+func (in *Instance) Delta() int64 { return in.deltaU() }
+
+// LocalVote returns the node's own agglomerated vote.
+func (in *Instance) LocalVote() (sum, count int64) { return in.localSum, in.localCount }
+
+// KnownSum returns the total ⟨sum, count⟩ this node currently bases its
+// decision on (its own vote plus everything received).
+func (in *Instance) KnownSum() (sum, count int64) {
+	sum, count = in.localSum, in.localCount
+	for _, e := range in.edges {
+		sum += e.recvSum
+		count += e.recvCount
+	}
+	return
+}
+
+// payloadFor builds the message for v: local vote plus every other
+// neighbor's last received aggregate.
+func (in *Instance) payloadFor(v NeighborID) (sum, count int64) {
+	sum, count = in.localSum, in.localCount
+	for w, e := range in.edges {
+		if w == v {
+			continue
+		}
+		sum += e.recvSum
+		count += e.recvCount
+	}
+	return
+}
+
+// evaluate applies the Scalable-Majority send condition to every
+// neighbor and returns the messages that must go out. Sending to v
+// makes Δ^uv equal Δ^u, so a single pass reaches a local fixpoint.
+func (in *Instance) evaluate() []Outgoing {
+	var out []Outgoing
+	du := in.deltaU()
+	for v, e := range in.edges {
+		duv := in.deltaUV(e)
+		mustSend := !e.contacted ||
+			(duv >= 0 && duv > du) ||
+			(duv < 0 && duv < du)
+		if !mustSend {
+			continue
+		}
+		s, c := in.payloadFor(v)
+		e.sentSum, e.sentCount = s, c
+		e.contacted = true
+		out = append(out, Outgoing{To: v, Sum: s, Count: c})
+	}
+	return out
+}
+
+// AddNeighbor registers a new edge (initialization, or a resource
+// joining, §3's dynamic grid). It returns the first-contact messages
+// the protocol requires.
+func (in *Instance) AddNeighbor(v NeighborID) []Outgoing {
+	in.edge(v)
+	return in.evaluate()
+}
+
+// SetLocalVote replaces the node's agglomerated local vote (the
+// accountant's ⟨sum^⊥u, count^⊥u⟩) and returns any induced messages.
+// Votes only accumulate in the paper's model, but the state machine
+// accepts any change (the secure layer's padding dance briefly sets
+// transient values).
+func (in *Instance) SetLocalVote(sum, count int64) []Outgoing {
+	in.localSum, in.localCount = sum, count
+	return in.evaluate()
+}
+
+// OnReceive ingests a neighbor's message and returns induced messages.
+// An unknown sender is added as a neighbor first (first contact from
+// the other side).
+func (in *Instance) OnReceive(from NeighborID, sum, count int64) []Outgoing {
+	e := in.edge(from)
+	e.recvSum, e.recvCount = sum, count
+	return in.evaluate()
+}

@@ -1,0 +1,241 @@
+package majority
+
+import (
+	"math/rand"
+	"testing"
+
+	"secmr/internal/sim"
+	"secmr/internal/topology"
+)
+
+// runVote wires nodes with the given votes onto the tree, runs to
+// quiescence, and returns the nodes.
+func runVote(t *testing.T, tree *topology.Graph, votes [][2]int64, lambdaN, lambdaD int64, seed int64) []*Node {
+	t.Helper()
+	nodes := make([]*Node, tree.N)
+	ifaces := make([]sim.Node, tree.N)
+	for i := range nodes {
+		nodes[i] = NewNode(lambdaN, lambdaD, votes[i][0], votes[i][1])
+		ifaces[i] = nodes[i]
+	}
+	e := sim.NewEngine(tree, ifaces, seed)
+	if _, ok := e.Quiesce(100000); !ok {
+		t.Fatal("protocol did not quiesce")
+	}
+	return nodes
+}
+
+// globalDecision is the ground truth: Σsum ≥ λ·Σcount.
+func globalDecision(votes [][2]int64, lambdaN, lambdaD int64) bool {
+	var s, c int64
+	for _, v := range votes {
+		s += v[0]
+		c += v[1]
+	}
+	return lambdaD*s-lambdaN*c >= 0
+}
+
+func TestTwoNodeAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree := topology.Line(2, topology.DelayRange{Min: 1, Max: 1}, rng)
+	votes := [][2]int64{{3, 10}, {9, 10}} // 12/20 ≥ 1/2
+	nodes := runVote(t, tree, votes, 1, 2, 1)
+	for i, n := range nodes {
+		if !n.Decision() {
+			t.Errorf("node %d decided false, majority is true", i)
+		}
+	}
+}
+
+func TestAgreementOnRandomTreesProperty(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := 3 + rng.Intn(40)
+		tree := topology.RandomTree(n, topology.DelayRange{Min: 1, Max: 4}, rng)
+		votes := make([][2]int64, n)
+		var total, possible int64
+		for i := range votes {
+			c := int64(1 + rng.Intn(20))
+			s := int64(rng.Intn(int(c) + 1))
+			votes[i] = [2]int64{s, c}
+			total += s
+			possible += c
+		}
+		lambdaN, lambdaD := int64(1), int64(2)
+		// Skip exact ties; the protocol only guarantees agreement for
+		// untied votes (§4.1).
+		if lambdaD*total-lambdaN*possible == 0 {
+			continue
+		}
+		want := globalDecision(votes, lambdaN, lambdaD)
+		nodes := runVote(t, tree, votes, lambdaN, lambdaD, int64(trial))
+		for i, nd := range nodes {
+			if nd.Decision() != want {
+				t.Fatalf("trial %d: node %d decided %v, want %v (votes %v)", trial, i, nd.Decision(), want, votes)
+			}
+		}
+	}
+}
+
+func TestVariousLambdas(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tree := topology.RandomTree(20, topology.DelayRange{Min: 1, Max: 2}, rng)
+	votes := make([][2]int64, 20)
+	for i := range votes {
+		votes[i] = [2]int64{int64(i % 5), 10} // total 40/200 = 20%
+	}
+	cases := []struct {
+		ln, ld int64
+		want   bool
+	}{
+		{1, 10, true}, // 10% < 20%
+		{1, 5, true},  // exactly 20%: Δ=0 counts as ≥ λ
+		{1, 4, false}, // 25% > 20%
+		{1, 2, false}, // 50%
+		{0, 1, true},  // 0% always true
+	}
+	for _, c := range cases {
+		nodes := runVote(t, tree, votes, c.ln, c.ld, 9)
+		for i, nd := range nodes {
+			if nd.Decision() != c.want {
+				t.Fatalf("λ=%d/%d node %d: got %v want %v", c.ln, c.ld, i, nd.Decision(), c.want)
+			}
+		}
+	}
+}
+
+func TestDynamicVoteChangeReconverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tree := topology.Line(10, topology.DelayRange{Min: 1, Max: 1}, rng)
+	nodes := make([]*Node, 10)
+	ifaces := make([]sim.Node, 10)
+	for i := range nodes {
+		nodes[i] = NewNode(1, 2, 0, 10) // all vote 0/10: majority false
+		ifaces[i] = nodes[i]
+	}
+	e := sim.NewEngine(tree, ifaces, 6)
+	if _, ok := e.Quiesce(10000); !ok {
+		t.Fatal("no quiescence")
+	}
+	for i, n := range nodes {
+		if n.Decision() {
+			t.Fatalf("node %d should initially decide false", i)
+		}
+	}
+	// Flip the data: every node now votes 10/10 (accumulated growth);
+	// the staged votes take effect at the next tick and the protocol
+	// must reconverge to true everywhere.
+	for i := range nodes {
+		nodes[i].StageVote(10, 10)
+	}
+	if _, ok := e.Quiesce(10000); !ok {
+		t.Fatal("no reconvergence quiescence")
+	}
+	for i, n := range nodes {
+		if !n.Decision() {
+			t.Fatalf("node %d did not flip after dynamic update", i)
+		}
+	}
+}
+
+func TestMessageComplexityOnClearMajority(t *testing.T) {
+	// With unanimous votes, every node's first messages settle the
+	// outcome: total messages should be O(edges), not O(n²).
+	rng := rand.New(rand.NewSource(7))
+	n := 100
+	tree := topology.RandomTree(n, topology.DelayRange{Min: 1, Max: 1}, rng)
+	votes := make([][2]int64, n)
+	for i := range votes {
+		votes[i] = [2]int64{10, 10}
+	}
+	nodes := runVote(t, tree, votes, 1, 2, 7)
+	var total int64
+	for _, nd := range nodes {
+		total += nd.MessagesSent
+	}
+	if total > int64(6*(n-1)) {
+		t.Fatalf("sent %d messages on a %d-edge tree; protocol not local", total, n-1)
+	}
+}
+
+func TestLocalityStepsDoNotGrowWithSize(t *testing.T) {
+	// Fig 3's qualitative claim: for significant votes, convergence
+	// time is independent of system size.
+	steps := map[int]int{}
+	for _, n := range []int{32, 256} {
+		rng := rand.New(rand.NewSource(11))
+		tree := topology.RandomTree(n, topology.DelayRange{Min: 1, Max: 1}, rng)
+		nodes := make([]*Node, n)
+		ifaces := make([]sim.Node, n)
+		for i := range nodes {
+			// 80% positive votes vs λ=50%: highly significant.
+			s := int64(8)
+			nodes[i] = NewNode(1, 2, s, 10)
+			ifaces[i] = nodes[i]
+		}
+		e := sim.NewEngine(tree, ifaces, 13)
+		taken, ok := e.RunUntil(func() bool {
+			for _, nd := range nodes {
+				if !nd.Decision() {
+					return false
+				}
+			}
+			return true
+		}, 100000)
+		if !ok {
+			t.Fatal("no convergence")
+		}
+		steps[n] = taken
+	}
+	if steps[256] > 8*(steps[32]+1) {
+		t.Fatalf("steps grew superlinearly with size: %v", steps)
+	}
+}
+
+func TestInstanceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lambdaD=0 must panic")
+		}
+	}()
+	NewInstance(1, 0)
+}
+
+func TestInstanceAccessors(t *testing.T) {
+	in := NewInstance(3, 10)
+	ln, ld := in.Lambda()
+	if ln != 3 || ld != 10 {
+		t.Fatal("Lambda wrong")
+	}
+	in.SetLocalVote(4, 9)
+	s, c := in.LocalVote()
+	if s != 4 || c != 9 {
+		t.Fatal("LocalVote wrong")
+	}
+	in.AddNeighbor(7)
+	in.OnReceive(7, 5, 5)
+	s, c = in.KnownSum()
+	if s != 9 || c != 14 {
+		t.Fatalf("KnownSum = (%d,%d)", s, c)
+	}
+	if len(in.Neighbors()) != 1 || in.Neighbors()[0] != 7 {
+		t.Fatal("Neighbors wrong")
+	}
+	// Δ = 10*9 − 3*14 = 48 ≥ 0.
+	if in.Delta() != 48 || !in.Decision() {
+		t.Fatalf("Delta = %d", in.Delta())
+	}
+}
+
+func BenchmarkConvergence1000Nodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(1))
+		tree := topology.RandomTree(1000, topology.DelayRange{Min: 1, Max: 3}, rng)
+		nodes := make([]sim.Node, 1000)
+		for j := range nodes {
+			nodes[j] = NewNode(1, 2, int64(rng.Intn(11)), 10)
+		}
+		e := sim.NewEngine(tree, nodes, 1)
+		e.Quiesce(100000)
+	}
+}

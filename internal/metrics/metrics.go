@@ -1,0 +1,177 @@
+// Package metrics implements the solution-quality measures of §6.1:
+// recall (fraction of correct rules a resource has uncovered) and
+// precision (fraction of a resource's interim rules that are correct),
+// plus time-series collection and CSV export for the experiment
+// harness.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"secmr/internal/arm"
+)
+
+// RecallPrecision computes the §6.1 measures for one resource's
+// interim solution against the ground truth R[DB_t]. By convention an
+// empty interim set has precision 1 (nothing claimed, nothing wrong)
+// and an empty truth set has recall 1.
+func RecallPrecision(interim, truth arm.RuleSet) (recall, precision float64) {
+	inter := interim.IntersectCount(truth)
+	if len(truth) == 0 {
+		recall = 1
+	} else {
+		recall = float64(inter) / float64(len(truth))
+	}
+	if len(interim) == 0 {
+		precision = 1
+	} else {
+		precision = float64(inter) / float64(len(interim))
+	}
+	return
+}
+
+// Average computes the mean recall and precision over many resources'
+// interim solutions — the "average recall and precision" curves of
+// Figure 2.
+func Average(interims []arm.RuleSet, truth arm.RuleSet) (recall, precision float64) {
+	if len(interims) == 0 {
+		return 0, 0
+	}
+	for _, in := range interims {
+		r, p := RecallPrecision(in, truth)
+		recall += r
+		precision += p
+	}
+	n := float64(len(interims))
+	return recall / n, precision / n
+}
+
+// Point is one sample of a convergence curve.
+type Point struct {
+	Step      int64   // simulation step
+	Scans     float64 // local database scans completed (step·budget/|db|)
+	Recall    float64
+	Precision float64
+}
+
+// Series is a labelled convergence curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(p Point) { s.Points = append(s.Points, p) }
+
+// FirstReach returns the first point at which recall reached the
+// threshold, and whether any did.
+func (s *Series) FirstReach(recall float64) (Point, bool) {
+	for _, p := range s.Points {
+		if p.Recall >= recall {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// Final returns the last sample; zero Point if empty.
+func (s *Series) Final() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// WriteCSV emits "label,step,scans,recall,precision" rows for every
+// series, with a header.
+func WriteCSV(w io.Writer, series ...*Series) error {
+	if _, err := io.WriteString(w, "label,step,scans,recall,precision\n"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%.4f,%.4f\n",
+				csvEscape(s.Label), p.Step, p.Scans, p.Recall, p.Precision); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Table renders rows of (x, value-per-column) as a fixed-width text
+// table — the harness's human-readable figure output.
+type Table struct {
+	XLabel  string
+	Columns []string
+	Rows    [][]float64 // Rows[i][0] is x; Rows[i][1+j] is Columns[j]
+}
+
+// Render writes the table, one Write call per line (so line-oriented
+// sinks like testing.B logs keep rows intact).
+func (t *Table) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %14s", c)
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		b.Reset()
+		fmt.Fprintf(&b, "%-14.4g", row[0])
+		for _, v := range row[1:] {
+			fmt.Fprintf(&b, " %14.4f", v)
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sparkTicks are the eight block-element levels of a sparkline.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values in [0,1] as a compact unicode strip —
+// convergence curves in terminal output. Values outside [0,1] are
+// clamped; an empty input yields an empty string.
+func Sparkline(values []float64) string {
+	out := make([]rune, len(values))
+	for i, v := range values {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		idx := int(v * float64(len(sparkTicks)-1))
+		out[i] = sparkTicks[idx]
+	}
+	return string(out)
+}
+
+// RecallSparkline extracts the recall curve of a series as a
+// sparkline.
+func RecallSparkline(s *Series) string {
+	vals := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		vals[i] = p.Recall
+	}
+	return Sparkline(vals)
+}

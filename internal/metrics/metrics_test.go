@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"secmr/internal/arm"
+)
+
+func rs(keys ...string) arm.RuleSet {
+	out := arm.RuleSet{}
+	for _, k := range keys {
+		r, err := arm.ParseRuleKey(k)
+		if err != nil {
+			panic(err)
+		}
+		out.Add(r)
+	}
+	return out
+}
+
+func TestRecallPrecision(t *testing.T) {
+	truth := rs(">1|freq", ">2|freq", ">3|freq", "1>2|conf")
+	interim := rs(">1|freq", ">2|freq", "4>5|conf")
+	rec, prec := RecallPrecision(interim, truth)
+	if rec != 0.5 {
+		t.Errorf("recall = %v want 0.5", rec)
+	}
+	if prec != 2.0/3.0 {
+		t.Errorf("precision = %v want 2/3", prec)
+	}
+}
+
+func TestRecallPrecisionEdgeCases(t *testing.T) {
+	// Empty interim: precision 1 (nothing claimed), recall 0.
+	rec, prec := RecallPrecision(arm.RuleSet{}, rs(">1|freq"))
+	if rec != 0 || prec != 1 {
+		t.Errorf("empty interim: rec=%v prec=%v", rec, prec)
+	}
+	// Empty truth: recall 1.
+	rec, prec = RecallPrecision(rs(">1|freq"), arm.RuleSet{})
+	if rec != 1 || prec != 0 {
+		t.Errorf("empty truth: rec=%v prec=%v", rec, prec)
+	}
+	// Both empty.
+	rec, prec = RecallPrecision(arm.RuleSet{}, arm.RuleSet{})
+	if rec != 1 || prec != 1 {
+		t.Errorf("both empty: rec=%v prec=%v", rec, prec)
+	}
+}
+
+func TestAverage(t *testing.T) {
+	truth := rs(">1|freq", ">2|freq")
+	interims := []arm.RuleSet{
+		rs(">1|freq", ">2|freq"), // 1.0 / 1.0
+		rs(">1|freq"),            // 0.5 / 1.0
+		rs(">3|freq"),            // 0.0 / 0.0
+	}
+	rec, prec := Average(interims, truth)
+	if rec < 0.499 || rec > 0.501 {
+		t.Errorf("avg recall = %v want 0.5", rec)
+	}
+	want := 2.0 / 3.0
+	if prec < want-0.001 || prec > want+0.001 {
+		t.Errorf("avg precision = %v want %v", prec, want)
+	}
+	if r, p := Average(nil, truth); r != 0 || p != 0 {
+		t.Error("empty input should average to zero")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Label: "x"}
+	if (s.Final() != Point{}) {
+		t.Error("empty Final should be zero")
+	}
+	s.Add(Point{Step: 0, Recall: 0.1})
+	s.Add(Point{Step: 10, Recall: 0.5, Scans: 1})
+	s.Add(Point{Step: 20, Recall: 0.95, Scans: 2})
+	p, ok := s.FirstReach(0.9)
+	if !ok || p.Step != 20 {
+		t.Errorf("FirstReach = %+v ok=%v", p, ok)
+	}
+	if _, ok := s.FirstReach(0.99); ok {
+		t.Error("FirstReach above max should fail")
+	}
+	if s.Final().Step != 20 {
+		t.Error("Final wrong")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := &Series{Label: "plain,weird\"label"}
+	a.Add(Point{Step: 5, Scans: 0.5, Recall: 0.25, Precision: 0.75})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "label,step,scans,recall,precision\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, `"plain,weird""label"`) {
+		t.Fatalf("label not escaped: %q", out)
+	}
+	if !strings.Contains(out, "5,0.5000,0.2500,0.7500") {
+		t.Fatalf("row missing: %q", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		XLabel:  "n",
+		Columns: []string{"a", "b"},
+		Rows:    [][]float64{{10, 1.5, 2.5}, {20, 3, 4}, {}},
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"n", "a", "b", "10", "1.5000", "4.0000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	s := Sparkline([]float64{0, 0.5, 1, -2, 7})
+	runes := []rune(s)
+	if len(runes) != 5 {
+		t.Fatalf("length %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[2] != '█' || runes[3] != '▁' || runes[4] != '█' {
+		t.Fatalf("render %q", s)
+	}
+	ser := &Series{}
+	ser.Add(Point{Recall: 0.1})
+	ser.Add(Point{Recall: 0.9})
+	if len([]rune(RecallSparkline(ser))) != 2 {
+		t.Fatal("series sparkline length")
+	}
+}

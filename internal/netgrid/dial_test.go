@@ -1,0 +1,6 @@
+package netgrid
+
+import "net"
+
+// dialTCP is a test helper kept in a separate file for clarity.
+func dialTCP(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }

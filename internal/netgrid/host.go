@@ -1,0 +1,140 @@
+package netgrid
+
+import (
+	"log"
+	"sync"
+	"time"
+
+	"secmr/internal/arm"
+	"secmr/internal/core"
+	"secmr/internal/homo"
+)
+
+// Host runs one complete Secure-Majority-Rule resource (broker +
+// accountant + controller) over TCP: inbound frames are decoded and
+// ciphertext-validated with the wire codec, outbound messages are
+// encoded, and a ticker drives the §6 step loop. This is the
+// deployment shape of the protocol — the same core.Resource the
+// deterministic simulator hosts, over real sockets.
+type Host struct {
+	res     *core.Resource
+	node    *Node
+	adopter homo.Adopter
+
+	mu     sync.Mutex // serializes resource access (ticker vs dispatch)
+	ticker *time.Ticker
+	done   chan struct{}
+	wg     sync.WaitGroup
+	logf   func(string, ...any)
+}
+
+// hostTransport encodes outbound messages onto the TCP node.
+type hostTransport struct{ h *Host }
+
+func (t hostTransport) Send(to int, msg any) {
+	frame, err := core.EncodeMessage(msg)
+	if err != nil {
+		t.h.logf("netgrid host %d: encode: %v", t.h.node.ID(), err)
+		return
+	}
+	if err := t.h.node.Send(to, frame); err != nil {
+		t.h.logf("netgrid host %d: send to %d: %v", t.h.node.ID(), to, err)
+	}
+}
+
+// NewHost starts the TCP endpoint for a resource. adopter is the
+// resource's scheme (validates inbound ciphertexts). Call Connect and
+// then Run.
+func NewHost(id int, res *core.Resource, adopter homo.Adopter) (*Host, error) {
+	h := &Host{res: res, adopter: adopter, done: make(chan struct{}),
+		logf: log.New(log.Writer(), "", 0).Printf}
+	node, err := Start(id, h.handle)
+	if err != nil {
+		return nil, err
+	}
+	h.node = node
+	return h, nil
+}
+
+// Node exposes the underlying TCP endpoint (for Addr/Connect/WaitFor).
+func (h *Host) Node() *Node { return h.node }
+
+// Resource exposes the hosted resource (for Output and stats; take
+// care: reads race with the tick loop, so pause first or accept
+// slightly stale views — Output builds fresh sets from cached answers
+// and is safe under the host mutex via Snapshot).
+func (h *Host) Resource() *core.Resource { return h.res }
+
+// Snapshot returns the resource's current rule count and halt state
+// under the host lock.
+func (h *Host) Snapshot() (rules int, halted bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.res.Output()), h.res.Halted()
+}
+
+// OutputSnapshot returns the resource's interim rule set under the
+// host lock.
+func (h *Host) OutputSnapshot() arm.RuleSet {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.res.Output()
+}
+
+// handle decodes one inbound frame and hands it to the resource.
+func (h *Host) handle(from int, frame []byte) {
+	msg, err := core.DecodeMessage(frame, h.adopter)
+	if err != nil {
+		h.logf("netgrid host %d: dropping malformed frame from %d: %v", h.node.ID(), from, err)
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.res.HandleMessage(hostTransport{h}, from, msg)
+}
+
+// Run bootstraps the resource toward its neighbours and starts the
+// step ticker (one protocol step per interval). Neighbours must be
+// connected (WaitFor) before calling Run.
+func (h *Host) Run(neighbors []int, stepEvery time.Duration) {
+	h.mu.Lock()
+	h.res.Bootstrap(neighbors, hostTransport{h})
+	h.mu.Unlock()
+	h.ticker = time.NewTicker(stepEvery)
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		for {
+			select {
+			case <-h.done:
+				return
+			case <-h.ticker.C:
+				h.mu.Lock()
+				h.res.Tick(hostTransport{h})
+				h.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// StopTicking halts the step loop without closing the endpoint. For a
+// clean multi-host shutdown, stop every host's ticker first and only
+// then Close them — otherwise a still-ticking host sends into already
+// closed peers.
+func (h *Host) StopTicking() {
+	select {
+	case <-h.done:
+	default:
+		close(h.done)
+	}
+	if h.ticker != nil {
+		h.ticker.Stop()
+	}
+	h.wg.Wait()
+}
+
+// Close stops the ticker and the TCP endpoint. Idempotent.
+func (h *Host) Close() {
+	h.StopTicking()
+	h.node.Close()
+}

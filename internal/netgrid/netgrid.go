@@ -1,0 +1,250 @@
+// Package netgrid is a real-network transport for the grid protocols:
+// each resource is a TCP endpoint on the local host, links are TCP
+// connections, and frames are length-prefixed byte payloads (the wire
+// codec in internal/core produces them for the secure protocol's
+// messages). It complements the two in-process runtimes — the
+// deterministic simulator (internal/sim) and the goroutine runtime
+// (internal/grid) — with the transport a genuine deployment would use,
+// and the tests drive the voting protocol across it end to end.
+//
+// Per-link FIFO is inherited from TCP; dispatch is serialized through
+// a single inbox per node, so handlers need no internal locking.
+package netgrid
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler processes one inbound frame. It runs on the node's single
+// dispatch goroutine; send may be called from any goroutine.
+type Handler func(from int, frame []byte)
+
+// Node is one TCP grid endpoint.
+type Node struct {
+	id      int
+	ln      net.Listener
+	handler Handler
+
+	mu    sync.Mutex
+	conns map[int]net.Conn
+
+	inbox   chan inFrame
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closed  sync.Once
+	sentCnt int64
+}
+
+type inFrame struct {
+	from    int
+	payload []byte
+}
+
+// maxFrame bounds a frame to keep a malformed peer from ballooning
+// memory.
+const maxFrame = 16 << 20
+
+// Start opens a listener on 127.0.0.1 (ephemeral port) and begins
+// accepting peer connections. The handler receives every inbound
+// frame.
+func Start(id int, handler Handler) (*Node, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		id: id, ln: ln, handler: handler,
+		conns: map[int]net.Conn{},
+		inbox: make(chan inFrame, 1024),
+		done:  make(chan struct{}),
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.dispatchLoop()
+	return n, nil
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() int { return n.id }
+
+// Addr returns the listen address peers should dial.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// acceptLoop registers inbound connections; the first frame on a
+// connection is a handshake carrying the peer's id.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			peer, payload, err := readFrame(conn)
+			if err != nil || len(payload) != 0 {
+				conn.Close()
+				return
+			}
+			n.register(peer, conn)
+		}()
+	}
+}
+
+// register stores the connection and starts its reader.
+func (n *Node) register(peer int, conn net.Conn) {
+	n.mu.Lock()
+	if old, ok := n.conns[peer]; ok {
+		old.Close()
+	}
+	n.conns[peer] = conn
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.readLoop(peer, conn)
+}
+
+func (n *Node) readLoop(_ int, conn net.Conn) {
+	defer n.wg.Done()
+	for {
+		from, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		select {
+		case n.inbox <- inFrame{from: from, payload: payload}:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+func (n *Node) dispatchLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.done:
+			return
+		case f := <-n.inbox:
+			n.handler(f.from, f.payload)
+		}
+	}
+}
+
+// Connect dials the given peers (id -> address) and performs the
+// handshake. Safe to call once after every peer has Started.
+func (n *Node) Connect(peers map[int]string) error {
+	for id, addr := range peers {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("netgrid: dialing %d at %s: %w", id, addr, err)
+		}
+		// Handshake: announce our id with an empty payload.
+		if err := writeFrame(conn, n.id, nil); err != nil {
+			conn.Close()
+			return err
+		}
+		n.register(id, conn)
+	}
+	return nil
+}
+
+// WaitFor blocks until connections to all the given peers exist (both
+// dialed and inbound count) or the timeout expires; it reports
+// success. Use it as a startup barrier: inbound connections register
+// asynchronously as peers dial in.
+func (n *Node) WaitFor(peers []int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		n.mu.Lock()
+		missing := 0
+		for _, p := range peers {
+			if _, ok := n.conns[p]; !ok {
+				missing++
+			}
+		}
+		n.mu.Unlock()
+		if missing == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Send transmits one frame to a connected peer.
+func (n *Node) Send(to int, frame []byte) error {
+	n.mu.Lock()
+	conn, ok := n.conns[to]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("netgrid: no connection to %d", to)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sentCnt++
+	return writeFrame(conn, n.id, frame)
+}
+
+// Sent returns the number of frames transmitted.
+func (n *Node) Sent() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sentCnt
+}
+
+// Close shuts the node down.
+func (n *Node) Close() {
+	n.closed.Do(func() {
+		close(n.done)
+		n.ln.Close()
+		n.mu.Lock()
+		for _, c := range n.conns {
+			c.Close()
+		}
+		n.mu.Unlock()
+	})
+	n.wg.Wait()
+}
+
+// Frame format: 4-byte length (sender+payload), 4-byte sender id,
+// payload bytes.
+func writeFrame(w io.Writer, from int, payload []byte) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(4+len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(from))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFrame(r io.Reader) (from int, payload []byte, err error) {
+	var hdr [8]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[0:4])
+	if length < 4 || length > maxFrame {
+		return 0, nil, errors.New("netgrid: bad frame length")
+	}
+	from = int(binary.BigEndian.Uint32(hdr[4:8]))
+	payload = make([]byte, length-4)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return from, payload, nil
+}

@@ -1,0 +1,148 @@
+// Package oblivious implements the paper's oblivious counters (§4.2,
+// §5.2): encrypted counters that anyone can add and rerandomize
+// without keys, extended with the two anti-malicious fields —
+//
+//   - a share field: the values the accountant of a resource assigns
+//     to its neighbours (and to itself) sum to 1 modulo the plaintext
+//     space, so the sum of a full neighbourhood of counters carries
+//     E(1) in this field if and only if every neighbour was counted
+//     exactly once;
+//   - a timestamp vector: one Lamport-clock slot per message source,
+//     so the controller can detect replayed (stale) counters.
+//
+// A Counter bundles the three protocol values (sum, count, num) with
+// one share field and one stamp vector; componentwise addition
+// preserves all invariants. The package also provides the paper's
+// vectorization technique (packing several small fields into a single
+// ciphertext, §4.2) and the blinded-sign secure function evaluation
+// primitive used between broker and controller (§5.1).
+package oblivious
+
+import (
+	"math/rand"
+
+	"secmr/internal/homo"
+)
+
+// Counter is one oblivious counter message: the §5.2 payload
+// ⟨sum, count, num, share, T_⊥, T_v1, …, T_vd⟩ with each field an
+// independently homomorphic ciphertext. (The single-ciphertext packed
+// form is provided by Packer; the multi-ciphertext form is the default
+// because it lets the controller decrypt verification fields without
+// learning the counter values.)
+type Counter struct {
+	Sum, Count, Num *homo.Ciphertext
+	Share           *homo.Ciphertext
+	Stamps          []*homo.Ciphertext
+}
+
+// NewZero returns an all-E(0) counter with the given number of stamp
+// slots.
+func NewZero(pub homo.Public, slots int) *Counter {
+	c := &Counter{
+		Sum:    pub.EncryptZero(),
+		Count:  pub.EncryptZero(),
+		Num:    pub.EncryptZero(),
+		Share:  pub.EncryptZero(),
+		Stamps: make([]*homo.Ciphertext, slots),
+	}
+	for i := range c.Stamps {
+		c.Stamps[i] = pub.EncryptZero()
+	}
+	return c
+}
+
+// Add returns the componentwise homomorphic sum. Both operands must
+// have the same number of stamp slots.
+func Add(pub homo.Public, a, b *Counter) *Counter {
+	if len(a.Stamps) != len(b.Stamps) {
+		panic("oblivious: stamp slot mismatch")
+	}
+	out := &Counter{
+		Sum:    pub.Add(a.Sum, b.Sum),
+		Count:  pub.Add(a.Count, b.Count),
+		Num:    pub.Add(a.Num, b.Num),
+		Share:  pub.Add(a.Share, b.Share),
+		Stamps: make([]*homo.Ciphertext, len(a.Stamps)),
+	}
+	for i := range out.Stamps {
+		out.Stamps[i] = pub.Add(a.Stamps[i], b.Stamps[i])
+	}
+	return out
+}
+
+// Rerandomize refreshes every component so the recipient cannot tell
+// whether the counter changed (§5.2: "further rerandomized to conceal
+// from the receiver the fact that the counter was not changed").
+func Rerandomize(pub homo.Public, c *Counter) *Counter {
+	out := &Counter{
+		Sum:    pub.Rerandomize(c.Sum),
+		Count:  pub.Rerandomize(c.Count),
+		Num:    pub.Rerandomize(c.Num),
+		Share:  pub.Rerandomize(c.Share),
+		Stamps: make([]*homo.Ciphertext, len(c.Stamps)),
+	}
+	for i := range out.Stamps {
+		out.Stamps[i] = pub.Rerandomize(c.Stamps[i])
+	}
+	return out
+}
+
+// Clone deep-copies the counter.
+func (c *Counter) Clone() *Counter {
+	out := &Counter{
+		Sum:    c.Sum.Clone(),
+		Count:  c.Count.Clone(),
+		Num:    c.Num.Clone(),
+		Share:  c.Share.Clone(),
+		Stamps: make([]*homo.Ciphertext, len(c.Stamps)),
+	}
+	for i := range c.Stamps {
+		out.Stamps[i] = c.Stamps[i].Clone()
+	}
+	return out
+}
+
+// MakeShares draws n random shares summing to 1 modulo the plaintext
+// space and returns their encryptions — the accountant's share
+// distribution step (Algorithm 2). The shares themselves are drawn
+// from the full plaintext space, so any proper subset reveals nothing
+// about whether the subset "should" sum to anything.
+func MakeShares(enc homo.Encryptor, pub homo.Public, n int, rng *rand.Rand) []*homo.Ciphertext {
+	if n < 1 {
+		panic("oblivious: need at least one share")
+	}
+	m := pub.PlaintextSpace()
+	out := make([]*homo.Ciphertext, n)
+	acc := int64(0)
+	// Draw n−1 shares from a wide range; the last share is
+	// 1 − Σ others (mod M). Drawing int63 keeps the arithmetic in
+	// int64; the modular encoding happens inside Encrypt.
+	_ = m
+	for i := 0; i < n-1; i++ {
+		v := rng.Int63n(1 << 40)
+		acc += v
+		out[i] = enc.EncryptInt(v)
+	}
+	out[n-1] = enc.EncryptInt(1 - acc)
+	return out
+}
+
+// Blind multiplies an encrypted signed value by a fresh random
+// positive scalar, hiding its magnitude but preserving its sign — the
+// cheap ad-hoc sign-evaluation SFE of §5.1 (in place of a generic [9]
+// circuit or the [12] oblivious-counter protocol): the broker blinds,
+// the controller decrypts and reveals only the sign. blindBits
+// controls the blinding range [1, 2^blindBits].
+func Blind(pub homo.Public, c *homo.Ciphertext, blindBits int, rng *rand.Rand) *homo.Ciphertext {
+	if blindBits < 1 || blindBits > 40 {
+		panic("oblivious: blindBits out of range")
+	}
+	r := rng.Int63n(1<<blindBits) + 1
+	return pub.ScalarMul(r, c)
+}
+
+// SignOf decrypts a (blinded) value and returns its sign: −1, 0, +1.
+func SignOf(dec homo.Decryptor, c *homo.Ciphertext) int {
+	return dec.DecryptSigned(c).Sign()
+}

@@ -1,0 +1,79 @@
+package oblivious
+
+import (
+	"fmt"
+	"math/big"
+
+	"secmr/internal/homo"
+)
+
+// Packer implements the paper's vectorization technique (§4.2): a
+// tuple of small non-negative integers is encoded into one plaintext
+// as Σ xᵢ·Bⁱ with a base B = 2^slotBits large enough that
+// componentwise sums never carry between slots; the homomorphic
+// property then holds per slot, and — crucially for §5.2 — the fields
+// "cannot be separated from the message itself" by a key-less broker.
+type Packer struct {
+	slots    int
+	slotBits uint
+}
+
+// NewPacker builds a packer for the given number of slots, each
+// slotBits wide. The caller must ensure slots·slotBits stays below the
+// plaintext-space bit length minus one (checked at Pack/Encrypt time
+// against the scheme), and that accumulated per-slot sums never reach
+// 2^slotBits.
+func NewPacker(slots int, slotBits uint) *Packer {
+	if slots < 1 || slotBits < 1 {
+		panic("oblivious: bad packer geometry")
+	}
+	return &Packer{slots: slots, slotBits: slotBits}
+}
+
+// Slots returns the slot count.
+func (p *Packer) Slots() int { return p.slots }
+
+// Pack encodes the values (each must fit in slotBits) into one
+// integer.
+func (p *Packer) Pack(vals []int64) *big.Int {
+	if len(vals) != p.slots {
+		panic(fmt.Sprintf("oblivious: pack %d values into %d slots", len(vals), p.slots))
+	}
+	out := new(big.Int)
+	for i := p.slots - 1; i >= 0; i-- {
+		v := vals[i]
+		if v < 0 || v >= 1<<p.slotBits {
+			panic(fmt.Sprintf("oblivious: value %d does not fit in %d-bit slot", v, p.slotBits))
+		}
+		out.Lsh(out, p.slotBits)
+		out.Or(out, big.NewInt(v))
+	}
+	return out
+}
+
+// Unpack inverts Pack.
+func (p *Packer) Unpack(x *big.Int) []int64 {
+	mask := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), p.slotBits), big.NewInt(1))
+	out := make([]int64, p.slots)
+	v := new(big.Int).Set(x)
+	for i := 0; i < p.slots; i++ {
+		out[i] = new(big.Int).And(v, mask).Int64()
+		v.Rsh(v, p.slotBits)
+	}
+	return out
+}
+
+// Encrypt packs and encrypts in one step, verifying the tuple fits the
+// scheme's plaintext space.
+func (p *Packer) Encrypt(enc homo.Encryptor, pub homo.Public, vals []int64) *homo.Ciphertext {
+	need := uint(p.slots) * p.slotBits
+	if uint(pub.PlaintextSpace().BitLen())-1 < need {
+		panic(fmt.Sprintf("oblivious: %d packed bits exceed plaintext space", need))
+	}
+	return enc.Encrypt(p.Pack(vals))
+}
+
+// Decrypt decrypts and unpacks.
+func (p *Packer) Decrypt(dec homo.Decryptor, c *homo.Ciphertext) []int64 {
+	return p.Unpack(dec.Decrypt(c))
+}

@@ -1,0 +1,128 @@
+package oblivious
+
+import (
+	"fmt"
+	"math/big"
+
+	"secmr/internal/homo"
+)
+
+// Geometry fixes the slot layout of a packed oblivious counter: the
+// four protocol fields (sum, count, num, share) followed by the
+// timestamp slots, each slotBits wide. All counters of one voting
+// instance share a geometry, so homomorphic sums never mix layouts.
+type Geometry struct {
+	StampSlots int
+	SlotBits   uint
+	packer     *Packer
+}
+
+// NewGeometry builds the layout for a neighbourhood with the given
+// number of timestamp slots. slotBits must leave headroom for the
+// largest accumulated per-slot value (counts up to the global database
+// size; shares are re-encoded into slot range — see PackCounter).
+func NewGeometry(stampSlots int, slotBits uint) *Geometry {
+	g := &Geometry{StampSlots: stampSlots, SlotBits: slotBits}
+	g.packer = NewPacker(4+stampSlots, slotBits)
+	return g
+}
+
+// Slots returns the total slot count.
+func (g *Geometry) Slots() int { return 4 + g.StampSlots }
+
+// PackedCounter is the single-ciphertext oblivious counter of §4.2's
+// vectorization technique: one homomorphic value whose slots carry
+// (sum, count, num, share, T₀…T_d). A key-less broker cannot separate
+// the fields — exactly the binding property §5.2 relies on — at the
+// price that verification decrypts the whole vector (which is why the
+// protocol proper uses the multi-ciphertext layout for SFE inputs and
+// this type serves the encoding ablation A2 and bandwidth-constrained
+// deployments).
+type PackedCounter struct {
+	G  *Geometry
+	CT *homo.Ciphertext
+}
+
+// PackCounter encrypts the given plaintext fields into one ciphertext.
+// Every value (including the share) must fit its slot: callers using
+// full-range shares must re-draw them within [0, 2^slotBits) with the
+// sum-to-one property taken modulo 2^slotBits.
+func (g *Geometry) PackCounter(enc homo.Encryptor, pub homo.Public,
+	sum, count, num, share int64, stamps []int64) (*PackedCounter, error) {
+	if len(stamps) != g.StampSlots {
+		return nil, fmt.Errorf("oblivious: %d stamps for %d slots", len(stamps), g.StampSlots)
+	}
+	vals := make([]int64, 0, g.Slots())
+	vals = append(vals, sum, count, num, share)
+	vals = append(vals, stamps...)
+	for _, v := range vals {
+		if v < 0 || v >= 1<<g.SlotBits {
+			return nil, fmt.Errorf("oblivious: value %d exceeds %d-bit slot", v, g.SlotBits)
+		}
+	}
+	return &PackedCounter{G: g, CT: g.packer.Encrypt(enc, pub, vals)}, nil
+}
+
+// Zero returns a packed all-zero counter.
+func (g *Geometry) Zero(pub homo.Public) *PackedCounter {
+	return &PackedCounter{G: g, CT: pub.EncryptZero()}
+}
+
+// Add sums two packed counters slot-wise; geometries must match.
+func (p *PackedCounter) Add(pub homo.Public, q *PackedCounter) *PackedCounter {
+	if p.G.Slots() != q.G.Slots() || p.G.SlotBits != q.G.SlotBits {
+		panic("oblivious: packed geometry mismatch")
+	}
+	return &PackedCounter{G: p.G, CT: pub.Add(p.CT, q.CT)}
+}
+
+// Rerandomize refreshes the ciphertext.
+func (p *PackedCounter) Rerandomize(pub homo.Public) *PackedCounter {
+	return &PackedCounter{G: p.G, CT: pub.Rerandomize(p.CT)}
+}
+
+// Fields decrypts the counter into its components.
+func (p *PackedCounter) Fields(dec homo.Decryptor) (sum, count, num, share int64, stamps []int64) {
+	vals := p.G.packer.Decrypt(dec, p.CT)
+	return vals[0], vals[1], vals[2], vals[3], vals[4:]
+}
+
+// Unpack converts a packed counter into the multi-ciphertext layout by
+// re-encrypting its fields — the bridge a gateway between a
+// bandwidth-constrained segment and the SFE-verifying core would use.
+// Requires the decryption capability (only key holders can separate
+// the fields; that is the point of the packing).
+func (p *PackedCounter) Unpack(dec homo.Decryptor, enc homo.Encryptor) *Counter {
+	sum, count, num, share, stamps := p.Fields(dec)
+	out := &Counter{
+		Sum:    enc.Encrypt(intToBig(sum)),
+		Count:  enc.Encrypt(intToBig(count)),
+		Num:    enc.Encrypt(intToBig(num)),
+		Share:  enc.Encrypt(intToBig(share)),
+		Stamps: make([]*homo.Ciphertext, len(stamps)),
+	}
+	for i, t := range stamps {
+		out.Stamps[i] = enc.Encrypt(intToBig(t))
+	}
+	return out
+}
+
+func intToBig(v int64) *big.Int { return big.NewInt(v) }
+
+// Pack converts a multi-ciphertext counter to the packed layout (same
+// capability caveat as Unpack).
+func (g *Geometry) Pack(dec homo.Decryptor, enc homo.Encryptor, pub homo.Public, c *Counter) (*PackedCounter, error) {
+	if len(c.Stamps) != g.StampSlots {
+		return nil, fmt.Errorf("oblivious: counter has %d stamps, geometry %d", len(c.Stamps), g.StampSlots)
+	}
+	stamps := make([]int64, len(c.Stamps))
+	for i, ct := range c.Stamps {
+		stamps[i] = dec.DecryptSigned(ct).Int64()
+	}
+	return g.PackCounter(enc, pub,
+		dec.DecryptSigned(c.Sum).Int64(),
+		dec.DecryptSigned(c.Count).Int64(),
+		dec.DecryptSigned(c.Num).Int64(),
+		dec.DecryptSigned(c.Share).Int64(),
+		stamps)
+}

@@ -1,0 +1,90 @@
+package oblivious
+
+import (
+	"testing"
+)
+
+func TestPackedCounterRoundTrip(t *testing.T) {
+	for name, s := range schemes() {
+		// 7 slots × 12 bits = 84 packed bits: fits the 96-bit plain
+		// test scheme and paillier alike.
+		g := NewGeometry(3, 12)
+		pc, err := g.PackCounter(s, s, 100, 250, 7, 42, []int64{5, 0, 9})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sum, count, num, share, stamps := pc.Fields(s)
+		if sum != 100 || count != 250 || num != 7 || share != 42 {
+			t.Fatalf("%s: fields (%d,%d,%d,%d)", name, sum, count, num, share)
+		}
+		if stamps[0] != 5 || stamps[1] != 0 || stamps[2] != 9 {
+			t.Fatalf("%s: stamps %v", name, stamps)
+		}
+	}
+}
+
+func TestPackedCounterHomomorphicSum(t *testing.T) {
+	s := testPaillier
+	g := NewGeometry(2, 16)
+	a, err := g.PackCounter(s, s, 10, 20, 1, 3, []int64{4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.PackCounter(s, s, 5, 30, 2, 8, []int64{0, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := g.Zero(s).Add(s, a).Add(s, b).Rerandomize(s)
+	sum, count, num, share, stamps := total.Fields(s)
+	if sum != 15 || count != 50 || num != 3 || share != 11 {
+		t.Fatalf("sum fields (%d,%d,%d,%d)", sum, count, num, share)
+	}
+	if stamps[0] != 4 || stamps[1] != 6 {
+		t.Fatalf("stamps %v", stamps)
+	}
+}
+
+func TestPackedValidation(t *testing.T) {
+	s := testPlain
+	g := NewGeometry(1, 8)
+	if _, err := g.PackCounter(s, s, 1, 1, 1, 1, []int64{1, 2}); err == nil {
+		t.Fatal("stamp count mismatch accepted")
+	}
+	if _, err := g.PackCounter(s, s, 300, 1, 1, 1, []int64{0}); err == nil {
+		t.Fatal("slot overflow accepted")
+	}
+	a, _ := g.PackCounter(s, s, 1, 1, 1, 1, []int64{0})
+	other := NewGeometry(2, 8)
+	b, _ := other.PackCounter(s, s, 1, 1, 1, 1, []int64{0, 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("geometry mismatch not caught")
+		}
+	}()
+	a.Add(s, b)
+}
+
+func TestPackedUnpackBridge(t *testing.T) {
+	s := testPaillier
+	g := NewGeometry(2, 16)
+	pc, err := g.PackCounter(s, s, 9, 18, 2, 1, []int64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := pc.Unpack(s, s)
+	if v := s.DecryptSigned(multi.Sum).Int64(); v != 9 {
+		t.Fatalf("unpacked sum %d", v)
+	}
+	if v := s.DecryptSigned(multi.Stamps[1]).Int64(); v != 4 {
+		t.Fatalf("unpacked stamp %d", v)
+	}
+	// And back.
+	back, err := g.Pack(s, s, s, multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, count, num, share, stamps := back.Fields(s)
+	if sum != 9 || count != 18 || num != 2 || share != 1 || stamps[0] != 3 {
+		t.Fatalf("re-packed fields (%d,%d,%d,%d,%v)", sum, count, num, share, stamps)
+	}
+}

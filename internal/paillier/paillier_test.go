@@ -1,0 +1,209 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"secmr/internal/homo"
+)
+
+// testScheme caches one keypair per test binary run; key generation is
+// the expensive part and the tests only need a single instance.
+var testScheme = mustScheme(256)
+
+func mustScheme(bits int) *Scheme {
+	s, err := GenerateKey(rand.Reader, bits)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	s := testScheme
+	for _, m := range []int64{0, 1, 2, 17, 1 << 40, -1, -12345} {
+		c := s.EncryptInt(m)
+		got := s.DecryptSigned(c)
+		if got.Int64() != m {
+			t.Errorf("round trip %d: got %s", m, got)
+		}
+	}
+}
+
+func TestDecryptUnsignedRange(t *testing.T) {
+	s := testScheme
+	c := s.EncryptInt(-1)
+	v := s.Decrypt(c)
+	want := new(big.Int).Sub(s.PlaintextSpace(), big.NewInt(1))
+	if v.Cmp(want) != 0 {
+		t.Errorf("E(-1) decrypts to %s, want N-1=%s", v, want)
+	}
+}
+
+func TestProbabilisticEncryption(t *testing.T) {
+	s := testScheme
+	a := s.EncryptInt(42)
+	b := s.EncryptInt(42)
+	if a.Equal(b) {
+		t.Fatal("two encryptions of the same plaintext are identical; scheme is not probabilistic")
+	}
+	if s.Decrypt(a).Cmp(s.Decrypt(b)) != 0 {
+		t.Fatal("decryptions differ")
+	}
+}
+
+func TestHomomorphicAddSubProperty(t *testing.T) {
+	s := testScheme
+	f := func(x, y int64) bool {
+		ex, ey := s.EncryptInt(x), s.EncryptInt(y)
+		sum := s.DecryptSigned(s.Add(ex, ey))
+		diff := s.DecryptSigned(s.Sub(ex, ey))
+		wantSum := new(big.Int).Add(big.NewInt(x), big.NewInt(y))
+		wantDiff := new(big.Int).Sub(big.NewInt(x), big.NewInt(y))
+		return sum.Cmp(wantSum) == 0 && diff.Cmp(wantDiff) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarMulProperty(t *testing.T) {
+	s := testScheme
+	f := func(x int32, m int16) bool {
+		c := s.ScalarMul(int64(m), s.EncryptInt(int64(x)))
+		got := s.DecryptSigned(c)
+		want := new(big.Int).Mul(big.NewInt(int64(x)), big.NewInt(int64(m)))
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRerandomizePreservesPlaintextAndChangesCipher(t *testing.T) {
+	s := testScheme
+	c := s.EncryptInt(99)
+	r := s.Rerandomize(c)
+	if c.Equal(r) {
+		t.Fatal("rerandomization returned an identical ciphertext")
+	}
+	if s.Decrypt(c).Cmp(s.Decrypt(r)) != 0 {
+		t.Fatal("rerandomization changed the plaintext")
+	}
+}
+
+func TestIteratedAddMatchesScalarMul(t *testing.T) {
+	s := testScheme
+	c := s.EncryptInt(7)
+	acc := s.EncryptZero()
+	for i := 0; i < 5; i++ {
+		acc = s.Add(acc, c)
+	}
+	if s.Decrypt(acc).Cmp(s.Decrypt(s.ScalarMul(5, c))) != 0 {
+		t.Fatal("5 additions != ScalarMul(5)")
+	}
+}
+
+func TestModularWraparound(t *testing.T) {
+	s := testScheme
+	n := s.PlaintextSpace()
+	// E(N-1) + E(2) should decrypt to 1.
+	a := s.Encrypt(new(big.Int).Sub(n, big.NewInt(1)))
+	b := s.EncryptInt(2)
+	if got := s.Decrypt(s.Add(a, b)); got.Int64() != 1 {
+		t.Errorf("wraparound sum = %s, want 1", got)
+	}
+}
+
+func TestCrossSchemeMixPanics(t *testing.T) {
+	s1 := testScheme
+	s2 := mustScheme(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixing ciphertexts across schemes did not panic")
+		}
+	}()
+	s1.Add(s1.EncryptInt(1), s2.EncryptInt(1))
+}
+
+func TestTinyKeySizesWork(t *testing.T) {
+	for _, bits := range []int{16, 24, 48, 128} {
+		s := mustScheme(bits)
+		c := s.Add(s.EncryptInt(3), s.EncryptInt(4))
+		if got := s.Decrypt(c).Int64(); got != 7 {
+			t.Errorf("bits=%d: 3+4=%d", bits, got)
+		}
+	}
+}
+
+func TestGenerateKeyRejectsTooSmall(t *testing.T) {
+	if _, err := GenerateKey(rand.Reader, 8); err == nil {
+		t.Fatal("expected error for 8-bit modulus")
+	}
+}
+
+func TestPlainAndPaillierAgree(t *testing.T) {
+	// Differential test: a random expression DAG evaluated over both
+	// schemes must decrypt identically (signed).
+	pl := homo.NewPlain(128)
+	pa := testScheme
+	type pair struct{ a, b *homo.Ciphertext }
+	vals := []int64{5, -3, 100, 0, 77}
+	cts := make([]pair, len(vals))
+	for i, v := range vals {
+		cts[i] = pair{pl.EncryptInt(v), pa.EncryptInt(v)}
+	}
+	// (5 + -3)*4 - 100 + rerand(77) = -90 + 77 = -15
+	x := pair{pl.Add(cts[0].a, cts[1].a), pa.Add(cts[0].b, cts[1].b)}
+	x = pair{pl.ScalarMul(4, x.a), pa.ScalarMul(4, x.b)}
+	x = pair{pl.Sub(x.a, cts[2].a), pa.Sub(x.b, cts[2].b)}
+	x = pair{pl.Add(x.a, pl.Rerandomize(cts[4].a)), pa.Add(x.b, pa.Rerandomize(cts[4].b))}
+	gp := pl.DecryptSigned(x.a)
+	ga := pa.DecryptSigned(x.b)
+	if gp.Cmp(ga) != 0 || gp.Int64() != -15 {
+		t.Fatalf("plain=%s paillier=%s want -15", gp, ga)
+	}
+}
+
+func BenchmarkPaillierEncrypt(b *testing.B) {
+	for _, bits := range []int{256, 512, 1024} {
+		s := mustScheme(bits)
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.EncryptInt(int64(i))
+			}
+		})
+	}
+}
+
+func BenchmarkPaillierDecrypt(b *testing.B) {
+	for _, bits := range []int{256, 512, 1024} {
+		s := mustScheme(bits)
+		c := s.EncryptInt(123456)
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Decrypt(c)
+			}
+		})
+	}
+}
+
+func BenchmarkPaillierAdd(b *testing.B) {
+	s := testScheme
+	x, y := s.EncryptInt(1), s.EncryptInt(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(x, y)
+	}
+}
+
+func BenchmarkPaillierRerandomize(b *testing.B) {
+	s := testScheme
+	x := s.EncryptInt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Rerandomize(x)
+	}
+}

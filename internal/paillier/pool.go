@@ -1,0 +1,90 @@
+package paillier
+
+import (
+	"math/big"
+	"sync"
+)
+
+// Encryption and rerandomization each consume one noise factor
+// r^N mod N² — the dominant modular exponentiation on the accountant's
+// hot path (every vote-count update re-encrypts two counters). The
+// noise pool precomputes factors on background goroutines so the
+// protocol thread only multiplies.
+//
+// The pool is an optimization only: with no pool (or an empty one)
+// operations compute their factor inline and remain correct. The win
+// requires spare cores — on a single-CPU host the workers compete with
+// the protocol thread and the pool is a wash (visible in
+// BenchmarkEncryptPooled on 1-vCPU runners).
+
+// noisePool buffers precomputed r^N values.
+type noisePool struct {
+	ch   chan *big.Int
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartNoisePool launches `workers` background goroutines keeping up
+// to `buffer` precomputed noise factors ready. It returns a stop
+// function; calling it (once) drains the workers. Starting a second
+// pool replaces the first (the old one must be stopped by its own stop
+// function).
+func (s *Scheme) StartNoisePool(buffer, workers int) (stop func()) {
+	if buffer < 1 || workers < 1 {
+		panic("paillier: pool needs positive buffer and workers")
+	}
+	p := &noisePool{
+		ch:   make(chan *big.Int, buffer),
+		stop: make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				v := s.freshNoise()
+				select {
+				case <-p.stop:
+					return
+				case p.ch <- v:
+				}
+			}
+		}()
+	}
+	s.poolMu.Lock()
+	s.pool = p
+	s.poolMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(p.stop)
+			p.wg.Wait()
+			s.poolMu.Lock()
+			if s.pool == p {
+				s.pool = nil
+			}
+			s.poolMu.Unlock()
+		})
+	}
+}
+
+// freshNoise computes one factor inline.
+func (s *Scheme) freshNoise() *big.Int {
+	return new(big.Int).Exp(s.randomUnit(), s.pub.N, s.pub.N2)
+}
+
+// noiseFactor returns a pooled factor when one is ready, computing
+// inline otherwise (never blocks).
+func (s *Scheme) noiseFactor() *big.Int {
+	s.poolMu.RLock()
+	p := s.pool
+	s.poolMu.RUnlock()
+	if p != nil {
+		select {
+		case v := <-p.ch:
+			return v
+		default:
+		}
+	}
+	return s.freshNoise()
+}

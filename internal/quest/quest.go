@@ -1,0 +1,292 @@
+// Package quest re-implements the IBM Quest synthetic market-basket
+// data generator of Agrawal & Srikant (VLDB '94), the tool the paper
+// uses to produce its T5I2, T10I4 and T20I6 evaluation databases (§6).
+//
+// The generative process:
+//
+//  1. A table of L maximal potentially-large itemsets ("patterns") is
+//     built. Pattern sizes are Poisson with mean I (the number after
+//     the "I" in T5I2). To model common items across patterns, a
+//     fraction of each pattern (exponentially distributed with mean
+//     equal to the correlation level) is drawn from the previous
+//     pattern. Each pattern has a weight drawn Exp(1), normalized, and
+//     a corruption level drawn N(corruptMean, corruptSD).
+//  2. Each transaction has a size drawn Poisson with mean T (the
+//     number after the "T"). Patterns are picked by weight and
+//     inserted after corruption (items are dropped from the pattern
+//     while a uniform draw stays below its corruption level). If a
+//     pattern does not fit in the remaining budget it is added anyway
+//     in half the cases and deferred to the next transaction in the
+//     rest.
+//
+// The process is fully deterministic for a given seed, so simulations
+// are reproducible.
+package quest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"secmr/internal/arm"
+)
+
+// Params configures a generation run.
+type Params struct {
+	NumTransactions int     // |D|
+	AvgTransLen     float64 // |T| — mean transaction size
+	AvgPatternLen   float64 // |I| — mean maximal-pattern size
+	NumItems        int     // N — item universe size
+	NumPatterns     int     // |L| — number of maximal potentially large itemsets
+	Correlation     float64 // fraction of a pattern inherited from its predecessor
+	CorruptMean     float64 // mean corruption level
+	CorruptSD       float64 // corruption std deviation
+	Seed            int64   // RNG seed
+}
+
+// Default fills in the Agrawal–Srikant defaults for every zero field.
+func (p Params) withDefaults() Params {
+	if p.NumItems == 0 {
+		p.NumItems = 1000
+	}
+	if p.NumPatterns == 0 {
+		p.NumPatterns = 2000
+	}
+	if p.Correlation == 0 {
+		p.Correlation = 0.5
+	}
+	if p.CorruptMean == 0 {
+		p.CorruptMean = 0.5
+	}
+	if p.CorruptSD == 0 {
+		p.CorruptSD = 0.1
+	}
+	if p.AvgTransLen == 0 {
+		p.AvgTransLen = 10
+	}
+	if p.AvgPatternLen == 0 {
+		p.AvgPatternLen = 4
+	}
+	return p
+}
+
+// Preset returns the paper's named database parameters ("T5I2",
+// "T10I4", "T20I6") with the given transaction count (the paper uses
+// one million). Unknown names return an error.
+func Preset(name string, numTransactions int, seed int64) (Params, error) {
+	p := Params{NumTransactions: numTransactions, Seed: seed}
+	switch name {
+	case "T5I2":
+		p.AvgTransLen, p.AvgPatternLen = 5, 2
+	case "T10I4":
+		p.AvgTransLen, p.AvgPatternLen = 10, 4
+	case "T20I6":
+		p.AvgTransLen, p.AvgPatternLen = 20, 6
+	default:
+		return Params{}, fmt.Errorf("quest: unknown preset %q (want T5I2, T10I4 or T20I6)", name)
+	}
+	return p.withDefaults(), nil
+}
+
+// PresetNames lists the paper's three databases in evaluation order.
+func PresetNames() []string { return []string{"T5I2", "T10I4", "T20I6"} }
+
+// pattern is one maximal potentially-large itemset with its sampling
+// weight and corruption level.
+type pattern struct {
+	items   arm.Itemset
+	weight  float64
+	corrupt float64
+}
+
+// Generator produces transactions on demand; the pattern table is
+// fixed at construction so that databases can be grown incrementally
+// (the dynamic-database experiments append transactions drawn from the
+// same distribution).
+type Generator struct {
+	params   Params
+	rng      *rand.Rand
+	patterns []pattern
+	cum      []float64 // cumulative weights for roulette selection
+	carry    *arm.Itemset
+}
+
+// NewGenerator builds the pattern table.
+func NewGenerator(p Params) *Generator {
+	p = p.withDefaults()
+	g := &Generator{params: p, rng: rand.New(rand.NewSource(p.Seed))}
+	g.buildPatterns()
+	return g
+}
+
+// Params returns the effective (default-filled) parameters.
+func (g *Generator) Params() Params { return g.params }
+
+func (g *Generator) buildPatterns() {
+	p := g.params
+	g.patterns = make([]pattern, p.NumPatterns)
+	totalW := 0.0
+	var prev arm.Itemset
+	for i := range g.patterns {
+		size := poisson(g.rng, p.AvgPatternLen)
+		if size < 1 {
+			size = 1
+		}
+		if size > p.NumItems {
+			size = p.NumItems
+		}
+		items := map[arm.Item]bool{}
+		// Inherit an exponentially-distributed fraction from the
+		// previous pattern (correlation).
+		if len(prev) > 0 {
+			frac := g.rng.ExpFloat64() * p.Correlation
+			if frac > 1 {
+				frac = 1
+			}
+			nInherit := int(frac * float64(size))
+			perm := g.rng.Perm(len(prev))
+			for k := 0; k < nInherit && k < len(prev); k++ {
+				items[prev[perm[k]]] = true
+			}
+		}
+		for len(items) < size {
+			items[arm.Item(g.rng.Intn(p.NumItems))] = true
+		}
+		set := make(arm.Itemset, 0, len(items))
+		for it := range items {
+			set = append(set, it)
+		}
+		set = arm.NewItemset(set...)
+		w := g.rng.ExpFloat64()
+		c := p.CorruptMean + p.CorruptSD*g.rng.NormFloat64()
+		if c < 0 {
+			c = 0
+		}
+		if c > 1 {
+			c = 1
+		}
+		g.patterns[i] = pattern{items: set, weight: w, corrupt: c}
+		totalW += w
+		prev = set
+	}
+	g.cum = make([]float64, len(g.patterns))
+	acc := 0.0
+	for i := range g.patterns {
+		acc += g.patterns[i].weight / totalW
+		g.cum[i] = acc
+	}
+	g.cum[len(g.cum)-1] = 1.0
+}
+
+// pickPattern roulette-selects a pattern by weight.
+func (g *Generator) pickPattern() *pattern {
+	x := g.rng.Float64()
+	lo, hi := 0, len(g.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return &g.patterns[lo]
+}
+
+// corrupted returns a copy of the pattern with items dropped while a
+// uniform draw stays below the corruption level.
+func (g *Generator) corrupted(p *pattern) arm.Itemset {
+	items := p.items.Clone()
+	for len(items) > 0 && g.rng.Float64() < p.corrupt {
+		i := g.rng.Intn(len(items))
+		items = append(items[:i], items[i+1:]...)
+	}
+	return items
+}
+
+// Next generates one transaction.
+func (g *Generator) Next() arm.Transaction {
+	size := poisson(g.rng, g.params.AvgTransLen)
+	if size < 1 {
+		size = 1
+	}
+	tx := map[arm.Item]bool{}
+	// stall guards against pattern tables whose item union is smaller
+	// than the drawn transaction size (possible with tiny NumPatterns):
+	// after enough fragments produce no growth, the transaction is
+	// accepted short.
+	stall := 0
+	for len(tx) < size && stall < 64 {
+		before := len(tx)
+		var frag arm.Itemset
+		if g.carry != nil {
+			frag = *g.carry
+			g.carry = nil
+		} else {
+			frag = g.corrupted(g.pickPattern())
+		}
+		if len(frag) == 0 {
+			stall++
+			continue
+		}
+		if len(tx)+len(frag) > size && len(tx) > 0 {
+			// Does not fit: add anyway half the time, otherwise defer
+			// the fragment to the next transaction.
+			if g.rng.Intn(2) == 0 {
+				g.carry = &frag
+				break
+			}
+		}
+		for _, it := range frag {
+			tx[it] = true
+		}
+		if len(tx) == before {
+			stall++
+		} else {
+			stall = 0
+		}
+	}
+	if len(tx) == 0 {
+		// Degenerate stall: fall back to one uncorrupted pattern item.
+		p := g.pickPattern()
+		tx[p.items[g.rng.Intn(len(p.items))]] = true
+	}
+	out := make(arm.Itemset, 0, len(tx))
+	for it := range tx {
+		out = append(out, it)
+	}
+	return arm.NewItemset(out...)
+}
+
+// Generate produces n transactions.
+func (g *Generator) Generate(n int) *arm.Database {
+	db := &arm.Database{Tx: make([]arm.Transaction, 0, n)}
+	for i := 0; i < n; i++ {
+		db.Append(g.Next())
+	}
+	return db
+}
+
+// Generate is the one-shot convenience API: build a generator and
+// produce params.NumTransactions transactions.
+func Generate(params Params) *arm.Database {
+	g := NewGenerator(params)
+	return g.Generate(g.params.NumTransactions)
+}
+
+// poisson draws from a Poisson distribution with the given mean using
+// Knuth's method (fine for the small means used here).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

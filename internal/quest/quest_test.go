@@ -1,0 +1,215 @@
+package quest
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"secmr/internal/arm"
+)
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		p, err := Preset(name, 100, 1)
+		if err != nil {
+			t.Fatalf("Preset(%s): %v", name, err)
+		}
+		if p.NumTransactions != 100 || p.NumItems != 1000 || p.NumPatterns != 2000 {
+			t.Errorf("%s: defaults not applied: %+v", name, p)
+		}
+	}
+	want := map[string][2]float64{
+		"T5I2":  {5, 2},
+		"T10I4": {10, 4},
+		"T20I6": {20, 6},
+	}
+	for name, w := range want {
+		p, _ := Preset(name, 10, 1)
+		if p.AvgTransLen != w[0] || p.AvgPatternLen != w[1] {
+			t.Errorf("%s: got T=%v I=%v", name, p.AvgTransLen, p.AvgPatternLen)
+		}
+	}
+	if _, err := Preset("T99I9", 10, 1); err == nil {
+		t.Error("unknown preset should error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p, _ := Preset("T5I2", 200, 42)
+	a := Generate(p)
+	b := Generate(p)
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Tx {
+		if !a.Tx[i].Equal(b.Tx[i]) {
+			t.Fatalf("transaction %d differs: %v vs %v", i, a.Tx[i], b.Tx[i])
+		}
+	}
+	p.Seed = 43
+	c := Generate(p)
+	same := 0
+	for i := range a.Tx {
+		if a.Tx[i].Equal(c.Tx[i]) {
+			same++
+		}
+	}
+	if same == a.Len() {
+		t.Fatal("different seeds produced identical databases")
+	}
+}
+
+func TestAverageTransactionLength(t *testing.T) {
+	for _, name := range PresetNames() {
+		p, _ := Preset(name, 3000, 7)
+		db := Generate(p)
+		total := 0
+		for _, tx := range db.Tx {
+			total += len(tx)
+		}
+		avg := float64(total) / float64(db.Len())
+		// Corruption and the roulette process bias lengths somewhat;
+		// accept ±40% of the nominal mean.
+		if avg < 0.6*p.AvgTransLen || avg > 1.4*p.AvgTransLen {
+			t.Errorf("%s: mean transaction length %.2f, nominal %.0f", name, avg, p.AvgTransLen)
+		}
+	}
+}
+
+func TestItemsWithinUniverse(t *testing.T) {
+	p := Params{NumTransactions: 500, NumItems: 50, NumPatterns: 20,
+		AvgTransLen: 5, AvgPatternLen: 2, Seed: 3}
+	db := Generate(p)
+	for _, tx := range db.Tx {
+		if len(tx) == 0 {
+			t.Fatal("empty transaction generated")
+		}
+		for _, it := range tx {
+			if it < 0 || int(it) >= p.NumItems {
+				t.Fatalf("item %d outside universe [0,%d)", it, p.NumItems)
+			}
+		}
+	}
+}
+
+func TestSkewedSupportDistribution(t *testing.T) {
+	// Market-basket data must have frequent patterns: mining at a
+	// moderate threshold must find itemsets of size >= 2, unlike
+	// uniform-random data.
+	p := Params{NumTransactions: 4000, NumItems: 200, NumPatterns: 50,
+		AvgTransLen: 10, AvgPatternLen: 4, Seed: 11}
+	db := Generate(p)
+	f := arm.Apriori(db, 0.02)
+	maxLen := 0
+	for _, s := range f.Sets {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	if maxLen < 2 {
+		t.Fatalf("no multi-item frequent patterns at 2%% support; generator lacks pattern structure (max len %d)", maxLen)
+	}
+}
+
+func TestIncrementalGenerationMatchesOneShot(t *testing.T) {
+	p, _ := Preset("T5I2", 100, 5)
+	g1 := NewGenerator(p)
+	whole := g1.Generate(100)
+	g2 := NewGenerator(p)
+	first := g2.Generate(60)
+	rest := g2.Generate(40)
+	combined := arm.Merge(first, rest)
+	for i := range whole.Tx {
+		if !whole.Tx[i].Equal(combined.Tx[i]) {
+			t.Fatalf("incremental generation diverges at %d", i)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, mean := range []float64{2, 5, 10} {
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += poisson(rng, mean)
+		}
+		got := float64(sum) / float64(n)
+		if math.Abs(got-mean) > 0.15*mean {
+			t.Errorf("poisson(%v) sample mean %.3f", mean, got)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("nonpositive mean should yield 0")
+	}
+}
+
+func TestWithDefaultsDoesNotOverrideExplicit(t *testing.T) {
+	p := Params{NumTransactions: 1, NumItems: 7, NumPatterns: 3,
+		AvgTransLen: 2, AvgPatternLen: 1, Correlation: 0.25,
+		CorruptMean: 0.1, CorruptSD: 0.01}
+	d := p.withDefaults()
+	if d.NumItems != 7 || d.NumPatterns != 3 || d.Correlation != 0.25 ||
+		d.CorruptMean != 0.1 || d.CorruptSD != 0.01 {
+		t.Fatalf("withDefaults overrode explicit values: %+v", d)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	p, _ := Preset("T10I4", 1000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Generate(p)
+	}
+}
+
+func TestAnalyzeStats(t *testing.T) {
+	db := arm.NewDatabase(
+		arm.NewItemset(1, 2, 3),
+		arm.NewItemset(1, 2),
+		arm.NewItemset(1),
+	)
+	st := Analyze(db, 2)
+	if st.Transactions != 3 || st.DistinctItems != 3 {
+		t.Fatalf("basic counts: %+v", st)
+	}
+	if st.MinLen != 1 || st.MaxLen != 3 || st.AvgLen != 2 {
+		t.Fatalf("lengths: %+v", st)
+	}
+	if st.LenHistogram[1] != 1 || st.LenHistogram[2] != 1 || st.LenHistogram[3] != 1 {
+		t.Fatalf("histogram: %v", st.LenHistogram)
+	}
+	if len(st.TopItems) != 2 || st.TopItems[0].Item != 1 || st.TopItems[0].Support != 3 {
+		t.Fatalf("top items: %v", st.TopItems)
+	}
+	var buf bytes.Buffer
+	if err := st.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "transactions=3") {
+		t.Fatalf("render: %q", buf.String())
+	}
+}
+
+func TestAnalyzeEmptyAndSkew(t *testing.T) {
+	st := Analyze(&arm.Database{}, 5)
+	if st.Transactions != 0 || st.MinLen != 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+	// Uniform supports → Gini ≈ 0.
+	uni := &arm.Database{}
+	for i := 0; i < 100; i++ {
+		uni.Append(arm.NewItemset(arm.Item(i % 10)))
+	}
+	if g := Analyze(uni, 1).GiniItemSkew; g > 0.01 {
+		t.Fatalf("uniform data skew = %v", g)
+	}
+	// Quest data must be visibly skewed (exponential pattern weights).
+	p, _ := Preset("T10I4", 3000, 3)
+	q := Generate(p)
+	if g := Analyze(q, 1).GiniItemSkew; g < 0.2 {
+		t.Fatalf("quest data skew only %v; weights not exponential?", g)
+	}
+}

@@ -1,0 +1,130 @@
+package quest
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"secmr/internal/arm"
+)
+
+// Stats summarizes a generated database — the sanity checks one runs
+// on synthetic data before burning simulation hours on it (and the
+// numbers the T/I naming convention promises).
+type Stats struct {
+	Transactions  int
+	DistinctItems int
+	AvgLen        float64
+	MinLen        int
+	MaxLen        int
+	// LenHistogram[l] = number of transactions of length l.
+	LenHistogram map[int]int
+	// TopItems lists the most frequent items with their supports,
+	// most frequent first.
+	TopItems []ItemSupport
+	// GiniItemSkew ∈ [0,1) measures how unevenly item occurrences are
+	// distributed (0 = uniform; market-basket data is skewed because
+	// pattern weights are exponential).
+	GiniItemSkew float64
+}
+
+// ItemSupport pairs an item with its support.
+type ItemSupport struct {
+	Item    arm.Item
+	Support int
+}
+
+// Analyze computes the statistics; topN bounds TopItems.
+func Analyze(db *arm.Database, topN int) Stats {
+	st := Stats{
+		Transactions: db.Len(),
+		LenHistogram: map[int]int{},
+		MinLen:       math.MaxInt,
+	}
+	counts := map[arm.Item]int{}
+	total := 0
+	for _, tx := range db.Tx {
+		l := len(tx)
+		st.LenHistogram[l]++
+		total += l
+		if l < st.MinLen {
+			st.MinLen = l
+		}
+		if l > st.MaxLen {
+			st.MaxLen = l
+		}
+		for _, it := range tx {
+			counts[it]++
+		}
+	}
+	if db.Len() == 0 {
+		st.MinLen = 0
+		return st
+	}
+	st.AvgLen = float64(total) / float64(db.Len())
+	st.DistinctItems = len(counts)
+
+	items := make([]ItemSupport, 0, len(counts))
+	for it, c := range counts {
+		items = append(items, ItemSupport{Item: it, Support: c})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Support != items[j].Support {
+			return items[i].Support > items[j].Support
+		}
+		return items[i].Item < items[j].Item
+	})
+	if topN > len(items) {
+		topN = len(items)
+	}
+	st.TopItems = items[:topN]
+	st.GiniItemSkew = gini(items)
+	return st
+}
+
+// gini computes the Gini coefficient of the support distribution
+// (items sorted descending).
+func gini(items []ItemSupport) float64 {
+	n := len(items)
+	if n == 0 {
+		return 0
+	}
+	// Sort ascending for the standard formula.
+	asc := make([]float64, n)
+	for i, is := range items {
+		asc[n-1-i] = float64(is.Support)
+	}
+	var sum, weighted float64
+	for i, v := range asc {
+		sum += v
+		weighted += float64(i+1) * v
+	}
+	if sum == 0 {
+		return 0
+	}
+	return (2*weighted)/(float64(n)*sum) - float64(n+1)/float64(n)
+}
+
+// Render writes a human-readable report.
+func (st Stats) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"transactions=%d distinct-items=%d len(avg/min/max)=%.2f/%d/%d gini-skew=%.3f\n",
+		st.Transactions, st.DistinctItems, st.AvgLen, st.MinLen, st.MaxLen, st.GiniItemSkew); err != nil {
+		return err
+	}
+	if len(st.TopItems) > 0 {
+		if _, err := fmt.Fprintf(w, "top items:"); err != nil {
+			return err
+		}
+		for _, is := range st.TopItems {
+			if _, err := fmt.Fprintf(w, " %d(×%d)", is.Item, is.Support); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+// Package sim is a deterministic discrete-event simulator for
+// message-passing protocols on an overlay graph. It reproduces the
+// paper's experimental substrate (§6): thousands of simulated
+// resources connected by links with heterogeneous propagation delays,
+// advancing in steps.
+//
+// Time model: time advances in integer ticks ("steps" in the paper's
+// terminology). At each step the engine first delivers every message
+// whose delivery time has arrived — in deterministic (time, sequence)
+// order — and then calls OnTick on every node. A message sent at time
+// t over a link with delay d is delivered at time t+d (d ≥ 1), so
+// causality holds and a step's sends can never be observed within the
+// same step.
+//
+// The engine is single-goroutine and fully deterministic for a given
+// seed, which the experiment harness relies on; internal/grid provides
+// the concurrent goroutine-per-resource runtime for the asynchrony
+// demonstrations.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"secmr/internal/topology"
+)
+
+// NodeID identifies a node; it equals the node's index in the
+// topology graph.
+type NodeID = int
+
+// Node is a protocol endpoint hosted by the engine.
+type Node interface {
+	// Init is called once before the first step.
+	Init(ctx *Context)
+	// OnMessage delivers a message from a neighbor.
+	OnMessage(ctx *Context, from NodeID, payload any)
+	// OnTick is called once per step after deliveries.
+	OnTick(ctx *Context)
+}
+
+// NeighborJoiner is implemented by nodes that support dynamic overlay
+// growth (the paper's §3 grid model, where E_t^u changes over time);
+// Engine.AddLink invokes it on both endpoints of a new edge.
+type NeighborJoiner interface {
+	OnNeighborJoin(ctx *Context, v NodeID)
+}
+
+// event is a scheduled message delivery.
+type event struct {
+	at      int64
+	seq     int64
+	from    NodeID
+	to      NodeID
+	payload any
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Stats aggregates engine-level counters.
+type Stats struct {
+	Sent       int64 // messages accepted by Send
+	Delivered  int64 // messages handed to OnMessage
+	Dropped    int64 // messages lost to fault injection
+	Duplicated int64 // extra copies created by fault injection
+}
+
+// Faults configures fault injection on every link.
+type Faults struct {
+	DropProb float64 // probability a message is silently lost
+	DupProb  float64 // probability a message is delivered twice
+}
+
+// Engine hosts the nodes and drives time.
+type Engine struct {
+	Graph  *topology.Graph
+	Faults Faults
+	// Tap, when set, observes every accepted send (before fault
+	// injection) — tracing and bandwidth accounting for experiments.
+	Tap func(from, to NodeID, at int64, payload any)
+
+	nodes  []Node
+	ctxs   []Context
+	queue  eventHeap
+	now    int64
+	seq    int64
+	rng    *rand.Rand
+	stats  Stats
+	inited bool
+}
+
+// NewEngine builds an engine over the graph; nodes[i] is hosted at
+// graph node i.
+func NewEngine(g *topology.Graph, nodes []Node, seed int64) *Engine {
+	if len(nodes) != g.N {
+		panic(fmt.Sprintf("sim: %d nodes for a %d-node graph", len(nodes), g.N))
+	}
+	e := &Engine{Graph: g, nodes: nodes, rng: rand.New(rand.NewSource(seed))}
+	e.ctxs = make([]Context, len(nodes))
+	for i := range e.ctxs {
+		e.ctxs[i] = Context{engine: e, self: i}
+	}
+	return e
+}
+
+// Now returns the current step.
+func (e *Engine) Now() int64 { return e.now }
+
+// Stats returns a copy of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Node returns the hosted node i (for metric collection).
+func (e *Engine) Node(i NodeID) Node { return e.nodes[i] }
+
+// NumNodes returns the node count.
+func (e *Engine) NumNodes() int { return len(e.nodes) }
+
+// Pending reports the number of undelivered messages.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// init runs every node's Init once.
+func (e *Engine) init() {
+	if e.inited {
+		return
+	}
+	e.inited = true
+	for i := range e.nodes {
+		e.nodes[i].Init(&e.ctxs[i])
+	}
+}
+
+// Step advances the simulation by one tick: deliveries first, then one
+// OnTick per node.
+func (e *Engine) Step() {
+	e.init()
+	e.now++
+	for len(e.queue) > 0 && e.queue[0].at <= e.now {
+		ev := heap.Pop(&e.queue).(*event)
+		e.stats.Delivered++
+		e.nodes[ev.to].OnMessage(&e.ctxs[ev.to], ev.from, ev.payload)
+	}
+	for i := range e.nodes {
+		e.nodes[i].OnTick(&e.ctxs[i])
+	}
+}
+
+// AddLink inserts a new overlay edge at runtime (a resource joining
+// the communication tree) and notifies both endpoints if they
+// implement NeighborJoiner. Call between steps, after at least one
+// Step (so Init has run).
+func (e *Engine) AddLink(u, v NodeID, delay int) {
+	e.init()
+	e.Graph.AddEdge(u, v, delay)
+	if j, ok := e.nodes[u].(NeighborJoiner); ok {
+		j.OnNeighborJoin(&e.ctxs[u], v)
+	}
+	if j, ok := e.nodes[v].(NeighborJoiner); ok {
+		j.OnNeighborJoin(&e.ctxs[v], u)
+	}
+}
+
+// Run advances n steps.
+func (e *Engine) Run(n int) {
+	for i := 0; i < n; i++ {
+		e.Step()
+	}
+}
+
+// RunUntil steps until pred returns true or maxSteps elapse, returning
+// the number of steps taken and whether pred was satisfied.
+func (e *Engine) RunUntil(pred func() bool, maxSteps int) (int, bool) {
+	e.init()
+	for i := 0; i < maxSteps; i++ {
+		if pred() {
+			return i, true
+		}
+		e.Step()
+	}
+	return maxSteps, pred()
+}
+
+// Quiesce steps until no messages are pending or maxSteps elapse; it
+// returns the steps taken and whether the system went quiet. At least
+// one step is always taken, so a protocol that emits its first
+// messages from OnTick is given the chance to start. Useful for
+// protocols whose termination is "no more messages to send".
+func (e *Engine) Quiesce(maxSteps int) (int, bool) {
+	if maxSteps < 1 {
+		return 0, len(e.queue) == 0
+	}
+	e.Step()
+	n, ok := e.RunUntil(func() bool { return len(e.queue) == 0 }, maxSteps-1)
+	return n + 1, ok
+}
+
+// send schedules a delivery, applying fault injection.
+func (e *Engine) send(from, to NodeID, payload any) {
+	if !e.Graph.HasEdge(from, to) {
+		panic(fmt.Sprintf("sim: node %d sending to non-neighbor %d", from, to))
+	}
+	e.stats.Sent++
+	if e.Tap != nil {
+		e.Tap(from, to, e.now, payload)
+	}
+	if e.Faults.DropProb > 0 && e.rng.Float64() < e.Faults.DropProb {
+		e.stats.Dropped++
+		return
+	}
+	copies := 1
+	if e.Faults.DupProb > 0 && e.rng.Float64() < e.Faults.DupProb {
+		copies = 2
+		e.stats.Duplicated++
+	}
+	delay := int64(e.Graph.Delay(from, to))
+	for c := 0; c < copies; c++ {
+		e.seq++
+		heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, from: from, to: to, payload: payload})
+	}
+}
+
+// Context is the capability handed to a node's callbacks; it is valid
+// only for the duration of the callback's hosting engine.
+type Context struct {
+	engine *Engine
+	self   NodeID
+}
+
+// Self returns the node's ID.
+func (c *Context) Self() NodeID { return c.self }
+
+// Now returns the current step.
+func (c *Context) Now() int64 { return c.engine.now }
+
+// Send schedules a message to a neighbor; delivery happens after the
+// link's propagation delay.
+func (c *Context) Send(to NodeID, payload any) { c.engine.send(c.self, to, payload) }
+
+// Neighbors returns the node's adjacency list (do not mutate).
+func (c *Context) Neighbors() []int { return c.engine.Graph.Neighbors(c.self) }
+
+// Rand returns the engine's deterministic RNG. Nodes must use it (and
+// not global rand) to keep runs reproducible.
+func (c *Context) Rand() *rand.Rand { return c.engine.rng }

@@ -1,0 +1,65 @@
+package topology
+
+import "math/rand"
+
+// Hierarchical generates a two-level topology the way BRITE's
+// "top-down" mode does: an AS-level Barabási–Albert graph whose every
+// node is expanded into a router-level Barabási–Albert subgraph, with
+// each AS-level edge realized between random border routers of the two
+// domains. Intra-domain links are fast (intraDelays); inter-domain
+// links are slow (interDelays) — the delay heterogeneity "as in the
+// real world" that §6's simulator models.
+//
+// The result has numAS·routersPerAS nodes; routers of AS a occupy the
+// contiguous ID range [a·routersPerAS, (a+1)·routersPerAS).
+func Hierarchical(numAS, routersPerAS, m int, intraDelays, interDelays DelayRange, rng *rand.Rand) *Graph {
+	if numAS < 1 || routersPerAS < 1 {
+		panic("topology: hierarchical needs at least one AS and one router")
+	}
+	g := NewGraph(numAS * routersPerAS)
+
+	// Router level: one BA subgraph per AS, embedded at its offset.
+	for as := 0; as < numAS; as++ {
+		base := as * routersPerAS
+		switch {
+		case routersPerAS == 1:
+			// nothing to wire inside the AS
+		case routersPerAS <= m+1:
+			// Too small for BA(m): wire a path.
+			for i := 1; i < routersPerAS; i++ {
+				g.AddEdge(base+i-1, base+i, intraDelays.draw(rng))
+			}
+		default:
+			sub := BarabasiAlbert(routersPerAS, m, intraDelays, rng)
+			for _, e := range sub.Edges() {
+				g.AddEdge(base+e.U, base+e.V, e.Delay)
+			}
+		}
+	}
+
+	// AS level: BA over the domains (or a path when too small), each
+	// abstract edge realized between random border routers.
+	connect := func(a, b int) {
+		u := a*routersPerAS + rng.Intn(routersPerAS)
+		v := b*routersPerAS + rng.Intn(routersPerAS)
+		g.AddEdge(u, v, interDelays.draw(rng))
+	}
+	switch {
+	case numAS == 1:
+		// single domain: done
+	case numAS <= m+1:
+		for a := 1; a < numAS; a++ {
+			connect(a-1, a)
+		}
+	default:
+		asGraph := BarabasiAlbert(numAS, m, interDelays, rng)
+		for _, e := range asGraph.Edges() {
+			connect(e.U, e.V)
+		}
+	}
+	return g
+}
+
+// ASOf returns the AS index of a router in a Hierarchical graph built
+// with the given routersPerAS.
+func ASOf(router, routersPerAS int) int { return router / routersPerAS }

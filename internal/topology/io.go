@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteGraph emits the graph as a deterministic "u v delay" edge list
+// preceded by a "# nodes N" header — the format cmd/topogen produces
+// and ReadGraph parses, so externally generated topologies (or real
+// traces converted to it) can drive the simulator.
+func WriteGraph(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes %d\n", g.N); err != nil {
+		return err
+	}
+	edges := g.Edges()
+	// Deterministic order.
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && less(edges[j], edges[j-1]); j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.U, e.V, e.Delay); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func less(a, b Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+// ReadGraph parses the WriteGraph format. Lines starting with '#' other
+// than the header are comments; blank lines are skipped. Without a
+// header the node count is inferred as max id + 1.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var g *Graph
+	type edge struct{ u, v, d int }
+	var pending []edge
+	maxID := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			var n int
+			if _, err := fmt.Sscanf(text, "# nodes %d", &n); err == nil && g == nil {
+				g = NewGraph(n)
+			}
+			continue
+		}
+		var u, v, d int
+		if _, err := fmt.Sscanf(text, "%d %d %d", &u, &v, &d); err != nil {
+			return nil, fmt.Errorf("topology: line %d: %q: %w", line, text, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("topology: line %d: negative node id", line)
+		}
+		if g != nil {
+			if u >= g.N || v >= g.N {
+				return nil, fmt.Errorf("topology: line %d: node id beyond declared count %d", line, g.N)
+			}
+			g.AddEdge(u, v, d)
+		} else {
+			pending = append(pending, edge{u, v, d})
+			if u > maxID {
+				maxID = u
+			}
+			if v > maxID {
+				maxID = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		g = NewGraph(maxID + 1)
+		for _, e := range pending {
+			g.AddEdge(e.u, e.v, e.d)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,373 @@
+// Package topology generates the overlay networks the paper's
+// simulator runs on. The paper uses the BRITE topology generator with
+// the Barabási–Albert model ([4], [5]); we implement the BA
+// preferential-attachment process directly, a Waxman generator for
+// comparison, and the regular topologies (ring, grid, star, line,
+// complete, random tree) useful for protocol tests.
+//
+// The paper assumes "an underlying mechanism maintains a communication
+// tree that spans all the resources"; SpanningTree extracts a BFS tree
+// from any connected graph, and links carry integer propagation delays
+// "as in the real world" (§6).
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Graph is an undirected graph over nodes 0..N−1 with per-edge
+// propagation delays measured in simulation ticks.
+type Graph struct {
+	N     int
+	adj   [][]int        // adjacency lists, sorted insertion order
+	delay map[[2]int]int // canonical (min,max) edge -> delay
+	pos   [][2]float64   // optional node coordinates (Waxman)
+}
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph(n int) *Graph {
+	return &Graph{N: n, adj: make([][]int, n), delay: map[[2]int]int{}}
+}
+
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// AddEdge inserts an undirected edge with the given delay (≥1 is
+// enforced; delay 0 would let the simulator deliver instantaneously,
+// breaking causality). Duplicate edges are ignored.
+func (g *Graph) AddEdge(u, v, delay int) {
+	if u == v {
+		panic("topology: self loop")
+	}
+	if u < 0 || v < 0 || u >= g.N || v >= g.N {
+		panic(fmt.Sprintf("topology: edge (%d,%d) outside [0,%d)", u, v, g.N))
+	}
+	k := edgeKey(u, v)
+	if _, ok := g.delay[k]; ok {
+		return
+	}
+	if delay < 1 {
+		delay = 1
+	}
+	g.delay[k] = delay
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// HasEdge reports whether (u,v) is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.delay[edgeKey(u, v)]
+	return ok
+}
+
+// Delay returns the propagation delay of edge (u,v); panics if absent.
+func (g *Graph) Delay(u, v int) int {
+	d, ok := g.delay[edgeKey(u, v)]
+	if !ok {
+		panic(fmt.Sprintf("topology: no edge (%d,%d)", u, v))
+	}
+	return d
+}
+
+// Neighbors returns u's adjacency list (shared slice; do not mutate).
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns deg(u).
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.delay) }
+
+// Edges returns every edge with its delay, in unspecified order.
+type Edge struct {
+	U, V  int
+	Delay int
+}
+
+// Edges lists all edges.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.delay))
+	for k, d := range g.delay {
+		out = append(out, Edge{U: k[0], V: k[1], Delay: d})
+	}
+	return out
+}
+
+// IsConnected reports whether the graph is a single component.
+func (g *Graph) IsConnected() bool {
+	if g.N == 0 {
+		return true
+	}
+	return len(g.bfsOrder(0)) == g.N
+}
+
+// bfsOrder returns nodes in BFS order from root alongside recording
+// parents; shared by IsConnected and SpanningTree.
+func (g *Graph) bfsOrder(root int) []int {
+	visited := make([]bool, g.N)
+	order := []int{root}
+	visited[root] = true
+	for i := 0; i < len(order); i++ {
+		for _, v := range g.adj[order[i]] {
+			if !visited[v] {
+				visited[v] = true
+				order = append(order, v)
+			}
+		}
+	}
+	return order
+}
+
+// SpanningTree returns a BFS spanning tree rooted at root, preserving
+// edge delays. Panics if the graph is disconnected.
+func (g *Graph) SpanningTree(root int) *Graph {
+	t := NewGraph(g.N)
+	visited := make([]bool, g.N)
+	queue := []int{root}
+	visited[root] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if !visited[v] {
+				visited[v] = true
+				t.AddEdge(u, v, g.Delay(u, v))
+				queue = append(queue, v)
+			}
+		}
+	}
+	if t.NumEdges() != g.N-1 && g.N > 0 {
+		panic("topology: SpanningTree on a disconnected graph")
+	}
+	return t
+}
+
+// Diameter returns the hop-count diameter (ignoring delays) via BFS
+// from every node. O(N·E); intended for analysis, not hot paths.
+func (g *Graph) Diameter() int {
+	max := 0
+	dist := make([]int, g.N)
+	for s := 0; s < g.N; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					if dist[v] > max {
+						max = dist[v]
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return max
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := map[int]int{}
+	for u := 0; u < g.N; u++ {
+		h[len(g.adj[u])]++
+	}
+	return h
+}
+
+// DelayRange configures random per-link propagation delays.
+type DelayRange struct {
+	Min, Max int // inclusive bounds, in simulation ticks
+}
+
+func (d DelayRange) draw(rng *rand.Rand) int {
+	if d.Max <= d.Min {
+		return d.Min
+	}
+	return d.Min + rng.Intn(d.Max-d.Min+1)
+}
+
+// BarabasiAlbert grows a graph by preferential attachment: it starts
+// from a connected core of m nodes and attaches each new node to m
+// existing nodes chosen proportionally to their degree — the model
+// BRITE implements and the paper's topologies follow ([4]).
+func BarabasiAlbert(n, m int, delays DelayRange, rng *rand.Rand) *Graph {
+	if m < 1 {
+		panic("topology: BA requires m >= 1")
+	}
+	if n < m+1 {
+		panic("topology: BA requires n > m")
+	}
+	g := NewGraph(n)
+	// repeated holds one entry per edge endpoint, so sampling uniformly
+	// from it is degree-proportional sampling.
+	var repeated []int
+	// Core: path over the first m nodes (connected, minimal bias).
+	for i := 1; i < m; i++ {
+		g.AddEdge(i-1, i, delays.draw(rng))
+		repeated = append(repeated, i-1, i)
+	}
+	if m == 1 {
+		repeated = append(repeated, 0)
+	}
+	for u := m; u < n; u++ {
+		chosen := map[int]bool{}
+		var targets []int // insertion order, so runs are deterministic
+		for len(targets) < m {
+			var v int
+			if len(repeated) == 0 {
+				v = rng.Intn(u)
+			} else {
+				v = repeated[rng.Intn(len(repeated))]
+			}
+			if v != u && !chosen[v] {
+				chosen[v] = true
+				targets = append(targets, v)
+			}
+		}
+		for _, v := range targets {
+			g.AddEdge(u, v, delays.draw(rng))
+			repeated = append(repeated, u, v)
+		}
+	}
+	return g
+}
+
+// Waxman places nodes uniformly in the unit square and connects u,v
+// with probability alpha·exp(−d(u,v)/(beta·√2)); the classic router-
+// level model BRITE also offers. Connectivity is guaranteed by
+// stitching components along nearest pairs afterwards.
+func Waxman(n int, alpha, beta float64, delays DelayRange, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	g.pos = make([][2]float64, n)
+	for i := range g.pos {
+		g.pos[i] = [2]float64{rng.Float64(), rng.Float64()}
+	}
+	maxD := math.Sqrt2
+	dist := func(a, b int) float64 {
+		dx := g.pos[a][0] - g.pos[b][0]
+		dy := g.pos[a][1] - g.pos[b][1]
+		return math.Hypot(dx, dy)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < alpha*math.Exp(-dist(u, v)/(beta*maxD)) {
+				g.AddEdge(u, v, delays.draw(rng))
+			}
+		}
+	}
+	// Stitch components: union-find over edges, then connect each
+	// component's representative to component 0's nearest node.
+	comp := components(g)
+	for len(comp) > 1 {
+		bestA, bestB, bestD := -1, -1, math.Inf(1)
+		for _, a := range comp[0] {
+			for _, b := range comp[1] {
+				if d := dist(a, b); d < bestD {
+					bestA, bestB, bestD = a, b, d
+				}
+			}
+		}
+		g.AddEdge(bestA, bestB, delays.draw(rng))
+		comp = components(g)
+	}
+	return g
+}
+
+// components returns the connected components as node lists.
+func components(g *Graph) [][]int {
+	seen := make([]bool, g.N)
+	var out [][]int
+	for s := 0; s < g.N; s++ {
+		if seen[s] {
+			continue
+		}
+		comp := []int{s}
+		seen[s] = true
+		for i := 0; i < len(comp); i++ {
+			for _, v := range g.adj[comp[i]] {
+				if !seen[v] {
+					seen[v] = true
+					comp = append(comp, v)
+				}
+			}
+		}
+		out = append(out, comp)
+	}
+	return out
+}
+
+// Ring returns the n-cycle.
+func Ring(n int, delays DelayRange, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, delays.draw(rng))
+	}
+	return g
+}
+
+// Line returns the n-path.
+func Line(n int, delays DelayRange, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i-1, i, delays.draw(rng))
+	}
+	return g
+}
+
+// Star returns a star with node 0 at the center.
+func Star(n int, delays DelayRange, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i, delays.draw(rng))
+	}
+	return g
+}
+
+// Complete returns K_n.
+func Complete(n int, delays DelayRange, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v, delays.draw(rng))
+		}
+	}
+	return g
+}
+
+// Grid returns a rows×cols mesh.
+func Grid(rows, cols int, delays DelayRange, rng *rand.Rand) *Graph {
+	g := NewGraph(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1), delays.draw(rng))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c), delays.draw(rng))
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random recursive tree: node i attaches
+// to a uniform node in [0, i).
+func RandomTree(n int, delays DelayRange, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, rng.Intn(i), delays.draw(rng))
+	}
+	return g
+}

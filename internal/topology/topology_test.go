@@ -1,0 +1,337 @@
+package topology
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+var unit = DelayRange{Min: 1, Max: 1}
+
+func TestAddEdgeInvariants(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 0, 9) // duplicate, ignored
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if g.Delay(0, 1) != 5 || g.Delay(1, 0) != 5 {
+		t.Fatal("delay not symmetric")
+	}
+	if !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Fatal("HasEdge wrong")
+	}
+	g.AddEdge(1, 2, 0)
+	if g.Delay(1, 2) != 1 {
+		t.Fatal("delay floor of 1 not enforced")
+	}
+	if g.Degree(1) != 2 || g.Degree(2) != 1 {
+		t.Fatal("degrees wrong")
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := NewGraph(2)
+	mustPanic(t, func() { g.AddEdge(0, 0, 1) })
+	mustPanic(t, func() { g.AddEdge(0, 5, 1) })
+	mustPanic(t, func() { g.Delay(0, 1) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestRegularTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name      string
+		g         *Graph
+		edges     int
+		diameter  int
+		connected bool
+	}{
+		{"ring8", Ring(8, unit, rng), 8, 4, true},
+		{"line5", Line(5, unit, rng), 4, 4, true},
+		{"star6", Star(6, unit, rng), 5, 2, true},
+		{"k5", Complete(5, unit, rng), 10, 1, true},
+		{"grid3x4", Grid(3, 4, unit, rng), 17, 5, true},
+	}
+	for _, c := range cases {
+		if c.g.NumEdges() != c.edges {
+			t.Errorf("%s: edges %d want %d", c.name, c.g.NumEdges(), c.edges)
+		}
+		if c.g.IsConnected() != c.connected {
+			t.Errorf("%s: connectivity", c.name)
+		}
+		if d := c.g.Diameter(); d != c.diameter {
+			t.Errorf("%s: diameter %d want %d", c.name, d, c.diameter)
+		}
+	}
+}
+
+func TestBarabasiAlbertProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range []int{1, 2, 3} {
+		g := BarabasiAlbert(300, m, DelayRange{1, 4}, rng)
+		if !g.IsConnected() {
+			t.Fatalf("BA(m=%d) disconnected", m)
+		}
+		// Every non-core node adds exactly m edges.
+		wantEdges := (m - 1) + (300-m)*m
+		if g.NumEdges() != wantEdges {
+			t.Errorf("BA(m=%d): edges %d want %d", m, g.NumEdges(), wantEdges)
+		}
+		// Scale-free signature: max degree far above the mean.
+		maxDeg := 0
+		for u := 0; u < g.N; u++ {
+			if g.Degree(u) > maxDeg {
+				maxDeg = g.Degree(u)
+			}
+		}
+		meanDeg := 2 * float64(g.NumEdges()) / float64(g.N)
+		if float64(maxDeg) < 3*meanDeg {
+			t.Errorf("BA(m=%d): max degree %d not hub-like (mean %.1f)", m, maxDeg, meanDeg)
+		}
+		// Delays within range.
+		for _, e := range g.Edges() {
+			if e.Delay < 1 || e.Delay > 4 {
+				t.Fatalf("delay %d out of range", e.Delay)
+			}
+		}
+	}
+	mustPanic(t, func() { BarabasiAlbert(3, 0, unit, rng) })
+	mustPanic(t, func() { BarabasiAlbert(2, 2, unit, rng) })
+}
+
+func TestBarabasiAlbertHubBias(t *testing.T) {
+	// Preferential attachment must concentrate degree: the top 10% of
+	// nodes should hold well over 10% of edge endpoints.
+	rng := rand.New(rand.NewSource(3))
+	g := BarabasiAlbert(500, 2, unit, rng)
+	degs := make([]int, g.N)
+	total := 0
+	for u := 0; u < g.N; u++ {
+		degs[u] = g.Degree(u)
+		total += degs[u]
+	}
+	// Sort descending (insertion into a small top-k is fine at n=500).
+	top := 0
+	k := g.N / 10
+	for i := 0; i < k; i++ {
+		best := 0
+		for j := 1; j < len(degs); j++ {
+			if degs[j] > degs[best] {
+				best = j
+			}
+		}
+		top += degs[best]
+		degs[best] = -1
+	}
+	if share := float64(top) / float64(total); share < 0.2 {
+		t.Fatalf("top 10%% of nodes hold only %.1f%% of degree; not scale-free", 100*share)
+	}
+}
+
+func TestWaxmanConnectedAndPlanarish(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := Waxman(150, 0.15, 0.2, DelayRange{1, 3}, rng)
+	if !g.IsConnected() {
+		t.Fatal("Waxman graph must be stitched connected")
+	}
+	if g.NumEdges() < g.N-1 {
+		t.Fatal("too few edges")
+	}
+}
+
+func TestSpanningTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := BarabasiAlbert(200, 3, DelayRange{1, 5}, rng)
+	tr := g.SpanningTree(0)
+	if tr.NumEdges() != g.N-1 {
+		t.Fatalf("tree edges %d want %d", tr.NumEdges(), g.N-1)
+	}
+	if !tr.IsConnected() {
+		t.Fatal("tree disconnected")
+	}
+	// Every tree edge exists in g with the same delay.
+	for _, e := range tr.Edges() {
+		if !g.HasEdge(e.U, e.V) || g.Delay(e.U, e.V) != e.Delay {
+			t.Fatalf("tree edge (%d,%d) not in graph or delay mismatch", e.U, e.V)
+		}
+	}
+	// Disconnected graph panics.
+	d := NewGraph(4)
+	d.AddEdge(0, 1, 1)
+	mustPanic(t, func() { d.SpanningTree(0) })
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := RandomTree(64, unit, rng)
+	if g.NumEdges() != 63 || !g.IsConnected() {
+		t.Fatal("RandomTree not a tree")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := Star(5, unit, rand.New(rand.NewSource(7)))
+	h := g.DegreeHistogram()
+	if h[4] != 1 || h[1] != 4 {
+		t.Fatalf("histogram %v", h)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := NewGraph(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	c := components(g)
+	if len(c) != 3 {
+		t.Fatalf("components = %d want 3", len(c))
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewGraph(0)
+	if !g.IsConnected() {
+		t.Fatal("empty graph is vacuously connected")
+	}
+}
+
+func TestHierarchicalStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	intra := DelayRange{Min: 1, Max: 2}
+	inter := DelayRange{Min: 5, Max: 9}
+	g := Hierarchical(8, 16, 2, intra, inter, rng)
+	if g.N != 128 {
+		t.Fatalf("nodes = %d", g.N)
+	}
+	if !g.IsConnected() {
+		t.Fatal("hierarchical graph disconnected")
+	}
+	// Intra-AS edges must carry intra delays; inter-AS edges inter
+	// delays.
+	intraEdges, interEdges := 0, 0
+	for _, e := range g.Edges() {
+		sameAS := ASOf(e.U, 16) == ASOf(e.V, 16)
+		if sameAS {
+			intraEdges++
+			if e.Delay < intra.Min || e.Delay > intra.Max {
+				t.Fatalf("intra edge (%d,%d) has delay %d", e.U, e.V, e.Delay)
+			}
+		} else {
+			interEdges++
+			if e.Delay < inter.Min || e.Delay > inter.Max {
+				t.Fatalf("inter edge (%d,%d) has delay %d", e.U, e.V, e.Delay)
+			}
+		}
+	}
+	if intraEdges == 0 || interEdges == 0 {
+		t.Fatalf("edge mix wrong: intra=%d inter=%d", intraEdges, interEdges)
+	}
+	// AS-level BA(m=2) on 8 domains: at least 7 inter-domain edges
+	// (spanning), typically 1+(8-2)·2 = 13 abstract edges (border-router
+	// collisions may merge a few).
+	if interEdges < 7 {
+		t.Fatalf("too few inter-AS edges: %d", interEdges)
+	}
+}
+
+func TestHierarchicalDegenerateSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := DelayRange{Min: 1, Max: 1}
+	cases := []struct{ as, routers int }{
+		{1, 1}, {1, 10}, {2, 1}, {3, 2}, {2, 3}, {12, 1},
+	}
+	for _, c := range cases {
+		g := Hierarchical(c.as, c.routers, 2, d, d, rng)
+		if g.N != c.as*c.routers {
+			t.Fatalf("AS=%d routers=%d: nodes=%d", c.as, c.routers, g.N)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("AS=%d routers=%d: disconnected", c.as, c.routers)
+		}
+	}
+	mustPanic(t, func() { Hierarchical(0, 1, 2, d, d, rng) })
+}
+
+func TestASOf(t *testing.T) {
+	if ASOf(0, 16) != 0 || ASOf(15, 16) != 0 || ASOf(16, 16) != 1 || ASOf(47, 16) != 2 {
+		t.Fatal("ASOf mapping wrong")
+	}
+}
+
+func BenchmarkBarabasiAlbert2000(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < b.N; i++ {
+		BarabasiAlbert(2000, 2, DelayRange{1, 5}, rng)
+	}
+}
+
+func TestGraphIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := BarabasiAlbert(60, 2, DelayRange{Min: 1, Max: 7}, rng)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != g.N || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape: %d/%d vs %d/%d", back.N, back.NumEdges(), g.N, g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if !back.HasEdge(e.U, e.V) || back.Delay(e.U, e.V) != e.Delay {
+			t.Fatalf("edge (%d,%d,%d) lost", e.U, e.V, e.Delay)
+		}
+	}
+}
+
+func TestReadGraphHeaderless(t *testing.T) {
+	in := "0 1 2\n# a comment\n1 3 4\n\n"
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 || g.NumEdges() != 2 || g.Delay(1, 3) != 4 {
+		t.Fatalf("parsed %d nodes %d edges", g.N, g.NumEdges())
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	cases := []string{
+		"0 1\n",              // missing delay
+		"x y z\n",            // garbage
+		"-1 2 3\n",           // negative id
+		"# nodes 2\n0 5 1\n", // beyond declared count
+	}
+	for _, in := range cases {
+		if _, err := ReadGraph(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestWriteGraphDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g := RandomTree(20, DelayRange{Min: 1, Max: 3}, rng)
+	var a, b bytes.Buffer
+	if err := WriteGraph(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGraph(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("nondeterministic serialization")
+	}
+}

@@ -1,0 +1,466 @@
+// Package secmr is a from-scratch Go implementation of
+// Secure-Majority-Rule — the k-secure distributed association-rule
+// mining algorithm of Gilburd, Schuster and Wolff, "Privacy-Preserving
+// Data Mining on Data Grids in the Presence of Malicious Participants"
+// (HPDC 2004) — together with every substrate the paper builds on:
+// Paillier oblivious counters, the Scalable-Majority voting protocol,
+// the plain Majority-Rule and k-private baselines, an IBM-Quest-style
+// data generator, a BRITE-style topology generator, and deterministic
+// and goroutine-based grid runtimes.
+//
+// This package is the public facade. Typical use:
+//
+//	db, _ := secmr.GenerateQuest("T10I4", 100_000, 1)
+//	grid, _ := secmr.NewGrid(db, secmr.GridConfig{
+//		Algorithm: secmr.AlgorithmSecure,
+//		Resources: 64,
+//		K:         10,
+//		MinFreq:   0.02,
+//		MinConf:   0.6,
+//	})
+//	grid.Step(2_000)
+//	recall, precision := grid.Quality()
+//	rules := grid.Output(0)
+//
+// The heavy lifting lives in internal packages (see DESIGN.md for the
+// full inventory); executables under cmd/ and runnable scenarios under
+// examples/ exercise this facade.
+package secmr
+
+import (
+	crand "crypto/rand"
+	"fmt"
+	"math/rand"
+
+	"secmr/internal/arm"
+	"secmr/internal/core"
+	"secmr/internal/elgamal"
+	"secmr/internal/hashing"
+	"secmr/internal/homo"
+	"secmr/internal/majorityrule"
+	"secmr/internal/metrics"
+	"secmr/internal/paillier"
+	"secmr/internal/quest"
+	"secmr/internal/sim"
+	"secmr/internal/topology"
+)
+
+// Re-exported mining vocabulary.
+type (
+	// Item is a single item identifier.
+	Item = arm.Item
+	// Itemset is a sorted duplicate-free set of items.
+	Itemset = arm.Itemset
+	// Transaction is one customer transaction.
+	Transaction = arm.Transaction
+	// Database is an append-only list of transactions.
+	Database = arm.Database
+	// Rule is an association rule (or itemset-frequency fact).
+	Rule = arm.Rule
+	// RuleSet is a set of rules keyed canonically.
+	RuleSet = arm.RuleSet
+	// Thresholds carries MinFreq and MinConf.
+	Thresholds = arm.Thresholds
+	// MaliciousReport is the detection broadcast raised by controllers.
+	MaliciousReport = core.MaliciousReport
+)
+
+// NewItemset builds a canonical itemset.
+func NewItemset(items ...Item) Itemset { return arm.NewItemset(items...) }
+
+// Algorithm selects the mining protocol a Grid runs.
+type Algorithm string
+
+const (
+	// AlgorithmSecure is the paper's Secure-Majority-Rule (malicious-
+	// participant-tolerant, k-secure).
+	AlgorithmSecure Algorithm = "secure"
+	// AlgorithmKPrivate is the honest-but-curious k-private baseline.
+	AlgorithmKPrivate Algorithm = "k-private"
+	// AlgorithmPlain is non-private Majority-Rule.
+	AlgorithmPlain Algorithm = "majority-rule"
+)
+
+// Crypto selects the homomorphic scheme for AlgorithmSecure grids.
+type Crypto string
+
+const (
+	// CryptoPlain is the transparent stand-in (no privacy; identical
+	// protocol behaviour; fast).
+	CryptoPlain Crypto = "plain"
+	// CryptoPaillier is the Paillier cryptosystem the paper uses.
+	CryptoPaillier Crypto = "paillier"
+	// CryptoElGamal is exponential ElGamal — additively homomorphic
+	// with bounded (baby-step/giant-step) decryption, the family
+	// Kikuchi's oblivious counters build on.
+	CryptoElGamal Crypto = "elgamal"
+)
+
+// buildScheme constructs the grid-wide cryptosystem and the SFE
+// blinding width appropriate for it.
+func buildScheme(cfg GridConfig, dbLen int) (homo.Scheme, int, error) {
+	switch cfg.Crypto {
+	case CryptoPlain:
+		return homo.NewPlain(96), 0, nil // 0 = core default (16 bits)
+	case CryptoPaillier:
+		s, err := paillier.GenerateKey(crand.Reader, cfg.PaillierBits)
+		if err != nil {
+			return nil, 0, fmt.Errorf("secmr: paillier keygen: %w", err)
+		}
+		return s, 0, nil
+	case CryptoElGamal:
+		// ElGamal decryption is a bounded discrete log: the bound must
+		// cover blinded Δ values, λd·|DB|·2^blindBits with headroom.
+		const blindBits = 6
+		bound := int64(1) << 26
+		if need := int64(10000) * int64(dbLen) * (1 << blindBits) * 4; need > bound {
+			bound = need
+		}
+		s, err := elgamal.GenerateKey(crand.Reader, cfg.PaillierBits, bound)
+		if err != nil {
+			return nil, 0, fmt.Errorf("secmr: elgamal keygen: %w", err)
+		}
+		return s, blindBits, nil
+	default:
+		return nil, 0, fmt.Errorf("secmr: unknown crypto scheme %q", cfg.Crypto)
+	}
+}
+
+// Topology selects the overlay shape. The protocol runs on a spanning
+// tree of the generated graph, as the paper assumes.
+type Topology string
+
+const (
+	// TopologyBA is Barabási–Albert preferential attachment (the
+	// paper's BRITE-generated topologies).
+	TopologyBA Topology = "ba"
+	// TopologyWaxman is the Waxman random geometric model.
+	TopologyWaxman Topology = "waxman"
+	// TopologyRandomTree is a uniform random recursive tree.
+	TopologyRandomTree Topology = "tree"
+	// TopologyLine is a path (worst-case diameter).
+	TopologyLine Topology = "line"
+)
+
+// QuestParams exposes the synthetic-data generator's full parameter
+// set (item universe size, pattern table size, correlation, ...).
+type QuestParams = quest.Params
+
+// GenerateQuest produces a synthetic market-basket database with the
+// paper's generator presets ("T5I2", "T10I4", "T20I6") at their
+// default 1000-item universe.
+func GenerateQuest(preset string, transactions int, seed int64) (*Database, error) {
+	p, err := quest.Preset(preset, transactions, seed)
+	if err != nil {
+		return nil, err
+	}
+	return quest.Generate(p), nil
+}
+
+// GenerateQuestWith produces a database from explicit generator
+// parameters (zero fields take the Agrawal–Srikant defaults).
+func GenerateQuestWith(p QuestParams) *Database { return quest.Generate(p) }
+
+// MineCentral computes R[DB] exactly on one machine — the ground truth
+// the distributed algorithms converge to (and the reference for
+// Quality).
+func MineCentral(db *Database, th Thresholds) RuleSet {
+	return arm.GroundTruth(db, th, nil, 0)
+}
+
+// GridConfig configures a simulated data grid.
+type GridConfig struct {
+	// Algorithm defaults to AlgorithmSecure.
+	Algorithm Algorithm
+	// Resources is the number of grid resources (default 16).
+	Resources int
+	// K is the privacy parameter (default 10; ignored by
+	// AlgorithmPlain).
+	K int
+	// MinFreq and MinConf are the mining thresholds (required).
+	MinFreq, MinConf float64
+	// ScanBudget is transactions processed per resource per step
+	// (default 100, as in §6).
+	ScanBudget int
+	// CandidateEvery is the candidate-generation period in steps
+	// (default 5).
+	CandidateEvery int
+	// GrowthPerStep feeds this many fresh transactions per resource
+	// per step when Feed is set on NewGridWithFeed (default 0).
+	GrowthPerStep int
+	// MaxRuleItems caps |LHS∪RHS| of candidate rules (0 = unlimited).
+	MaxRuleItems int
+	// Topology defaults to TopologyBA.
+	Topology Topology
+	// Crypto selects the homomorphic scheme backing the oblivious
+	// counters (AlgorithmSecure only): CryptoPlain (default) is the
+	// transparent stand-in — convergence figures are measured in
+	// protocol steps, which are scheme independent; CryptoPaillier is
+	// the paper's cryptosystem; CryptoElGamal is exponential ElGamal,
+	// the family Kikuchi's oblivious counters [12] build on.
+	Crypto Crypto
+	// PaillierBits sizes the Paillier/ElGamal modulus (default 1024).
+	// Deprecated alias: setting it without Crypto implies
+	// CryptoPaillier, preserving the original API.
+	PaillierBits int
+	// PaddingDance enables Algorithm 1's ±E(1) obfuscation sequence on
+	// local vote changes (AlgorithmSecure only).
+	PaddingDance bool
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+func (c GridConfig) withDefaults() GridConfig {
+	if c.Algorithm == "" {
+		c.Algorithm = AlgorithmSecure
+	}
+	if c.Resources == 0 {
+		c.Resources = 16
+	}
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.ScanBudget == 0 {
+		c.ScanBudget = 100
+	}
+	if c.CandidateEvery == 0 {
+		c.CandidateEvery = 5
+	}
+	if c.Topology == "" {
+		c.Topology = TopologyBA
+	}
+	if c.Crypto == "" {
+		if c.PaillierBits > 0 {
+			c.Crypto = CryptoPaillier
+		} else {
+			c.Crypto = CryptoPlain
+		}
+	}
+	if c.PaillierBits == 0 {
+		c.PaillierBits = 1024
+	}
+	return c
+}
+
+// miner is the common face of the resource implementations.
+type miner interface {
+	sim.Node
+	Output() RuleSet
+}
+
+// Grid is a simulated data grid mining one (conceptually global)
+// database that has been partitioned across its resources.
+type Grid struct {
+	cfg    GridConfig
+	engine *sim.Engine
+	miners []miner
+	secure []*core.Resource // non-nil entries only for AlgorithmSecure
+	truth  RuleSet
+	step   int
+}
+
+// NewGrid partitions db across cfg.Resources resources (using the
+// paper's pairwise-independent hashing) and assembles the simulation.
+func NewGrid(db *Database, cfg GridConfig) (*Grid, error) {
+	return NewGridWithFeed(db, nil, cfg)
+}
+
+// NewGridWithFeed additionally supplies per-resource feeds of future
+// transactions, absorbed at cfg.GrowthPerStep per step — the paper's
+// dynamic-database model. feeds may be nil or shorter than Resources.
+func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MinFreq <= 0 || cfg.MinFreq > 1 || cfg.MinConf <= 0 || cfg.MinConf > 1 {
+		return nil, fmt.Errorf("secmr: thresholds must be in (0,1]: MinFreq=%v MinConf=%v", cfg.MinFreq, cfg.MinConf)
+	}
+	if db.Len() == 0 {
+		return nil, fmt.Errorf("secmr: empty database")
+	}
+	if cfg.Algorithm != AlgorithmPlain && cfg.K > cfg.Resources {
+		return nil, fmt.Errorf("secmr: k=%d exceeds the %d resources: no resource could ever aggregate k participants, so nothing would ever be released (lower K or add resources)", cfg.K, cfg.Resources)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	th := Thresholds{MinFreq: cfg.MinFreq, MinConf: cfg.MinConf}
+	universe := db.Items()
+	truth := arm.GroundTruth(db, th, universe, cfg.MaxRuleItems)
+	parts := hashing.Partition(db, cfg.Resources, rng)
+	overlay, err := buildTopology(cfg.Topology, cfg.Resources, rng)
+	if err != nil {
+		return nil, err
+	}
+	tree := overlay.SpanningTree(0)
+
+	var scheme homo.Scheme
+	var blindBits int
+	if cfg.Algorithm == AlgorithmSecure {
+		scheme, blindBits, err = buildScheme(cfg, db.Len())
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	g := &Grid{cfg: cfg, truth: truth}
+	nodes := make([]sim.Node, cfg.Resources)
+	for i := 0; i < cfg.Resources; i++ {
+		var feed []Transaction
+		if i < len(feeds) {
+			feed = feeds[i]
+		}
+		var m miner
+		switch cfg.Algorithm {
+		case AlgorithmSecure:
+			c := core.Config{Th: th, Universe: universe,
+				ScanBudget: cfg.ScanBudget, CandidateEvery: cfg.CandidateEvery,
+				GrowthPerStep: cfg.GrowthPerStep, K: int64(cfg.K),
+				MaxRuleItems: cfg.MaxRuleItems, IntraDelay: true,
+				PaddingDance: cfg.PaddingDance, BlindBits: blindBits}
+			r := core.NewResource(i, c, scheme, parts[i], feed, nil)
+			g.secure = append(g.secure, r)
+			m = r
+		case AlgorithmKPrivate, AlgorithmPlain:
+			mode := majorityrule.ModeKPrivate
+			if cfg.Algorithm == AlgorithmPlain {
+				mode = majorityrule.ModePlain
+			}
+			c := majorityrule.Config{Th: th, Universe: universe,
+				ScanBudget: cfg.ScanBudget, CandidateEvery: cfg.CandidateEvery,
+				GrowthPerStep: cfg.GrowthPerStep, K: int64(cfg.K), Mode: mode,
+				MaxRuleItems: cfg.MaxRuleItems}
+			m = majorityrule.NewResource(i, c, parts[i], feed)
+		default:
+			return nil, fmt.Errorf("secmr: unknown algorithm %q", cfg.Algorithm)
+		}
+		g.miners = append(g.miners, m)
+		nodes[i] = m
+	}
+	g.engine = sim.NewEngine(tree, nodes, cfg.Seed)
+	return g, nil
+}
+
+func buildTopology(t Topology, n int, rng *rand.Rand) (*topology.Graph, error) {
+	d := topology.DelayRange{Min: 1, Max: 3}
+	switch t {
+	case TopologyBA:
+		if n < 3 {
+			return topology.Line(n, d, rng), nil
+		}
+		return topology.BarabasiAlbert(n, 2, d, rng), nil
+	case TopologyWaxman:
+		return topology.Waxman(n, 0.15, 0.2, d, rng), nil
+	case TopologyRandomTree:
+		return topology.RandomTree(n, d, rng), nil
+	case TopologyLine:
+		return topology.Line(n, d, rng), nil
+	default:
+		return nil, fmt.Errorf("secmr: unknown topology %q", t)
+	}
+}
+
+// Step advances the grid n simulation steps (§6 semantics: each
+// resource processes ScanBudget transactions per step).
+func (g *Grid) Step(n int) {
+	g.engine.Run(n)
+	g.step += n
+}
+
+// Steps returns the number of steps taken.
+func (g *Grid) Steps() int { return g.step }
+
+// Resources returns the resource count.
+func (g *Grid) Resources() int { return len(g.miners) }
+
+// Output returns resource i's interim rule set R̃_i.
+func (g *Grid) Output(i int) RuleSet { return g.miners[i].Output() }
+
+// Truth returns R[DB] computed centrally at construction time (static
+// databases; with feeds the truth shifts as data arrives — recompute
+// with MineCentral over the merged current partitions if needed).
+func (g *Grid) Truth() RuleSet { return g.truth }
+
+// Quality returns the average recall and precision across resources
+// against Truth (§6.1's measures).
+func (g *Grid) Quality() (recall, precision float64) {
+	outs := make([]RuleSet, len(g.miners))
+	for i, m := range g.miners {
+		outs[i] = m.Output()
+	}
+	return metrics.Average(outs, g.truth)
+}
+
+// RunUntilQuality steps the grid (in chunks) until both recall and
+// precision reach target or maxSteps elapse; reports success.
+func (g *Grid) RunUntilQuality(target float64, maxSteps int) bool {
+	const chunk = 25
+	for taken := 0; taken <= maxSteps; taken += chunk {
+		if r, p := g.Quality(); r >= target && p >= target {
+			return true
+		}
+		g.Step(chunk)
+	}
+	r, p := g.Quality()
+	return r >= target && p >= target
+}
+
+// GridStats aggregates protocol-level counters across the grid.
+type GridStats struct {
+	// MessagesSent is the total protocol messages brokers originated.
+	MessagesSent int64
+	// BytesSent approximates the total ciphertext bytes on the wire
+	// (AlgorithmSecure only).
+	BytesSent int64
+	// SFEs counts broker↔controller secure evaluations; Fresh of them
+	// were answered with a data-dependent evaluation, Gated with the
+	// k-gate's data-independent default or cache (AlgorithmSecure
+	// only).
+	SFEs, Fresh, Gated int64
+	// Violations counts verification failures (share/timestamp) —
+	// nonzero only when someone misbehaved.
+	Violations int64
+	// EngineSent/EngineDelivered are the simulator's message counters
+	// (grants and reports included).
+	EngineSent, EngineDelivered int64
+}
+
+// Stats aggregates counters across all resources.
+func (g *Grid) Stats() GridStats {
+	var st GridStats
+	for _, r := range g.secure {
+		bs := r.Stats()
+		st.MessagesSent += bs.MessagesSent
+		st.BytesSent += bs.BytesSent
+		cs := r.Controller.Stats()
+		st.SFEs += cs.SFEs
+		st.Fresh += cs.FreshDecisions
+		st.Gated += cs.GatedDecisions
+		st.Violations += cs.Violations
+	}
+	if g.cfg.Algorithm != AlgorithmSecure {
+		for _, m := range g.miners {
+			if r, ok := m.(*majorityrule.Resource); ok {
+				st.MessagesSent += r.Stats().MessagesSent
+				st.Fresh += r.Stats().FreshDecisions
+				st.Gated += r.Stats().GatedDecisions
+			}
+		}
+	}
+	es := g.engine.Stats()
+	st.EngineSent, st.EngineDelivered = es.Sent, es.Delivered
+	return st
+}
+
+// Reports collects the malicious-participant reports observed anywhere
+// in the grid (AlgorithmSecure only; empty otherwise).
+func (g *Grid) Reports() []MaliciousReport {
+	seen := map[string]bool{}
+	var out []MaliciousReport
+	for _, r := range g.secure {
+		for _, rep := range r.Reports() {
+			key := rep.String()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, rep)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package secmr
+
+import (
+	"testing"
+)
+
+func smallDB(n int, seed int64) *Database {
+	return GenerateQuestWith(QuestParams{NumTransactions: n, NumItems: 30,
+		NumPatterns: 12, AvgTransLen: 5, AvgPatternLen: 2, Seed: seed})
+}
+
+func TestFacadeEndToEndSecure(t *testing.T) {
+	db := smallDB(1500, 7)
+	grid, err := NewGrid(db, GridConfig{
+		Algorithm: AlgorithmSecure, Resources: 6, K: 2,
+		MinFreq: 0.1, MinConf: 0.7, ScanBudget: 50,
+		MaxRuleItems: 3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grid.RunUntilQuality(0.9, 2500) {
+		r, p := grid.Quality()
+		t.Fatalf("never reached 90/90: recall=%.3f precision=%.3f", r, p)
+	}
+	if len(grid.Reports()) != 0 {
+		t.Fatalf("honest grid produced reports: %v", grid.Reports())
+	}
+	if grid.Resources() != 6 || grid.Steps() == 0 {
+		t.Fatal("accessors wrong")
+	}
+	if len(grid.Output(0)) == 0 || len(grid.Truth()) == 0 {
+		t.Fatal("empty outputs")
+	}
+}
+
+func TestFacadeAllAlgorithmsAndTopologies(t *testing.T) {
+	db := smallDB(800, 3)
+	for _, alg := range []Algorithm{AlgorithmPlain, AlgorithmKPrivate, AlgorithmSecure} {
+		for _, topo := range []Topology{TopologyBA, TopologyWaxman, TopologyRandomTree, TopologyLine} {
+			grid, err := NewGrid(db, GridConfig{
+				Algorithm: alg, Topology: topo, Resources: 5, K: 2,
+				MinFreq: 0.15, MinConf: 0.7, ScanBudget: 50, MaxRuleItems: 2, Seed: 3,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", alg, topo, err)
+			}
+			grid.Step(50)
+			if r, p := grid.Quality(); r < 0 || r > 1 || p < 0 || p > 1 {
+				t.Fatalf("%s/%s: quality out of range", alg, topo)
+			}
+		}
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	db := smallDB(100, 1)
+	cases := []GridConfig{
+		{MinFreq: 0, MinConf: 0.5},
+		{MinFreq: 0.5, MinConf: 1.5},
+		{MinFreq: 0.5, MinConf: 0.5, Algorithm: "bogus"},
+		{MinFreq: 0.5, MinConf: 0.5, Topology: "bogus"},
+	}
+	for i, cfg := range cases {
+		if _, err := NewGrid(db, cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := NewGrid(&Database{}, GridConfig{MinFreq: 0.5, MinConf: 0.5}); err == nil {
+		t.Error("empty database accepted")
+	}
+	if _, err := NewGrid(smallDB(50, 2), GridConfig{MinFreq: 0.5, MinConf: 0.5,
+		Resources: 4, K: 10}); err == nil {
+		t.Error("k > resources accepted: the grid could never release anything")
+	}
+	if _, err := GenerateQuest("T0I0", 10, 1); err == nil {
+		t.Error("bad preset accepted")
+	}
+}
+
+func TestGenerateQuestPresetWorks(t *testing.T) {
+	db, err := GenerateQuest("T10I4", 500, 1)
+	if err != nil || db.Len() != 500 {
+		t.Fatalf("preset generation: len=%d err=%v", db.Len(), err)
+	}
+}
+
+func TestMineCentralMatchesGridFixpoint(t *testing.T) {
+	db := smallDB(600, 11)
+	th := Thresholds{MinFreq: 0.15, MinConf: 0.6}
+	truth := MineCentral(db, th)
+	if len(truth) == 0 {
+		t.Fatal("no rules at 20% support; generator broken?")
+	}
+	for _, r := range truth.Sorted() {
+		if len(r.RHS) == 0 {
+			t.Fatalf("rule without RHS: %v", r)
+		}
+	}
+}
+
+func TestFacadeDynamicFeed(t *testing.T) {
+	db := smallDB(600, 5)
+	feeds := make([][]Transaction, 4)
+	extra := smallDB(400, 6)
+	for i := range feeds {
+		feeds[i] = extra.Tx[i*100 : (i+1)*100]
+	}
+	grid, err := NewGridWithFeed(db, feeds, GridConfig{
+		Algorithm: AlgorithmSecure, Resources: 4, K: 2, GrowthPerStep: 5,
+		MinFreq: 0.15, MinConf: 0.7, ScanBudget: 50, MaxRuleItems: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid.Step(200)
+	if r, _ := grid.Quality(); r < 0 {
+		t.Fatal("quality broken")
+	}
+}
+
+func TestPaillierBackedGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real crypto end-to-end")
+	}
+	db := smallDB(400, 9)
+	grid, err := NewGrid(db, GridConfig{
+		Algorithm: AlgorithmSecure, Resources: 3, K: 1, PaillierBits: 128,
+		MinFreq: 0.2, MinConf: 0.7, ScanBudget: 50, MaxRuleItems: 2, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grid.RunUntilQuality(0.85, 1500) {
+		r, p := grid.Quality()
+		t.Fatalf("paillier grid stuck at recall=%.3f precision=%.3f", r, p)
+	}
+}
+
+func TestElGamalBackedGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real crypto end-to-end")
+	}
+	db := smallDB(400, 13)
+	grid, err := NewGrid(db, GridConfig{
+		Algorithm: AlgorithmSecure, Resources: 3, K: 1,
+		Crypto: CryptoElGamal, PaillierBits: 128,
+		MinFreq: 0.2, MinConf: 0.7, ScanBudget: 50, MaxRuleItems: 2, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grid.RunUntilQuality(0.85, 1500) {
+		r, p := grid.Quality()
+		t.Fatalf("elgamal grid stuck at recall=%.3f precision=%.3f", r, p)
+	}
+}
+
+func TestCryptoValidation(t *testing.T) {
+	db := smallDB(100, 1)
+	if _, err := NewGrid(db, GridConfig{MinFreq: 0.5, MinConf: 0.5, Crypto: "rot13"}); err == nil {
+		t.Fatal("bogus crypto scheme accepted")
+	}
+	// PaillierBits alone implies CryptoPaillier (compatibility).
+	g, err := NewGrid(db, GridConfig{MinFreq: 0.5, MinConf: 0.5, PaillierBits: 64, Resources: 2, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Step(5)
+}
+
+func TestGridStats(t *testing.T) {
+	db := smallDB(600, 17)
+	for _, alg := range []Algorithm{AlgorithmSecure, AlgorithmPlain} {
+		grid, err := NewGrid(db, GridConfig{Algorithm: alg, Resources: 4, K: 2,
+			MinFreq: 0.15, MinConf: 0.7, ScanBudget: 50, MaxRuleItems: 2, Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid.Step(80)
+		st := grid.Stats()
+		if st.MessagesSent == 0 || st.EngineSent == 0 {
+			t.Fatalf("%s: no traffic recorded: %+v", alg, st)
+		}
+		if alg == AlgorithmSecure {
+			if st.SFEs == 0 || st.BytesSent == 0 {
+				t.Fatalf("secure: SFE/bytes counters idle: %+v", st)
+			}
+			if st.Violations != 0 {
+				t.Fatalf("honest grid recorded violations: %+v", st)
+			}
+		}
+	}
+}
