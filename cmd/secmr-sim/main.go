@@ -7,12 +7,19 @@
 //
 //	secmr-sim -alg secure -resources 64 -local 1000 -k 10 \
 //	          -minfreq 0.02 -minconf 0.6 -steps 4000
+//
+// Chaos flags exercise the fault injector against the same run:
+//
+//	secmr-sim -resources 16 -k 3 -drop 0.1 -dup 0.05 -jitter 2 \
+//	          -crash 1@200-320 -partition 100-400:0,1,2|3,4,5
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"secmr"
 	"secmr/internal/metrics"
@@ -37,6 +44,15 @@ func main() {
 		paillier  = flag.Int("paillier", 0, "Paillier modulus bits (0 = plain stand-in scheme)")
 		seed      = flag.Int64("seed", 1, "seed")
 		csvPath   = flag.String("csv", "", "also write the convergence series as CSV to this file")
+
+		// Chaos knobs (see internal/faults): any non-zero setting arms
+		// the injector and the protocol's loss-recovery timers.
+		drop      = flag.Float64("drop", 0, "per-message drop probability")
+		dup       = flag.Float64("dup", 0, "per-message duplication probability")
+		jitter    = flag.Int("jitter", 0, "max extra delivery delay (steps, FIFO-preserving)")
+		crash     = flag.String("crash", "", "crash schedule, e.g. 1@200-320,3@500 (node@down-up; no -up = stays down)")
+		partition = flag.String("partition", "", "partition schedule, e.g. 100-400:0,1,2|3,4,5 (heals at the end step)")
+		faultSeed = flag.Int64("fault-seed", 0, "fault injector seed (0 = -seed)")
 	)
 	flag.Parse()
 
@@ -56,12 +72,18 @@ func main() {
 	}
 	db := secmr.GenerateQuestWith(params)
 
+	faultCfg, err := buildFaults(*drop, *dup, *jitter, *crash, *partition, *faultSeed, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
 	grid, err := secmr.NewGrid(db, secmr.GridConfig{
 		Algorithm: secmr.Algorithm(*alg), Topology: secmr.Topology(*topo),
 		Resources: *resources, K: *k,
 		MinFreq: *minFreq, MinConf: *minConf,
 		ScanBudget: *budget, MaxRuleItems: *maxRule,
 		PaillierBits: *paillier, Seed: *seed,
+		Faults: faultCfg,
 	})
 	if err != nil {
 		fatal(err)
@@ -95,6 +117,96 @@ func main() {
 	rec, prec := grid.Quality()
 	fmt.Printf("# final: recall=%.3f precision=%.3f rules@resource0=%d reports=%d\n",
 		rec, prec, len(grid.Output(0)), len(grid.Reports()))
+	if faultCfg != nil {
+		st := grid.FaultStats()
+		fmt.Printf("# faults: dropped=%d duplicated=%d delayed=%d crashDrops=%d cutDrops=%d\n",
+			st.Dropped, st.Duplicated, st.Delayed, st.CrashDrops, st.CutDrops)
+	}
+}
+
+// buildFaults assembles the injector config from the chaos flags, or
+// returns nil when none are set.
+func buildFaults(drop, dup float64, jitter int, crash, partition string, faultSeed, seed int64) (*secmr.FaultConfig, error) {
+	if drop == 0 && dup == 0 && jitter == 0 && crash == "" && partition == "" {
+		return nil, nil
+	}
+	if faultSeed == 0 {
+		faultSeed = seed
+	}
+	cfg := &secmr.FaultConfig{Seed: faultSeed, DropProb: drop, DupProb: dup, DelayJitter: jitter}
+	for _, spec := range splitList(crash) {
+		node, at, ok := strings.Cut(spec, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad -crash entry %q (want node@down or node@down-up)", spec)
+		}
+		id, err := strconv.Atoi(node)
+		if err != nil {
+			return nil, fmt.Errorf("bad -crash node in %q: %v", spec, err)
+		}
+		down, up, hasUp := strings.Cut(at, "-")
+		downAt, err := strconv.ParseInt(down, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -crash step in %q: %v", spec, err)
+		}
+		cfg.Schedule = append(cfg.Schedule, secmr.FaultEvent{At: downAt, Crash: []int{id}})
+		if hasUp {
+			upAt, err := strconv.ParseInt(up, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -crash restart step in %q: %v", spec, err)
+			}
+			cfg.Schedule = append(cfg.Schedule, secmr.FaultEvent{At: upAt, Restart: []int{id}})
+		}
+	}
+	if partition != "" {
+		window, groupSpec, ok := strings.Cut(partition, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -partition %q (want start-end:ids|ids)", partition)
+		}
+		start, end, ok := strings.Cut(window, "-")
+		if !ok {
+			return nil, fmt.Errorf("bad -partition window in %q (want start-end)", partition)
+		}
+		startAt, err := strconv.ParseInt(start, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -partition start in %q: %v", partition, err)
+		}
+		endAt, err := strconv.ParseInt(end, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -partition end in %q: %v", partition, err)
+		}
+		var groups [][]int
+		for _, g := range strings.Split(groupSpec, "|") {
+			var ids []int
+			for _, s := range splitList(g) {
+				id, err := strconv.Atoi(s)
+				if err != nil {
+					return nil, fmt.Errorf("bad -partition id %q: %v", s, err)
+				}
+				ids = append(ids, id)
+			}
+			groups = append(groups, ids)
+		}
+		if len(groups) < 2 {
+			return nil, fmt.Errorf("-partition needs at least two |-separated groups")
+		}
+		cfg.Schedule = append(cfg.Schedule,
+			secmr.FaultEvent{At: startAt, Partition: groups},
+			secmr.FaultEvent{At: endAt, Heal: true})
+	}
+	return cfg, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

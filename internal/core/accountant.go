@@ -123,6 +123,23 @@ func (a *Accountant) addNeighbor(v int) map[int]ShareGrant {
 	return a.redeal()
 }
 
+// currentGrants re-issues every neighbour's grant under the *current*
+// dealing — same epoch, same share values, fresh encryptions. Used by
+// the LossyLinks recovery: grants are single-shot at bootstrap, so a
+// dropped one would otherwise leave the edge ungranted forever.
+func (a *Accountant) currentGrants() map[int]ShareGrant {
+	grants := make(map[int]ShareGrant, len(a.neighbors))
+	for _, v := range a.neighbors {
+		grants[v] = ShareGrant{
+			Share:    a.enc.EncryptInt(a.shareVals[a.slotOf[v]]),
+			Slot:     a.slotOf[v],
+			NumSlots: a.numSlots(),
+			Epoch:    a.epoch,
+		}
+	}
+	return grants
+}
+
 // shareEnc returns a fresh encryption of the current share for a slot
 // (0 = ⊥); the broker uses it to re-bind stored counters to the
 // current dealing after a join.

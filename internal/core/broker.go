@@ -400,7 +400,11 @@ func (b *Broker) evaluateSends(tr Transport) {
 			// changed payloads guarantees that delivery. The trigger is
 			// data-independent (a timer plus ciphertext-replacement
 			// events), so it adds no leak. See DESIGN.md §2.
-			refresh := e.contacted && e.staleSinceSend &&
+			// Under LossyLinks the refresh fires on the timer alone:
+			// staleSinceSend is cleared by transmit, but a transmission
+			// the transport dropped never arrived, so "nothing stale"
+			// cannot be trusted.
+			refresh := e.contacted && (e.staleSinceSend || b.cfg.LossyLinks) &&
 				b.step-e.lastSendStep >= refreshEvery
 			if e.contacted && !e.dirty && !refresh {
 				continue

@@ -64,6 +64,17 @@ type Config struct {
 	// Audit records every controller gate decision for offline k-TTP
 	// admissibility verification (testing/analysis; off by default).
 	Audit bool
+	// LossyLinks arms the protocol's delivery-failure recovery for
+	// transports that can drop messages (fault injection, UDP-like
+	// links, TCP across crashes): the anti-entropy refresh re-sends
+	// periodically even when nothing is known to be stale (the previous
+	// transmission may never have arrived), share grants are
+	// re-emitted (a dropped grant otherwise leaves the edge unusable
+	// forever), and malicious reports are re-flooded (so churn cannot
+	// strand a report). All three are timer-driven and data-
+	// independent, so they add no privacy leak; duplicates are
+	// idempotent at every receiver.
+	LossyLinks bool
 }
 
 func (c Config) withDefaults() Config {
@@ -166,6 +177,10 @@ type Resource struct {
 
 	neighbors []int
 	step      int64
+	// lossTick drives the LossyLinks re-emission timers; unlike step it
+	// keeps counting after a halt, because report re-flooding must
+	// outlive the resource's own participation.
+	lossTick int64
 }
 
 // NewResource assembles a secure resource. scheme is the grid-wide
@@ -207,8 +222,13 @@ func (r *Resource) DBSize() int { return r.Accountant.db.Len() }
 func (r *Resource) Bootstrap(neighbors []int, tr Transport) {
 	r.neighbors = append([]int(nil), neighbors...)
 	grants := r.Accountant.setup(neighbors)
-	for v, g := range grants {
-		tr.Send(v, g)
+	// Send in neighbor-slice order, not map order: the sequence of
+	// transport sends must be deterministic or seeded fault injection
+	// loses reproducibility.
+	for _, v := range r.neighbors {
+		if g, ok := grants[v]; ok {
+			tr.Send(v, g)
+		}
 	}
 	r.Broker.init(neighbors)
 }
@@ -232,6 +252,9 @@ func (r *Resource) HandleMessage(tr Transport, from int, payload any) {
 
 // Tick advances one §6 step over the given transport.
 func (r *Resource) Tick(tr Transport) {
+	if r.cfg.LossyLinks {
+		r.lossRecoveryTick(tr)
+	}
 	if r.halted {
 		return
 	}
@@ -267,8 +290,10 @@ func (r *Resource) HandleNeighborJoin(tr Transport, v int) {
 	}
 	r.neighbors = append(r.neighbors, v)
 	grants := r.Broker.onNeighborJoin(v)
-	for w, g := range grants {
-		tr.Send(w, g)
+	for _, w := range r.neighbors {
+		if g, ok := grants[w]; ok {
+			tr.Send(w, g)
+		}
 	}
 }
 
@@ -290,6 +315,36 @@ func (r *Resource) OnTick(ctx *sim.Context) {
 // OnNeighborJoin implements sim.NeighborJoiner.
 func (r *Resource) OnNeighborJoin(ctx *sim.Context, v sim.NodeID) {
 	r.HandleNeighborJoin(simTransport{ctx}, v)
+}
+
+// lossRecoveryTick runs the LossyLinks re-emission timers: every
+// refreshEvery steps the resource re-floods every report it knows
+// (even while halted — detection must survive churn) and, while still
+// participating, re-issues its share grants (fresh encryptions of the
+// unchanged dealing, so a receiver that already holds the grant just
+// overwrites it harmlessly and one whose copy was dropped finally
+// opens the edge).
+func (r *Resource) lossRecoveryTick(tr Transport) {
+	r.lossTick++
+	if r.lossTick%refreshEvery != 0 {
+		return
+	}
+	for _, rep := range r.reports {
+		for _, v := range r.neighbors {
+			tr.Send(v, rep)
+		}
+	}
+	if r.halted {
+		return
+	}
+	// Iterate the neighbor slice, not the grant map: send order must be
+	// deterministic or seeded fault injection loses reproducibility.
+	grants := r.Accountant.currentGrants()
+	for _, v := range r.neighbors {
+		if g, ok := grants[v]; ok {
+			tr.Send(v, g)
+		}
+	}
 }
 
 // raiseReport records a locally detected violation and floods it.

@@ -1,0 +1,268 @@
+// Package faults is the unified fault-injection layer shared by all
+// three grid runtimes: the deterministic discrete-event simulator
+// (internal/sim), the goroutine runtime (internal/grid) and the TCP
+// transport (internal/netgrid). The paper's setting — a data grid
+// where "resources come and go" — makes message loss, duplication,
+// delay, partitions and resource churn the *default* operating
+// condition, so the runtimes take an *Injector as middleware and
+// consult it on every link event.
+//
+// The model is composable: probabilistic link faults (drop,
+// duplication, delay jitter, reordering) layer on top of structural
+// state (crashed nodes, a partition of the node set), and structural
+// state can be driven either imperatively (Crash/Restart/Partition/
+// Heal — what the concurrent runtimes' tests do in wall-clock time) or
+// declaratively through a step-indexed Schedule replayed by Advance
+// (what the simulator does, keeping runs reproducible).
+//
+// All randomness comes from one seeded RNG guarded by a mutex, so a
+// given (Config, call sequence) pair always produces the same verdict
+// sequence. Under the discrete-event simulator the call sequence is
+// itself deterministic, which makes whole chaos runs replayable from a
+// single seed.
+package faults
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Config describes one fault regime.
+type Config struct {
+	// Seed drives every probabilistic decision (0 is a valid seed).
+	Seed int64
+	// DropProb is the probability a message is silently lost in
+	// transit.
+	DropProb float64
+	// DupProb is the probability a message is delivered twice.
+	DupProb float64
+	// DelayJitter adds a uniform extra delay in [0, DelayJitter] ticks
+	// to each delivery. Runtimes that promise per-link FIFO (the
+	// simulator, TCP) clamp jittered deliveries so ordering is
+	// preserved — jitter stretches latency without reordering.
+	DelayJitter int
+	// ReorderWindow, when positive, adds a uniform extra delay in
+	// [0, ReorderWindow] ticks *without* FIFO clamping, so messages on
+	// one link may overtake each other. Protocols that rely on per-link
+	// FIFO (the secure miner's timestamp verification does) should not
+	// enable it; it exists for transports/protocols that tolerate
+	// reordering.
+	ReorderWindow int
+	// Schedule lists structural events (crashes, restarts, partitions)
+	// replayed by Advance in At order.
+	Schedule []Event
+}
+
+// Event is one scheduled structural change. Zero-value fields are
+// ignored, so an event can combine e.g. a crash and a partition.
+type Event struct {
+	// At is the logical time (simulator step) the event fires.
+	At int64
+	// Crash marks these nodes down: they stop ticking and every
+	// message to or from them is dropped.
+	Crash []int
+	// Restart brings these nodes back up.
+	Restart []int
+	// Partition, when non-nil, installs a partition: links between
+	// nodes in *different* groups are cut. Nodes absent from every
+	// group are unaffected (their links stay up). Replaces any
+	// previously installed partition.
+	Partition [][]int
+	// Heal removes the installed partition.
+	Heal bool
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	Dropped    int64 // messages lost to the probabilistic drop
+	Duplicated int64 // extra copies created
+	Delayed    int64 // messages given a non-zero extra delay
+	CrashDrops int64 // messages lost because an endpoint was down
+	CutDrops   int64 // messages lost to a partition
+	QueueDrops int64 // transport queue overflow (netgrid reports these)
+	Reconnects int64 // transport reconnections (netgrid reports these)
+}
+
+// Verdict is the fate of one message. When Drop is false, Extra holds
+// one extra-delay value (in ticks) per copy to deliver; len(Extra) is
+// 1 normally and 2 for a duplicated message.
+type Verdict struct {
+	Drop  bool
+	Extra []int64
+}
+
+// Injector is the shared fault decision point. All methods are safe
+// for concurrent use.
+type Injector struct {
+	mu      sync.Mutex
+	cfg     Config
+	rng     *rand.Rand
+	down    map[int]bool
+	group   map[int]int // node -> partition group (while partitioned)
+	parted  bool
+	nextEvt int
+	stats   Stats
+}
+
+// New builds an injector. The schedule is replayed by Advance in the
+// order given; events must be sorted by At.
+func New(cfg Config) *Injector {
+	return &Injector{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		down: map[int]bool{},
+	}
+}
+
+// Advance applies every scheduled event with At <= now. The simulator
+// calls it once per step; the concurrent runtimes, which have no step
+// clock, use the imperative methods instead.
+func (in *Injector) Advance(now int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for in.nextEvt < len(in.cfg.Schedule) && in.cfg.Schedule[in.nextEvt].At <= now {
+		ev := in.cfg.Schedule[in.nextEvt]
+		in.nextEvt++
+		for _, u := range ev.Crash {
+			in.down[u] = true
+		}
+		for _, u := range ev.Restart {
+			delete(in.down, u)
+		}
+		if ev.Partition != nil {
+			in.installPartition(ev.Partition)
+		}
+		if ev.Heal {
+			in.parted, in.group = false, nil
+		}
+	}
+}
+
+// Crash marks a node down until Restart.
+func (in *Injector) Crash(node int) {
+	in.mu.Lock()
+	in.down[node] = true
+	in.mu.Unlock()
+}
+
+// Restart brings a crashed node back up.
+func (in *Injector) Restart(node int) {
+	in.mu.Lock()
+	delete(in.down, node)
+	in.mu.Unlock()
+}
+
+// Down reports whether a node is currently crashed.
+func (in *Injector) Down(node int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.down[node]
+}
+
+// Partition cuts every link whose endpoints fall in different groups;
+// nodes absent from all groups keep their links. Replaces any previous
+// partition.
+func (in *Injector) Partition(groups ...[]int) {
+	in.mu.Lock()
+	in.installPartition(groups)
+	in.mu.Unlock()
+}
+
+func (in *Injector) installPartition(groups [][]int) {
+	in.parted = true
+	in.group = map[int]int{}
+	for g, members := range groups {
+		for _, u := range members {
+			in.group[u] = g
+		}
+	}
+}
+
+// Heal removes the installed partition.
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	in.parted, in.group = false, nil
+	in.mu.Unlock()
+}
+
+// Cut reports whether the link u—v is severed by the current
+// partition.
+func (in *Injector) Cut(u, v int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.cutLocked(u, v)
+}
+
+func (in *Injector) cutLocked(u, v int) bool {
+	if !in.parted {
+		return false
+	}
+	gu, okU := in.group[u]
+	gv, okV := in.group[v]
+	return okU && okV && gu != gv
+}
+
+// Reorders reports whether verdicts may violate per-link FIFO (the
+// runtime then skips its FIFO clamp).
+func (in *Injector) Reorders() bool { return in.cfg.ReorderWindow > 0 }
+
+// Decide returns the fate of one message from u to v: dropped when
+// either endpoint is down or the link is cut or the drop probability
+// fires; otherwise one or two copies, each with an extra delay.
+func (in *Injector) Decide(from, to int) Verdict {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.down[from] || in.down[to] {
+		in.stats.CrashDrops++
+		return Verdict{Drop: true}
+	}
+	if in.cutLocked(from, to) {
+		in.stats.CutDrops++
+		return Verdict{Drop: true}
+	}
+	if in.cfg.DropProb > 0 && in.rng.Float64() < in.cfg.DropProb {
+		in.stats.Dropped++
+		return Verdict{Drop: true}
+	}
+	copies := 1
+	if in.cfg.DupProb > 0 && in.rng.Float64() < in.cfg.DupProb {
+		copies = 2
+		in.stats.Duplicated++
+	}
+	extra := make([]int64, copies)
+	for i := range extra {
+		var d int64
+		if in.cfg.DelayJitter > 0 {
+			d += in.rng.Int63n(int64(in.cfg.DelayJitter) + 1)
+		}
+		if in.cfg.ReorderWindow > 0 {
+			d += in.rng.Int63n(int64(in.cfg.ReorderWindow) + 1)
+		}
+		if d > 0 {
+			in.stats.Delayed++
+		}
+		extra[i] = d
+	}
+	return Verdict{Extra: extra}
+}
+
+// CountQueueDrop records a transport-side queue overflow.
+func (in *Injector) CountQueueDrop() {
+	in.mu.Lock()
+	in.stats.QueueDrops++
+	in.mu.Unlock()
+}
+
+// CountReconnect records a transport-side reconnection.
+func (in *Injector) CountReconnect() {
+	in.mu.Lock()
+	in.stats.Reconnects++
+	in.mu.Unlock()
+}
+
+// Stats returns a copy of the counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}

@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDeterministicVerdictSequence(t *testing.T) {
+	cfg := Config{Seed: 42, DropProb: 0.3, DupProb: 0.2, DelayJitter: 5}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 500; i++ {
+		va, vb := a.Decide(0, 1), b.Decide(0, 1)
+		if !reflect.DeepEqual(va, vb) {
+			t.Fatalf("verdict %d diverged: %+v vs %+v", i, va, vb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Dropped == 0 || a.Stats().Duplicated == 0 || a.Stats().Delayed == 0 {
+		t.Fatalf("500 verdicts at 30%%/20%%/jitter hit nothing: %+v", a.Stats())
+	}
+}
+
+func TestCrashRestart(t *testing.T) {
+	in := New(Config{Seed: 1})
+	if in.Down(3) {
+		t.Fatal("fresh injector has node 3 down")
+	}
+	in.Crash(3)
+	if !in.Down(3) {
+		t.Fatal("Crash did not take")
+	}
+	if v := in.Decide(3, 4); !v.Drop {
+		t.Fatal("message from a down node survived")
+	}
+	if v := in.Decide(4, 3); !v.Drop {
+		t.Fatal("message to a down node survived")
+	}
+	in.Restart(3)
+	if in.Down(3) {
+		t.Fatal("Restart did not take")
+	}
+	if v := in.Decide(3, 4); v.Drop {
+		t.Fatal("message dropped with no faults configured")
+	}
+	if st := in.Stats(); st.CrashDrops != 2 {
+		t.Fatalf("CrashDrops = %d, want 2", st.CrashDrops)
+	}
+}
+
+func TestPartitionSemantics(t *testing.T) {
+	in := New(Config{Seed: 1})
+	in.Partition([]int{0, 1}, []int{2, 3})
+	cases := []struct {
+		u, v int
+		cut  bool
+	}{
+		{0, 1, false}, // same group
+		{2, 3, false}, // same group
+		{0, 2, true},  // across groups
+		{1, 3, true},  // across groups
+		{0, 5, false}, // 5 unlisted: unaffected
+		{5, 3, false},
+	}
+	for _, c := range cases {
+		if got := in.Cut(c.u, c.v); got != c.cut {
+			t.Fatalf("Cut(%d,%d) = %v, want %v", c.u, c.v, got, c.cut)
+		}
+		if got := in.Decide(c.u, c.v).Drop; got != c.cut {
+			t.Fatalf("Decide(%d,%d).Drop = %v, want %v", c.u, c.v, got, c.cut)
+		}
+	}
+	in.Heal()
+	if in.Cut(0, 2) {
+		t.Fatal("Heal left the partition installed")
+	}
+}
+
+func TestScheduleReplay(t *testing.T) {
+	in := New(Config{Seed: 1, Schedule: []Event{
+		{At: 10, Crash: []int{1}},
+		{At: 20, Partition: [][]int{{0, 1}, {2}}},
+		{At: 30, Restart: []int{1}, Heal: true},
+	}})
+	in.Advance(9)
+	if in.Down(1) || in.Cut(0, 2) {
+		t.Fatal("events fired early")
+	}
+	in.Advance(10)
+	if !in.Down(1) {
+		t.Fatal("crash at 10 missed")
+	}
+	in.Advance(25)
+	if !in.Cut(0, 2) {
+		t.Fatal("partition at 20 missed")
+	}
+	if in.Cut(0, 1) {
+		t.Fatal("same-group link cut")
+	}
+	in.Advance(30)
+	if in.Down(1) || in.Cut(0, 2) {
+		t.Fatal("restart+heal at 30 missed")
+	}
+	// Replaying past times must not re-fire events.
+	in.Crash(2)
+	in.Advance(100)
+	if !in.Down(2) {
+		t.Fatal("Advance re-applied a consumed restart")
+	}
+}
+
+func TestDuplicationYieldsTwoCopies(t *testing.T) {
+	in := New(Config{Seed: 7, DupProb: 1})
+	v := in.Decide(0, 1)
+	if v.Drop || len(v.Extra) != 2 {
+		t.Fatalf("DupProb=1 verdict: %+v", v)
+	}
+}
+
+func TestReorderFlag(t *testing.T) {
+	if New(Config{DelayJitter: 4}).Reorders() {
+		t.Fatal("jitter alone must not permit reordering")
+	}
+	if !New(Config{ReorderWindow: 4}).Reorders() {
+		t.Fatal("ReorderWindow must permit reordering")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"secmr/internal/faults"
 	"secmr/internal/topology"
 )
 
@@ -37,11 +38,15 @@ type Actor interface {
 type message struct {
 	from    int
 	payload any
+	// extra is injected delay in link-delay ticks (scaled by
+	// DelayUnit at the forwarder).
+	extra int64
 }
 
 // Stats aggregates runtime counters.
 type Stats struct {
 	Delivered int64
+	Dropped   int64 // lost to fault injection (crashes included)
 }
 
 // Runtime hosts actors over an overlay graph.
@@ -51,11 +56,20 @@ type Runtime struct {
 	// DelayUnit scales each link's integer delay into wall time; zero
 	// delivers immediately (channel order only).
 	DelayUnit time.Duration
+	// Inject, when set before Run, is the fault-injection middleware:
+	// sends may be dropped, duplicated or delayed (extra ticks scale by
+	// DelayUnit), and messages to an actor the injector marks down are
+	// discarded at delivery. The per-link forwarder is serial, so
+	// injected delays never reorder a link's FIFO. Drops are invisible
+	// to the outstanding-message counter, so quiescence detection keeps
+	// working under faults.
+	Inject *faults.Injector
 
 	inboxes     []chan message
 	links       map[[2]int]chan message // per-directed-edge FIFO queues
 	outstanding atomic.Int64
 	delivered   atomic.Int64
+	dropped     atomic.Int64
 	quiet       chan struct{}
 	quietOnce   sync.Once
 	wg          sync.WaitGroup
@@ -83,13 +97,25 @@ func NewRuntime(g *topology.Graph, actors []Actor) *Runtime {
 	return r
 }
 
-// send enqueues a delivery on the link's FIFO queue. Blocks only if
-// the link buffer (4096) fills — far beyond what the quiescing
-// protocols here generate.
+// send enqueues a delivery on the link's FIFO queue, applying fault
+// injection. Blocks only if the link buffer (4096) fills — far beyond
+// what the quiescing protocols here generate.
 func (r *Runtime) send(from, to int, payload any) {
 	ch, ok := r.links[[2]int{from, to}]
 	if !ok {
 		panic(fmt.Sprintf("grid: %d -> %d is not an edge", from, to))
+	}
+	if r.Inject != nil {
+		v := r.Inject.Decide(from, to)
+		if v.Drop {
+			r.dropped.Add(1)
+			return
+		}
+		for _, extra := range v.Extra {
+			r.outstanding.Add(1)
+			ch <- message{from: from, payload: payload, extra: extra}
+		}
+		return
 	}
 	r.outstanding.Add(1)
 	ch <- message{from: from, payload: payload}
@@ -109,11 +135,15 @@ func (r *Runtime) forward(ctx context.Context, from, to int, ch chan message) {
 		case <-ctx.Done():
 			return
 		case m := <-ch:
-			if delay > 0 {
+			d := delay
+			if m.extra > 0 && r.DelayUnit > 0 {
+				d += time.Duration(m.extra) * r.DelayUnit
+			}
+			if d > 0 {
 				select {
 				case <-ctx.Done():
 					return
-				case <-time.After(delay):
+				case <-time.After(d):
 				}
 			}
 			select {
@@ -155,6 +185,13 @@ func (r *Runtime) Run(ctx context.Context) bool {
 				case <-ctx.Done():
 					return
 				case m := <-r.inboxes[i]:
+					if r.Inject != nil && r.Inject.Down(i) {
+						// A crashed actor loses its inbound messages;
+						// release keeps quiescence detection sound.
+						r.dropped.Add(1)
+						r.release()
+						continue
+					}
 					r.actors[i].OnMessage(i, m.from, m.payload, sendFn)
 					r.delivered.Add(1)
 					r.release()
@@ -188,5 +225,5 @@ func (r *Runtime) Run(ctx context.Context) bool {
 
 // Stats returns delivery counters (call after Run returns).
 func (r *Runtime) Stats() Stats {
-	return Stats{Delivered: r.delivered.Load()}
+	return Stats{Delivered: r.delivered.Load(), Dropped: r.dropped.Load()}
 }

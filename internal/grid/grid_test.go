@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"secmr/internal/faults"
 	"secmr/internal/majority"
 	"secmr/internal/topology"
 )
@@ -198,4 +199,86 @@ func TestNonEdgeSendPanics(t *testing.T) {
 		}
 	}()
 	rt.send(0, 0, nil)
+}
+
+func TestInjectDropsReduceDeliveriesButQuiesce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 8
+	ring := topology.Ring(n, topology.DelayRange{Min: 1, Max: 1}, rng)
+	actors := make([]Actor, n)
+	for i := range actors {
+		actors[i] = &chattyActor{limit: 200, next: (i + 1) % n}
+	}
+	rt := NewRuntime(ring, actors)
+	rt.Inject = faults.New(faults.Config{Seed: 5, DropProb: 0.2})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if !rt.Run(ctx) {
+		t.Fatal("did not quiesce under drops")
+	}
+	st := rt.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("20% drop over a 200-hop token relay dropped nothing")
+	}
+	// The token dies at its first drop, so the relay must end short.
+	if st.Delivered >= 200 {
+		t.Fatalf("delivered %d, want fewer than the fault-free 200", st.Delivered)
+	}
+	if inj := rt.Inject.Stats(); inj.Dropped != st.Dropped {
+		t.Fatalf("injector counted %d drops, runtime %d", inj.Dropped, st.Dropped)
+	}
+}
+
+func TestInjectDuplicationIncreasesDeliveries(t *testing.T) {
+	// Every actor forwards until hop 3; with DupProb=1 each hop fans out
+	// 2x, so deliveries exceed the fault-free count (3).
+	rng := rand.New(rand.NewSource(4))
+	ring := topology.Ring(4, topology.DelayRange{Min: 1, Max: 1}, rng)
+	actors := make([]Actor, 4)
+	for i := range actors {
+		actors[i] = &chattyActor{limit: 3, next: (i + 1) % 4}
+	}
+	rt := NewRuntime(ring, actors)
+	rt.Inject = faults.New(faults.Config{Seed: 6, DupProb: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if !rt.Run(ctx) {
+		t.Fatal("did not quiesce under duplication")
+	}
+	// hop1: 2 copies, hop2: 4, hop3: 8 => 14 deliveries, 0 further sends.
+	if st := rt.Stats(); st.Delivered != 14 {
+		t.Fatalf("delivered %d, want 14 (1+dup fan-out of depth 3)", st.Delivered)
+	}
+}
+
+func TestInjectCrashedActorLosesMessages(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ring := topology.Ring(4, topology.DelayRange{Min: 1, Max: 1}, rng)
+	actors := make([]Actor, 4)
+	cas := make([]*chattyActor, 4)
+	for i := range actors {
+		cas[i] = &chattyActor{limit: 100, next: (i + 1) % 4}
+		actors[i] = cas[i]
+	}
+	rt := NewRuntime(ring, actors)
+	rt.Inject = faults.New(faults.Config{Seed: 7})
+	rt.Inject.Crash(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if !rt.Run(ctx) {
+		t.Fatal("did not quiesce with a crashed actor")
+	}
+	// Token path 0->1->2 dies at 2: node 1 saw one message, node 2 none.
+	cas[1].mu.Lock()
+	saw1 := cas[1].seen
+	cas[1].mu.Unlock()
+	cas[2].mu.Lock()
+	saw2 := cas[2].seen
+	cas[2].mu.Unlock()
+	if saw1 != 1 || saw2 != 0 {
+		t.Fatalf("node1 saw %d node2 saw %d; want 1 and 0", saw1, saw2)
+	}
+	if rt.Stats().Dropped == 0 {
+		t.Fatal("no drop recorded for the crashed actor")
+	}
 }

@@ -46,9 +46,22 @@ func (t hostTransport) Send(to int, msg any) {
 // resource's scheme (validates inbound ciphertexts). Call Connect and
 // then Run.
 func NewHost(id int, res *core.Resource, adopter homo.Adopter) (*Host, error) {
+	return NewHostWithOptions(id, res, adopter, Options{})
+}
+
+// NewHostWithOptions is NewHost with explicit transport options —
+// reconnect pacing, queue bounds, heartbeat cadence, peer up/down
+// callbacks, and (for chaos testing) a fault injector. Hosts running
+// over lossy links should also set core.Config.LossyLinks on the
+// resource so the protocol re-floods what the transport cannot
+// deliver while a peer is down.
+func NewHostWithOptions(id int, res *core.Resource, adopter homo.Adopter, opt Options) (*Host, error) {
 	h := &Host{res: res, adopter: adopter, done: make(chan struct{}),
 		logf: log.New(log.Writer(), "", 0).Printf}
-	node, err := Start(id, h.handle)
+	if opt.Logf != nil {
+		h.logf = opt.Logf
+	}
+	node, err := StartWithOptions(id, h.handle, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -8,7 +8,9 @@ import (
 
 	"secmr/internal/arm"
 	"secmr/internal/core"
+	"secmr/internal/faults"
 	"secmr/internal/hashing"
+	"secmr/internal/homo"
 	"secmr/internal/metrics"
 	"secmr/internal/paillier"
 	"secmr/internal/quest"
@@ -96,6 +98,107 @@ func TestSecureMiningOverTCP(t *testing.T) {
 	for i, h := range hosts {
 		if rules, halted := h.Snapshot(); halted || rules == 0 {
 			t.Fatalf("host %d: rules=%d halted=%v", i, rules, halted)
+		}
+	}
+}
+
+// TestSecureMiningOverLossyTCP is the deployment-shape chaos test: the
+// full protocol stack over real sockets with 15% frame loss and a
+// mid-run crash/restart of one resource, relying on the transport's
+// self-healing (heartbeat detection, reconnect supervisor, queued
+// drain) plus the protocol's LossyLinks recovery to converge anyway.
+func TestSecureMiningOverLossyTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network end-to-end with chaos")
+	}
+	const n = 4
+	seed := int64(5)
+	scheme := homo.NewPlain(96)
+	rng := mrand.New(mrand.NewSource(seed))
+	global := quest.Generate(quest.Params{NumTransactions: n * 120, NumItems: 15,
+		NumPatterns: 8, AvgTransLen: 4, AvgPatternLen: 2, Seed: seed})
+	th := arm.Thresholds{MinFreq: 0.2, MinConf: 0.7}
+	universe := arm.Itemset{}
+	for i := 0; i < 15; i++ {
+		universe = append(universe, arm.Item(i))
+	}
+	truth := arm.GroundTruth(global, th, universe, 2)
+	parts := hashing.Partition(global, n, rng)
+	tree := topology.Line(n, topology.DelayRange{Min: 1, Max: 1}, rng)
+
+	inj := faults.New(faults.Config{Seed: seed, DropProb: 0.15})
+	cfg := core.Config{Th: th, Universe: universe, ScanBudget: 40,
+		CandidateEvery: 5, K: 2, MaxRuleItems: 2, IntraDelay: true,
+		LossyLinks: true}
+	opt := Options{
+		Faults:         inj,
+		HeartbeatEvery: 25 * time.Millisecond,
+		ReconnectBase:  10 * time.Millisecond,
+		ReconnectMax:   100 * time.Millisecond,
+		Logf:           t.Logf,
+	}
+	hosts := make([]*Host, n)
+	for i := 0; i < n; i++ {
+		res := core.NewResource(i, cfg, scheme, parts[i], nil, nil)
+		h, err := NewHostWithOptions(i, res, scheme, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[i] = h
+		defer h.Close()
+	}
+	for i := 0; i < n; i++ {
+		peers := map[int]string{}
+		for _, w := range tree.Neighbors(i) {
+			if w < i {
+				peers[w] = hosts[w].Node().Addr()
+			}
+		}
+		if err := hosts[i].Node().Connect(peers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !hosts[i].Node().WaitFor(tree.Neighbors(i), 10*time.Second) {
+			t.Fatalf("host %d: neighbours never connected", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		hosts[i].Run(tree.Neighbors(i), 2*time.Millisecond)
+	}
+
+	// Let the grid make progress under loss, then cut host 2 off the
+	// network entirely for a while (its frames all drop, heartbeats
+	// starve, peers declare it down and queue), then bring it back.
+	time.Sleep(400 * time.Millisecond)
+	inj.Crash(2)
+	time.Sleep(400 * time.Millisecond)
+	inj.Restart(2)
+
+	deadline := time.After(90 * time.Second)
+	for {
+		outs := make([]arm.RuleSet, n)
+		for i, h := range hosts {
+			outs[i] = h.OutputSnapshot()
+		}
+		rec, prec := metrics.Average(outs, truth)
+		if rec >= 0.9 && prec >= 0.9 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("lossy TCP grid stuck at recall=%.3f precision=%.3f (faults %+v)",
+				rec, prec, inj.Stats())
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	st := inj.Stats()
+	if st.Dropped == 0 || st.CrashDrops == 0 {
+		t.Fatalf("chaos regime did not bite: %+v", st)
+	}
+	for i, h := range hosts {
+		if _, halted := h.Snapshot(); halted {
+			t.Fatalf("host %d halted under honest chaos (false detection)", i)
 		}
 	}
 }

@@ -7,8 +7,22 @@
 // (internal/grid) — with the transport a genuine deployment would use,
 // and the tests drive the voting protocol across it end to end.
 //
+// The transport is self-healing, because the paper's data-grid setting
+// assumes resources come and go: every dialable peer gets a supervisor
+// goroutine that re-dials with exponential backoff plus jitter after a
+// connection dies, frames sent while a peer is down are parked in a
+// bounded per-peer queue and flushed on reconnect (the secure protocol
+// tolerates the resulting duplicates), and an optional heartbeat
+// declares unresponsive peers down so supervisors and the protocol's
+// own recovery can take over. A handshake frame announces each side's
+// id and listen address, so a link heals from whichever side notices
+// first.
+//
 // Per-link FIFO is inherited from TCP; dispatch is serialized through
-// a single inbox per node, so handlers need no internal locking.
+// a single inbox per node, so handlers need no internal locking. The
+// sender id in every data frame is verified against the id established
+// by the connection's handshake — a peer cannot spoof frames on behalf
+// of another resource.
 package netgrid
 
 import (
@@ -16,29 +30,121 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"secmr/internal/faults"
 )
 
 // Handler processes one inbound frame. It runs on the node's single
 // dispatch goroutine; send may be called from any goroutine.
 type Handler func(from int, frame []byte)
 
+// ErrPeerDown reports that a frame was queued rather than transmitted
+// because the peer's connection is currently down; the queue drains
+// when the supervisor reconnects.
+var ErrPeerDown = errors.New("netgrid: peer down, frame queued")
+
+// Options tunes a node's transport behavior; the zero value gives
+// sensible defaults (see withDefaults).
+type Options struct {
+	// ListenAddr is the TCP address to listen on. Default
+	// "127.0.0.1:0" (ephemeral). A fixed port lets a restarted node
+	// reclaim its identity so peers' supervisors can find it again.
+	ListenAddr string
+	// ReconnectBase/ReconnectMax bound the supervisor's exponential
+	// backoff between redial attempts. Defaults 20ms and 1s.
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// QueueLen bounds the per-peer queue of frames parked while the
+	// peer is down; the oldest frame is dropped on overflow. Default
+	// 256.
+	QueueLen int
+	// HeartbeatEvery, when positive, enables keepalive pings; a peer
+	// silent for PeerTimeout (default 4×HeartbeatEvery) is declared
+	// down.
+	HeartbeatEvery time.Duration
+	PeerTimeout    time.Duration
+	// OnPeerUp/OnPeerDown observe link state changes. Called without
+	// node locks held, so they may call Send; they must not block for
+	// long.
+	OnPeerUp   func(peer int)
+	OnPeerDown func(peer int)
+	// Faults, when set, is consulted on every send, dial and
+	// heartbeat: dropped frames vanish in transit, a Cut or Down
+	// verdict blocks dials and starves heartbeats so partitions behave
+	// like real ones (links die, heal, and reconnect).
+	Faults *faults.Injector
+	// FaultDelayUnit scales injected extra delay ticks into wall time
+	// on the write path (under the peer's write lock, so per-link FIFO
+	// holds). Zero disables injected delay.
+	FaultDelayUnit time.Duration
+	// Logf receives diagnostics; nil silences them.
+	Logf func(string, ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.ListenAddr == "" {
+		o.ListenAddr = "127.0.0.1:0"
+	}
+	if o.ReconnectBase <= 0 {
+		o.ReconnectBase = 20 * time.Millisecond
+	}
+	if o.ReconnectMax <= 0 {
+		o.ReconnectMax = time.Second
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 256
+	}
+	if o.HeartbeatEvery > 0 && o.PeerTimeout <= 0 {
+		o.PeerTimeout = 4 * o.HeartbeatEvery
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
 // Node is one TCP grid endpoint.
 type Node struct {
 	id      int
+	opt     Options
 	ln      net.Listener
 	handler Handler
 
-	mu    sync.Mutex
-	conns map[int]net.Conn
+	mu      sync.Mutex
+	peers   map[int]*peer
+	pending map[net.Conn]bool // inbound conns awaiting their handshake
+	rng     *rand.Rand        // backoff jitter (guarded by mu)
 
 	inbox   chan inFrame
 	done    chan struct{}
 	wg      sync.WaitGroup
 	closed  sync.Once
-	sentCnt int64
+	sentCnt atomic.Int64
+}
+
+// peer is the per-neighbor link state.
+type peer struct {
+	id int
+	// wmu serializes writes on the link, so concurrent Sends to the
+	// same peer (and heartbeats) cannot interleave frame bytes; writes
+	// to different peers proceed in parallel.
+	wmu sync.Mutex
+
+	mu       sync.Mutex
+	conn     net.Conn
+	dialer   int    // id of the side that dialed the live conn
+	addr     string // peer's listen address ("" = not dialable from here)
+	queue    [][]byte
+	lastSeen time.Time
+	up       bool
+	everUp   bool
+	superv   bool
+	kick     chan struct{} // wakes the supervisor after a link death
 }
 
 type inFrame struct {
@@ -46,27 +152,52 @@ type inFrame struct {
 	payload []byte
 }
 
+// Frame kinds. The handshake (hello) carries the sender's listen
+// address so the accepting side can dial back when healing the link.
+const (
+	kindHello = 0
+	kindData  = 1
+	kindPing  = 2
+	kindPong  = 3
+)
+
 // maxFrame bounds a frame to keep a malformed peer from ballooning
 // memory.
 const maxFrame = 16 << 20
+
+// handshakeTimeout bounds how long an inbound connection may stall
+// before sending its hello.
+const handshakeTimeout = 5 * time.Second
 
 // Start opens a listener on 127.0.0.1 (ephemeral port) and begins
 // accepting peer connections. The handler receives every inbound
 // frame.
 func Start(id int, handler Handler) (*Node, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	return StartWithOptions(id, handler, Options{})
+}
+
+// StartWithOptions is Start with explicit transport tuning.
+func StartWithOptions(id int, handler Handler, opt Options) (*Node, error) {
+	opt = opt.withDefaults()
+	ln, err := net.Listen("tcp", opt.ListenAddr)
 	if err != nil {
 		return nil, err
 	}
 	n := &Node{
-		id: id, ln: ln, handler: handler,
-		conns: map[int]net.Conn{},
-		inbox: make(chan inFrame, 1024),
-		done:  make(chan struct{}),
+		id: id, opt: opt, ln: ln, handler: handler,
+		peers:   map[int]*peer{},
+		pending: map[net.Conn]bool{},
+		rng:     rand.New(rand.NewSource(int64(id) + 1)),
+		inbox:   make(chan inFrame, 1024),
+		done:    make(chan struct{}),
 	}
 	n.wg.Add(2)
 	go n.acceptLoop()
 	go n.dispatchLoop()
+	if opt.HeartbeatEvery > 0 {
+		n.wg.Add(1)
+		go n.heartbeatLoop()
+	}
 	return n, nil
 }
 
@@ -77,7 +208,7 @@ func (n *Node) ID() int { return n.id }
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
 // acceptLoop registers inbound connections; the first frame on a
-// connection is a handshake carrying the peer's id.
+// connection is a hello carrying the peer's id and listen address.
 func (n *Node) acceptLoop() {
 	defer n.wg.Done()
 	for {
@@ -85,41 +216,276 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		n.mu.Lock()
+		n.pending[conn] = true
+		n.mu.Unlock()
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			peer, payload, err := readFrame(conn)
-			if err != nil || len(payload) != 0 {
+			conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+			kind, from, payload, err := readFrame(conn)
+			n.mu.Lock()
+			delete(n.pending, conn)
+			n.mu.Unlock()
+			if err != nil || kind != kindHello {
 				conn.Close()
 				return
 			}
-			n.register(peer, conn)
+			conn.SetReadDeadline(time.Time{})
+			p := n.ensurePeer(from, string(payload))
+			if p == nil || !n.adopt(p, conn, from) {
+				conn.Close()
+				return
+			}
+			n.superviseIfNeeded(p)
 		}()
 	}
 }
 
-// register stores the connection and starts its reader.
-func (n *Node) register(peer int, conn net.Conn) {
+// ensurePeer returns the link state for id, creating it if needed and
+// recording the peer's dial address when known. Returns nil after
+// Close.
+func (n *Node) ensurePeer(id int, addr string) *peer {
 	n.mu.Lock()
-	if old, ok := n.conns[peer]; ok {
-		old.Close()
+	defer n.mu.Unlock()
+	select {
+	case <-n.done:
+		return nil
+	default:
 	}
-	n.conns[peer] = conn
-	n.mu.Unlock()
-	n.wg.Add(1)
-	go n.readLoop(peer, conn)
+	p, ok := n.peers[id]
+	if !ok {
+		p = &peer{id: id, kick: make(chan struct{}, 1)}
+		n.peers[id] = p
+	}
+	if addr != "" {
+		p.mu.Lock()
+		p.addr = addr
+		p.mu.Unlock()
+	}
+	return p
 }
 
-func (n *Node) readLoop(_ int, conn net.Conn) {
-	defer n.wg.Done()
+func (n *Node) peer(id int) *peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.peers[id]
+}
+
+// superviseIfNeeded starts the peer's reconnect supervisor once it has
+// a dial address.
+func (n *Node) superviseIfNeeded(p *peer) {
+	p.mu.Lock()
+	start := p.addr != "" && !p.superv
+	if start {
+		p.superv = true
+	}
+	p.mu.Unlock()
+	if start {
+		n.wg.Add(1)
+		go n.supervise(p)
+	}
+}
+
+// adopt installs conn as the peer's live connection and drains the
+// parked queue. When a live connection already exists the deterministic
+// tie-break keeps the one dialed by the smaller id (both endpoints
+// agree on it, so a simultaneous dial converges on one TCP connection);
+// a redial by the same dialer replaces its predecessor. Reports whether
+// conn was adopted.
+func (n *Node) adopt(p *peer, conn net.Conn, dialer int) bool {
+	p.mu.Lock()
+	if p.up {
+		if dialer > p.dialer {
+			p.mu.Unlock()
+			return false
+		}
+		p.conn.Close() // its readLoop sees the conn mismatch and exits quietly
+		p.up = false
+	}
+	reconnect := p.everUp
+	p.conn, p.dialer = conn, dialer
+	p.everUp = true
+	p.lastSeen = time.Now()
+	p.mu.Unlock()
+
+	n.wg.Add(1)
+	go n.readLoop(p, conn)
+	if reconnect && n.opt.Faults != nil {
+		n.opt.Faults.CountReconnect()
+	}
+	// Drain the parked queue before declaring the peer up: Sends keep
+	// queueing behind the parked frames until the backlog is flushed,
+	// so the link's FIFO order survives the outage.
 	for {
-		from, payload, err := readFrame(conn)
-		if err != nil {
+		p.mu.Lock()
+		if p.conn != conn {
+			p.mu.Unlock() // lost the connection while draining
+			return true
+		}
+		if len(p.queue) == 0 {
+			p.up = true
+			p.mu.Unlock()
+			break
+		}
+		q := p.queue
+		p.queue = nil
+		p.mu.Unlock()
+		for i, f := range q {
+			if err := n.writeData(p, conn, f); err != nil {
+				p.mu.Lock()
+				p.queue = append(append([][]byte{}, q[i:]...), p.queue...)
+				p.mu.Unlock()
+				n.markDown(p, conn)
+				return true
+			}
+		}
+	}
+	if n.opt.OnPeerUp != nil {
+		n.opt.OnPeerUp(p.id)
+	}
+	return true
+}
+
+// markDown retires conn if it is still the peer's live connection,
+// then notifies and wakes the supervisor. Safe to call from any
+// goroutine and for stale connections.
+func (n *Node) markDown(p *peer, conn net.Conn) {
+	p.mu.Lock()
+	if p.conn != conn {
+		p.mu.Unlock()
+		return
+	}
+	wasUp := p.up
+	p.up = false
+	p.conn = nil
+	p.mu.Unlock()
+	conn.Close()
+	if wasUp && n.opt.OnPeerDown != nil {
+		n.opt.OnPeerDown(p.id)
+	}
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// supervise keeps one dialable peer connected: parked while the link
+// is up, redialing with exponential backoff plus jitter while it is
+// down.
+func (n *Node) supervise(p *peer) {
+	defer n.wg.Done()
+	backoff := n.opt.ReconnectBase
+	for {
+		select {
+		case <-n.done:
 			return
+		default:
+		}
+		p.mu.Lock()
+		up := p.up
+		p.mu.Unlock()
+		if up {
+			select {
+			case <-n.done:
+				return
+			case <-p.kick:
+			}
+			continue
+		}
+		if n.dialPeer(p) {
+			backoff = n.opt.ReconnectBase
+			continue
+		}
+		n.mu.Lock()
+		jitter := time.Duration(n.rng.Int63n(int64(backoff)/2 + 1))
+		n.mu.Unlock()
+		backoff *= 2
+		if backoff > n.opt.ReconnectMax {
+			backoff = n.opt.ReconnectMax
 		}
 		select {
-		case n.inbox <- inFrame{from: from, payload: payload}:
 		case <-n.done:
+			return
+		case <-time.After(backoff/2 + jitter):
+		case <-p.kick:
+		}
+	}
+}
+
+// dialPeer attempts one dial+handshake; the fault injector can veto it
+// (crashed endpoint or partitioned link).
+func (n *Node) dialPeer(p *peer) bool {
+	if inj := n.opt.Faults; inj != nil {
+		if inj.Down(n.id) || inj.Down(p.id) || inj.Cut(n.id, p.id) {
+			return false
+		}
+	}
+	p.mu.Lock()
+	addr := p.addr
+	p.mu.Unlock()
+	if addr == "" {
+		return false
+	}
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return false
+	}
+	if err := writeFrame(conn, kindHello, n.id, []byte(n.Addr())); err != nil {
+		conn.Close()
+		return false
+	}
+	if !n.adopt(p, conn, n.id) {
+		conn.Close()
+		return false
+	}
+	return true
+}
+
+// readLoop consumes frames from one live connection. The sender id in
+// every data frame must match the id the handshake established;
+// mismatches are spoofing attempts and kill the connection.
+func (n *Node) readLoop(p *peer, conn net.Conn) {
+	defer n.wg.Done()
+	for {
+		kind, from, payload, err := readFrame(conn)
+		if err != nil {
+			n.markDown(p, conn)
+			return
+		}
+		p.mu.Lock()
+		p.lastSeen = time.Now()
+		p.mu.Unlock()
+		switch kind {
+		case kindPing:
+			if err := n.writeFrameTo(p, conn, kindPong, nil); err != nil {
+				n.markDown(p, conn)
+				return
+			}
+		case kindPong:
+			// lastSeen refreshed above; nothing else to do.
+		case kindHello:
+			// Idempotent re-hello: refresh the peer's dial address.
+			if from == p.id && len(payload) > 0 {
+				p.mu.Lock()
+				p.addr = string(payload)
+				p.mu.Unlock()
+				n.superviseIfNeeded(p)
+			}
+		case kindData:
+			if from != p.id {
+				n.opt.Logf("netgrid %d: dropping frame claiming sender %d on %d's connection",
+					n.id, from, p.id)
+				n.markDown(p, conn)
+				return
+			}
+			select {
+			case n.inbox <- inFrame{from: from, payload: payload}:
+			case <-n.done:
+				return
+			}
+		default:
+			n.markDown(p, conn)
 			return
 		}
 	}
@@ -137,39 +503,91 @@ func (n *Node) dispatchLoop() {
 	}
 }
 
-// Connect dials the given peers (id -> address) and performs the
-// handshake. Safe to call once after every peer has Started.
-func (n *Node) Connect(peers map[int]string) error {
-	for id, addr := range peers {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			return fmt.Errorf("netgrid: dialing %d at %s: %w", id, addr, err)
+// heartbeatLoop pings every live peer and declares silent ones down.
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.opt.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-ticker.C:
 		}
-		// Handshake: announce our id with an empty payload.
-		if err := writeFrame(conn, n.id, nil); err != nil {
-			conn.Close()
-			return err
+		n.mu.Lock()
+		peers := make([]*peer, 0, len(n.peers))
+		for _, p := range n.peers {
+			peers = append(peers, p)
 		}
-		n.register(id, conn)
+		n.mu.Unlock()
+		for _, p := range peers {
+			p.mu.Lock()
+			conn, up, seen := p.conn, p.up, p.lastSeen
+			p.mu.Unlock()
+			if !up {
+				continue
+			}
+			if time.Since(seen) > n.opt.PeerTimeout {
+				n.opt.Logf("netgrid %d: peer %d silent for %v, declaring down",
+					n.id, p.id, n.opt.PeerTimeout)
+				n.markDown(p, conn)
+				continue
+			}
+			if inj := n.opt.Faults; inj != nil {
+				// A partitioned or crashed link starves heartbeats, so
+				// the timeout above eventually fires — the same failure
+				// signature a real partition produces.
+				if inj.Down(n.id) || inj.Down(p.id) || inj.Cut(n.id, p.id) {
+					continue
+				}
+			}
+			if err := n.writeFrameTo(p, conn, kindPing, nil); err != nil {
+				n.markDown(p, conn)
+			}
+		}
 	}
-	return nil
 }
 
-// WaitFor blocks until connections to all the given peers exist (both
-// dialed and inbound count) or the timeout expires; it reports
+// Connect dials the given peers (id -> address) and performs the
+// handshake, then leaves a supervisor keeping each link alive. The
+// returned error reports the first immediate dial failure; the
+// supervisor keeps retrying regardless, so callers tolerating slow
+// peers may ignore it and rely on WaitFor.
+func (n *Node) Connect(peers map[int]string) error {
+	var firstErr error
+	for id, addr := range peers {
+		p := n.ensurePeer(id, addr)
+		if p == nil {
+			return errors.New("netgrid: node closed")
+		}
+		if !n.dialPeer(p) && firstErr == nil {
+			firstErr = fmt.Errorf("netgrid: dialing %d at %s failed (supervisor will retry)", id, addr)
+		}
+		n.superviseIfNeeded(p)
+	}
+	return firstErr
+}
+
+// WaitFor blocks until live connections to all the given peers exist
+// (both dialed and inbound count) or the timeout expires; it reports
 // success. Use it as a startup barrier: inbound connections register
 // asynchronously as peers dial in.
 func (n *Node) WaitFor(peers []int, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
-		n.mu.Lock()
 		missing := 0
-		for _, p := range peers {
-			if _, ok := n.conns[p]; !ok {
+		for _, id := range peers {
+			p := n.peer(id)
+			if p == nil {
+				missing++
+				continue
+			}
+			p.mu.Lock()
+			if !p.up {
 				missing++
 			}
+			p.mu.Unlock()
 		}
-		n.mu.Unlock()
 		if missing == 0 {
 			return true
 		}
@@ -180,26 +598,89 @@ func (n *Node) WaitFor(peers []int, timeout time.Duration) bool {
 	}
 }
 
-// Send transmits one frame to a connected peer.
+// Send transmits one frame to a peer. While the peer is down the frame
+// is parked in the bounded per-peer queue (oldest dropped on overflow)
+// and ErrPeerDown is returned; the queue flushes on reconnect. An
+// unknown peer (never connected in either direction) is an error.
 func (n *Node) Send(to int, frame []byte) error {
-	n.mu.Lock()
-	conn, ok := n.conns[to]
-	n.mu.Unlock()
-	if !ok {
+	p := n.peer(to)
+	if p == nil {
 		return fmt.Errorf("netgrid: no connection to %d", to)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.sentCnt++
-	return writeFrame(conn, n.id, frame)
+	copies := 1
+	var extra []int64
+	if inj := n.opt.Faults; inj != nil {
+		v := inj.Decide(n.id, to)
+		if v.Drop {
+			return nil // lost in transit: indistinguishable from a send
+		}
+		copies, extra = len(v.Extra), v.Extra
+	}
+	for c := 0; c < copies; c++ {
+		p.mu.Lock()
+		if !p.up {
+			n.enqueueLocked(p, frame)
+			p.mu.Unlock()
+			return ErrPeerDown
+		}
+		conn := p.conn
+		p.mu.Unlock()
+		var delay time.Duration
+		if len(extra) > c && extra[c] > 0 {
+			delay = time.Duration(extra[c]) * n.opt.FaultDelayUnit
+		}
+		if err := n.writeDataDelayed(p, conn, frame, delay); err != nil {
+			n.markDown(p, conn)
+			p.mu.Lock()
+			n.enqueueLocked(p, frame)
+			p.mu.Unlock()
+			return err
+		}
+	}
+	return nil
 }
 
-// Sent returns the number of frames transmitted.
-func (n *Node) Sent() int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.sentCnt
+// enqueueLocked parks a frame for a down peer; caller holds p.mu.
+func (n *Node) enqueueLocked(p *peer, frame []byte) {
+	if len(p.queue) >= n.opt.QueueLen {
+		p.queue = p.queue[1:]
+		if inj := n.opt.Faults; inj != nil {
+			inj.CountQueueDrop()
+		}
+	}
+	p.queue = append(p.queue, frame)
 }
+
+// writeData sends one data frame and counts it.
+func (n *Node) writeData(p *peer, conn net.Conn, frame []byte) error {
+	return n.writeDataDelayed(p, conn, frame, 0)
+}
+
+// writeDataDelayed sends one data frame, sleeping the injected latency
+// while holding the peer's write lock — like a slow link, later frames
+// queue behind it, so per-link FIFO is preserved.
+func (n *Node) writeDataDelayed(p *peer, conn net.Conn, frame []byte, delay time.Duration) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err := writeFrame(conn, kindData, n.id, frame); err != nil {
+		return err
+	}
+	n.sentCnt.Add(1)
+	return nil
+}
+
+// writeFrameTo writes one frame under the peer's write lock.
+func (n *Node) writeFrameTo(p *peer, conn net.Conn, kind byte, payload []byte) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return writeFrame(conn, kind, n.id, payload)
+}
+
+// Sent returns the number of data frames transmitted.
+func (n *Node) Sent() int64 { return n.sentCnt.Load() }
 
 // Close shuts the node down.
 func (n *Node) Close() {
@@ -207,44 +688,49 @@ func (n *Node) Close() {
 		close(n.done)
 		n.ln.Close()
 		n.mu.Lock()
-		for _, c := range n.conns {
+		for c := range n.pending {
 			c.Close()
+		}
+		for _, p := range n.peers {
+			p.mu.Lock()
+			if p.conn != nil {
+				p.conn.Close()
+			}
+			p.mu.Unlock()
 		}
 		n.mu.Unlock()
 	})
 	n.wg.Wait()
 }
 
-// Frame format: 4-byte length (sender+payload), 4-byte sender id,
-// payload bytes.
-func writeFrame(w io.Writer, from int, payload []byte) error {
-	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(4+len(payload)))
-	binary.BigEndian.PutUint32(hdr[4:8], uint32(from))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return err
-		}
-	}
-	return nil
+// Frame format: 4-byte length (kind+sender+payload), 1-byte kind,
+// 4-byte sender id, payload bytes.
+func writeFrame(w io.Writer, kind byte, from int, payload []byte) error {
+	hdr := make([]byte, 9, 9+len(payload))
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(5+len(payload)))
+	hdr[4] = kind
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(from))
+	// One Write call per frame: writers on other goroutines hold the
+	// peer write lock, but a single syscall also keeps any raw-conn
+	// writes (tests, tooling) atomic.
+	_, err := w.Write(append(hdr, payload...))
+	return err
 }
 
-func readFrame(r io.Reader) (from int, payload []byte, err error) {
-	var hdr [8]byte
+func readFrame(r io.Reader) (kind byte, from int, payload []byte, err error) {
+	var hdr [9]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	length := binary.BigEndian.Uint32(hdr[0:4])
-	if length < 4 || length > maxFrame {
-		return 0, nil, errors.New("netgrid: bad frame length")
+	if length < 5 || length > maxFrame {
+		return 0, 0, nil, errors.New("netgrid: bad frame length")
 	}
-	from = int(binary.BigEndian.Uint32(hdr[4:8]))
-	payload = make([]byte, length-4)
+	kind = hdr[4]
+	from = int(binary.BigEndian.Uint32(hdr[5:9]))
+	payload = make([]byte, length-5)
 	if _, err = io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return from, payload, nil
+	return kind, from, payload, nil
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"secmr/internal/faults"
 	"secmr/internal/topology"
 )
 
@@ -84,7 +85,10 @@ type Stats struct {
 	Duplicated int64 // extra copies created by fault injection
 }
 
-// Faults configures fault injection on every link.
+// Faults configures simple probabilistic fault injection on every
+// link. It predates internal/faults and remains for lightweight tests;
+// the full model (partitions, crash schedules, jitter, deterministic
+// replay) is Engine.Inject.
 type Faults struct {
 	DropProb float64 // probability a message is silently lost
 	DupProb  float64 // probability a message is delivered twice
@@ -94,6 +98,12 @@ type Faults struct {
 type Engine struct {
 	Graph  *topology.Graph
 	Faults Faults
+	// Inject, when set, is the full fault-injection middleware: every
+	// send is submitted to it (drop/duplicate/delay/partition), nodes
+	// it marks down neither tick nor receive, and its event schedule is
+	// advanced once per step. Jittered deliveries are clamped to
+	// preserve per-link FIFO unless the injector permits reordering.
+	Inject *faults.Injector
 	// Tap, when set, observes every accepted send (before fault
 	// injection) — tracing and bandwidth accounting for experiments.
 	Tap func(from, to NodeID, at int64, payload any)
@@ -106,6 +116,9 @@ type Engine struct {
 	rng    *rand.Rand
 	stats  Stats
 	inited bool
+	// lastAt tracks the latest scheduled delivery per directed link so
+	// injected jitter cannot reorder a FIFO link.
+	lastAt map[[2]int]int64
 }
 
 // NewEngine builds an engine over the graph; nodes[i] is hosted at
@@ -149,16 +162,30 @@ func (e *Engine) init() {
 }
 
 // Step advances the simulation by one tick: deliveries first, then one
-// OnTick per node.
+// OnTick per node. Nodes the injector marks down are skipped entirely —
+// they neither receive (in-flight messages to them are lost, as a
+// crashed TCP endpoint would lose them) nor tick; they resume with
+// their state intact on restart, modelling the paper's transient
+// resource outages.
 func (e *Engine) Step() {
 	e.init()
 	e.now++
+	if e.Inject != nil {
+		e.Inject.Advance(e.now)
+	}
 	for len(e.queue) > 0 && e.queue[0].at <= e.now {
 		ev := heap.Pop(&e.queue).(*event)
+		if e.Inject != nil && e.Inject.Down(ev.to) {
+			e.stats.Dropped++
+			continue
+		}
 		e.stats.Delivered++
 		e.nodes[ev.to].OnMessage(&e.ctxs[ev.to], ev.from, ev.payload)
 	}
 	for i := range e.nodes {
+		if e.Inject != nil && e.Inject.Down(i) {
+			continue
+		}
 		e.nodes[i].OnTick(&e.ctxs[i])
 	}
 }
@@ -221,6 +248,34 @@ func (e *Engine) send(from, to NodeID, payload any) {
 	if e.Tap != nil {
 		e.Tap(from, to, e.now, payload)
 	}
+	delay := int64(e.Graph.Delay(from, to))
+	if e.Inject != nil {
+		// Full middleware path: the injector decides drop/dup/delay and
+		// tracks partitions and crashes; the legacy Faults knobs are
+		// ignored when an injector is installed.
+		v := e.Inject.Decide(from, to)
+		if v.Drop {
+			e.stats.Dropped++
+			return
+		}
+		if e.lastAt == nil {
+			e.lastAt = map[[2]int]int64{}
+		}
+		link := [2]int{from, to}
+		for i, extra := range v.Extra {
+			if i > 0 {
+				e.stats.Duplicated++
+			}
+			at := e.now + delay + extra
+			if !e.Inject.Reorders() && at < e.lastAt[link] {
+				at = e.lastAt[link] // jitter must not reorder a FIFO link
+			}
+			e.lastAt[link] = at
+			e.seq++
+			heap.Push(&e.queue, &event{at: at, seq: e.seq, from: from, to: to, payload: payload})
+		}
+		return
+	}
 	if e.Faults.DropProb > 0 && e.rng.Float64() < e.Faults.DropProb {
 		e.stats.Dropped++
 		return
@@ -230,7 +285,6 @@ func (e *Engine) send(from, to NodeID, payload any) {
 		copies = 2
 		e.stats.Duplicated++
 	}
-	delay := int64(e.Graph.Delay(from, to))
 	for c := 0; c < copies; c++ {
 		e.seq++
 		heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, from: from, to: to, payload: payload})

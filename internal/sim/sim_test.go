@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"secmr/internal/faults"
 	"secmr/internal/topology"
 )
 
@@ -323,5 +324,107 @@ func TestTapObservesSends(t *testing.T) {
 	e.Run(5)
 	if len(taps) != 1 || taps[0] != "x" {
 		t.Fatalf("taps = %v", taps)
+	}
+}
+
+// --- internal/faults injector middleware ---
+
+func TestInjectorCrashSkipsTicksAndDropsDeliveries(t *testing.T) {
+	e, nodes := lineEngine(3, 5)
+	nodes[0].onTick = func(ctx *Context) { ctx.Send(1, "x") }
+	inj := faults.New(faults.Config{Seed: 5, Schedule: []faults.Event{
+		{At: 6, Crash: []int{1}},
+		{At: 16, Restart: []int{1}},
+	}})
+	e.Inject = inj
+	e.Run(5)
+	upTicks, upMsgs := nodes[1].ticks, len(nodes[1].received)
+	if upMsgs == 0 {
+		t.Fatal("no traffic before the crash")
+	}
+	e.Run(10)
+	if nodes[1].ticks != upTicks {
+		t.Fatalf("down node ticked: %d -> %d", upTicks, nodes[1].ticks)
+	}
+	if len(nodes[1].received) != upMsgs {
+		t.Fatalf("down node received: %d -> %d", upMsgs, len(nodes[1].received))
+	}
+	e.Run(10)
+	if nodes[1].ticks <= upTicks || len(nodes[1].received) <= upMsgs {
+		t.Fatal("restarted node never resumed")
+	}
+	if st := inj.Stats(); st.CrashDrops == 0 {
+		t.Fatalf("no crash drops recorded: %+v", st)
+	}
+}
+
+func TestInjectorPartitionCutsAndHeals(t *testing.T) {
+	e, nodes := lineEngine(2, 6)
+	nodes[0].onTick = func(ctx *Context) { ctx.Send(1, "x") }
+	inj := faults.New(faults.Config{Seed: 6})
+	e.Inject = inj
+	inj.Partition([]int{0}, []int{1})
+	e.Run(10)
+	if len(nodes[1].received) != 0 {
+		t.Fatalf("partitioned link delivered %d messages", len(nodes[1].received))
+	}
+	inj.Heal()
+	e.Run(10)
+	if len(nodes[1].received) == 0 {
+		t.Fatal("healed link still dark")
+	}
+}
+
+func TestInjectorJitterPreservesLinkFIFO(t *testing.T) {
+	e, nodes := lineEngine(2, 7)
+	seqNum := 0
+	nodes[0].onTick = func(ctx *Context) { seqNum++; ctx.Send(1, seqNum) }
+	e.Inject = faults.New(faults.Config{Seed: 7, DelayJitter: 5})
+	e.Run(200)
+	prev := 0
+	for _, p := range nodes[1].received {
+		v := p.(int)
+		if v <= prev {
+			t.Fatalf("FIFO violated under jitter: %d after %d", v, prev)
+		}
+		prev = v
+	}
+	if len(nodes[1].received) == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestInjectorReorderWindowMayReorder(t *testing.T) {
+	e, nodes := lineEngine(2, 8)
+	seqNum := 0
+	nodes[0].onTick = func(ctx *Context) { seqNum++; ctx.Send(1, seqNum) }
+	e.Inject = faults.New(faults.Config{Seed: 8, ReorderWindow: 6})
+	e.Run(300)
+	reordered := false
+	prev := 0
+	for _, p := range nodes[1].received {
+		if v := p.(int); v < prev {
+			reordered = true
+		} else {
+			prev = v
+		}
+	}
+	if !reordered {
+		t.Fatal("ReorderWindow=6 over 300 sends produced no reordering")
+	}
+}
+
+func TestInjectorDropAndDupStats(t *testing.T) {
+	e, nodes := lineEngine(2, 9)
+	nodes[0].onTick = func(ctx *Context) { ctx.Send(1, "x") }
+	e.Inject = faults.New(faults.Config{Seed: 9, DropProb: 0.5, DupProb: 0.3})
+	e.Run(300)
+	st := e.Stats()
+	if st.Dropped == 0 || st.Duplicated == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	want := st.Sent - st.Dropped + st.Duplicated - int64(e.Pending())
+	if got := int64(len(nodes[1].received)); got != want {
+		t.Fatalf("delivered %d, want sent-dropped+dup-pending = %d", got, want)
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"secmr/internal/arm"
 	"secmr/internal/core"
 	"secmr/internal/elgamal"
+	"secmr/internal/faults"
 	"secmr/internal/hashing"
 	"secmr/internal/homo"
 	"secmr/internal/majorityrule"
@@ -63,6 +64,19 @@ type (
 	Thresholds = arm.Thresholds
 	// MaliciousReport is the detection broadcast raised by controllers.
 	MaliciousReport = core.MaliciousReport
+)
+
+// Fault-injection vocabulary (see internal/faults): a FaultConfig
+// describes a seeded, deterministic link-fault regime — independent
+// drop/duplication probabilities, bounded delay jitter, and a schedule
+// of crashes, restarts, partitions and heals.
+type (
+	// FaultConfig configures the chaos regime for a Grid.
+	FaultConfig = faults.Config
+	// FaultEvent is one scheduled fault (crash/restart/partition/heal).
+	FaultEvent = faults.Event
+	// FaultStats counts what the injector actually did to the run.
+	FaultStats = faults.Stats
 )
 
 // NewItemset builds a canonical itemset.
@@ -208,6 +222,12 @@ type GridConfig struct {
 	PaddingDance bool
 	// Seed makes the run reproducible.
 	Seed int64
+	// Faults, when non-nil, subjects every link of the simulated grid
+	// to the configured chaos regime (drops, duplication, jitter,
+	// crashes, partitions). AlgorithmSecure grids automatically enable
+	// the loss-recovery timers (core.Config.LossyLinks) so the protocol
+	// stays live; inspect the damage afterwards with FaultStats.
+	Faults *FaultConfig
 }
 
 func (c GridConfig) withDefaults() GridConfig {
@@ -255,6 +275,7 @@ type Grid struct {
 	engine *sim.Engine
 	miners []miner
 	secure []*core.Resource // non-nil entries only for AlgorithmSecure
+	inject *faults.Injector // non-nil only when cfg.Faults is set
 	truth  RuleSet
 	step   int
 }
@@ -313,7 +334,8 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 				ScanBudget: cfg.ScanBudget, CandidateEvery: cfg.CandidateEvery,
 				GrowthPerStep: cfg.GrowthPerStep, K: int64(cfg.K),
 				MaxRuleItems: cfg.MaxRuleItems, IntraDelay: true,
-				PaddingDance: cfg.PaddingDance, BlindBits: blindBits}
+				PaddingDance: cfg.PaddingDance, BlindBits: blindBits,
+				LossyLinks: cfg.Faults != nil}
 			r := core.NewResource(i, c, scheme, parts[i], feed, nil)
 			g.secure = append(g.secure, r)
 			m = r
@@ -334,6 +356,10 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 		nodes[i] = m
 	}
 	g.engine = sim.NewEngine(tree, nodes, cfg.Seed)
+	if cfg.Faults != nil {
+		g.inject = faults.New(*cfg.Faults)
+		g.engine.Inject = g.inject
+	}
 	return g, nil
 }
 
@@ -446,6 +472,15 @@ func (g *Grid) Stats() GridStats {
 	es := g.engine.Stats()
 	st.EngineSent, st.EngineDelivered = es.Sent, es.Delivered
 	return st
+}
+
+// FaultStats reports what the fault injector actually did so far —
+// zero-valued when GridConfig.Faults was nil.
+func (g *Grid) FaultStats() FaultStats {
+	if g.inject == nil {
+		return FaultStats{}
+	}
+	return g.inject.Stats()
 }
 
 // Reports collects the malicious-participant reports observed anywhere

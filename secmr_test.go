@@ -192,3 +192,49 @@ func TestGridStats(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeFaultInjection(t *testing.T) {
+	db := smallDB(1200, 21)
+	grid, err := NewGrid(db, GridConfig{
+		Algorithm: AlgorithmSecure, Resources: 6, K: 2,
+		MinFreq: 0.15, MinConf: 0.7, ScanBudget: 50,
+		MaxRuleItems: 2, Seed: 21,
+		Faults: &FaultConfig{
+			Seed:     21,
+			DropProb: 0.10,
+			DupProb:  0.05,
+			Schedule: []FaultEvent{
+				{At: 80, Crash: []int{2}},
+				{At: 160, Restart: []int{2}},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step through the crash window before polling quality, or the fast
+	// small-grid convergence declares victory before the crash fires.
+	grid.Step(170)
+	if !grid.RunUntilQuality(0.9, 3000) {
+		r, p := grid.Quality()
+		t.Fatalf("lossy grid never reached 90/90: recall=%.3f precision=%.3f (faults %+v)",
+			r, p, grid.FaultStats())
+	}
+	st := grid.FaultStats()
+	if st.Dropped == 0 || st.Duplicated == 0 || st.CrashDrops == 0 {
+		t.Fatalf("fault regime did not bite: %+v", st)
+	}
+	if len(grid.Reports()) != 0 {
+		t.Fatalf("honest lossy grid produced reports: %v", grid.Reports())
+	}
+	// Fault-free grids report zero stats and keep the legacy behaviour.
+	plain, err := NewGrid(db, GridConfig{Algorithm: AlgorithmSecure, Resources: 4, K: 2,
+		MinFreq: 0.15, MinConf: 0.7, ScanBudget: 50, MaxRuleItems: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Step(20)
+	if plain.FaultStats() != (FaultStats{}) {
+		t.Fatalf("uninjected grid has fault stats: %+v", plain.FaultStats())
+	}
+}
