@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a JSON array on stdout, one object per benchmark result — the
+// machine-readable artifact the CI bench job publishes so regressions
+// diff cleanly across runs.
+//
+//	go test -run '^$' -bench . -benchtime=1x ./... | benchjson > BENCH_ci.json
+//
+// Recognised per-result fields beyond ns/op are the standard -benchmem
+// units (B/op, allocs/op) and any custom unit ReportMetric emitted;
+// unknown lines (pass/fail, package banners) are skipped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Package string             `json:"package,omitempty"`
+	Name    string             `json:"name"`
+	Procs   int                `json:"procs,omitempty"`
+	Iters   int64              `json:"iterations"`
+	NsPerOp float64            `json:"ns_per_op,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var out []result
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "ok "), strings.HasPrefix(line, "FAIL"):
+			// Package trailers name the package too; keep it for results
+			// that had no "pkg:" banner (plain -bench output).
+			if f := strings.Fields(line); len(f) >= 2 {
+				pkg = f[1]
+			}
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				r.Package = pkg
+				out = append(out, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	// "ok" trailers arrive after the package's results; backfill any
+	// result that ran before its trailer was seen.
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i].Package == "" {
+			out[i].Package = pkg
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench parses one "BenchmarkName-8  120  9713 ns/op  ..." line.
+func parseBench(line string) (result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return result{}, false
+	}
+	r := result{Name: f[0], Metrics: map[string]float64{}}
+	if name, procs, ok := strings.Cut(f[0], "-"); ok {
+		if p, err := strconv.Atoi(procs); err == nil {
+			r.Name, r.Procs = name, p
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r.Iters = iters
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		if f[i+1] == "ns/op" {
+			r.NsPerOp = v
+		} else {
+			r.Metrics[f[i+1]] = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, true
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseBench(t *testing.T) {
+	r, ok := parseBench("BenchmarkEnabledCounterInc-8   \t 214747910 \t 5.586 ns/op \t 0 B/op \t 0 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkEnabledCounterInc" || r.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.Iters != 214747910 || r.NsPerOp != 5.586 {
+		t.Fatalf("iters/ns = %d/%v", r.Iters, r.NsPerOp)
+	}
+	if r.Metrics["B/op"] != 0 || r.Metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseBenchCustomUnitAndNoProcs(t *testing.T) {
+	r, ok := parseBench("BenchmarkConvergence 3 123456 ns/op 42.5 steps/run")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkConvergence" || r.Procs != 0 {
+		t.Fatalf("name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.Metrics["steps/run"] != 42.5 {
+		t.Fatalf("custom metric lost: %v", r.Metrics)
+	}
+}
+
+func TestParseBenchRejectsGarbage(t *testing.T) {
+	for _, line := range []string{"Benchmark", "BenchmarkX notanumber 1 ns/op"} {
+		if _, ok := parseBench(line); ok {
+			t.Fatalf("parsed garbage line %q", line)
+		}
+	}
+}

@@ -12,17 +12,31 @@
 //
 //	secmr-sim -resources 16 -k 3 -drop 0.1 -dup 0.05 -jitter 2 \
 //	          -crash 1@200-320 -partition 100-400:0,1,2|3,4,5
+//
+// Observability flags expose the run live and record it:
+//
+//	secmr-sim -obs-addr 127.0.0.1:9477 -obs-hold 30s \
+//	          -trace-out run.jsonl -trace-types grant_send,vote_fresh
+//
+// While running (and for -obs-hold afterwards) the HTTP endpoint
+// serves /metrics (Prometheus), /healthz (step/recall/stalls JSON),
+// /trace (filtered JSONL) and /debug/pprof. A final run summary —
+// quality, fault damage and the busiest protocol counters — always
+// goes to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"secmr"
 	"secmr/internal/metrics"
+	"secmr/internal/obs"
 )
 
 func main() {
@@ -53,6 +67,15 @@ func main() {
 		crash     = flag.String("crash", "", "crash schedule, e.g. 1@200-320,3@500 (node@down-up; no -up = stays down)")
 		partition = flag.String("partition", "", "partition schedule, e.g. 100-400:0,1,2|3,4,5 (heals at the end step)")
 		faultSeed = flag.Int64("fault-seed", 0, "fault injector seed (0 = -seed)")
+
+		// Observability knobs (see internal/obs): telemetry is always
+		// collected (nil-safe instruments make it nearly free); these
+		// flags expose it.
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /healthz, /trace and pprof on this address (e.g. 127.0.0.1:9477)")
+		obsHold    = flag.Duration("obs-hold", 0, "keep the introspection server up this long after the run ends")
+		traceOut   = flag.String("trace-out", "", "stream the event trace as JSONL to this file")
+		traceTypes = flag.String("trace-types", "", "comma-separated event types to trace (empty = all implicit types; crypto-op must be listed explicitly)")
+		stallAfter = flag.Int("stall-patience", 0, "quality samples without recall improvement before a resource is flagged stalled (0 = default 8)")
 	)
 	flag.Parse()
 
@@ -77,16 +100,47 @@ func main() {
 		fatal(err)
 	}
 
+	// Telemetry is always on: the instruments are atomic-cheap and the
+	// final stderr summary reads them. The trace ring only leaves the
+	// process through -trace-out or /trace.
+	tel := secmr.NewTelemetry()
+	if *traceTypes != "" {
+		var f secmr.TraceFilter
+		for _, ty := range splitList(*traceTypes) {
+			f.Types = append(f.Types, secmr.TraceEventType(ty))
+		}
+		tel.Tr.SetFilter(f)
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		tel.Tr.SetSink(f)
+	}
+
 	grid, err := secmr.NewGrid(db, secmr.GridConfig{
 		Algorithm: secmr.Algorithm(*alg), Topology: secmr.Topology(*topo),
 		Resources: *resources, K: *k,
 		MinFreq: *minFreq, MinConf: *minConf,
 		ScanBudget: *budget, MaxRuleItems: *maxRule,
 		PaillierBits: *paillier, Seed: *seed,
-		Faults: faultCfg,
+		Faults:    faultCfg,
+		Telemetry: tel, StallPatience: *stallAfter,
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	var server *secmr.IntrospectionServer
+	if *obsAddr != "" {
+		server, err = grid.ServeIntrospection(*obsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# introspection: http://%s/metrics /healthz /trace /debug/pprof\n", server.Addr())
 	}
 
 	fmt.Printf("# %s over %s topology: %d resources × %d transactions, k=%d, |R[DB]|=%d\n",
@@ -94,7 +148,7 @@ func main() {
 	fmt.Printf("%-10s %-10s %-10s %-10s\n", "step", "scans", "recall", "precision")
 	series := &metrics.Series{Label: *alg}
 	for s := 0; s <= *steps; s += *sample {
-		rec, prec := grid.Quality()
+		rec, prec := grid.SampleQuality()
 		scans := float64(s) * float64(*budget) / float64(*local)
 		fmt.Printf("%-10d %-10.2f %-10.3f %-10.3f\n", s, scans, rec, prec)
 		series.Add(metrics.Point{Step: int64(s), Scans: scans, Recall: rec, Precision: prec})
@@ -114,13 +168,82 @@ func main() {
 		f.Close()
 		fmt.Printf("# series written to %s\n", *csvPath)
 	}
-	rec, prec := grid.Quality()
+	rec, prec := grid.SampleQuality()
 	fmt.Printf("# final: recall=%.3f precision=%.3f rules@resource0=%d reports=%d\n",
 		rec, prec, len(grid.Output(0)), len(grid.Reports()))
 	if faultCfg != nil {
 		st := grid.FaultStats()
 		fmt.Printf("# faults: dropped=%d duplicated=%d delayed=%d crashDrops=%d cutDrops=%d\n",
 			st.Dropped, st.Duplicated, st.Delayed, st.CrashDrops, st.CutDrops)
+	}
+
+	summarize(os.Stderr, grid, rec, prec, faultCfg != nil)
+	if traceFile != nil {
+		if err := tel.Tr.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events streamed to %s\n",
+			int64(tel.Tr.Len())+tel.Tr.Evicted(), *traceOut)
+	}
+	if server != nil {
+		if *obsHold > 0 {
+			fmt.Fprintf(os.Stderr, "holding introspection server for %v\n", *obsHold)
+			time.Sleep(*obsHold)
+		}
+		server.Close()
+	}
+}
+
+// summarize prints the end-of-run report to w: quality, fault damage,
+// watchdog verdict and the busiest protocol counters.
+func summarize(w *os.File, grid *secmr.Grid, rec, prec float64, faulty bool) {
+	fmt.Fprintf(w, "--- run summary ---\n")
+	fmt.Fprintf(w, "steps=%d recall=%.3f precision=%.3f reports=%d\n",
+		grid.Steps(), rec, prec, len(grid.Reports()))
+	st := grid.Stats()
+	fmt.Fprintf(w, "protocol: messages=%d bytes=%d sfes=%d fresh=%d gated=%d violations=%d\n",
+		st.MessagesSent, st.BytesSent, st.SFEs, st.Fresh, st.Gated, st.Violations)
+	if faulty {
+		fs := grid.FaultStats()
+		fmt.Fprintf(w, "faults: dropped=%d duplicated=%d delayed=%d crashDrops=%d cutDrops=%d\n",
+			fs.Dropped, fs.Duplicated, fs.Delayed, fs.CrashDrops, fs.CutDrops)
+	}
+	if stalled := grid.Stalled(); len(stalled) > 0 {
+		fmt.Fprintf(w, "stalled resources (recall flat below target): %v\n", stalled)
+	}
+	if tel := grid.Telemetry(); tel != nil {
+		points := tel.Reg.Snapshot()
+		var counters []obs.MetricPoint
+		for _, p := range points {
+			if p.Kind == "counter" && p.Value > 0 {
+				counters = append(counters, p)
+			}
+		}
+		sort.Slice(counters, func(i, j int) bool {
+			if counters[i].Value != counters[j].Value {
+				return counters[i].Value > counters[j].Value
+			}
+			if counters[i].Name != counters[j].Name {
+				return counters[i].Name < counters[j].Name
+			}
+			return counters[i].Labels < counters[j].Labels
+		})
+		if len(counters) > 8 {
+			counters = counters[:8]
+		}
+		if len(counters) > 0 {
+			fmt.Fprintf(w, "top counters:\n")
+			for _, p := range counters {
+				name := p.Name
+				if p.Labels != "" {
+					name += "{" + p.Labels + "}"
+				}
+				fmt.Fprintf(w, "  %-48s %.0f\n", name, p.Value)
+			}
+		}
 	}
 }
 

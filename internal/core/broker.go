@@ -7,6 +7,7 @@ import (
 	"secmr/internal/arm"
 	"secmr/internal/homo"
 	"secmr/internal/oblivious"
+	"secmr/internal/obs"
 )
 
 // Adversary lets the attack harness replace parts of a broker's
@@ -114,6 +115,7 @@ type Broker struct {
 
 	rng   *rand.Rand
 	stats BrokerStats
+	tel   *telemetry
 }
 
 func newBroker(id int, cfg Config, pub homo.Public, acc *Accountant, ctl *Controller, adv Adversary) *Broker {
@@ -123,6 +125,9 @@ func newBroker(id int, cfg Config, pub homo.Public, acc *Accountant, ctl *Contro
 		cands:   map[string]*secCandidate{},
 		history: map[string]map[int][]*oblivious.Counter{},
 		rng:     rand.New(rand.NewSource(int64(id)*104729 + 7)),
+		// Disabled telemetry by default; NewResource swaps in the
+		// resource-wide set (see newController).
+		tel: newTelemetry(id, nil, func() int64 { return 0 }),
 	}
 }
 
@@ -241,6 +246,7 @@ func (b *Broker) onRuleMsg(from int, m RuleCipherMsg) {
 		// refreshed grant is still in flight after a join); mixing
 		// dealings would break the Σshares = 1 invariant. Drop — the
 		// anti-entropy refresh re-delivers under the new grant.
+		b.tel.epochDrops.Inc()
 		return
 	}
 	if len(m.Counter.Stamps) > b.acc.numSlots() {
@@ -462,8 +468,12 @@ func (b *Broker) transmit(tr Transport, c *secCandidate, v int, e *secEdge, stam
 	e.contacted = true
 	e.staleSinceSend = false
 	e.lastSendStep = b.step
+	nb := counterBytes(out)
 	b.stats.MessagesSent++
-	b.stats.BytesSent += counterBytes(out)
+	b.stats.BytesSent += nb
+	b.tel.countersSent.Inc()
+	b.tel.counterBytes.Add(nb)
+	b.tel.emit(obs.Event{Type: obs.EvCounterSend, Peer: v, Rule: c.key, Value: nb})
 	tr.Send(v, RuleCipherMsg{Rule: c.rule, Counter: out, Epoch: link.grant.Epoch})
 }
 

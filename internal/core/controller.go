@@ -5,7 +5,24 @@ import (
 
 	"secmr/internal/homo"
 	"secmr/internal/oblivious"
+	"secmr/internal/obs"
 )
+
+// voteDetail renders a send decision for the trace.
+func voteDetail(send bool) string {
+	if send {
+		return "send"
+	}
+	return "hold"
+}
+
+// bool01 renders a decision bit for Event.Value.
+func bool01(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // ControllerAdversary corrupts a controller's SFE answers — §3's
 // attack model lets a taken-over controller "do whatever it pleases".
@@ -62,6 +79,7 @@ type Controller struct {
 	audit []AuditEntry
 
 	stats ControllerStats
+	tel   *telemetry
 }
 
 // AuditEntry records one controller gate decision: the totals behind
@@ -122,6 +140,10 @@ func newController(id int, cfg Config, dec homo.Decryptor, enc homo.Encryptor, p
 		seen:      map[string][]int64{},
 		sendGates: map[string]*gateState{},
 		outGates:  map[string]*gateState{},
+		// Disabled telemetry by default; NewResource swaps in the
+		// resource-wide set. Keeps entities built directly (tests,
+		// harnesses) hook-safe.
+		tel: newTelemetry(id, nil, func() int64 { return 0 }),
 	}
 }
 
@@ -231,22 +253,29 @@ func (c *Controller) SendDecision(rule string, edge int, full *oblivious.Counter
 		// encrypted body reveals nothing.
 		send = true
 		g.lastCount, g.lastNum, g.queried = cnt, num, true
+		c.tel.emit(obs.Event{Type: obs.EvVoteGated, Peer: edge, Rule: rule, Detail: "first-contact"})
 	case g.queried && cnt == g.lastCount && num == g.lastNum:
 		c.stats.Suppressed++
+		c.tel.votesSuppressed.Inc()
+		c.tel.emit(obs.Event{Type: obs.EvVoteSupp, Peer: edge, Rule: rule})
 		send = false
 	case g.open(c.cfg.K, cnt, num):
 		c.stats.FreshDecisions++
+		c.tel.votesFresh.Inc()
 		c.record("send:"+key, cnt, num, true)
 		g.lastCount, g.lastNum, g.queried = cnt, num, true
 		sDuv := oblivious.SignOf(c.dec, blindDuv)
 		sDiff := oblivious.SignOf(c.dec, blindDiff)
 		// (Δuv ≥ 0 ∧ Δuv > Δu) ∨ (Δuv < 0 ∧ Δuv < Δu).
 		send = (sDuv >= 0 && sDiff > 0) || (sDuv < 0 && sDiff < 0)
+		c.tel.emit(obs.Event{Type: obs.EvVoteFresh, Peer: edge, Rule: rule, Detail: voteDetail(send)})
 	default:
 		c.stats.GatedDecisions++
+		c.tel.votesGated.Inc()
 		c.record("send:"+key, cnt, num, false)
 		g.lastCount, g.lastNum, g.queried = cnt, num, true
 		send = true
+		c.tel.emit(obs.Event{Type: obs.EvVoteGated, Peer: edge, Rule: rule, Detail: "in-gate"})
 	}
 	if c.adv != nil {
 		send = c.adv.TamperAnswer("send", rule, send)
@@ -303,12 +332,17 @@ func (c *Controller) OutputDecision(rule string, full *oblivious.Counter,
 	}
 	if g.open(c.cfg.K, cnt, num) {
 		c.stats.FreshDecisions++
+		c.tel.votesFresh.Inc()
 		c.record("out:"+rule, cnt, num, true)
 		g.cached = oblivious.SignOf(c.dec, blindDu) >= 0
+		c.tel.emit(obs.Event{Type: obs.EvOutputDec, Peer: -1, Rule: rule, Detail: "fresh", Value: bool01(g.cached)})
 	} else {
 		c.stats.GatedDecisions++
+		c.tel.votesGated.Inc()
 		c.record("out:"+rule, cnt, num, false)
+		c.tel.emit(obs.Event{Type: obs.EvOutputDec, Peer: -1, Rule: rule, Detail: "cached", Value: bool01(g.cached)})
 	}
+	c.tel.outputDecisions.Inc()
 	if c.adv != nil {
 		return c.adv.TamperAnswer("output", rule, g.cached), true
 	}

@@ -30,6 +30,7 @@ import (
 	"secmr/internal/arm"
 	"secmr/internal/homo"
 	"secmr/internal/oblivious"
+	"secmr/internal/obs"
 	"secmr/internal/sim"
 )
 
@@ -64,6 +65,12 @@ type Config struct {
 	// Audit records every controller gate decision for offline k-TTP
 	// admissibility verification (testing/analysis; off by default).
 	Audit bool
+	// Obs, when non-nil, receives the resource's telemetry: protocol
+	// counters in its registry and rule-level trace events (grants,
+	// counter transfers, vote decisions, reports) in its tracer. All
+	// instrumentation is nil-safe; a nil Obs costs one pointer check
+	// per hook.
+	Obs *obs.Sink
 	// LossyLinks arms the protocol's delivery-failure recovery for
 	// transports that can drop messages (fault injection, UDP-like
 	// links, TCP across crashes): the anti-entropy refresh re-sends
@@ -177,6 +184,7 @@ type Resource struct {
 
 	neighbors []int
 	step      int64
+	tel       *telemetry
 	// lossTick drives the LossyLinks re-emission timers; unlike step it
 	// keeps counting after a halt, because report re-flooding must
 	// outlive the resource's own participation.
@@ -192,9 +200,12 @@ type Resource struct {
 func NewResource(id int, cfg Config, scheme homo.Scheme, local *arm.Database, feed []arm.Transaction, adv Adversary) *Resource {
 	cfg = cfg.withDefaults()
 	r := &Resource{ID: id, cfg: cfg, reportsSeen: map[string]bool{}}
+	r.tel = newTelemetry(id, cfg.Obs, func() int64 { return r.step })
 	r.Accountant = newAccountant(id, cfg, scheme, scheme, local, feed)
 	r.Controller = newController(id, cfg, scheme, scheme, scheme)
 	r.Broker = newBroker(id, cfg, scheme, r.Accountant, r.Controller, adv)
+	r.Controller.tel = r.tel
+	r.Broker.tel = r.tel
 	return r
 }
 
@@ -228,6 +239,8 @@ func (r *Resource) Bootstrap(neighbors []int, tr Transport) {
 	for _, v := range r.neighbors {
 		if g, ok := grants[v]; ok {
 			tr.Send(v, g)
+			r.tel.grantsSent.Inc()
+			r.tel.emit(obs.Event{Type: obs.EvGrantSend, Peer: v})
 		}
 	}
 	r.Broker.init(neighbors)
@@ -237,11 +250,15 @@ func (r *Resource) Bootstrap(neighbors []int, tr Transport) {
 func (r *Resource) HandleMessage(tr Transport, from int, payload any) {
 	switch m := payload.(type) {
 	case ShareGrant:
+		r.tel.grantsRecv.Inc()
+		r.tel.emit(obs.Event{Type: obs.EvGrantRecv, Peer: from, Value: int64(m.Epoch)})
 		r.Broker.onShareGrant(from, m)
 	case RuleCipherMsg:
 		if r.halted {
 			return
 		}
+		r.tel.countersRecv.Inc()
+		r.tel.emit(obs.Event{Type: obs.EvCounterRecv, Peer: from, Rule: m.Rule.Key()})
 		r.Broker.onRuleMsg(from, m)
 	case MaliciousReport:
 		r.propagateReport(tr, m, from)
@@ -333,6 +350,7 @@ func (r *Resource) lossRecoveryTick(tr Transport) {
 		for _, v := range r.neighbors {
 			tr.Send(v, rep)
 		}
+		r.tel.refloods.Inc()
 	}
 	if r.halted {
 		return
@@ -343,6 +361,8 @@ func (r *Resource) lossRecoveryTick(tr Transport) {
 	for _, v := range r.neighbors {
 		if g, ok := grants[v]; ok {
 			tr.Send(v, g)
+			r.tel.grantsSent.Inc()
+			r.tel.emit(obs.Event{Type: obs.EvGrantSend, Peer: v, Detail: "refresh"})
 		}
 	}
 }
@@ -361,6 +381,13 @@ func (r *Resource) propagateReport(tr Transport, rep MaliciousReport, from int) 
 	}
 	r.reportsSeen[key] = true
 	r.reports = append(r.reports, rep)
+	if from < 0 {
+		r.tel.reportsRaised.Inc()
+		r.tel.emit(obs.Event{Type: obs.EvReportRaise, Peer: rep.Accused, Detail: rep.Reason})
+	} else {
+		r.tel.reportsRecv.Inc()
+		r.tel.emit(obs.Event{Type: obs.EvReportRecv, Peer: from, Detail: rep.Reason})
+	}
 	for _, v := range r.neighbors {
 		if v != from {
 			tr.Send(v, rep)

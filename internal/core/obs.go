@@ -1,0 +1,63 @@
+package core
+
+import "secmr/internal/obs"
+
+// telemetry is a resource's pre-resolved instrument set. NewResource
+// always constructs one — when Config.Obs is nil every instrument
+// pointer is nil and every method degrades to a nil check — so the
+// protocol hot paths carry their hooks unconditionally and never
+// branch on "is telemetry on".
+type telemetry struct {
+	sink *obs.Sink
+	id   int
+	now  func() int64
+
+	grantsSent   *obs.Counter
+	grantsRecv   *obs.Counter
+	countersSent *obs.Counter
+	countersRecv *obs.Counter
+	counterBytes *obs.Counter
+	epochDrops   *obs.Counter
+
+	votesFresh      *obs.Counter
+	votesGated      *obs.Counter
+	votesSuppressed *obs.Counter
+	outputDecisions *obs.Counter
+
+	reportsRaised *obs.Counter
+	reportsRecv   *obs.Counter
+	refloods      *obs.Counter
+}
+
+// newTelemetry resolves every instrument once. now supplies the
+// resource-local step clock stamped onto trace events.
+func newTelemetry(id int, sink *obs.Sink, now func() int64) *telemetry {
+	reg := sink.Registry()
+	return &telemetry{
+		sink: sink, id: id, now: now,
+		grantsSent:      reg.Counter("secmr_grants_sent_total", "Share grants transmitted (bootstrap, joins and lossy-link refresh)."),
+		grantsRecv:      reg.Counter("secmr_grants_recv_total", "Share grants received."),
+		countersSent:    reg.Counter("secmr_counters_sent_total", "Oblivious counters transmitted."),
+		countersRecv:    reg.Counter("secmr_counters_recv_total", "Oblivious counters received."),
+		counterBytes:    reg.Counter("secmr_counter_bytes_total", "Approximate ciphertext bytes of transmitted counters."),
+		epochDrops:      reg.Counter("secmr_epoch_drops_total", "Inbound counters dropped for a stale share-dealing epoch."),
+		votesFresh:      reg.Counter("secmr_vote_decisions_total", "Controller send-SFE outcomes by kind.", "outcome", "fresh"),
+		votesGated:      reg.Counter("secmr_vote_decisions_total", "Controller send-SFE outcomes by kind.", "outcome", "gated"),
+		votesSuppressed: reg.Counter("secmr_vote_decisions_total", "Controller send-SFE outcomes by kind.", "outcome", "suppressed"),
+		outputDecisions: reg.Counter("secmr_output_decisions_total", "Output() SFEs answered (fresh or cached)."),
+		reportsRaised:   reg.Counter("secmr_reports_total", "Malicious-participant reports by kind.", "kind", "raised"),
+		reportsRecv:     reg.Counter("secmr_reports_total", "Malicious-participant reports by kind.", "kind", "received"),
+		refloods:        reg.Counter("secmr_report_refloods_total", "Lossy-link periodic report re-floods."),
+	}
+}
+
+// emit stamps the resource ID and step onto a trace event and records
+// it. Cost with tracing off: one pointer check.
+func (t *telemetry) emit(e obs.Event) {
+	if t == nil || t.sink == nil || t.sink.Tr == nil {
+		return
+	}
+	e.Node = t.id
+	e.Step = t.now()
+	t.sink.Tr.Emit(e)
+}

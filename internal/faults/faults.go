@@ -25,6 +25,8 @@ package faults
 import (
 	"math/rand"
 	"sync"
+
+	"secmr/internal/obs"
 )
 
 // Config describes one fault regime.
@@ -102,6 +104,8 @@ type Injector struct {
 	parted  bool
 	nextEvt int
 	stats   Stats
+	// injected-fault counters, resolved once by SetObs (nil = off).
+	cDrop, cDup, cDelay, cCrash, cCut, cQueue, cReconn *obs.Counter
 }
 
 // New builds an injector. The schedule is replayed by Advance in the
@@ -112,6 +116,23 @@ func New(cfg Config) *Injector {
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		down: map[int]bool{},
 	}
+}
+
+// SetObs installs fault telemetry: one counter family labelled by the
+// injected action, incremented alongside the Stats fields. Call before
+// the injector is shared with a runtime.
+func (in *Injector) SetObs(sink *obs.Sink) {
+	reg := sink.Registry()
+	help := "Faults injected, by action."
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.cDrop = reg.Counter("secmr_faults_injected_total", help, "action", "drop")
+	in.cDup = reg.Counter("secmr_faults_injected_total", help, "action", "duplicate")
+	in.cDelay = reg.Counter("secmr_faults_injected_total", help, "action", "delay")
+	in.cCrash = reg.Counter("secmr_faults_injected_total", help, "action", "crash_drop")
+	in.cCut = reg.Counter("secmr_faults_injected_total", help, "action", "cut_drop")
+	in.cQueue = reg.Counter("secmr_faults_injected_total", help, "action", "queue_drop")
+	in.cReconn = reg.Counter("secmr_faults_injected_total", help, "action", "reconnect")
 }
 
 // Advance applies every scheduled event with At <= now. The simulator
@@ -214,20 +235,24 @@ func (in *Injector) Decide(from, to int) Verdict {
 	defer in.mu.Unlock()
 	if in.down[from] || in.down[to] {
 		in.stats.CrashDrops++
+		in.cCrash.Inc()
 		return Verdict{Drop: true}
 	}
 	if in.cutLocked(from, to) {
 		in.stats.CutDrops++
+		in.cCut.Inc()
 		return Verdict{Drop: true}
 	}
 	if in.cfg.DropProb > 0 && in.rng.Float64() < in.cfg.DropProb {
 		in.stats.Dropped++
+		in.cDrop.Inc()
 		return Verdict{Drop: true}
 	}
 	copies := 1
 	if in.cfg.DupProb > 0 && in.rng.Float64() < in.cfg.DupProb {
 		copies = 2
 		in.stats.Duplicated++
+		in.cDup.Inc()
 	}
 	extra := make([]int64, copies)
 	for i := range extra {
@@ -240,6 +265,7 @@ func (in *Injector) Decide(from, to int) Verdict {
 		}
 		if d > 0 {
 			in.stats.Delayed++
+			in.cDelay.Inc()
 		}
 		extra[i] = d
 	}
@@ -250,6 +276,7 @@ func (in *Injector) Decide(from, to int) Verdict {
 func (in *Injector) CountQueueDrop() {
 	in.mu.Lock()
 	in.stats.QueueDrops++
+	in.cQueue.Inc()
 	in.mu.Unlock()
 }
 
@@ -257,6 +284,7 @@ func (in *Injector) CountQueueDrop() {
 func (in *Injector) CountReconnect() {
 	in.mu.Lock()
 	in.stats.Reconnects++
+	in.cReconn.Inc()
 	in.mu.Unlock()
 }
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"secmr/internal/faults"
+	"secmr/internal/obs"
 	"secmr/internal/topology"
 )
 
@@ -64,6 +65,16 @@ type Runtime struct {
 	// to the outstanding-message counter, so quiescence detection keeps
 	// working under faults.
 	Inject *faults.Injector
+	// Obs, when set before Run, receives runtime telemetry: message
+	// counters, an outstanding-message gauge, and transport trace
+	// events. All hooks are nil-safe atomics, so they are race-free
+	// under the concurrent runtime.
+	Obs *obs.Sink
+
+	obsSent      *obs.Counter
+	obsDelivered *obs.Counter
+	obsDropped   *obs.Counter
+	obsPendGauge *obs.Gauge
 
 	inboxes     []chan message
 	links       map[[2]int]chan message // per-directed-edge FIFO queues
@@ -105,19 +116,29 @@ func (r *Runtime) send(from, to int, payload any) {
 	if !ok {
 		panic(fmt.Sprintf("grid: %d -> %d is not an edge", from, to))
 	}
+	r.obsSent.Inc()
+	if r.Obs != nil && r.Obs.Tr != nil {
+		r.Obs.Tr.Emit(obs.Event{Type: obs.EvMsgSend, Node: from, Peer: to})
+	}
 	if r.Inject != nil {
 		v := r.Inject.Decide(from, to)
 		if v.Drop {
 			r.dropped.Add(1)
+			r.obsDropped.Inc()
+			if r.Obs != nil && r.Obs.Tr != nil {
+				r.Obs.Tr.Emit(obs.Event{Type: obs.EvMsgDrop, Node: from, Peer: to, Detail: "injected"})
+			}
 			return
 		}
 		for _, extra := range v.Extra {
 			r.outstanding.Add(1)
+			r.obsPendGauge.Add(1)
 			ch <- message{from: from, payload: payload, extra: extra}
 		}
 		return
 	}
 	r.outstanding.Add(1)
+	r.obsPendGauge.Add(1)
 	ch <- message{from: from, payload: payload}
 }
 
@@ -157,6 +178,7 @@ func (r *Runtime) forward(ctx context.Context, from, to int, ch chan message) {
 
 // release marks one message fully processed and checks quiescence.
 func (r *Runtime) release() {
+	r.obsPendGauge.Add(-1)
 	if r.outstanding.Add(-1) == 0 {
 		r.quietOnce.Do(func() { close(r.quiet) })
 	}
@@ -169,6 +191,13 @@ func (r *Runtime) Run(ctx context.Context) bool {
 	ctx, cancel := context.WithCancel(ctx)
 	r.cancel = cancel
 	defer cancel()
+
+	if reg := r.Obs.Registry(); reg != nil {
+		r.obsSent = reg.Counter("secmr_grid_messages_total", "Runtime message outcomes.", "outcome", "sent")
+		r.obsDelivered = reg.Counter("secmr_grid_messages_total", "Runtime message outcomes.", "outcome", "delivered")
+		r.obsDropped = reg.Counter("secmr_grid_messages_total", "Runtime message outcomes.", "outcome", "dropped")
+		r.obsPendGauge = reg.Gauge("secmr_grid_outstanding_messages", "Messages sent but not yet fully processed.")
+	}
 
 	for key, ch := range r.links {
 		r.wg.Add(1)
@@ -189,11 +218,19 @@ func (r *Runtime) Run(ctx context.Context) bool {
 						// A crashed actor loses its inbound messages;
 						// release keeps quiescence detection sound.
 						r.dropped.Add(1)
+						r.obsDropped.Inc()
+						if r.Obs != nil && r.Obs.Tr != nil {
+							r.Obs.Tr.Emit(obs.Event{Type: obs.EvMsgDrop, Node: m.from, Peer: i, Detail: "receiver-down"})
+						}
 						r.release()
 						continue
 					}
 					r.actors[i].OnMessage(i, m.from, m.payload, sendFn)
 					r.delivered.Add(1)
+					r.obsDelivered.Inc()
+					if r.Obs != nil && r.Obs.Tr != nil {
+						r.Obs.Tr.Emit(obs.Event{Type: obs.EvMsgDeliver, Node: i, Peer: m.from})
+					}
 					r.release()
 				}
 			}
@@ -203,6 +240,7 @@ func (r *Runtime) Run(ctx context.Context) bool {
 	// the system cannot be declared quiet before every actor started.
 	for range r.actors {
 		r.outstanding.Add(1)
+		r.obsPendGauge.Add(1)
 	}
 	for i := range r.actors {
 		i := i

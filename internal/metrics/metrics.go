@@ -8,6 +8,8 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
+	"strconv"
 	"strings"
 
 	"secmr/internal/arm"
@@ -85,20 +87,30 @@ func (s *Series) Final() Point {
 }
 
 // WriteCSV emits "label,step,scans,recall,precision" rows for every
-// series, with a header.
+// series, with a header. Non-finite values become empty cells rather
+// than literal NaN/Inf tokens, which most CSV importers reject.
 func WriteCSV(w io.Writer, series ...*Series) error {
 	if _, err := io.WriteString(w, "label,step,scans,recall,precision\n"); err != nil {
 		return err
 	}
 	for _, s := range series {
 		for _, p := range s.Points {
-			if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%.4f,%.4f\n",
-				csvEscape(s.Label), p.Step, p.Scans, p.Recall, p.Precision); err != nil {
+			if _, err := fmt.Fprintf(w, "%s,%d,%s,%s,%s\n",
+				csvEscape(s.Label), p.Step,
+				csvFloat(p.Scans), csvFloat(p.Recall), csvFloat(p.Precision)); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// csvFloat formats one CSV cell; NaN and ±Inf render empty.
+func csvFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'f', 4, 64)
 }
 
 func csvEscape(s string) string {
@@ -150,10 +162,15 @@ var sparkTicks = []rune("▁▂▃▄▅▆▇█")
 
 // Sparkline renders values in [0,1] as a compact unicode strip —
 // convergence curves in terminal output. Values outside [0,1] are
-// clamped; an empty input yields an empty string.
+// clamped (±Inf included); NaN renders as a space so gaps stay
+// visible. An empty input yields an empty string.
 func Sparkline(values []float64) string {
 	out := make([]rune, len(values))
 	for i, v := range values {
+		if math.IsNaN(v) {
+			out[i] = ' '
+			continue
+		}
 		if v < 0 {
 			v = 0
 		}

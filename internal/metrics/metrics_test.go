@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -144,5 +145,83 @@ func TestSparkline(t *testing.T) {
 	ser.Add(Point{Recall: 0.9})
 	if len([]rune(RecallSparkline(ser))) != 2 {
 		t.Fatal("series sparkline length")
+	}
+}
+
+func TestWriteCSVEmptyAndSinglePoint(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "label,step,scans,recall,precision\n" {
+		t.Fatalf("no-series CSV = %q, want header only", buf.String())
+	}
+
+	buf.Reset()
+	empty := &Series{Label: "empty"}
+	if err := WriteCSV(&buf, empty); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") != 1 {
+		t.Fatalf("empty series must contribute no rows: %q", buf.String())
+	}
+
+	buf.Reset()
+	one := &Series{Label: "one"}
+	one.Add(Point{Step: 25, Scans: 2.5, Recall: 0.5, Precision: 1})
+	if err := WriteCSV(&buf, one); err != nil {
+		t.Fatal(err)
+	}
+	want := "label,step,scans,recall,precision\none,25,2.5000,0.5000,1.0000\n"
+	if buf.String() != want {
+		t.Fatalf("single-point CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteCSVGuardsNonFinite(t *testing.T) {
+	s := &Series{Label: "nan"}
+	s.Add(Point{Step: 1, Scans: math.NaN(), Recall: math.Inf(1), Precision: math.Inf(-1)})
+	s.Add(Point{Step: 2, Scans: 1, Recall: 0.25, Precision: 0.75})
+	var buf strings.Builder
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	if lines[1] != "nan,1,,," {
+		t.Fatalf("non-finite row = %q, want empty cells", lines[1])
+	}
+	if lines[2] != "nan,2,1.0000,0.2500,0.7500" {
+		t.Fatalf("finite row = %q", lines[2])
+	}
+	if strings.Contains(buf.String(), "NaN") || strings.Contains(buf.String(), "Inf") {
+		t.Fatalf("literal NaN/Inf leaked into CSV: %q", buf.String())
+	}
+}
+
+func TestWriteCSVEscapesLabels(t *testing.T) {
+	s := &Series{Label: `a,"b"`}
+	s.Add(Point{Step: 1, Scans: 1, Recall: 1, Precision: 1})
+	var buf strings.Builder
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"a,""b"""`) {
+		t.Fatalf("label not CSV-escaped: %q", buf.String())
+	}
+}
+
+func TestSparklineNonFinite(t *testing.T) {
+	s := []rune(Sparkline([]float64{math.NaN(), math.Inf(1), math.Inf(-1), 0.5}))
+	if len(s) != 4 {
+		t.Fatalf("length %d", len(s))
+	}
+	if s[0] != ' ' {
+		t.Fatalf("NaN should render as a gap, got %q", s[0])
+	}
+	if s[1] != '█' || s[2] != '▁' {
+		t.Fatalf("Inf should clamp to the extremes, got %q", string(s))
 	}
 }

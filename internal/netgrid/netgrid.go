@@ -32,11 +32,13 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"secmr/internal/faults"
+	"secmr/internal/obs"
 )
 
 // Handler processes one inbound frame. It runs on the node's single
@@ -84,6 +86,10 @@ type Options struct {
 	FaultDelayUnit time.Duration
 	// Logf receives diagnostics; nil silences them.
 	Logf func(string, ...any)
+	// Obs, when set, receives transport telemetry: per-node frame
+	// counters, a parked-queue gauge, and reconnect / heartbeat-miss
+	// trace events. All hooks are nil-safe.
+	Obs *obs.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -125,6 +131,21 @@ type Node struct {
 	wg      sync.WaitGroup
 	closed  sync.Once
 	sentCnt atomic.Int64
+
+	// transport telemetry, resolved once at Start (nil = off).
+	obsTr       *obs.Tracer
+	cFramesSent *obs.Counter
+	cFramesRecv *obs.Counter
+	cReconnects *obs.Counter
+	cHbMisses   *obs.Counter
+	gParked     *obs.Gauge
+}
+
+// emit records one trace event when tracing is on.
+func (n *Node) emit(e obs.Event) {
+	if n.obsTr != nil {
+		n.obsTr.Emit(e)
+	}
 }
 
 // peer is the per-neighbor link state.
@@ -190,6 +211,15 @@ func StartWithOptions(id int, handler Handler, opt Options) (*Node, error) {
 		rng:     rand.New(rand.NewSource(int64(id) + 1)),
 		inbox:   make(chan inFrame, 1024),
 		done:    make(chan struct{}),
+	}
+	if reg := opt.Obs.Registry(); reg != nil {
+		node := strconv.Itoa(id)
+		n.obsTr = opt.Obs.Tracer()
+		n.cFramesSent = reg.Counter("secmr_net_frames_total", "Data frames, by node and direction.", "node", node, "dir", "sent")
+		n.cFramesRecv = reg.Counter("secmr_net_frames_total", "Data frames, by node and direction.", "node", node, "dir", "recv")
+		n.cReconnects = reg.Counter("secmr_net_reconnects_total", "Link reconnections adopted, by node.", "node", node)
+		n.cHbMisses = reg.Counter("secmr_net_heartbeat_misses_total", "Peers declared down after heartbeat silence, by node.", "node", node)
+		n.gParked = reg.Gauge("secmr_net_parked_frames", "Frames parked for down peers, by node.", "node", node)
 	}
 	n.wg.Add(2)
 	go n.acceptLoop()
@@ -311,8 +341,12 @@ func (n *Node) adopt(p *peer, conn net.Conn, dialer int) bool {
 
 	n.wg.Add(1)
 	go n.readLoop(p, conn)
-	if reconnect && n.opt.Faults != nil {
-		n.opt.Faults.CountReconnect()
+	if reconnect {
+		if n.opt.Faults != nil {
+			n.opt.Faults.CountReconnect()
+		}
+		n.cReconnects.Inc()
+		n.emit(obs.Event{Type: obs.EvReconnect, Node: n.id, Peer: p.id})
 	}
 	// Drain the parked queue before declaring the peer up: Sends keep
 	// queueing behind the parked frames until the backlog is flushed,
@@ -331,11 +365,13 @@ func (n *Node) adopt(p *peer, conn net.Conn, dialer int) bool {
 		q := p.queue
 		p.queue = nil
 		p.mu.Unlock()
+		n.gParked.Add(-float64(len(q)))
 		for i, f := range q {
 			if err := n.writeData(p, conn, f); err != nil {
 				p.mu.Lock()
 				p.queue = append(append([][]byte{}, q[i:]...), p.queue...)
 				p.mu.Unlock()
+				n.gParked.Add(float64(len(q) - i))
 				n.markDown(p, conn)
 				return true
 			}
@@ -498,6 +534,8 @@ func (n *Node) dispatchLoop() {
 		case <-n.done:
 			return
 		case f := <-n.inbox:
+			n.cFramesRecv.Inc()
+			n.emit(obs.Event{Type: obs.EvMsgDeliver, Node: n.id, Peer: f.from})
 			n.handler(f.from, f.payload)
 		}
 	}
@@ -530,6 +568,8 @@ func (n *Node) heartbeatLoop() {
 			if time.Since(seen) > n.opt.PeerTimeout {
 				n.opt.Logf("netgrid %d: peer %d silent for %v, declaring down",
 					n.id, p.id, n.opt.PeerTimeout)
+				n.cHbMisses.Inc()
+				n.emit(obs.Event{Type: obs.EvHeartbeatMiss, Node: n.id, Peer: p.id})
 				n.markDown(p, conn)
 				continue
 			}
@@ -612,6 +652,7 @@ func (n *Node) Send(to int, frame []byte) error {
 	if inj := n.opt.Faults; inj != nil {
 		v := inj.Decide(n.id, to)
 		if v.Drop {
+			n.emit(obs.Event{Type: obs.EvMsgDrop, Node: n.id, Peer: to, Detail: "injected"})
 			return nil // lost in transit: indistinguishable from a send
 		}
 		copies, extra = len(v.Extra), v.Extra
@@ -644,11 +685,14 @@ func (n *Node) Send(to int, frame []byte) error {
 func (n *Node) enqueueLocked(p *peer, frame []byte) {
 	if len(p.queue) >= n.opt.QueueLen {
 		p.queue = p.queue[1:]
+		n.gParked.Add(-1)
 		if inj := n.opt.Faults; inj != nil {
 			inj.CountQueueDrop()
 		}
+		n.emit(obs.Event{Type: obs.EvMsgDrop, Node: n.id, Peer: p.id, Detail: "queue-overflow"})
 	}
 	p.queue = append(p.queue, frame)
+	n.gParked.Add(1)
 }
 
 // writeData sends one data frame and counts it.
@@ -669,6 +713,8 @@ func (n *Node) writeDataDelayed(p *peer, conn net.Conn, frame []byte, delay time
 		return err
 	}
 	n.sentCnt.Add(1)
+	n.cFramesSent.Inc()
+	n.emit(obs.Event{Type: obs.EvMsgSend, Node: n.id, Peer: p.id})
 	return nil
 }
 

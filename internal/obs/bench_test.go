@@ -1,0 +1,51 @@
+package obs
+
+import "testing"
+
+// BenchmarkDisabledCounterInc measures the telemetry-off fast path —
+// the acceptance criterion is a few ns/op at most (it is one nil
+// check, so typically well under 1 ns).
+func BenchmarkDisabledCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkEnabledCounterInc is the telemetry-on path: one atomic add.
+func BenchmarkEnabledCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkDisabledEmit measures a nil tracer's Emit: the cost an
+// instrumented hot path pays per event when tracing is off.
+func BenchmarkDisabledEmit(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Type: EvMsgSend, Node: 1, Peer: 2})
+	}
+}
+
+// BenchmarkEnabledEmit measures recording one event into the ring.
+func BenchmarkEnabledEmit(b *testing.B) {
+	tr := NewTracer(1 << 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Type: EvMsgSend, Node: 1, Peer: 2})
+	}
+}
+
+// BenchmarkHistogramObserve is the crypto-latency recording path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", DefLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(3e-5)
+	}
+}

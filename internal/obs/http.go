@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// ServerOpts configures the introspection endpoints.
+type ServerOpts struct {
+	// Registry backs /metrics (Prometheus text format). Optional.
+	Registry *Registry
+	// Tracer backs /trace (JSONL dump of the ring, with query-param
+	// filtering). Optional.
+	Tracer *Tracer
+	// Health, when set, contributes extra fields to the /healthz JSON
+	// body. It runs on the scrape goroutine, so it must be safe to
+	// call concurrently with the instrumented program.
+	Health func() map[string]any
+}
+
+// NewMux builds the introspection handler: /metrics, /healthz,
+// /trace, /debug/vars (expvar) and /debug/pprof/*.
+func NewMux(o ServerOpts) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		body := map[string]any{"status": "ok"}
+		if o.Health != nil {
+			for k, v := range o.Health() {
+				body[k] = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(body)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if o.Tracer == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		f := Filter{Rule: r.URL.Query().Get("rule")}
+		for _, ty := range splitNonEmpty(r.URL.Query().Get("type")) {
+			f.Types = append(f.Types, EventType(ty))
+		}
+		for _, s := range splitNonEmpty(r.URL.Query().Get("node")) {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, "bad node filter: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.Nodes = append(f.Nodes, n)
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = o.Tracer.WriteJSONL(w, f)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func splitNonEmpty(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection server on addr (e.g. "127.0.0.1:0"
+// for an ephemeral port) and serves until Close.
+func Serve(addr string, o ServerOpts) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(o)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

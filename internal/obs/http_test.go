@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestIntrospectionServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("secmr_http_test_total", "test counter").Add(3)
+	tr := NewTracer(16)
+	tr.Emit(Event{Type: EvCounterSend, Node: 0, Peer: 1, Rule: "f{1}"})
+	tr.Emit(Event{Type: EvCounterSend, Node: 2, Peer: 1, Rule: "f{2}"})
+	srv, err := Serve("127.0.0.1:0", ServerOpts{
+		Registry: reg,
+		Tracer:   tr,
+		Health:   func() map[string]any { return map[string]any{"step": 42} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 ||
+		!strings.Contains(body, "secmr_http_test_total 3") ||
+		!strings.Contains(body, "# TYPE secmr_http_test_total counter") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 ||
+		!strings.Contains(body, `"status":"ok"`) || !strings.Contains(body, `"step":42`) {
+		t.Fatalf("/healthz = %d: %s", code, body)
+	}
+	if code, body := get("/trace?rule=f{2}"); code != 200 {
+		t.Fatalf("/trace = %d", code)
+	} else {
+		evs, err := ReadJSONL(strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(evs) != 1 || evs[0].Node != 2 {
+			t.Fatalf("/trace filter wrong: %+v", evs)
+		}
+	}
+	if code, _ := get("/trace?node=zzz"); code != http.StatusBadRequest {
+		t.Fatalf("bad node filter not rejected: %d", code)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}

@@ -1,0 +1,39 @@
+package obs
+
+// Sink bundles the two telemetry backends a runtime is handed: a
+// metrics registry and an event tracer. Every accessor is nil-safe,
+// so a nil *Sink is the canonical "telemetry disabled" value — the
+// instruments it hands out are nil and their methods are no-ops.
+type Sink struct {
+	Reg *Registry
+	Tr  *Tracer
+}
+
+// NewSink builds a sink with a fresh registry and a default-capacity
+// tracer.
+func NewSink() *Sink {
+	return &Sink{Reg: NewRegistry(), Tr: NewTracer(DefaultTraceCapacity)}
+}
+
+// Registry returns the metrics registry (nil when the sink is nil).
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.Reg
+}
+
+// Tracer returns the event tracer (nil when the sink is nil).
+func (s *Sink) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.Tr
+}
+
+// Emit forwards one event to the tracer (nil-safe).
+func (s *Sink) Emit(e Event) {
+	if s != nil {
+		s.Tr.Emit(e)
+	}
+}

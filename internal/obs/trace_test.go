@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTracerRingAndSeq(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Emit(Event{Type: EvMsgSend, Node: i, Peer: -1})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("ring len = %d, want 4", tr.Len())
+	}
+	if tr.Evicted() != 2 {
+		t.Fatalf("evicted = %d, want 2", tr.Evicted())
+	}
+	evs := tr.Events(Filter{})
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	// Oldest two were evicted; seq stays globally monotone.
+	for i, e := range evs {
+		if e.Seq != int64(i+3) || e.Node != i+2 {
+			t.Fatalf("event %d = %+v, want seq %d node %d", i, e, i+3, i+2)
+		}
+	}
+}
+
+func TestTracerRecordingFilter(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetFilter(Filter{Types: []EventType{EvCounterSend}, Rule: "{a}", Nodes: []int{1, 2}})
+	tr.Emit(Event{Type: EvCounterSend, Node: 1, Rule: "f{a}"})    // kept
+	tr.Emit(Event{Type: EvCounterRecv, Node: 1, Rule: "f{a}"})    // wrong type
+	tr.Emit(Event{Type: EvCounterSend, Node: 3, Rule: "f{a}"})    // wrong node
+	tr.Emit(Event{Type: EvCounterSend, Node: 2, Rule: "f{b,c}"})  // wrong rule
+	tr.Emit(Event{Type: EvCounterSend, Node: 2, Rule: "c{a}=>x"}) // kept
+	evs := tr.Events(Filter{})
+	if len(evs) != 2 || evs[0].Node != 1 || evs[1].Node != 2 {
+		t.Fatalf("filtered events wrong: %+v", evs)
+	}
+}
+
+func TestCryptoOpsAreExplicitOnly(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{Type: EvCryptoOp, Node: 0})
+	if tr.Len() != 0 {
+		t.Fatal("crypto op recorded under default filter")
+	}
+	if tr.ExplicitlyEnabled(EvCryptoOp) {
+		t.Fatal("explicit-enabled must be false by default")
+	}
+	tr.SetFilter(Filter{Types: []EventType{EvCryptoOp}})
+	if !tr.ExplicitlyEnabled(EvCryptoOp) {
+		t.Fatal("explicit-enabled must be true when listed")
+	}
+	tr.Emit(Event{Type: EvCryptoOp, Node: 0})
+	if tr.Len() != 1 {
+		t.Fatal("crypto op not recorded when explicitly enabled")
+	}
+}
+
+func TestJSONLRoundTripAndSink(t *testing.T) {
+	var sink bytes.Buffer
+	tr := NewTracer(2) // smaller than the event count: sink must still see all
+	tr.SetSink(&sink)
+	want := []Event{
+		{Type: EvGrantSend, Node: 0, Peer: 1},
+		{Type: EvCounterSend, Node: 0, Peer: 1, Rule: "f{3}", Value: 1},
+		{Type: EvVoteFresh, Node: 1, Peer: 0, Rule: "f{3}", Detail: "send"},
+	}
+	for _, e := range want {
+		tr.Emit(e)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sink events = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || got[i].Node != want[i].Node ||
+			got[i].Peer != want[i].Peer || got[i].Rule != want[i].Rule ||
+			got[i].Seq != int64(i+1) {
+			t.Fatalf("round-trip mismatch at %d: %+v", i, got[i])
+		}
+	}
+
+	// WriteJSONL over the ring honors a read-side filter.
+	var out strings.Builder
+	if err := tr.WriteJSONL(&out, Filter{Types: []EventType{EvVoteFresh}}); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := ReadJSONL(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || lines[0].Type != EvVoteFresh {
+		t.Fatalf("filtered dump wrong: %+v", lines)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Type: EvMsgSend})
+	tr.SetFilter(Filter{})
+	tr.SetSink(&bytes.Buffer{})
+	if tr.Len() != 0 || tr.Evicted() != 0 || tr.Events(Filter{}) != nil {
+		t.Fatal("nil tracer must read empty")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchdog(t *testing.T) {
+	w := NewWatchdog(3, 1e-9, 0.9)
+	// Improving series never stalls.
+	for i := 0; i < 10; i++ {
+		if w.Observe(0, float64(i)*0.05) {
+			t.Fatal("improving series flagged")
+		}
+	}
+	// Flat below target stalls after exactly patience samples.
+	w.Observe(1, 0.2)
+	for i := 0; i < 2; i++ {
+		if w.Observe(1, 0.2) {
+			t.Fatalf("stalled too early at sample %d", i)
+		}
+	}
+	if !w.Observe(1, 0.2) {
+		t.Fatal("expected stall on 3rd flat sample")
+	}
+	if w.Observe(1, 0.2) {
+		t.Fatal("stall must be edge-triggered, not re-reported")
+	}
+	if got := w.Stalled(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Stalled() = %v, want [1]", got)
+	}
+	// Improvement recovers the series.
+	if w.Observe(1, 0.5) {
+		t.Fatal("recovery flagged as stall")
+	}
+	if len(w.Stalled()) != 0 {
+		t.Fatal("series did not recover")
+	}
+	// Flat at/above target is fine.
+	for i := 0; i < 10; i++ {
+		if w.Observe(2, 0.95) {
+			t.Fatal("converged series flagged")
+		}
+	}
+	// Nil watchdog is a no-op.
+	var nw *Watchdog
+	if nw.Observe(0, 1) || nw.Stalled() != nil || nw.FlatSamples(0) != 0 {
+		t.Fatal("nil watchdog must be inert")
+	}
+}

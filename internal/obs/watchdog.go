@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Watchdog flags series (one per resource, keyed by id) whose observed
+// value has stopped improving while still below a target — the
+// convergence-stall diagnostic behind the k≥2 freeze investigation: a
+// resource whose recall gauge neither reaches the target nor improves
+// for Patience consecutive samples is reported stalled. A stalled
+// series recovers (and may stall again) as soon as it improves.
+type Watchdog struct {
+	mu sync.Mutex
+	// patience is how many consecutive non-improving samples trip the
+	// watchdog.
+	patience int
+	// minDelta is the smallest change that counts as improvement.
+	minDelta float64
+	// target is the value at or above which a series is never stalled.
+	target float64
+	state  map[int]*wdState
+}
+
+type wdState struct {
+	seen    bool
+	best    float64
+	flat    int // consecutive samples without improvement
+	stalled bool
+}
+
+// NewWatchdog builds a watchdog. patience ≤ 0 defaults to 8 samples;
+// target is the convergence goal (e.g. 0.99 recall).
+func NewWatchdog(patience int, minDelta, target float64) *Watchdog {
+	if patience <= 0 {
+		patience = 8
+	}
+	return &Watchdog{patience: patience, minDelta: minDelta, target: target,
+		state: map[int]*wdState{}}
+}
+
+// Observe feeds one sample for series id and reports whether the
+// series transitioned to stalled on this sample (the edge, not the
+// level — callers emit one EvStall per freeze, not per poll).
+func (w *Watchdog) Observe(id int, value float64) bool {
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s, ok := w.state[id]
+	if !ok {
+		s = &wdState{}
+		w.state[id] = s
+	}
+	if !s.seen || value >= s.best+w.minDelta {
+		s.seen = true
+		s.best = value
+		s.flat = 0
+		s.stalled = false
+		return false
+	}
+	if value >= w.target {
+		s.flat = 0
+		s.stalled = false
+		return false
+	}
+	s.flat++
+	if s.flat >= w.patience && !s.stalled {
+		s.stalled = true
+		return true
+	}
+	return false
+}
+
+// FlatSamples returns how many consecutive non-improving samples
+// series id has accumulated.
+func (w *Watchdog) FlatSamples(id int) int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if s, ok := w.state[id]; ok {
+		return s.flat
+	}
+	return 0
+}
+
+// Stalled returns the ids currently flagged, sorted.
+func (w *Watchdog) Stalled() []int {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []int
+	for id, s := range w.state {
+		if s.stalled {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

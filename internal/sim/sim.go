@@ -24,6 +24,7 @@ import (
 	"math/rand"
 
 	"secmr/internal/faults"
+	"secmr/internal/obs"
 	"secmr/internal/topology"
 )
 
@@ -116,6 +117,14 @@ type Engine struct {
 	rng    *rand.Rand
 	stats  Stats
 	inited bool
+	// engine-level telemetry, resolved once by SetObs (nil = off).
+	obsTr        *obs.Tracer
+	obsSent      *obs.Counter
+	obsDelivered *obs.Counter
+	obsDropped   *obs.Counter
+	obsDup       *obs.Counter
+	obsPending   *obs.Gauge
+	obsStep      *obs.Gauge
 	// lastAt tracks the latest scheduled delivery per directed link so
 	// injected jitter cannot reorder a FIFO link.
 	lastAt map[[2]int]int64
@@ -133,6 +142,22 @@ func NewEngine(g *topology.Graph, nodes []Node, seed int64) *Engine {
 		e.ctxs[i] = Context{engine: e, self: i}
 	}
 	return e
+}
+
+// SetObs installs engine-level telemetry: message counters, the
+// pending-queue gauge, and transport trace events (EvMsgSend,
+// EvMsgDeliver, EvMsgDrop). The gauges are plain atomics updated at
+// step boundaries, so a concurrent scrape never races the
+// single-goroutine engine. Call before the first Step.
+func (e *Engine) SetObs(sink *obs.Sink) {
+	reg := sink.Registry()
+	e.obsTr = sink.Tracer()
+	e.obsSent = reg.Counter("secmr_sim_messages_total", "Engine message outcomes.", "outcome", "sent")
+	e.obsDelivered = reg.Counter("secmr_sim_messages_total", "Engine message outcomes.", "outcome", "delivered")
+	e.obsDropped = reg.Counter("secmr_sim_messages_total", "Engine message outcomes.", "outcome", "dropped")
+	e.obsDup = reg.Counter("secmr_sim_messages_total", "Engine message outcomes.", "outcome", "duplicated")
+	e.obsPending = reg.Gauge("secmr_sim_pending_messages", "Undelivered messages in the engine queue.")
+	e.obsStep = reg.Gauge("secmr_sim_step", "Current simulation step.")
 }
 
 // Now returns the current step.
@@ -177,9 +202,17 @@ func (e *Engine) Step() {
 		ev := heap.Pop(&e.queue).(*event)
 		if e.Inject != nil && e.Inject.Down(ev.to) {
 			e.stats.Dropped++
+			e.obsDropped.Inc()
+			if e.obsTr != nil {
+				e.obsTr.Emit(obs.Event{Type: obs.EvMsgDrop, Step: e.now, Node: ev.from, Peer: ev.to, Detail: "receiver-down"})
+			}
 			continue
 		}
 		e.stats.Delivered++
+		e.obsDelivered.Inc()
+		if e.obsTr != nil {
+			e.obsTr.Emit(obs.Event{Type: obs.EvMsgDeliver, Step: e.now, Node: ev.to, Peer: ev.from})
+		}
 		e.nodes[ev.to].OnMessage(&e.ctxs[ev.to], ev.from, ev.payload)
 	}
 	for i := range e.nodes {
@@ -188,6 +221,8 @@ func (e *Engine) Step() {
 		}
 		e.nodes[i].OnTick(&e.ctxs[i])
 	}
+	e.obsPending.Set(float64(len(e.queue)))
+	e.obsStep.Set(float64(e.now))
 }
 
 // AddLink inserts a new overlay edge at runtime (a resource joining
@@ -245,6 +280,10 @@ func (e *Engine) send(from, to NodeID, payload any) {
 		panic(fmt.Sprintf("sim: node %d sending to non-neighbor %d", from, to))
 	}
 	e.stats.Sent++
+	e.obsSent.Inc()
+	if e.obsTr != nil {
+		e.obsTr.Emit(obs.Event{Type: obs.EvMsgSend, Step: e.now, Node: from, Peer: to})
+	}
 	if e.Tap != nil {
 		e.Tap(from, to, e.now, payload)
 	}
@@ -256,6 +295,10 @@ func (e *Engine) send(from, to NodeID, payload any) {
 		v := e.Inject.Decide(from, to)
 		if v.Drop {
 			e.stats.Dropped++
+			e.obsDropped.Inc()
+			if e.obsTr != nil {
+				e.obsTr.Emit(obs.Event{Type: obs.EvMsgDrop, Step: e.now, Node: from, Peer: to, Detail: "injected"})
+			}
 			return
 		}
 		if e.lastAt == nil {
@@ -265,6 +308,7 @@ func (e *Engine) send(from, to NodeID, payload any) {
 		for i, extra := range v.Extra {
 			if i > 0 {
 				e.stats.Duplicated++
+				e.obsDup.Inc()
 			}
 			at := e.now + delay + extra
 			if !e.Inject.Reorders() && at < e.lastAt[link] {
@@ -278,12 +322,14 @@ func (e *Engine) send(from, to NodeID, payload any) {
 	}
 	if e.Faults.DropProb > 0 && e.rng.Float64() < e.Faults.DropProb {
 		e.stats.Dropped++
+		e.obsDropped.Inc()
 		return
 	}
 	copies := 1
 	if e.Faults.DupProb > 0 && e.rng.Float64() < e.Faults.DupProb {
 		copies = 2
 		e.stats.Duplicated++
+		e.obsDup.Inc()
 	}
 	for c := 0; c < copies; c++ {
 		e.seq++

@@ -31,6 +31,8 @@ import (
 	crand "crypto/rand"
 	"fmt"
 	"math/rand"
+	"strconv"
+	"sync"
 
 	"secmr/internal/arm"
 	"secmr/internal/core"
@@ -40,6 +42,8 @@ import (
 	"secmr/internal/homo"
 	"secmr/internal/majorityrule"
 	"secmr/internal/metrics"
+	"secmr/internal/oblivious"
+	"secmr/internal/obs"
 	"secmr/internal/paillier"
 	"secmr/internal/quest"
 	"secmr/internal/sim"
@@ -78,6 +82,28 @@ type (
 	// FaultStats counts what the injector actually did to the run.
 	FaultStats = faults.Stats
 )
+
+// Telemetry vocabulary (see internal/obs): a Telemetry sink bundles a
+// metrics registry and an event tracer, and a nil *Telemetry disables
+// observation everywhere at near-zero cost (nil-safe instruments).
+type (
+	// Telemetry is the observability sink threaded through every layer
+	// of a Grid when set on GridConfig.
+	Telemetry = obs.Sink
+	// TraceEvent is one structured protocol/transport event.
+	TraceEvent = obs.Event
+	// TraceEventType names a TraceEvent kind (obs.EvGrantSend, ...).
+	TraceEventType = obs.EventType
+	// TraceFilter selects trace events by type, node and rule.
+	TraceFilter = obs.Filter
+	// IntrospectionServer is a running /metrics + /healthz + /trace +
+	// pprof HTTP endpoint.
+	IntrospectionServer = obs.Server
+)
+
+// NewTelemetry builds an enabled telemetry sink (fresh registry,
+// default-capacity trace ring).
+func NewTelemetry() *Telemetry { return obs.NewSink() }
 
 // NewItemset builds a canonical itemset.
 func NewItemset(items ...Item) Itemset { return arm.NewItemset(items...) }
@@ -228,6 +254,16 @@ type GridConfig struct {
 	// the loss-recovery timers (core.Config.LossyLinks) so the protocol
 	// stays live; inspect the damage afterwards with FaultStats.
 	Faults *FaultConfig
+	// Telemetry, when non-nil, threads the observability sink through
+	// every layer: protocol counters and trace events from the
+	// resources, engine message/fault telemetry, and crypto-op timings
+	// (the scheme is wrapped with an instrumenting decorator). nil
+	// disables all observation at near-zero cost.
+	Telemetry *Telemetry
+	// StallPatience is how many consecutive SampleQuality samples
+	// without recall improvement flag a resource as stalled (convergence
+	// watchdog; default 8). Diagnostics only — it never alters the run.
+	StallPatience int
 }
 
 func (c GridConfig) withDefaults() GridConfig {
@@ -270,7 +306,13 @@ type miner interface {
 
 // Grid is a simulated data grid mining one (conceptually global)
 // database that has been partitioned across its resources.
+//
+// All methods are safe for concurrent use: a monitoring goroutine may
+// poll Stats, Quality, FaultStats, Output or Reports while another
+// drives Step. (The simulation itself stays single-threaded — the
+// mutex only serialises facade access.)
 type Grid struct {
+	mu     sync.Mutex
 	cfg    GridConfig
 	engine *sim.Engine
 	miners []miner
@@ -278,6 +320,15 @@ type Grid struct {
 	inject *faults.Injector // non-nil only when cfg.Faults is set
 	truth  RuleSet
 	step   int
+
+	// Telemetry plumbing; all nil (and all hooks no-ops) when
+	// cfg.Telemetry is nil.
+	obs          *obs.Sink
+	watchdog     *obs.Watchdog
+	recallGauges []*obs.Gauge
+	gRecall      *obs.Gauge
+	gPrecision   *obs.Gauge
+	cStalls      *obs.Counter
 }
 
 // NewGrid partitions db across cfg.Resources resources (using the
@@ -318,9 +369,24 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 		if err != nil {
 			return nil, err
 		}
+		// Crypto-op counters/latency histograms ride on the scheme
+		// itself; with a nil sink this returns scheme unwrapped.
+		scheme = oblivious.InstrumentScheme(scheme, cfg.Telemetry)
 	}
 
-	g := &Grid{cfg: cfg, truth: truth}
+	g := &Grid{cfg: cfg, truth: truth, obs: cfg.Telemetry}
+	if reg := cfg.Telemetry.Registry(); reg != nil {
+		g.gRecall = reg.Gauge("secmr_grid_recall", "Average recall against R[DB] at the last quality sample.")
+		g.gPrecision = reg.Gauge("secmr_grid_precision", "Average precision against R[DB] at the last quality sample.")
+		g.cStalls = reg.Counter("secmr_stalled_resources_total", "Resources flagged by the convergence watchdog (edge-triggered).")
+		g.recallGauges = make([]*obs.Gauge, cfg.Resources)
+		for i := range g.recallGauges {
+			g.recallGauges[i] = reg.Gauge("secmr_resource_recall",
+				"Per-resource recall against R[DB] at the last quality sample.",
+				"resource", strconv.Itoa(i))
+		}
+		g.watchdog = obs.NewWatchdog(cfg.StallPatience, 1e-9, 0.99)
+	}
 	nodes := make([]sim.Node, cfg.Resources)
 	for i := 0; i < cfg.Resources; i++ {
 		var feed []Transaction
@@ -335,7 +401,7 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 				GrowthPerStep: cfg.GrowthPerStep, K: int64(cfg.K),
 				MaxRuleItems: cfg.MaxRuleItems, IntraDelay: true,
 				PaddingDance: cfg.PaddingDance, BlindBits: blindBits,
-				LossyLinks: cfg.Faults != nil}
+				LossyLinks: cfg.Faults != nil, Obs: cfg.Telemetry}
 			r := core.NewResource(i, c, scheme, parts[i], feed, nil)
 			g.secure = append(g.secure, r)
 			m = r
@@ -356,9 +422,15 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 		nodes[i] = m
 	}
 	g.engine = sim.NewEngine(tree, nodes, cfg.Seed)
+	if cfg.Telemetry != nil {
+		g.engine.SetObs(cfg.Telemetry)
+	}
 	if cfg.Faults != nil {
 		g.inject = faults.New(*cfg.Faults)
 		g.engine.Inject = g.inject
+		if cfg.Telemetry != nil {
+			g.inject.SetObs(cfg.Telemetry)
+		}
 	}
 	return g, nil
 }
@@ -385,27 +457,47 @@ func buildTopology(t Topology, n int, rng *rand.Rand) (*topology.Graph, error) {
 // Step advances the grid n simulation steps (§6 semantics: each
 // resource processes ScanBudget transactions per step).
 func (g *Grid) Step(n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.engine.Run(n)
 	g.step += n
 }
 
 // Steps returns the number of steps taken.
-func (g *Grid) Steps() int { return g.step }
+func (g *Grid) Steps() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.step
+}
 
 // Resources returns the resource count.
 func (g *Grid) Resources() int { return len(g.miners) }
 
 // Output returns resource i's interim rule set R̃_i.
-func (g *Grid) Output(i int) RuleSet { return g.miners[i].Output() }
+func (g *Grid) Output(i int) RuleSet {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.miners[i].Output()
+}
 
 // Truth returns R[DB] computed centrally at construction time (static
 // databases; with feeds the truth shifts as data arrives — recompute
 // with MineCentral over the merged current partitions if needed).
 func (g *Grid) Truth() RuleSet { return g.truth }
 
+// Telemetry returns the sink the grid was built with (nil when
+// observation is disabled).
+func (g *Grid) Telemetry() *Telemetry { return g.obs }
+
 // Quality returns the average recall and precision across resources
 // against Truth (§6.1's measures).
 func (g *Grid) Quality() (recall, precision float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.qualityLocked()
+}
+
+func (g *Grid) qualityLocked() (recall, precision float64) {
 	outs := make([]RuleSet, len(g.miners))
 	for i, m := range g.miners {
 		outs[i] = m.Output()
@@ -413,17 +505,77 @@ func (g *Grid) Quality() (recall, precision float64) {
 	return metrics.Average(outs, g.truth)
 }
 
+// SampleQuality computes per-resource recall/precision, publishes the
+// telemetry gauges (secmr_grid_recall, secmr_resource_recall{resource})
+// and feeds the convergence watchdog, returning the averages. Quality
+// is read-only; SampleQuality is the observed variant — call it at the
+// cadence stall patience should be measured in (secmr-sim samples once
+// per table row).
+func (g *Grid) SampleQuality() (recall, precision float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var sumR, sumP float64
+	for i, m := range g.miners {
+		r, p := metrics.RecallPrecision(m.Output(), g.truth)
+		sumR += r
+		sumP += p
+		if g.recallGauges != nil {
+			g.recallGauges[i].Set(r)
+		}
+		if g.watchdog.Observe(i, r) {
+			g.cStalls.Inc()
+			g.obs.Emit(obs.Event{Type: obs.EvStall, Step: int64(g.step), Node: i,
+				Peer: -1, Value: int64(g.watchdog.FlatSamples(i))})
+		}
+	}
+	n := float64(len(g.miners))
+	recall, precision = sumR/n, sumP/n
+	g.gRecall.Set(recall)
+	g.gPrecision.Set(precision)
+	return recall, precision
+}
+
+// Stalled returns the resources the convergence watchdog currently
+// flags (recall below target and flat for StallPatience samples); nil
+// without telemetry.
+func (g *Grid) Stalled() []int { return g.watchdog.Stalled() }
+
+// ServeIntrospection starts the observability HTTP server (Prometheus
+// /metrics, JSON /healthz with live step/quality/stall fields, JSONL
+// /trace, expvar, pprof) on addr — use "127.0.0.1:0" for an ephemeral
+// port and Addr() to discover it. The grid must have been built with
+// GridConfig.Telemetry set. Close the returned server when done.
+func (g *Grid) ServeIntrospection(addr string) (*IntrospectionServer, error) {
+	if g.obs == nil {
+		return nil, fmt.Errorf("secmr: introspection needs GridConfig.Telemetry")
+	}
+	return obs.Serve(addr, obs.ServerOpts{
+		Registry: g.obs.Reg,
+		Tracer:   g.obs.Tr,
+		Health: func() map[string]any {
+			g.mu.Lock()
+			step := g.step
+			r, p := g.qualityLocked()
+			g.mu.Unlock()
+			return map[string]any{
+				"step": step, "recall": r, "precision": p,
+				"stalled": g.watchdog.Stalled(),
+			}
+		},
+	})
+}
+
 // RunUntilQuality steps the grid (in chunks) until both recall and
 // precision reach target or maxSteps elapse; reports success.
 func (g *Grid) RunUntilQuality(target float64, maxSteps int) bool {
 	const chunk = 25
 	for taken := 0; taken <= maxSteps; taken += chunk {
-		if r, p := g.Quality(); r >= target && p >= target {
+		if r, p := g.SampleQuality(); r >= target && p >= target {
 			return true
 		}
 		g.Step(chunk)
 	}
-	r, p := g.Quality()
+	r, p := g.SampleQuality()
 	return r >= target && p >= target
 }
 
@@ -449,6 +601,8 @@ type GridStats struct {
 
 // Stats aggregates counters across all resources.
 func (g *Grid) Stats() GridStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	var st GridStats
 	for _, r := range g.secure {
 		bs := r.Stats()
@@ -486,6 +640,8 @@ func (g *Grid) FaultStats() FaultStats {
 // Reports collects the malicious-participant reports observed anywhere
 // in the grid (AlgorithmSecure only; empty otherwise).
 func (g *Grid) Reports() []MaliciousReport {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	seen := map[string]bool{}
 	var out []MaliciousReport
 	for _, r := range g.secure {
