@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Diff mode: `benchjson -diff old.json new.json` compares two
+// benchmark JSON files (as produced by the convert mode) and prints a
+// per-benchmark delta table. With -threshold t > 0, any benchmark
+// whose ns/op regressed by more than t (fractional, e.g. 0.10 = 10%)
+// fails the run with exit status 1; t = 0 reports only. CI runs the
+// report-only form against the checked-in BENCH_baseline.json so
+// noisy shared runners inform rather than block.
+
+// diffRow is one benchmark's comparison.
+type diffRow struct {
+	key      string
+	oldNs    float64
+	newNs    float64
+	delta    float64 // fractional change, +0.25 = 25% slower
+	presence string  // "", "new", "removed"
+}
+
+// loadResults reads one benchjson output file.
+func loadResults(path string) ([]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// resultKey identifies a benchmark across runs.
+func resultKey(r result) string {
+	if r.Procs > 0 {
+		return fmt.Sprintf("%s.%s-%d", r.Package, r.Name, r.Procs)
+	}
+	return fmt.Sprintf("%s.%s", r.Package, r.Name)
+}
+
+// diffResults compares two runs keyed by package+name+procs. Rows come
+// back sorted by key; benchmarks present on only one side are flagged
+// rather than compared.
+func diffResults(oldRs, newRs []result) []diffRow {
+	oldBy := map[string]result{}
+	for _, r := range oldRs {
+		oldBy[resultKey(r)] = r
+	}
+	seen := map[string]bool{}
+	var rows []diffRow
+	for _, r := range newRs {
+		k := resultKey(r)
+		seen[k] = true
+		o, ok := oldBy[k]
+		if !ok {
+			rows = append(rows, diffRow{key: k, newNs: r.NsPerOp, presence: "new"})
+			continue
+		}
+		row := diffRow{key: k, oldNs: o.NsPerOp, newNs: r.NsPerOp}
+		if o.NsPerOp > 0 {
+			row.delta = (r.NsPerOp - o.NsPerOp) / o.NsPerOp
+		}
+		rows = append(rows, row)
+	}
+	for k, o := range oldBy {
+		if !seen[k] {
+			rows = append(rows, diffRow{key: k, oldNs: o.NsPerOp, presence: "removed"})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	return rows
+}
+
+// runDiff prints the comparison table and returns the number of
+// benchmarks that regressed past the threshold (0 when threshold ≤ 0:
+// report-only mode never counts failures).
+func runDiff(w io.Writer, oldRs, newRs []result, threshold float64) int {
+	rows := diffResults(oldRs, newRs)
+	fmt.Fprintf(w, "%-64s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	regressions := 0
+	for _, r := range rows {
+		switch r.presence {
+		case "new":
+			fmt.Fprintf(w, "%-64s %14s %14.0f %9s\n", r.key, "-", r.newNs, "new")
+		case "removed":
+			fmt.Fprintf(w, "%-64s %14.0f %14s %9s\n", r.key, r.oldNs, "-", "removed")
+		default:
+			mark := ""
+			if threshold > 0 && r.delta > threshold {
+				mark = " REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(w, "%-64s %14.0f %14.0f %+8.1f%%%s\n", r.key, r.oldNs, r.newNs, 100*r.delta, mark)
+		}
+	}
+	if threshold > 0 {
+		fmt.Fprintf(w, "threshold %.0f%%: %d regression(s)\n", 100*threshold, regressions)
+		return regressions
+	}
+	return 0
+}

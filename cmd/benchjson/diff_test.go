@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffFixture() (oldRs, newRs []result) {
+	oldRs = []result{
+		{Package: "secmr/internal/homo", Name: "BenchmarkPaillierEncrypt", Procs: 4, NsPerOp: 1000},
+		{Package: "secmr/internal/homo", Name: "BenchmarkObliviousAddVec", Procs: 4, NsPerOp: 500},
+		{Package: "secmr/internal/homo", Name: "BenchmarkGone", NsPerOp: 77},
+	}
+	newRs = []result{
+		{Package: "secmr/internal/homo", Name: "BenchmarkPaillierEncrypt", Procs: 4, NsPerOp: 1400}, // +40%
+		{Package: "secmr/internal/homo", Name: "BenchmarkObliviousAddVec", Procs: 4, NsPerOp: 450},  // −10%
+		{Package: "secmr/internal/homo", Name: "BenchmarkFresh", NsPerOp: 33},
+	}
+	return
+}
+
+func TestDiffResults(t *testing.T) {
+	oldRs, newRs := diffFixture()
+	rows := diffResults(oldRs, newRs)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	byKey := map[string]diffRow{}
+	for _, r := range rows {
+		byKey[r.key] = r
+	}
+	enc := byKey["secmr/internal/homo.BenchmarkPaillierEncrypt-4"]
+	if enc.delta < 0.39 || enc.delta > 0.41 {
+		t.Fatalf("encrypt delta = %v, want ~0.40", enc.delta)
+	}
+	if byKey["secmr/internal/homo.BenchmarkFresh"].presence != "new" {
+		t.Fatal("fresh benchmark not flagged as new")
+	}
+	if byKey["secmr/internal/homo.BenchmarkGone"].presence != "removed" {
+		t.Fatal("removed benchmark not flagged")
+	}
+}
+
+func TestRunDiffThreshold(t *testing.T) {
+	oldRs, newRs := diffFixture()
+	var buf strings.Builder
+	if n := runDiff(&buf, oldRs, newRs, 0.25); n != 1 {
+		t.Fatalf("threshold 25%%: %d regressions, want 1 (output:\n%s)", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("regression not marked:\n%s", buf.String())
+	}
+	// Report-only mode never fails, whatever the deltas.
+	buf.Reset()
+	if n := runDiff(&buf, oldRs, newRs, 0); n != 0 {
+		t.Fatalf("report-only returned %d", n)
+	}
+	// A generous threshold tolerates the +40%.
+	if n := runDiff(&strings.Builder{}, oldRs, newRs, 0.50); n != 0 {
+		t.Fatalf("threshold 50%%: %d regressions, want 0", n)
+	}
+}
+
+func TestRunDiffIdentical(t *testing.T) {
+	oldRs, _ := diffFixture()
+	var buf strings.Builder
+	if n := runDiff(&buf, oldRs, oldRs, 0.01); n != 0 {
+		t.Fatalf("identical runs produced %d regressions", n)
+	}
+}

@@ -8,11 +8,17 @@
 // Recognised per-result fields beyond ns/op are the standard -benchmem
 // units (B/op, allocs/op) and any custom unit ReportMetric emitted;
 // unknown lines (pass/fail, package banners) are skipped.
+//
+// Diff mode compares two such files:
+//
+//	benchjson -diff BENCH_baseline.json BENCH_ci.json
+//	benchjson -diff -threshold 0.25 old.json new.json   # exit 1 on >25% regressions
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -30,6 +36,32 @@ type result struct {
 }
 
 func main() {
+	var (
+		diff      = flag.Bool("diff", false, "compare two benchmark JSON files (old new) instead of converting stdin")
+		threshold = flag.Float64("threshold", 0, "with -diff: fail (exit 1) when any ns/op regresses by more than this fraction (0 = report only)")
+	)
+	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		oldRs, err := loadResults(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		newRs, err := loadResults(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if runDiff(os.Stdout, oldRs, newRs, *threshold) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	var out []result
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)

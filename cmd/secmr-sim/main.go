@@ -59,6 +59,13 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed")
 		csvPath   = flag.String("csv", "", "also write the convergence series as CSV to this file")
 
+		// Crypto-performance knobs (see DESIGN.md §7): the worker pool
+		// accelerates batched counter operations, the noise pool
+		// precomputes encryption randomness in the background. Both need
+		// spare cores; leave them alone on single-vCPU hosts.
+		cryptoWorkers = flag.Int("crypto-workers", 0, "parallel width for batched homomorphic ops (0 = GOMAXPROCS, 1 = serial)")
+		noisePool     = flag.Int("noise-pool", 0, "precomputed-randomness pool capacity for the cryptosystem (0 = off)")
+
 		// Chaos knobs (see internal/faults): any non-zero setting arms
 		// the injector and the protocol's loss-recovery timers.
 		drop      = flag.Float64("drop", 0, "per-message drop probability")
@@ -129,10 +136,12 @@ func main() {
 		PaillierBits: *paillier, Seed: *seed,
 		Faults:    faultCfg,
 		Telemetry: tel, StallPatience: *stallAfter,
+		CryptoWorkers: *cryptoWorkers, NoisePool: *noisePool,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	defer grid.Close()
 
 	var server *secmr.IntrospectionServer
 	if *obsAddr != "" {

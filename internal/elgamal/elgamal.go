@@ -11,10 +11,20 @@
 // only for small plaintext spaces, which is precisely the oblivious-
 // counter regime (counts bounded by the global database size).
 //
-// The package satisfies homo.Scheme, so the entire secure protocol
-// stack runs over it unchanged (see TestSecureMiningOverElGamal); it
-// serves as a second witness that the broker/accountant/controller
-// code depends only on the abstract homomorphic interface.
+// Performance engineering (see DESIGN.md §7): the three encryption
+// exponentiations g^r, h^r and g^m all use fixed bases, so each scheme
+// lazily precomputes windowed fixed-base tables (internal/fixedbase)
+// for g and h; an optional background pool (StartNoisePool) keeps
+// ready-made (g^r, h^r) pairs; and the O(√bound) baby-step table is
+// cached process-wide by (p, g, msgBound), so schemes reconstructed
+// from the same exported key — one per resource in a deployment —
+// share a single table.
+//
+// The package satisfies homo.Scheme (and homo.BatchScheme), so the
+// entire secure protocol stack runs over it unchanged (see
+// TestSecureMiningOverElGamal); it serves as a second witness that the
+// broker/accountant/controller code depends only on the abstract
+// homomorphic interface.
 package elgamal
 
 import (
@@ -23,12 +33,23 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"strconv"
+	"sync"
 	"sync/atomic"
 
+	"secmr/internal/fixedbase"
 	"secmr/internal/homo"
+	"secmr/internal/randpool"
 )
 
 var one = big.NewInt(1)
+
+// scratch pools intermediate products of the hot componentwise
+// operations (see the same pattern in internal/paillier).
+var scratch = sync.Pool{New: func() any { return new(big.Int) }}
+
+// noisePair is one precomputed encryption-of-zero pair (g^r, h^r).
+type noisePair struct{ a, b *big.Int }
 
 // Scheme is an exponential-ElGamal instance implementing homo.Scheme.
 type Scheme struct {
@@ -36,15 +57,24 @@ type Scheme struct {
 	q *big.Int // subgroup order
 	g *big.Int // generator of the order-q subgroup
 	h *big.Int // public key h = g^x
-	x *big.Int // secret key
+	x *big.Int // secret key (nil for a public-only instance)
 
 	// msgBound bounds |plaintext|; decryption solves a discrete log in
-	// [−msgBound, msgBound] via BSGS.
+	// [−msgBound, msgBound] via BSGS. The table is built lazily on
+	// first decryption and shared process-wide across schemes with
+	// identical (p, g, msgBound) — see bsgsFor.
 	msgBound int64
-	// babySteps maps g^i for i in [0, babyCount) to i.
-	babySteps map[string]int64
-	babyCount int64
-	giant     *big.Int // g^{−babyCount}
+	bsgs     *bsgsTable
+	bsgsOnce sync.Once
+
+	// Lazily-built fixed-base tables for the two fixed encryption
+	// bases.
+	gOnce, hOnce sync.Once
+	gTab, hTab   *fixedbase.Table
+
+	// pool optionally holds precomputed (g^r, h^r) pairs.
+	poolMu sync.RWMutex
+	pool   *randpool.Pool[noisePair]
 
 	tag uint64
 }
@@ -85,29 +115,115 @@ func GenerateKey(rng io.Reader, bits int, msgBound int64) (*Scheme, error) {
 	}
 	s.x = x
 	s.h = new(big.Int).Exp(g, x, p)
-	s.buildBSGS()
 	return s, nil
+}
+
+// bsgsTable is the baby-step/giant-step precomputation for one
+// (p, g, msgBound) triple. Immutable after construction.
+type bsgsTable struct {
+	// babySteps maps g^i (raw bytes) to i for i in [0, babyCount).
+	babySteps map[string]int64
+	babyCount int64
+	giant     *big.Int // g^{−babyCount}
+	gC        *big.Int // g^{babyCount}
+}
+
+// bsgsCache shares tables across Scheme instances with identical
+// (p, g, msgBound) — resources reconstructing the grid key via Import
+// stop paying the O(√bound) build per instance. Entries are retained
+// for the process lifetime; real deployments use a handful of groups.
+var bsgsCache sync.Map // string key → *bsgsEntry
+
+type bsgsEntry struct {
+	once sync.Once
+	t    *bsgsTable
+}
+
+// bsgsFor returns the shared table for the triple, building it exactly
+// once per process.
+func bsgsFor(p, g *big.Int, msgBound int64) *bsgsTable {
+	key := p.Text(62) + "|" + g.Text(62) + "|" + strconv.FormatInt(msgBound, 10)
+	e, _ := bsgsCache.LoadOrStore(key, &bsgsEntry{})
+	ent := e.(*bsgsEntry)
+	ent.once.Do(func() { ent.t = buildBSGS(p, g, msgBound) })
+	return ent.t
 }
 
 // buildBSGS precomputes the baby-step table over [0, ceil(√(2B+1))).
 // Keys are raw byte strings (decimal formatting of big.Int is far more
 // expensive than the group operation itself).
-func (s *Scheme) buildBSGS() {
-	span := 2*s.msgBound + 1
+func buildBSGS(p, g *big.Int, msgBound int64) *bsgsTable {
+	span := 2*msgBound + 1
 	count := int64(1)
 	for count*count < span {
 		count++
 	}
-	s.babyCount = count
-	s.babySteps = make(map[string]int64, count)
+	t := &bsgsTable{babyCount: count, babySteps: make(map[string]int64, count)}
 	cur := big.NewInt(1)
 	for i := int64(0); i < count; i++ {
-		s.babySteps[string(cur.Bytes())] = i
-		cur = new(big.Int).Mul(cur, s.g)
-		cur.Mod(cur, s.p)
+		t.babySteps[string(cur.Bytes())] = i
+		cur = new(big.Int).Mul(cur, g)
+		cur.Mod(cur, p)
 	}
-	inv := new(big.Int).ModInverse(new(big.Int).Exp(s.g, big.NewInt(count), s.p), s.p)
-	s.giant = inv
+	t.gC = new(big.Int).Exp(g, big.NewInt(count), p)
+	t.giant = new(big.Int).ModInverse(t.gC, p)
+	return t
+}
+
+// table returns this scheme's (shared) BSGS table, resolving it
+// lazily so public-only instances never build one.
+func (s *Scheme) table() *bsgsTable {
+	s.bsgsOnce.Do(func() { s.bsgs = bsgsFor(s.p, s.g, s.msgBound) })
+	return s.bsgs
+}
+
+// gTable/hTable lazily build the fixed-base tables; exponents are
+// bounded by the subgroup order q.
+func (s *Scheme) gTable() *fixedbase.Table {
+	s.gOnce.Do(func() { s.gTab = fixedbase.New(s.g, s.p, s.q.BitLen(), 4) })
+	return s.gTab
+}
+
+func (s *Scheme) hTable() *fixedbase.Table {
+	s.hOnce.Do(func() { s.hTab = fixedbase.New(s.h, s.p, s.q.BitLen(), 4) })
+	return s.hTab
+}
+
+// StartNoisePool launches `workers` background goroutines keeping up
+// to `buffer` precomputed (g^r, h^r) pairs ready for Encrypt,
+// EncryptZero and Rerandomize. Returns a stop function (idempotent);
+// starting a second pool replaces the first.
+func (s *Scheme) StartNoisePool(buffer, workers int) (stop func()) {
+	p := randpool.New(buffer, workers, func() noisePair {
+		r := s.randExp()
+		return noisePair{a: s.gTable().Exp(r), b: s.hTable().Exp(r)}
+	})
+	s.poolMu.Lock()
+	s.pool = p
+	s.poolMu.Unlock()
+	return func() {
+		p.Stop()
+		s.poolMu.Lock()
+		if s.pool == p {
+			s.pool = nil
+		}
+		s.poolMu.Unlock()
+	}
+}
+
+// zeroPair returns a fresh (g^r, h^r) pair — pooled when one is ready,
+// fixed-base computed otherwise.
+func (s *Scheme) zeroPair() noisePair {
+	s.poolMu.RLock()
+	p := s.pool
+	s.poolMu.RUnlock()
+	if p != nil {
+		if v, ok := p.Get(); ok {
+			return v
+		}
+	}
+	r := s.randExp()
+	return noisePair{a: s.gTable().Exp(r), b: s.hTable().Exp(r)}
 }
 
 // Name identifies the scheme.
@@ -119,6 +235,9 @@ func (s *Scheme) PlaintextSpace() *big.Int { return new(big.Int).Set(s.q) }
 
 // MsgBound returns the decryptable range.
 func (s *Scheme) MsgBound() int64 { return s.msgBound }
+
+// IsPrivate reports whether the scheme holds the decryption key.
+func (s *Scheme) IsPrivate() bool { return s.x != nil }
 
 func (s *Scheme) randExp() *big.Int {
 	r, err := rand.Int(rand.Reader, s.q)
@@ -145,21 +264,29 @@ func (s *Scheme) unpack(c *homo.Ciphertext) (a, b *big.Int) {
 }
 
 // Encrypt encrypts m (interpreted mod q; must satisfy |signed(m)| ≤
-// msgBound to be decryptable).
+// msgBound to be decryptable). All three exponentiations ride the
+// fixed-base tables (or the precomputed pair pool).
 func (s *Scheme) Encrypt(m *big.Int) *homo.Ciphertext {
 	mm := homo.EncodeMod(m, s.q)
-	r := s.randExp()
-	a := new(big.Int).Exp(s.g, r, s.p)
-	b := new(big.Int).Exp(s.g, mm, s.p)
-	b.Mul(b, new(big.Int).Exp(s.h, r, s.p)).Mod(b, s.p)
-	return s.pack(a, b)
+	pair := s.zeroPair()
+	b := pair.b
+	if mm.Sign() != 0 {
+		t := scratch.Get().(*big.Int)
+		t.Mul(s.gTable().Exp(mm), pair.b)
+		b = new(big.Int).Mod(t, s.p)
+		scratch.Put(t)
+	}
+	return s.pack(pair.a, b)
 }
 
 // EncryptInt encrypts an int64.
 func (s *Scheme) EncryptInt(m int64) *homo.Ciphertext { return s.Encrypt(big.NewInt(m)) }
 
 // EncryptZero returns a fresh encryption of zero.
-func (s *Scheme) EncryptZero() *homo.Ciphertext { return s.EncryptInt(0) }
+func (s *Scheme) EncryptZero() *homo.Ciphertext {
+	pair := s.zeroPair()
+	return s.pack(pair.a, pair.b)
+}
 
 // Decrypt recovers m ∈ [0, q) — practically, the signed value in
 // [−msgBound, msgBound] re-encoded mod q. Panics if the plaintext is
@@ -171,28 +298,31 @@ func (s *Scheme) Decrypt(c *homo.Ciphertext) *big.Int {
 
 // DecryptSigned recovers the signed plaintext via BSGS on g^m.
 func (s *Scheme) DecryptSigned(c *homo.Ciphertext) *big.Int {
+	if s.x == nil {
+		panic("elgamal: Decrypt on a public-only scheme")
+	}
 	a, b := s.unpack(c)
 	// g^m = b / a^x
 	ax := new(big.Int).Exp(a, s.x, s.p)
 	axInv := new(big.Int).ModInverse(ax, s.p)
 	gm := new(big.Int).Mul(b, axInv)
 	gm.Mod(gm, s.p)
+	t := s.table()
 	// Bidirectional BSGS outward from zero: protocol plaintexts
 	// (counts, shares, stamps) are overwhelmingly small, so searching
 	// |m| in increasing order makes the common case one or two lookups
 	// instead of O(√bound).
 	pos := new(big.Int).Set(gm) // solves m = k·C + i         (m ≥ 0)
 	neg := new(big.Int).Set(gm) // solves m = −(k+1)·C + i    (m < 0, via m+(k+1)C)
-	gC := new(big.Int).Exp(s.g, big.NewInt(s.babyCount), s.p)
-	for k := int64(0); k <= s.babyCount; k++ {
-		if i, ok := s.babySteps[string(pos.Bytes())]; ok {
-			return big.NewInt(k*s.babyCount + i)
+	for k := int64(0); k <= t.babyCount; k++ {
+		if i, ok := t.babySteps[string(pos.Bytes())]; ok {
+			return big.NewInt(k*t.babyCount + i)
 		}
-		neg.Mul(neg, gC).Mod(neg, s.p)
-		if i, ok := s.babySteps[string(neg.Bytes())]; ok {
-			return big.NewInt(i - (k+1)*s.babyCount)
+		neg.Mul(neg, t.gC).Mod(neg, s.p)
+		if i, ok := t.babySteps[string(neg.Bytes())]; ok {
+			return big.NewInt(i - (k+1)*t.babyCount)
 		}
-		pos.Mul(pos, s.giant).Mod(pos, s.p)
+		pos.Mul(pos, t.giant).Mod(pos, s.p)
 	}
 	panic("elgamal: plaintext outside the decryptable range (counter overflow)")
 }
@@ -201,10 +331,12 @@ func (s *Scheme) DecryptSigned(c *homo.Ciphertext) *big.Int {
 func (s *Scheme) Add(x, y *homo.Ciphertext) *homo.Ciphertext {
 	xa, xb := s.unpack(x)
 	ya, yb := s.unpack(y)
-	a := new(big.Int).Mul(xa, ya)
-	a.Mod(a, s.p)
-	b := new(big.Int).Mul(xb, yb)
-	b.Mod(b, s.p)
+	t := scratch.Get().(*big.Int)
+	t.Mul(xa, ya)
+	a := new(big.Int).Mod(t, s.p)
+	t.Mul(xb, yb)
+	b := new(big.Int).Mod(t, s.p)
+	scratch.Put(t)
 	return s.pack(a, b)
 }
 
@@ -214,10 +346,12 @@ func (s *Scheme) Sub(x, y *homo.Ciphertext) *homo.Ciphertext {
 	yaInv := new(big.Int).ModInverse(ya, s.p)
 	ybInv := new(big.Int).ModInverse(yb, s.p)
 	xa, xb := s.unpack(x)
-	a := new(big.Int).Mul(xa, yaInv)
-	a.Mod(a, s.p)
-	b := new(big.Int).Mul(xb, ybInv)
-	b.Mod(b, s.p)
+	t := scratch.Get().(*big.Int)
+	t.Mul(xa, yaInv)
+	a := new(big.Int).Mod(t, s.p)
+	t.Mul(xb, ybInv)
+	b := new(big.Int).Mod(t, s.p)
+	scratch.Put(t)
 	return s.pack(a, b)
 }
 

@@ -1,0 +1,74 @@
+package elgamal
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math/big"
+)
+
+// Key persistence, mirroring internal/paillier: one key pair per grid
+// deployment, the encryption capability distributed to every
+// accountant and the decryption capability to the controllers. Schemes
+// reconstructed via Import share the process-wide BSGS table for their
+// (p, g, msgBound) triple, so standing up many resources in one
+// process pays the O(√bound) precomputation once.
+
+// wireKey is the gob payload; X is nil in public-only exports.
+type wireKey struct {
+	P, Q, G, H *big.Int
+	X          *big.Int // nil for public-only
+	Bound      int64
+}
+
+// ExportPrivate serializes the full key pair.
+func (s *Scheme) ExportPrivate() ([]byte, error) {
+	if s.x == nil {
+		return nil, errors.New("elgamal: no private key to export")
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(wireKey{P: s.p, Q: s.q, G: s.g, H: s.h, X: s.x, Bound: s.msgBound})
+	return buf.Bytes(), err
+}
+
+// ExportPublic serializes the group and public key only.
+func (s *Scheme) ExportPublic() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(wireKey{P: s.p, Q: s.q, G: s.g, H: s.h, Bound: s.msgBound})
+	return buf.Bytes(), err
+}
+
+// Import reconstructs a Scheme from ExportPrivate or ExportPublic
+// output. A public-only scheme supports every homo.Public operation
+// and Encrypt, but panics on Decrypt.
+func Import(data []byte) (*Scheme, error) {
+	var w wireKey
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, err
+	}
+	if w.P == nil || w.Q == nil || w.G == nil || w.H == nil || w.Bound < 1 {
+		return nil, errors.New("elgamal: invalid key material")
+	}
+	// p = 2q+1 ties the advertised subgroup order to the modulus.
+	p2 := new(big.Int).Lsh(w.Q, 1)
+	p2.Add(p2, one)
+	if p2.Cmp(w.P) != 0 {
+		return nil, errors.New("elgamal: p != 2q+1")
+	}
+	for _, v := range []*big.Int{w.G, w.H} {
+		if v.Sign() <= 0 || v.Cmp(w.P) >= 0 {
+			return nil, errors.New("elgamal: group element out of range")
+		}
+	}
+	s := &Scheme{p: w.P, q: w.Q, g: w.G, h: w.H, msgBound: w.Bound, tag: tagCounter.Add(1)}
+	if w.X != nil {
+		if w.X.Sign() < 0 || w.X.Cmp(w.Q) >= 0 {
+			return nil, errors.New("elgamal: secret exponent out of range")
+		}
+		if new(big.Int).Exp(w.G, w.X, w.P).Cmp(w.H) != 0 {
+			return nil, errors.New("elgamal: public key does not match secret exponent")
+		}
+		s.x = w.X
+	}
+	return s, nil
+}

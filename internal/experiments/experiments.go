@@ -11,6 +11,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"secmr/internal/arm"
 	"secmr/internal/core"
@@ -55,6 +56,12 @@ type Scale struct {
 	MinFreq        float64
 	MinConf        float64
 	Seed           int64
+	// Concurrency caps how many independent figure configurations run
+	// at once (0 or 1 = serial). Each configuration is a self-contained
+	// simulation with its own seeded rng, so results are identical at
+	// any concurrency — only wall-clock changes. Useful on multi-core
+	// hosts; on a single vCPU it only adds scheduling overhead.
+	Concurrency int
 }
 
 // CI is the test/bench-sized scale: minutes, not days.
@@ -80,6 +87,49 @@ func Paper() Scale {
 		NumItems: 1000, NumPatterns: 2000, MaxRuleItems: 0,
 		MinFreq: 0.01, MinConf: 0.5, Seed: 1,
 	}
+}
+
+// runJobs executes n independent jobs with at most conc in flight,
+// collecting the first error. Jobs write results into caller-owned
+// indexed slices, so output order never depends on scheduling.
+func runJobs(conc, n int, job func(i int) error) error {
+	if conc < 1 {
+		conc = 1
+	}
+	if conc > n {
+		conc = n
+	}
+	if conc == 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sem := make(chan struct{}, conc)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := job(i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // miner is the common face of the three resource implementations.

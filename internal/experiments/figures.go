@@ -56,23 +56,40 @@ func Figure2(sc Scale, paillierBits int) ([]Figure2Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Figure2Row
+	// One job per (database, algorithm) curve; Scale.Concurrency runs
+	// them in parallel. Every scheme (including the real cryptosystems)
+	// is safe for concurrent use, and each job seeds its own rng inside
+	// buildGrid, so the rows are identical at any concurrency.
+	type curve struct {
+		preset string
+		alg    Algorithm
+	}
+	var jobs []curve
 	for _, preset := range quest.PresetNames() {
 		for _, alg := range Algorithms() {
-			g, err := buildGrid(alg, sc, preset, scheme)
-			if err != nil {
-				return nil, err
-			}
-			label := fmt.Sprintf("%s/%s", preset, alg)
-			series := g.convergenceRun(label, 0.9)
-			row := Figure2Row{Database: preset, Algorithm: alg, Series: series, ScansTo90: -1}
-			if p, ok := firstReachBoth(series, 0.9); ok {
-				row.ScansTo90 = p.Scans
-			}
-			final := series.Final()
-			row.FinalRecall, row.FinalPrecision = final.Recall, final.Precision
-			rows = append(rows, row)
+			jobs = append(jobs, curve{preset, alg})
 		}
+	}
+	rows := make([]Figure2Row, len(jobs))
+	err = runJobs(sc.Concurrency, len(jobs), func(i int) error {
+		j := jobs[i]
+		g, err := buildGrid(j.alg, sc, j.preset, scheme)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%s/%s", j.preset, j.alg)
+		series := g.convergenceRun(label, 0.9)
+		row := Figure2Row{Database: j.preset, Algorithm: j.alg, Series: series, ScansTo90: -1}
+		if p, ok := firstReachBoth(series, 0.9); ok {
+			row.ScansTo90 = p.Scans
+		}
+		final := series.Final()
+		row.FinalRecall, row.FinalPrecision = final.Recall, final.Precision
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -131,13 +148,26 @@ func Figure3(sc Scale, resourceCounts []int, significances []float64, paillierBi
 		return nil, err
 	}
 	const lambda = 0.5
-	var out []Figure3Point
+	type combo struct {
+		sig float64
+		n   int
+	}
+	var jobs []combo
 	for _, sig := range significances {
 		for _, n := range resourceCounts {
-			steps, converged := figure3Run(sc, scheme, n, lambda, sig)
-			out = append(out, Figure3Point{Resources: n, Significance: sig,
-				StepsTo90: steps, Converged: converged})
+			jobs = append(jobs, combo{sig, n})
 		}
+	}
+	out := make([]Figure3Point, len(jobs))
+	err = runJobs(sc.Concurrency, len(jobs), func(i int) error {
+		j := jobs[i]
+		steps, converged := figure3Run(sc, scheme, j.n, lambda, j.sig)
+		out[i] = Figure3Point{Resources: j.n, Significance: j.sig,
+			StepsTo90: steps, Converged: converged}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -232,15 +262,15 @@ func Figure4(sc Scale, ks []int64, paillierBits int) ([]Figure4Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []Figure4Point
-	for _, k := range ks {
+	out := make([]Figure4Point, len(ks))
+	err = runJobs(sc.Concurrency, len(ks), func(i int) error {
 		s := sc
-		s.K = k
+		s.K = ks[i]
 		g, err := buildGrid(AlgSecure, s, "T10I4", scheme)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pt := Figure4Point{K: k, StepsTo90: s.MaxSteps}
+		pt := Figure4Point{K: ks[i], StepsTo90: s.MaxSteps}
 		for step := 0; step <= s.MaxSteps; step += s.SampleEvery {
 			rec, _ := g.avgQuality()
 			if rec >= 0.9 {
@@ -250,7 +280,11 @@ func Figure4(sc Scale, ks []int64, paillierBits int) ([]Figure4Point, error) {
 			g.engine.Run(s.SampleEvery)
 		}
 		pt.Scans = s.scans(pt.StepsTo90)
-		out = append(out, pt)
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -35,13 +35,17 @@ func MessageComplexity(sc Scale, resourceCounts []int, sig float64, paillierBits
 		return nil, err
 	}
 	const lambda = 0.5
-	var out []MessagePoint
-	for _, n := range resourceCounts {
-		pt, err := messageRun(sc, scheme, n, lambda, sig)
+	out := make([]MessagePoint, len(resourceCounts))
+	err = runJobs(sc.Concurrency, len(resourceCounts), func(i int) error {
+		pt, err := messageRun(sc, scheme, resourceCounts[i], lambda, sig)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, pt)
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,107 @@
+package fixedbase
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestAgainstBigExp cross-checks the table against math/big over many
+// random exponents, moduli and window widths.
+func TestAgainstBigExp(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		mod := new(big.Int).SetInt64(rng.Int63n(1<<40) + 3)
+		base := new(big.Int).SetInt64(rng.Int63n(mod.Int64()))
+		for _, window := range []uint{1, 3, 4, 6} {
+			tab := New(base, mod, 64, window)
+			for i := 0; i < 50; i++ {
+				e := new(big.Int).SetUint64(rng.Uint64())
+				want := new(big.Int).Exp(base, e, mod)
+				if got := tab.Exp(e); got.Cmp(want) != 0 {
+					t.Fatalf("w=%d base=%v mod=%v e=%v: got %v want %v",
+						window, base, mod, e, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeExponents(t *testing.T) {
+	mod := big.NewInt(1_000_003)
+	base := big.NewInt(12345)
+	tab := New(base, mod, 20, 4)
+	for _, e := range []int64{0, 1, 2, 15, 16, 17, (1 << 20) - 1} {
+		exp := big.NewInt(e)
+		want := new(big.Int).Exp(base, exp, mod)
+		if got := tab.Exp(exp); got.Cmp(want) != 0 {
+			t.Fatalf("e=%d: got %v want %v", e, got, want)
+		}
+	}
+}
+
+// Exponents beyond maxBits fall back to the general path.
+func TestOverlongExponentFallsBack(t *testing.T) {
+	mod := big.NewInt(999983)
+	base := big.NewInt(777)
+	tab := New(base, mod, 8, 4)
+	e := big.NewInt(1 << 30)
+	want := new(big.Int).Exp(base, e, mod)
+	if got := tab.Exp(e); got.Cmp(want) != 0 {
+		t.Fatalf("fallback: got %v want %v", got, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	mod := big.NewInt(97)
+	for name, fn := range map[string]func(){
+		"nil mod":       func() { New(big.NewInt(2), nil, 8, 4) },
+		"zero mod":      func() { New(big.NewInt(2), big.NewInt(0), 8, 4) },
+		"negative base": func() { New(big.NewInt(-1), mod, 8, 4) },
+		"base >= mod":   func() { New(big.NewInt(97), mod, 8, 4) },
+		"zero maxBits":  func() { New(big.NewInt(2), mod, 0, 4) },
+		"negative exp":  func() { New(big.NewInt(2), mod, 8, 4).Exp(big.NewInt(-1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// The table must be usable from many goroutines at once (run with
+// -race).
+func TestConcurrentExp(t *testing.T) {
+	mod := big.NewInt(1_000_003)
+	tab := New(big.NewInt(54321), mod, 32, 4)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				e := new(big.Int).SetInt64(rng.Int63n(1 << 32))
+				want := new(big.Int).Exp(big.NewInt(54321), e, mod)
+				if tab.Exp(e).Cmp(want) != 0 {
+					done <- errFor(e)
+					return
+				}
+			}
+			done <- nil
+		}(int64(g))
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type expErr struct{ e *big.Int }
+
+func (e expErr) Error() string { return "mismatch at exponent " + e.e.String() }
+
+func errFor(e *big.Int) error { return expErr{e} }

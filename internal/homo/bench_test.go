@@ -1,0 +1,224 @@
+package homo_test
+
+// Micro-benchmarks for the batched crypto engine. Run with e.g.
+//
+//	go test ./internal/homo/ -run=^$ -bench . -benchmem -cpu 1,4,8
+//
+// and convert to JSON with cmd/benchjson (see BENCH_homo.json at the
+// repo root). The *Vec/*Serial pairs quantify the worker-pool speedup
+// (visible only with GOMAXPROCS > 1 on a multi-core host — on a 1-vCPU
+// runner batch and serial coincide by design); the
+// PaillierEncrypt/PaillierEncryptNoFixedBase pair quantifies the
+// fixed-base noise win, which is single-threaded and shows everywhere.
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"sync"
+	"testing"
+
+	"secmr/internal/elgamal"
+	"secmr/internal/homo"
+	"secmr/internal/oblivious"
+	"secmr/internal/paillier"
+)
+
+const (
+	benchSlots = 16 // stamp slots per oblivious counter (20-slot vectors)
+	benchVecN  = 20 // = 4 protocol fields + benchSlots
+)
+
+var (
+	benchOnce     sync.Once
+	benchPaillier *paillier.Scheme
+	benchElGamal  *elgamal.Scheme
+)
+
+func benchSchemes(b *testing.B) (*paillier.Scheme, *elgamal.Scheme) {
+	b.Helper()
+	benchOnce.Do(func() {
+		var err error
+		benchPaillier, err = paillier.GenerateKey(rand.Reader, 1024)
+		if err != nil {
+			panic(err)
+		}
+		benchElGamal, err = elgamal.GenerateKey(rand.Reader, 192, 1<<20)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchPaillier, benchElGamal
+}
+
+// benchCounters builds two oblivious counters with live values.
+func benchCounters(b *testing.B, s homo.Scheme) (x, y *oblivious.Counter) {
+	b.Helper()
+	rng := mrand.New(mrand.NewSource(1))
+	x, y = oblivious.NewZero(s, benchSlots), oblivious.NewZero(s, benchSlots)
+	x.Sum, y.Sum = s.EncryptInt(rng.Int63n(1000)), s.EncryptInt(rng.Int63n(1000))
+	x.Count, y.Count = s.EncryptInt(1), s.EncryptInt(1)
+	return x, y
+}
+
+// BenchmarkObliviousAddVec is the acceptance benchmark: one oblivious
+// counter addition (20 componentwise homomorphic adds) through the
+// batch path.
+func BenchmarkObliviousAddVec(b *testing.B) {
+	s, _ := benchSchemes(b)
+	x, y := benchCounters(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oblivious.Add(s, x, y)
+	}
+}
+
+// BenchmarkObliviousAddSerial is the same addition with the batch
+// capability hidden, forcing the elementwise serial loop.
+func BenchmarkObliviousAddSerial(b *testing.B) {
+	s, _ := benchSchemes(b)
+	serial := serialOnly{s}
+	x, y := benchCounters(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oblivious.Add(serial, x, y)
+	}
+}
+
+// BenchmarkPaillierEncrypt measures the production path: g=N+1 fast
+// path plus fixed-base noise.
+func BenchmarkPaillierEncrypt(b *testing.B) {
+	s, _ := benchSchemes(b)
+	m := big.NewInt(123456)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Encrypt(m)
+	}
+}
+
+// BenchmarkPaillierEncryptNoFixedBase disables the fixed-base noise
+// table, restoring the full r^N modular exponentiation per encryption —
+// the pre-optimization cost.
+func BenchmarkPaillierEncryptNoFixedBase(b *testing.B) {
+	s, _ := benchSchemes(b)
+	s.UseFixedBaseNoise(false)
+	defer s.UseFixedBaseNoise(true)
+	m := big.NewInt(123456)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Encrypt(m)
+	}
+}
+
+func BenchmarkElGamalEncrypt(b *testing.B) {
+	_, s := benchSchemes(b)
+	m := big.NewInt(421)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Encrypt(m)
+	}
+}
+
+// benchVec builds a ciphertext vector of benchVecN live values.
+func benchVec(b *testing.B, s homo.Scheme) []*homo.Ciphertext {
+	b.Helper()
+	ms := make([]*big.Int, benchVecN)
+	for i := range ms {
+		ms[i] = big.NewInt(int64(i * 37))
+	}
+	return homo.EncryptVec(s, ms)
+}
+
+func BenchmarkPaillierEncryptVec(b *testing.B) {
+	s, _ := benchSchemes(b)
+	ms := make([]*big.Int, benchVecN)
+	for i := range ms {
+		ms[i] = big.NewInt(int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		homo.EncryptVec(s, ms)
+	}
+}
+
+func BenchmarkPaillierEncryptVecSerial(b *testing.B) {
+	s, _ := benchSchemes(b)
+	ms := make([]*big.Int, benchVecN)
+	for i := range ms {
+		ms[i] = big.NewInt(int64(i))
+	}
+	serial := serialOnly{s}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		homo.EncryptVec(serial, ms)
+	}
+}
+
+func BenchmarkPaillierRerandomizeVec(b *testing.B) {
+	s, _ := benchSchemes(b)
+	cs := benchVec(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		homo.RerandomizeVec(s, cs)
+	}
+}
+
+func BenchmarkPaillierRerandomizeVecSerial(b *testing.B) {
+	s, _ := benchSchemes(b)
+	cs := benchVec(b, s)
+	serial := serialOnly{s}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		homo.RerandomizeVec(serial, cs)
+	}
+}
+
+func BenchmarkPaillierAdd(b *testing.B) {
+	s, _ := benchSchemes(b)
+	x, y := s.EncryptInt(41), s.EncryptInt(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(x, y)
+	}
+}
+
+func BenchmarkPaillierRerandomize(b *testing.B) {
+	s, _ := benchSchemes(b)
+	x := s.EncryptInt(41)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Rerandomize(x)
+	}
+}
+
+// Packed (single-ciphertext, §4.2 vectorization) versus
+// multi-ciphertext counter addition: the packed form costs one
+// homomorphic add per counter instead of 4+slots.
+func BenchmarkCounterAddMulti(b *testing.B) {
+	s, _ := benchSchemes(b)
+	x, y := benchCounters(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oblivious.Add(s, x, y)
+	}
+}
+
+func BenchmarkCounterAddPacked(b *testing.B) {
+	s, _ := benchSchemes(b)
+	g := oblivious.NewGeometry(benchSlots, 24)
+	stamps := make([]int64, benchSlots)
+	x, err := g.PackCounter(s, s, 7, 1, 3, 1, stamps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := g.PackCounter(s, s, 5, 1, 2, 0, stamps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Add(s, y)
+	}
+}

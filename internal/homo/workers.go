@@ -1,0 +1,125 @@
+package homo
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Shared crypto worker pool. Every batch (vector) operation in the
+// repository — Paillier and ElGamal *Vec implementations, and any
+// future scheme — fans out over this one pool rather than spawning
+// goroutines per call, so concurrent batch callers time-share a fixed
+// set of workers instead of oversubscribing the machine.
+//
+// The pool is lazily started on first parallel call and sized to
+// GOMAXPROCS (override with SetWorkers). Submission never blocks: when
+// every worker is busy the caller simply runs its whole batch inline,
+// which keeps nested ParallelFor calls deadlock-free and makes the
+// saturated path exactly the serial path.
+
+var workerOverride atomic.Int64
+
+// SetWorkers overrides the parallel width of batch crypto operations.
+// n ≤ 0 restores the default (GOMAXPROCS at call time). Takes effect
+// for subsequent batch calls; in-flight calls are unaffected. A width
+// of 1 disables parallel dispatch entirely — the right setting for
+// 1-vCPU hosts, where helpers only add scheduling overhead.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerOverride.Store(int64(n))
+}
+
+// Workers returns the current parallel width: the SetWorkers override
+// when set, GOMAXPROCS otherwise.
+func Workers() int {
+	if n := workerOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+var (
+	poolOnce  sync.Once
+	poolTasks chan func()
+	poolMu    sync.Mutex
+	poolSize  int
+)
+
+// ensureWorkers grows the shared worker set to at least n goroutines.
+// Workers park on the task channel when idle; the set never shrinks
+// (idle workers cost one blocked goroutine each).
+func ensureWorkers(n int) {
+	poolOnce.Do(func() { poolTasks = make(chan func(), 64) })
+	poolMu.Lock()
+	for poolSize < n {
+		poolSize++
+		go func() {
+			for f := range poolTasks {
+				f()
+			}
+		}()
+	}
+	poolMu.Unlock()
+}
+
+// ParallelFor runs fn(i) for every i in [0, n), fanning out over the
+// shared worker pool when more than one worker is configured. The
+// calling goroutine always participates, helpers steal indexes off a
+// shared counter, and a panic in any index is re-raised on the caller
+// after the batch drains. fn must be safe for concurrent invocation
+// when Workers() > 1.
+func ParallelFor(n int, fn func(i int)) {
+	w := Workers()
+	if n <= 1 || w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	helpers := w - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	ensureWorkers(helpers)
+
+	var (
+		next     atomic.Int64
+		panicked atomic.Pointer[any]
+	)
+	run := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, &r)
+			}
+		}()
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(n) {
+				return
+			}
+			fn(int(i))
+		}
+	}
+	var wg sync.WaitGroup
+submit:
+	for j := 0; j < helpers; j++ {
+		wg.Add(1)
+		task := func() { defer wg.Done(); run() }
+		select {
+		case poolTasks <- task:
+		default:
+			// Pool saturated (e.g. nested batch): the caller covers the
+			// remaining work itself.
+			wg.Done()
+			break submit
+		}
+	}
+	run()
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(*p)
+	}
+}

@@ -32,6 +32,8 @@ func InstrumentScheme(inner homo.Scheme, sink *obs.Sink) homo.Scheme {
 	s.add, s.sub, s.smul = mk("add"), mk("sub"), mk("scalar_mul")
 	s.rerand, s.zero = mk("rerandomize"), mk("encrypt_zero")
 	s.enc, s.dec = mk("encrypt"), mk("decrypt")
+	s.addVec, s.smulVec = mk("add_vec"), mk("scalar_mul_vec")
+	s.rerandVec, s.zeroVec, s.encVec = mk("rerandomize_vec"), mk("encrypt_zero_vec"), mk("encrypt_vec")
 	return s
 }
 
@@ -46,7 +48,8 @@ type instrumentedScheme struct {
 	inner homo.Scheme
 	tr    *obs.Tracer
 
-	add, sub, smul, rerand, zero, enc, dec opInstr
+	add, sub, smul, rerand, zero, enc, dec      opInstr
+	addVec, smulVec, rerandVec, zeroVec, encVec opInstr
 }
 
 // observe records one finished operation. Designed for
@@ -108,6 +111,49 @@ func (s *instrumentedScheme) DecryptSigned(c *homo.Ciphertext) *big.Int {
 	return s.inner.DecryptSigned(c)
 }
 
+// observeN records one finished batch operation covering n elements:
+// the op counter advances by the element count (so serial and batched
+// workloads stay comparable per element) while the histogram records
+// one whole-batch latency.
+func (s *instrumentedScheme) observeN(i opInstr, n int, start time.Time) {
+	d := time.Since(start)
+	i.n.Add(int64(n))
+	i.lat.Observe(d.Seconds())
+	if s.tr.ExplicitlyEnabled(obs.EvCryptoOp) {
+		s.tr.Emit(obs.Event{Type: obs.EvCryptoOp, Node: -1, Peer: -1, Detail: i.op, Dur: d.Nanoseconds()})
+	}
+}
+
+// The vector operations delegate through the homo batch helpers, so an
+// instrumented batch-capable scheme keeps its parallel path and an
+// instrumented serial scheme keeps its elementwise fallback — with the
+// batch observed either way.
+
+func (s *instrumentedScheme) AddVec(a, b []*homo.Ciphertext) []*homo.Ciphertext {
+	defer s.observeN(s.addVec, len(a), time.Now())
+	return homo.AddVec(s.inner, a, b)
+}
+
+func (s *instrumentedScheme) RerandomizeVec(xs []*homo.Ciphertext) []*homo.Ciphertext {
+	defer s.observeN(s.rerandVec, len(xs), time.Now())
+	return homo.RerandomizeVec(s.inner, xs)
+}
+
+func (s *instrumentedScheme) ScalarVec(ms []int64, xs []*homo.Ciphertext) []*homo.Ciphertext {
+	defer s.observeN(s.smulVec, len(xs), time.Now())
+	return homo.ScalarVec(s.inner, ms, xs)
+}
+
+func (s *instrumentedScheme) EncryptZeroVec(n int) []*homo.Ciphertext {
+	defer s.observeN(s.zeroVec, n, time.Now())
+	return homo.EncryptZeroVec(s.inner, n)
+}
+
+func (s *instrumentedScheme) EncryptVec(ms []*big.Int) []*homo.Ciphertext {
+	defer s.observeN(s.encVec, len(ms), time.Now())
+	return homo.EncryptVec(s.inner, ms)
+}
+
 func (s *instrumentedScheme) Name() string { return s.inner.Name() }
 
 // Adopt delegates ciphertext adoption to the wrapped scheme so wire
@@ -120,6 +166,7 @@ func (s *instrumentedScheme) Adopt(c *homo.Ciphertext) (*homo.Ciphertext, error)
 }
 
 var (
-	_ homo.Scheme  = (*instrumentedScheme)(nil)
-	_ homo.Adopter = (*instrumentedScheme)(nil)
+	_ homo.Scheme      = (*instrumentedScheme)(nil)
+	_ homo.Adopter     = (*instrumentedScheme)(nil)
+	_ homo.BatchScheme = (*instrumentedScheme)(nil)
 )

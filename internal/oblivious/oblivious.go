@@ -19,6 +19,7 @@
 package oblivious
 
 import (
+	"math/big"
 	"math/rand"
 
 	"secmr/internal/homo"
@@ -36,20 +37,27 @@ type Counter struct {
 	Stamps          []*homo.Ciphertext
 }
 
+// vec flattens the counter into the fixed field order
+// (sum, count, num, share, stamps…) for the homo batch helpers.
+func (c *Counter) vec() []*homo.Ciphertext {
+	v := make([]*homo.Ciphertext, 0, 4+len(c.Stamps))
+	v = append(v, c.Sum, c.Count, c.Num, c.Share)
+	return append(v, c.Stamps...)
+}
+
+// fromVec rebuilds a counter from vec's layout. The slice is owned by
+// the result afterwards.
+func fromVec(v []*homo.Ciphertext) *Counter {
+	return &Counter{Sum: v[0], Count: v[1], Num: v[2], Share: v[3], Stamps: v[4:]}
+}
+
 // NewZero returns an all-E(0) counter with the given number of stamp
-// slots.
+// slots. All counter operations go through the homo batch helpers: a
+// batch-capable scheme (Paillier, ElGamal) computes the 4+slots field
+// ciphertexts on the shared worker pool; any other scheme runs the
+// identical serial loop.
 func NewZero(pub homo.Public, slots int) *Counter {
-	c := &Counter{
-		Sum:    pub.EncryptZero(),
-		Count:  pub.EncryptZero(),
-		Num:    pub.EncryptZero(),
-		Share:  pub.EncryptZero(),
-		Stamps: make([]*homo.Ciphertext, slots),
-	}
-	for i := range c.Stamps {
-		c.Stamps[i] = pub.EncryptZero()
-	}
-	return c
+	return fromVec(homo.EncryptZeroVec(pub, 4+slots))
 }
 
 // Add returns the componentwise homomorphic sum. Both operands must
@@ -58,34 +66,14 @@ func Add(pub homo.Public, a, b *Counter) *Counter {
 	if len(a.Stamps) != len(b.Stamps) {
 		panic("oblivious: stamp slot mismatch")
 	}
-	out := &Counter{
-		Sum:    pub.Add(a.Sum, b.Sum),
-		Count:  pub.Add(a.Count, b.Count),
-		Num:    pub.Add(a.Num, b.Num),
-		Share:  pub.Add(a.Share, b.Share),
-		Stamps: make([]*homo.Ciphertext, len(a.Stamps)),
-	}
-	for i := range out.Stamps {
-		out.Stamps[i] = pub.Add(a.Stamps[i], b.Stamps[i])
-	}
-	return out
+	return fromVec(homo.AddVec(pub, a.vec(), b.vec()))
 }
 
 // Rerandomize refreshes every component so the recipient cannot tell
 // whether the counter changed (§5.2: "further rerandomized to conceal
 // from the receiver the fact that the counter was not changed").
 func Rerandomize(pub homo.Public, c *Counter) *Counter {
-	out := &Counter{
-		Sum:    pub.Rerandomize(c.Sum),
-		Count:  pub.Rerandomize(c.Count),
-		Num:    pub.Rerandomize(c.Num),
-		Share:  pub.Rerandomize(c.Share),
-		Stamps: make([]*homo.Ciphertext, len(c.Stamps)),
-	}
-	for i := range out.Stamps {
-		out.Stamps[i] = pub.Rerandomize(c.Stamps[i])
-	}
-	return out
+	return fromVec(homo.RerandomizeVec(pub, c.vec()))
 }
 
 // Clone deep-copies the counter.
@@ -112,20 +100,21 @@ func MakeShares(enc homo.Encryptor, pub homo.Public, n int, rng *rand.Rand) []*h
 	if n < 1 {
 		panic("oblivious: need at least one share")
 	}
-	m := pub.PlaintextSpace()
-	out := make([]*homo.Ciphertext, n)
-	acc := int64(0)
 	// Draw n−1 shares from a wide range; the last share is
 	// 1 − Σ others (mod M). Drawing int63 keeps the arithmetic in
-	// int64; the modular encoding happens inside Encrypt.
-	_ = m
+	// int64; the modular encoding happens inside Encrypt. All draws
+	// happen before the batched encryption so the rng stream is
+	// identical to the historical serial loop (seeded simulations
+	// depend on the draw order).
+	vals := make([]*big.Int, n)
+	acc := int64(0)
 	for i := 0; i < n-1; i++ {
 		v := rng.Int63n(1 << 40)
 		acc += v
-		out[i] = enc.EncryptInt(v)
+		vals[i] = big.NewInt(v)
 	}
-	out[n-1] = enc.EncryptInt(1 - acc)
-	return out
+	vals[n-1] = big.NewInt(1 - acc)
+	return homo.EncryptVec(enc, vals)
 }
 
 // Blind multiplies an encrypted signed value by a fresh random

@@ -94,17 +94,12 @@ func (p *PackedCounter) Fields(dec homo.Decryptor) (sum, count, num, share int64
 // the fields; that is the point of the packing).
 func (p *PackedCounter) Unpack(dec homo.Decryptor, enc homo.Encryptor) *Counter {
 	sum, count, num, share, stamps := p.Fields(dec)
-	out := &Counter{
-		Sum:    enc.Encrypt(intToBig(sum)),
-		Count:  enc.Encrypt(intToBig(count)),
-		Num:    enc.Encrypt(intToBig(num)),
-		Share:  enc.Encrypt(intToBig(share)),
-		Stamps: make([]*homo.Ciphertext, len(stamps)),
+	vals := make([]*big.Int, 0, 4+len(stamps))
+	vals = append(vals, intToBig(sum), intToBig(count), intToBig(num), intToBig(share))
+	for _, t := range stamps {
+		vals = append(vals, intToBig(t))
 	}
-	for i, t := range stamps {
-		out.Stamps[i] = enc.Encrypt(intToBig(t))
-	}
-	return out
+	return fromVec(homo.EncryptVec(enc, vals))
 }
 
 func intToBig(v int64) *big.Int { return big.NewInt(v) }

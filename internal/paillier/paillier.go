@@ -24,10 +24,19 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"secmr/internal/fixedbase"
 	"secmr/internal/homo"
+	"secmr/internal/randpool"
 )
 
 var one = big.NewInt(1)
+
+// scratch pools the oversized intermediate products of the hot
+// homomorphic operations (a 1024-bit key multiplies 2048-bit residues
+// into 4096-bit products before reduction); reusing that scratch
+// roughly halves the bytes allocated per Add/Sub/Rerandomize/Encrypt.
+// Only intermediates live here — every ciphertext handed out is fresh.
+var scratch = sync.Pool{New: func() any { return new(big.Int) }}
 
 // PublicKey holds the Paillier public parameters.
 type PublicKey struct {
@@ -54,7 +63,14 @@ type Scheme struct {
 
 	// pool optionally holds precomputed noise factors (see pool.go).
 	poolMu sync.RWMutex
-	pool   *noisePool
+	pool   *randpool.Pool[*big.Int]
+
+	// Fixed-base noise: a one-time table over hᴺ mod N² (h a random
+	// unit) turns every online noise factor into a windowed
+	// fixed-base exponentiation — see noiseTable.
+	fbOnce    sync.Once
+	fbTable   *fixedbase.Table
+	fbDisable atomic.Bool
 }
 
 var tagCounter atomic.Uint64
@@ -163,13 +179,17 @@ func (s *Scheme) check(c *homo.Ciphertext) {
 // Encrypt encrypts m mod N.
 func (s *Scheme) Encrypt(m *big.Int) *homo.Ciphertext {
 	mm := homo.EncodeMod(m, s.pub.N)
-	// (1 + m·N) mod N²  — the g=N+1 shortcut avoids one Exp.
-	c := new(big.Int).Mul(mm, s.pub.N)
-	c.Add(c, one)
-	c.Mod(c, s.pub.N2)
-	// times r^N mod N² (possibly precomputed; see pool.go)
-	c.Mul(c, s.noiseFactor()).Mod(c, s.pub.N2)
-	return &homo.Ciphertext{V: c, Tag: s.tag}
+	// (1 + m·N) mod N²  — the g=N+1 fast path: one mulmod where the
+	// generic g^m costs a full modular exponentiation.
+	t := scratch.Get().(*big.Int)
+	t.Mul(mm, s.pub.N)
+	t.Add(t, one)
+	t.Mod(t, s.pub.N2)
+	// times r^N mod N² (pooled or fixed-base; see pool.go, noiseTable)
+	t.Mul(t, s.noiseFactor())
+	v := new(big.Int).Mod(t, s.pub.N2)
+	scratch.Put(t)
+	return &homo.Ciphertext{V: v, Tag: s.tag}
 }
 
 // EncryptInt encrypts an int64 (negatives via modular shifting).
@@ -212,8 +232,10 @@ func (s *Scheme) DecryptSigned(c *homo.Ciphertext) *big.Int {
 func (s *Scheme) Add(a, b *homo.Ciphertext) *homo.Ciphertext {
 	s.check(a)
 	s.check(b)
-	v := new(big.Int).Mul(a.V, b.V)
-	v.Mod(v, s.pub.N2)
+	t := scratch.Get().(*big.Int)
+	t.Mul(a.V, b.V)
+	v := new(big.Int).Mod(t, s.pub.N2)
+	scratch.Put(t)
 	return &homo.Ciphertext{V: v, Tag: s.tag}
 }
 
@@ -225,8 +247,8 @@ func (s *Scheme) Sub(a, b *homo.Ciphertext) *homo.Ciphertext {
 	if inv == nil {
 		panic("paillier: non-invertible ciphertext")
 	}
-	v := new(big.Int).Mul(a.V, inv)
-	v.Mod(v, s.pub.N2)
+	inv.Mul(a.V, inv)
+	v := new(big.Int).Mod(inv, s.pub.N2)
 	return &homo.Ciphertext{V: v, Tag: s.tag}
 }
 
@@ -242,8 +264,10 @@ func (s *Scheme) ScalarMul(m int64, a *homo.Ciphertext) *homo.Ciphertext {
 // Rerandomize multiplies by a fresh encryption of zero: c·r^N mod N².
 func (s *Scheme) Rerandomize(a *homo.Ciphertext) *homo.Ciphertext {
 	s.check(a)
-	v := new(big.Int).Mul(a.V, s.noiseFactor())
-	v.Mod(v, s.pub.N2)
+	t := scratch.Get().(*big.Int)
+	t.Mul(a.V, s.noiseFactor())
+	v := new(big.Int).Mod(t, s.pub.N2)
+	scratch.Put(t)
 	return &homo.Ciphertext{V: v, Tag: s.tag}
 }
 

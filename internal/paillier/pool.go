@@ -1,90 +1,105 @@
 package paillier
 
 import (
+	"crypto/rand"
 	"math/big"
-	"sync"
+
+	"secmr/internal/fixedbase"
+	"secmr/internal/randpool"
 )
 
 // Encryption and rerandomization each consume one noise factor
 // r^N mod N² — the dominant modular exponentiation on the accountant's
-// hot path (every vote-count update re-encrypts two counters). The
-// noise pool precomputes factors on background goroutines so the
-// protocol thread only multiplies.
+// hot path (every vote-count update re-encrypts two counters). Two
+// complementary accelerations exist:
 //
-// The pool is an optimization only: with no pool (or an empty one)
-// operations compute their factor inline and remain correct. The win
-// requires spare cores — on a single-CPU host the workers compete with
-// the protocol thread and the pool is a wash (visible in
-// BenchmarkEncryptPooled on 1-vCPU runners).
-
-// noisePool buffers precomputed r^N values.
-type noisePool struct {
-	ch   chan *big.Int
-	stop chan struct{}
-	wg   sync.WaitGroup
-}
+//   - a precomputed-randomness pool (StartNoisePool, built on the
+//     scheme-agnostic internal/randpool): background workers keep
+//     uniformly-drawn factors ready so the protocol thread only
+//     multiplies. Needs spare cores; on a single-CPU host the workers
+//     compete with the protocol thread and the pool is a wash.
+//
+//   - a fixed-base table (noiseTable, always on unless disabled): the
+//     scheme samples one random unit h at first use, precomputes
+//     windowed powers of hᴺ mod N², and draws each online factor as
+//     (hᴺ)^a for random a < N — ceil(|N|/4) multiplications instead of
+//     a full |N|-bit modular exponentiation, no extra cores needed.
+//
+// Both are optimizations only: operations remain correct (and the
+// plaintexts identical) with neither. The fixed-base trade-off is that
+// noise units are drawn from the cyclic subgroup ⟨h⟩ rather than all of
+// Z*_N — the standard precomputation compromise (cf. Paillier '99 §6 on
+// shrinking the encryption workload); deployments wanting strictly
+// uniform noise call UseFixedBaseNoise(false) and rely on the pool.
 
 // StartNoisePool launches `workers` background goroutines keeping up
-// to `buffer` precomputed noise factors ready. It returns a stop
-// function; calling it (once) drains the workers. Starting a second
-// pool replaces the first (the old one must be stopped by its own stop
-// function).
+// to `buffer` precomputed uniform noise factors ready. It returns a
+// stop function; calling it (once) drains the workers. Starting a
+// second pool replaces the first (the old one must be stopped by its
+// own stop function).
 func (s *Scheme) StartNoisePool(buffer, workers int) (stop func()) {
-	if buffer < 1 || workers < 1 {
-		panic("paillier: pool needs positive buffer and workers")
-	}
-	p := &noisePool{
-		ch:   make(chan *big.Int, buffer),
-		stop: make(chan struct{}),
-	}
-	for i := 0; i < workers; i++ {
-		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			for {
-				v := s.freshNoise()
-				select {
-				case <-p.stop:
-					return
-				case p.ch <- v:
-				}
-			}
-		}()
-	}
+	p := randpool.New(buffer, workers, s.uniformNoise)
 	s.poolMu.Lock()
 	s.pool = p
 	s.poolMu.Unlock()
-	var once sync.Once
 	return func() {
-		once.Do(func() {
-			close(p.stop)
-			p.wg.Wait()
-			s.poolMu.Lock()
-			if s.pool == p {
-				s.pool = nil
-			}
-			s.poolMu.Unlock()
-		})
+		p.Stop()
+		s.poolMu.Lock()
+		if s.pool == p {
+			s.pool = nil
+		}
+		s.poolMu.Unlock()
 	}
 }
 
-// freshNoise computes one factor inline.
-func (s *Scheme) freshNoise() *big.Int {
+// uniformNoise computes one factor from a uniform unit of Z*_N.
+func (s *Scheme) uniformNoise() *big.Int {
 	return new(big.Int).Exp(s.randomUnit(), s.pub.N, s.pub.N2)
 }
 
-// noiseFactor returns a pooled factor when one is ready, computing
-// inline otherwise (never blocks).
+// UseFixedBaseNoise toggles the fixed-base noise table (on by
+// default). Disable to draw every inline factor from a uniform unit at
+// full modular-exponentiation cost.
+func (s *Scheme) UseFixedBaseNoise(enabled bool) { s.fbDisable.Store(!enabled) }
+
+// noiseTable lazily builds the fixed-base table over hᴺ mod N².
+func (s *Scheme) noiseTable() *fixedbase.Table {
+	s.fbOnce.Do(func() {
+		h := s.randomUnit()
+		hn := new(big.Int).Exp(h, s.pub.N, s.pub.N2)
+		s.fbTable = fixedbase.New(hn, s.pub.N2, s.pub.N.BitLen(), 4)
+	})
+	return s.fbTable
+}
+
+// fastNoise draws (hᴺ)^a for uniform a ∈ [1, N) via the fixed-base
+// table.
+func (s *Scheme) fastNoise() *big.Int {
+	for {
+		a, err := rand.Int(rand.Reader, s.pub.N)
+		if err != nil {
+			panic("paillier: crypto/rand failure: " + err.Error())
+		}
+		if a.Sign() != 0 {
+			return s.noiseTable().Exp(a)
+		}
+	}
+}
+
+// noiseFactor returns a pooled factor when one is ready, the
+// fixed-base factor otherwise (or a uniform inline factor when the
+// table is disabled). Never blocks.
 func (s *Scheme) noiseFactor() *big.Int {
 	s.poolMu.RLock()
 	p := s.pool
 	s.poolMu.RUnlock()
 	if p != nil {
-		select {
-		case v := <-p.ch:
+		if v, ok := p.Get(); ok {
 			return v
-		default:
 		}
 	}
-	return s.freshNoise()
+	if s.fbDisable.Load() {
+		return s.uniformNoise()
+	}
+	return s.fastNoise()
 }

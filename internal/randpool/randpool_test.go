@@ -1,0 +1,67 @@
+package randpool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetServesPrecomputedValues(t *testing.T) {
+	var n atomic.Int64
+	p := New(4, 2, func() int64 { return n.Add(1) })
+	defer p.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	got := 0
+	for got < 8 && time.Now().Before(deadline) {
+		if _, ok := p.Get(); ok {
+			got++
+		}
+	}
+	if got < 8 {
+		t.Fatalf("drew only %d pooled values before the deadline", got)
+	}
+}
+
+func TestStopIsIdempotentAndDrainsWorkers(t *testing.T) {
+	p := New(2, 3, func() int { return 7 })
+	p.Stop()
+	p.Stop()
+	// Buffered leftovers may still be served; afterwards only misses.
+	for i := 0; i < 10; i++ {
+		p.Get()
+	}
+	if v, ok := p.Get(); ok {
+		t.Fatalf("Get after drain = (%v, true), want miss", v)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 1}, {1, 0}, {-1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d, %d): expected panic", bad[0], bad[1])
+				}
+			}()
+			New(bad[0], bad[1], func() int { return 0 })
+		}()
+	}
+}
+
+// Concurrent consumers plus Stop must not race (run with -race).
+func TestConcurrentGetAndStop(t *testing.T) {
+	p := New(8, 2, func() int { return 1 })
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p.Get()
+			}
+		}()
+	}
+	p.Stop()
+	wg.Wait()
+}

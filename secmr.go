@@ -264,6 +264,16 @@ type GridConfig struct {
 	// without recall improvement flag a resource as stalled (convergence
 	// watchdog; default 8). Diagnostics only — it never alters the run.
 	StallPatience int
+	// CryptoWorkers overrides the parallel width of batched
+	// homomorphic operations (0 keeps the default, GOMAXPROCS). The
+	// worker pool is process-global, so the last grid constructed wins;
+	// set 1 on single-vCPU hosts to skip parallel dispatch overhead.
+	CryptoWorkers int
+	// NoisePool, when positive, starts a background precomputed-
+	// randomness pool of that capacity on the grid's cryptosystem
+	// (Paillier noise factors r^N, ElGamal (g^r, h^r) pairs). Only
+	// useful with spare cores. Stop the workers with Grid.Close.
+	NoisePool int
 }
 
 func (c GridConfig) withDefaults() GridConfig {
@@ -321,6 +331,10 @@ type Grid struct {
 	truth  RuleSet
 	step   int
 
+	// stopPool stops the cryptosystem's background noise workers
+	// (non-nil only when cfg.NoisePool > 0 started one).
+	stopPool func()
+
 	// Telemetry plumbing; all nil (and all hooks no-ops) when
 	// cfg.Telemetry is nil.
 	obs          *obs.Sink
@@ -362,19 +376,31 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 	}
 	tree := overlay.SpanningTree(0)
 
+	if cfg.CryptoWorkers > 0 {
+		homo.SetWorkers(cfg.CryptoWorkers)
+	}
 	var scheme homo.Scheme
 	var blindBits int
+	var stopPool func()
 	if cfg.Algorithm == AlgorithmSecure {
 		scheme, blindBits, err = buildScheme(cfg, db.Len())
 		if err != nil {
 			return nil, err
+		}
+		if cfg.NoisePool > 0 {
+			switch sc := scheme.(type) {
+			case *paillier.Scheme:
+				stopPool = sc.StartNoisePool(cfg.NoisePool, 1)
+			case *elgamal.Scheme:
+				stopPool = sc.StartNoisePool(cfg.NoisePool, 1)
+			}
 		}
 		// Crypto-op counters/latency histograms ride on the scheme
 		// itself; with a nil sink this returns scheme unwrapped.
 		scheme = oblivious.InstrumentScheme(scheme, cfg.Telemetry)
 	}
 
-	g := &Grid{cfg: cfg, truth: truth, obs: cfg.Telemetry}
+	g := &Grid{cfg: cfg, truth: truth, obs: cfg.Telemetry, stopPool: stopPool}
 	if reg := cfg.Telemetry.Registry(); reg != nil {
 		g.gRecall = reg.Gauge("secmr_grid_recall", "Average recall against R[DB] at the last quality sample.")
 		g.gPrecision = reg.Gauge("secmr_grid_precision", "Average precision against R[DB] at the last quality sample.")
@@ -461,6 +487,19 @@ func (g *Grid) Step(n int) {
 	defer g.mu.Unlock()
 	g.engine.Run(n)
 	g.step += n
+}
+
+// Close stops the grid's background crypto workers (the noise pool
+// started by GridConfig.NoisePool). Idempotent, and the grid remains
+// fully usable afterwards — the pool is an optimization, not a
+// dependency.
+func (g *Grid) Close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.stopPool != nil {
+		g.stopPool()
+		g.stopPool = nil
+	}
 }
 
 // Steps returns the number of steps taken.
