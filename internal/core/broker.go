@@ -34,10 +34,11 @@ type BrokerStats struct {
 	MessagesSent   int64
 	RepliesApplied int64
 	CandidatesSeen int64
-	// BytesSent approximates wire volume: the sum of ciphertext sizes
-	// of every transmitted counter (§5.2's messages are pure
-	// ciphertext, so this tracks the real communication cost of the
-	// chosen cryptosystem).
+	// BytesSent is the exact compact-codec wire volume of every
+	// transmitted counter message (MessageWireSize; §5.2's messages
+	// are pure ciphertext, so this tracks the real communication cost
+	// of the chosen cryptosystem). Under Wire.LegacyGob it falls back
+	// to the historical ciphertext-sum approximation.
 	BytesSent int64
 }
 
@@ -468,13 +469,19 @@ func (b *Broker) transmit(tr Transport, c *secCandidate, v int, e *secEdge, stam
 	e.contacted = true
 	e.staleSinceSend = false
 	e.lastSendStep = b.step
-	nb := counterBytes(out)
+	msg := RuleCipherMsg{Rule: c.rule, Counter: out, Epoch: link.grant.Epoch}
+	nb := int64(MessageWireSize(msg))
+	if b.cfg.Wire.LegacyGob {
+		// Compact sizes are meaningless when frames go out as gob;
+		// keep the historical ciphertext-sum approximation.
+		nb = counterBytes(out)
+	}
 	b.stats.MessagesSent++
 	b.stats.BytesSent += nb
 	b.tel.countersSent.Inc()
 	b.tel.counterBytes.Add(nb)
 	b.tel.emit(obs.Event{Type: obs.EvCounterSend, Peer: v, Rule: c.key, Value: nb})
-	tr.Send(v, RuleCipherMsg{Rule: c.rule, Counter: out, Epoch: link.grant.Epoch})
+	tr.Send(v, msg)
 }
 
 // onNeighborJoin handles a new overlay edge: the accountant re-deals

@@ -2,19 +2,367 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 
+	"secmr/internal/arm"
 	"secmr/internal/homo"
 	"secmr/internal/oblivious"
 )
 
 // Wire codec: a real deployment exchanges ShareGrant, RuleCipherMsg
 // and MaliciousReport over the network. The simulator passes them as
-// Go values; EncodeMessage/DecodeMessage provide the byte encoding
-// (gob, stdlib-only), and decoding re-binds every ciphertext to the
-// local scheme instance via homo.Adopter — both validating the raw
-// group elements and restoring the in-process tag protection.
+// Go values; AppendMessage/EncodeMessage/DecodeMessage provide the
+// byte encoding, and decoding re-binds every ciphertext to the local
+// scheme instance via homo.Adopter — both validating the raw group
+// elements and restoring the in-process tag protection.
+//
+// Compact frame layout (version 0x9C, see DESIGN.md §8):
+//
+//	[0]  version byte 0x9C
+//	[1]  kind: 1 = ShareGrant, 2 = RuleCipherMsg, 3 = MaliciousReport
+//	[2…] kind-specific fields, varint-framed:
+//	     grant:  varint slot ‖ varint numSlots ‖ varint epoch ‖ ct
+//	     rule:   byte λ-kind ‖ itemset LHS ‖ itemset RHS ‖
+//	             varint epoch ‖ counter (see oblivious.AppendCounter)
+//	     report: varint accused ‖ varint reporter ‖
+//	             uvarint len ‖ reason bytes
+//
+// where an itemset is uvarint count ‖ varint items and a ciphertext ct
+// is uvarint length ‖ big-endian magnitude (homo.AppendCiphertext).
+// Integers use zigzag varints so any int round-trips.
+//
+// Version negotiation is by first-byte sniffing: a legacy gob stream
+// starts with a uvarint byte count whose first byte is always below
+// 0x80 or at least 0xF8, so 0x9C can never begin a gob frame.
+// DecodeMessage therefore accepts both encodings transparently, and
+// mixed-version grids interoperate as long as old nodes only ever see
+// frames from EncodeMessageLegacy (WireConfig.LegacyGob).
+
+const (
+	// codecVersion is the compact-codec version byte. It must stay in
+	// [0x80, 0xF8) — the range gob's leading uvarint can never emit —
+	// so version sniffing is unambiguous.
+	codecVersion = 0x9C
+
+	wireKindGrant  = 1
+	wireKindRule   = 2
+	wireKindReport = 3
+)
+
+// WireConfig tunes the message wire path. The same type serves every
+// surface: the facade exposes it as GridConfig.Wire, netgrid.Options
+// embeds it for TCP deployments, and the simulator's byte accounting
+// honors LegacyGob.
+type WireConfig struct {
+	// MaxFrameBytes bounds one coalesced transport frame (netgrid
+	// batches queued messages into a single TCP write up to this many
+	// payload bytes). 0 means the default (64 KiB); negative disables
+	// coalescing (one message per frame).
+	MaxFrameBytes int
+	// LegacyGob encodes outbound messages with the legacy gob
+	// envelope instead of the compact codec — for interoperating with
+	// peers that predate the version byte. Decoding always accepts
+	// both encodings.
+	LegacyGob bool
+}
+
+// EncodeMessage serializes one grid message (ShareGrant, RuleCipherMsg
+// or MaliciousReport) with the compact codec, sizing the buffer
+// exactly via MessageWireSize.
+func EncodeMessage(msg any) ([]byte, error) {
+	return AppendMessage(make([]byte, 0, MessageWireSize(msg)), msg)
+}
+
+// AppendMessage appends the compact encoding of msg to dst and returns
+// the extended slice — the zero-allocation primitive behind
+// EncodeMessage (give it a pooled buffer with enough capacity and the
+// whole encode touches no allocator).
+func AppendMessage(dst []byte, msg any) ([]byte, error) {
+	switch m := msg.(type) {
+	case ShareGrant:
+		if m.Share == nil || m.Share.V == nil {
+			return nil, errors.New("core: share grant without ciphertext")
+		}
+		dst = append(dst, codecVersion, wireKindGrant)
+		dst = binary.AppendVarint(dst, int64(m.Slot))
+		dst = binary.AppendVarint(dst, int64(m.NumSlots))
+		dst = binary.AppendVarint(dst, int64(m.Epoch))
+		return homo.AppendCiphertext(dst, m.Share), nil
+	case RuleCipherMsg:
+		if m.Counter == nil {
+			return nil, fmt.Errorf("core: rule message without counter")
+		}
+		dst = append(dst, codecVersion, wireKindRule)
+		dst = append(dst, byte(m.Rule.Kind))
+		dst = appendItemset(dst, m.Rule.LHS)
+		dst = appendItemset(dst, m.Rule.RHS)
+		dst = binary.AppendVarint(dst, int64(m.Epoch))
+		return oblivious.AppendCounter(dst, m.Counter), nil
+	case MaliciousReport:
+		dst = append(dst, codecVersion, wireKindReport)
+		dst = binary.AppendVarint(dst, int64(m.Accused))
+		dst = binary.AppendVarint(dst, int64(m.Reporter))
+		dst = binary.AppendUvarint(dst, uint64(len(m.Reason)))
+		return append(dst, m.Reason...), nil
+	default:
+		return nil, fmt.Errorf("core: cannot encode message type %T", msg)
+	}
+}
+
+// MessageWireSize returns the exact compact-codec size of msg in
+// bytes, without encoding. It is cheap (a few BitLen sums) and is the
+// byte-accounting currency across the repo. Unknown or unencodable
+// messages size to 0.
+func MessageWireSize(msg any) int {
+	switch m := msg.(type) {
+	case ShareGrant:
+		if m.Share == nil || m.Share.V == nil {
+			return 0
+		}
+		return 2 + varintLen(int64(m.Slot)) + varintLen(int64(m.NumSlots)) +
+			varintLen(int64(m.Epoch)) + homo.CiphertextWireSize(m.Share)
+	case RuleCipherMsg:
+		if m.Counter == nil {
+			return 0
+		}
+		return 3 + itemsetWireSize(m.Rule.LHS) + itemsetWireSize(m.Rule.RHS) +
+			varintLen(int64(m.Epoch)) + oblivious.CounterWireSize(m.Counter)
+	case MaliciousReport:
+		return 2 + varintLen(int64(m.Accused)) + varintLen(int64(m.Reporter)) +
+			uvarintLen(uint64(len(m.Reason))) + len(m.Reason)
+	default:
+		return 0
+	}
+}
+
+// DecodeMessage deserializes a frame produced by AppendMessage or the
+// legacy gob encoder (sniffed by first byte), adopting every contained
+// ciphertext into the given scheme. A nil adopter is allowed only for
+// ciphertext-free messages (MaliciousReport). Malformed input of any
+// shape returns an error — it never panics and never allocates more
+// than the input size.
+func DecodeMessage(data []byte, adopter homo.Adopter) (any, error) {
+	if len(data) == 0 {
+		return nil, errors.New("core: empty frame")
+	}
+	switch b := data[0]; {
+	case b == codecVersion:
+		return decodeCompact(data[1:], adopter)
+	case b < 0x80 || b >= 0xF8:
+		return decodeLegacy(data, adopter)
+	default:
+		return nil, fmt.Errorf("core: unknown wire codec version 0x%02x", b)
+	}
+}
+
+func decodeCompact(body []byte, adopter homo.Adopter) (any, error) {
+	if len(body) == 0 {
+		return nil, errors.New("core: truncated frame")
+	}
+	r := &wireReader{buf: body[1:]}
+	switch kind := body[0]; kind {
+	case wireKindGrant:
+		var m ShareGrant
+		m.Slot = r.int()
+		m.NumSlots = r.int()
+		m.Epoch = r.int()
+		m.Share = r.ciphertext()
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		if err := adoptInto(adopter, &m.Share); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case wireKindRule:
+		var m RuleCipherMsg
+		m.Rule.Kind = r.threshold()
+		m.Rule.LHS = r.itemset()
+		m.Rule.RHS = r.itemset()
+		m.Epoch = r.int()
+		m.Counter = r.counter()
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		if err := adoptCounter(adopter, m.Counter); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case wireKindReport:
+		var m MaliciousReport
+		m.Accused = r.int()
+		m.Reporter = r.int()
+		m.Reason = r.str()
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("core: unknown message kind %d", kind)
+	}
+}
+
+// wireReader is a sticky-error cursor over a compact frame body. Every
+// accessor validates lengths against the remaining buffer before
+// allocating, so hostile input degrades to an error, never a panic or
+// an oversized allocation.
+type wireReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail(msg string) {
+	if r.err == nil {
+		r.err = errors.New("core: " + msg)
+	}
+}
+
+func (r *wireReader) rem() int { return len(r.buf) - r.off }
+
+func (r *wireReader) int() int {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("malformed varint")
+		return 0
+	}
+	r.off += n
+	return int(v)
+}
+
+func (r *wireReader) uint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("malformed uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) str() string {
+	n := r.uint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.rem()) {
+		r.fail("truncated string")
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *wireReader) threshold() arm.Threshold {
+	if r.err != nil {
+		return 0
+	}
+	if r.rem() < 1 {
+		r.fail("truncated frame")
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	if b > uint8(arm.ThresholdConf) {
+		r.fail("unknown threshold kind")
+		return 0
+	}
+	return arm.Threshold(b)
+}
+
+func (r *wireReader) itemset() arm.Itemset {
+	n := r.uint()
+	if r.err != nil {
+		return nil
+	}
+	// Each item costs at least one wire byte.
+	if n > uint64(r.rem()) {
+		r.fail("malformed itemset count")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	s := make(arm.Itemset, 0, n)
+	for i := 0; i < int(n); i++ {
+		s = append(s, arm.Item(r.int()))
+	}
+	return s
+}
+
+func (r *wireReader) ciphertext() *homo.Ciphertext {
+	if r.err != nil {
+		return nil
+	}
+	c, n, err := homo.ReadCiphertext(r.buf[r.off:])
+	if err != nil {
+		r.err = err
+		return nil
+	}
+	r.off += n
+	return c
+}
+
+func (r *wireReader) counter() *oblivious.Counter {
+	if r.err != nil {
+		return nil
+	}
+	c, n, err := oblivious.ReadCounter(r.buf[r.off:])
+	if err != nil {
+		r.err = err
+		return nil
+	}
+	r.off += n
+	return c
+}
+
+func (r *wireReader) done() error {
+	if r.err == nil && r.off != len(r.buf) {
+		r.fail("trailing garbage after message")
+	}
+	return r.err
+}
+
+func appendItemset(dst []byte, s arm.Itemset) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	for _, it := range s {
+		dst = binary.AppendVarint(dst, int64(it))
+	}
+	return dst
+}
+
+func itemsetWireSize(s arm.Itemset) int {
+	n := uvarintLen(uint64(len(s)))
+	for _, it := range s {
+		n += varintLen(int64(it))
+	}
+	return n
+}
+
+func uvarintLen(u uint64) int {
+	n := 1
+	for u >= 0x80 {
+		u >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v<<1) ^ uint64(v>>63))
+}
+
+// --- legacy gob envelope (version negotiation fallback) ---
 
 // envelope wraps a message with its kind for self-describing frames.
 type envelope struct {
@@ -28,9 +376,10 @@ const (
 	kindReport     = "malicious-report"
 )
 
-// EncodeMessage serializes one grid message (ShareGrant, RuleCipherMsg
-// or MaliciousReport).
-func EncodeMessage(msg any) ([]byte, error) {
+// EncodeMessageLegacy serializes one grid message with the legacy gob
+// envelope — the pre-versioned wire format. Kept for mixed-version
+// grids (WireConfig.LegacyGob) and as the parity oracle in tests.
+func EncodeMessageLegacy(msg any) ([]byte, error) {
 	var kind string
 	switch msg.(type) {
 	case ShareGrant:
@@ -53,11 +402,8 @@ func EncodeMessage(msg any) ([]byte, error) {
 	return out.Bytes(), nil
 }
 
-// DecodeMessage deserializes a frame produced by EncodeMessage,
-// adopting every contained ciphertext into the given scheme. A nil
-// adopter is allowed only for ciphertext-free messages
-// (MaliciousReport).
-func DecodeMessage(data []byte, adopter homo.Adopter) (any, error) {
+// decodeLegacy deserializes a frame produced by EncodeMessageLegacy.
+func decodeLegacy(data []byte, adopter homo.Adopter) (any, error) {
 	var env envelope
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
 		return nil, fmt.Errorf("core: decoding envelope: %w", err)

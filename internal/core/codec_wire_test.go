@@ -1,0 +1,186 @@
+package core
+
+import (
+	"crypto/rand"
+	"reflect"
+	"testing"
+
+	"secmr/internal/arm"
+	"secmr/internal/elgamal"
+	"secmr/internal/homo"
+	"secmr/internal/oblivious"
+)
+
+// wireMessages builds one message of each kind under the given scheme.
+func wireMessages(s homo.Scheme) []any {
+	counter := &oblivious.Counter{
+		Sum:   s.EncryptInt(7),
+		Count: s.EncryptInt(20),
+		Num:   s.EncryptInt(3),
+		Share: s.EncryptInt(1),
+		Stamps: []*homo.Ciphertext{
+			s.EncryptInt(5), s.EncryptInt(0), s.EncryptInt(11),
+		},
+	}
+	return []any{
+		ShareGrant{Share: s.EncryptInt(42), Slot: 2, NumSlots: 4, Epoch: 1},
+		RuleCipherMsg{
+			Rule:    arm.NewRule(arm.NewItemset(1, 4), arm.NewItemset(2), arm.ThresholdConf),
+			Counter: counter,
+			Epoch:   9,
+		},
+		MaliciousReport{Accused: 3, Reporter: 1, Reason: "stale timestamp"},
+	}
+}
+
+// TestCodecParityWithLegacyGob proves the compact codec and the legacy
+// gob envelope decode to identical messages for all three kinds across
+// every scheme family — the interoperability contract behind the
+// version-byte negotiation.
+func TestCodecParityWithLegacyGob(t *testing.T) {
+	for name, s := range codecSchemes(t) {
+		adopter := s.(homo.Adopter)
+		for _, msg := range wireMessages(s) {
+			compact, err := EncodeMessage(msg)
+			if err != nil {
+				t.Fatalf("%s/%T: compact encode: %v", name, msg, err)
+			}
+			legacy, err := EncodeMessageLegacy(msg)
+			if err != nil {
+				t.Fatalf("%s/%T: legacy encode: %v", name, msg, err)
+			}
+			if compact[0] != 0x9C {
+				t.Fatalf("%s/%T: compact frame starts with 0x%02x, want version byte", name, msg, compact[0])
+			}
+			if legacy[0] == 0x9C {
+				t.Fatalf("%s/%T: legacy gob frame collides with the version byte", name, msg)
+			}
+			var ad homo.Adopter
+			if _, ok := msg.(MaliciousReport); !ok {
+				ad = adopter
+			}
+			fromCompact, err := DecodeMessage(compact, ad)
+			if err != nil {
+				t.Fatalf("%s/%T: compact decode: %v", name, msg, err)
+			}
+			fromLegacy, err := DecodeMessage(legacy, ad)
+			if err != nil {
+				t.Fatalf("%s/%T: legacy decode: %v", name, msg, err)
+			}
+			if !reflect.DeepEqual(fromCompact, fromLegacy) {
+				t.Fatalf("%s/%T: decode parity broken:\ncompact: %#v\nlegacy:  %#v",
+					name, msg, fromCompact, fromLegacy)
+			}
+		}
+	}
+}
+
+// TestMessageWireSizeExact pins MessageWireSize to the actual encoded
+// length — it is the byte-accounting currency of GridStats.BytesSent.
+func TestMessageWireSizeExact(t *testing.T) {
+	for name, s := range codecSchemes(t) {
+		for _, msg := range wireMessages(s) {
+			data, err := EncodeMessage(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := MessageWireSize(msg), len(data); got != want {
+				t.Fatalf("%s/%T: MessageWireSize=%d, encoded=%d", name, msg, got, want)
+			}
+		}
+	}
+	if MessageWireSize(42) != 0 {
+		t.Fatal("unknown message should size to 0")
+	}
+}
+
+// TestAppendMessageReusesBuffer checks the pooled-encode contract:
+// encoding into a buffer with enough capacity does not reallocate.
+func TestAppendMessageReusesBuffer(t *testing.T) {
+	s := homo.NewPlain(96)
+	msg := wireMessages(s)[1]
+	buf := make([]byte, 0, MessageWireSize(msg))
+	out, err := AppendMessage(buf, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendMessage reallocated despite sufficient capacity")
+	}
+	if len(out) != cap(buf) {
+		t.Fatalf("encoded %d bytes into a buffer sized %d", len(out), cap(buf))
+	}
+}
+
+// TestDecodeRejectsMalformedFrames feeds the decoder systematically
+// broken frames: every one must produce an error — never a panic, and
+// never an allocation driven by an attacker-claimed length.
+func TestDecodeRejectsMalformedFrames(t *testing.T) {
+	s := homo.NewPlain(96)
+	msgs := wireMessages(s)
+
+	// Truncations of every valid frame at every length.
+	for _, msg := range msgs {
+		data, err := EncodeMessage(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(data); cut++ {
+			if _, err := DecodeMessage(data[:cut], s); err == nil {
+				t.Fatalf("%T truncated to %d/%d bytes decoded successfully", msg, cut, len(data))
+			}
+		}
+		// Trailing garbage after a complete message.
+		if _, err := DecodeMessage(append(append([]byte{}, data...), 0x00), s); err == nil {
+			t.Fatalf("%T with trailing garbage decoded successfully", msg)
+		}
+	}
+
+	cases := map[string][]byte{
+		"empty frame":         {},
+		"bad version byte":    {0x9D, 1, 0, 0, 0},
+		"reserved version":    {0x80, 1, 2, 3},
+		"version only":        {0x9C},
+		"unknown kind":        {0x9C, 99, 0},
+		"oversized ct length": {0x9C, 1, 4, 8, 2, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 1},
+		"huge stamp count":    {0x9C, 2, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+		"huge itemset count":  {0x9C, 2, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+		"bad threshold kind":  {0x9C, 2, 7, 0, 0, 0, 0},
+		"huge report reason":  {0x9C, 3, 6, 2, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F, 'x'},
+		"padded ciphertext":   {0x9C, 1, 4, 8, 2, 2, 0x00, 0x01},
+	}
+	for name, frame := range cases {
+		if _, err := DecodeMessage(frame, s); err == nil {
+			t.Fatalf("%s: decoded successfully", name)
+		}
+	}
+}
+
+// TestCompactBeatsGobBytes locks in the headline win: the compact
+// encoding must be at least 40% smaller than the legacy gob envelope
+// for every message kind (the gob envelope re-sends type descriptors
+// on every frame).
+func TestCompactBeatsGobBytes(t *testing.T) {
+	eg, err := elgamal.GenerateKey(rand.Reader, 64, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]homo.Scheme{
+		"plain": homo.NewPlain(96), "paillier": testPaillier, "elgamal": eg,
+	} {
+		for _, msg := range wireMessages(s) {
+			compact, err := EncodeMessage(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy, err := EncodeMessageLegacy(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(compact)*10 > len(legacy)*6 {
+				t.Errorf("%s/%T: compact %dB vs gob %dB — less than 40%% saving",
+					name, msg, len(compact), len(legacy))
+			}
+		}
+	}
+}

@@ -82,6 +82,10 @@ type Config struct {
 	// independent, so they add no privacy leak; duplicates are
 	// idempotent at every receiver.
 	LossyLinks bool
+	// Wire tunes the message wire path: codec choice for byte
+	// accounting here, frame coalescing for TCP transports (netgrid
+	// embeds the same type in its Options).
+	Wire WireConfig
 }
 
 func (c Config) withDefaults() Config {

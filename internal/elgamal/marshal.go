@@ -2,9 +2,12 @@ package elgamal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"math/big"
+
+	"secmr/internal/homo"
 )
 
 // Key persistence, mirroring internal/paillier: one key pair per grid
@@ -71,4 +74,38 @@ func Import(data []byte) (*Scheme, error) {
 		s.x = w.X
 	}
 	return s, nil
+}
+
+// --- compact wire marshaling (homo.WireCiphertext) ---
+
+// Scheme implements homo.WireCiphertext for the compact wire codec.
+var _ homo.WireCiphertext = (*Scheme)(nil)
+
+// AppendCiphertext appends the canonical compact wire form of c
+// (uvarint byte length + big-endian magnitude of the packed pair) to
+// dst and returns the extended slice.
+func (s *Scheme) AppendCiphertext(dst []byte, c *homo.Ciphertext) []byte {
+	return homo.AppendCiphertext(dst, c)
+}
+
+// MaxCiphertextBytes bounds the wire size of any ciphertext of this
+// scheme: the packed value a·p+b is below p², so the magnitude fits in
+// 2·len(p) bytes.
+func (s *Scheme) MaxCiphertextBytes() int {
+	n := 2 * ((s.p.BitLen() + 7) / 8)
+	return n + len(binary.AppendUvarint(nil, uint64(n)))
+}
+
+// UnmarshalCiphertext parses one compact wire ciphertext from the front
+// of src and adopts it into this scheme, returning the bytes consumed.
+func (s *Scheme) UnmarshalCiphertext(src []byte) (*homo.Ciphertext, int, error) {
+	c, n, err := homo.ReadCiphertext(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	ad, err := s.Adopt(c)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ad, n, nil
 }

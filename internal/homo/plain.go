@@ -123,3 +123,19 @@ var (
 	_ Scheme  = (*Plain)(nil)
 	_ Adopter = (*Plain)(nil)
 )
+
+// Plain implements WireCiphertext so plain-scheme grids use the same
+// compact wire path as the real cryptosystems.
+var _ WireCiphertext = (*Plain)(nil)
+
+// AppendCiphertext appends the canonical compact wire form of c.
+func (p *Plain) AppendCiphertext(dst []byte, c *Ciphertext) []byte {
+	return AppendCiphertext(dst, c)
+}
+
+// MaxCiphertextBytes bounds the wire size of any ciphertext of this
+// scheme: V = plaintext·2^nonceBits + nonce with plaintext < M.
+func (p *Plain) MaxCiphertextBytes() int {
+	n := (p.m.BitLen() + plainNonceBits + 7) / 8
+	return n + uvarintLen(uint64(n))
+}

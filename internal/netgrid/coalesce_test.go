@@ -1,0 +1,346 @@
+package netgrid
+
+import (
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"secmr/internal/arm"
+	"secmr/internal/core"
+	"secmr/internal/faults"
+	"secmr/internal/hashing"
+	"secmr/internal/homo"
+	"secmr/internal/obs"
+	"secmr/internal/paillier"
+	"secmr/internal/quest"
+)
+
+// TestCoalescingFlushesBacklogInOneFrame parks a backlog behind a dead
+// link and checks the reconnect drain goes out coalesced: all messages
+// arrive, in order, in fewer wire frames than messages.
+func TestCoalescingFlushesBacklogInOneFrame(t *testing.T) {
+	sink := obs.NewSink()
+	a, err := StartWithOptions(0, func(int, []byte) {}, Options{
+		ReconnectBase: 5 * time.Millisecond,
+		Obs:           sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	rx := &collector{}
+	b, err := Start(1, rx.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b.Addr()
+	if err := a.Connect(map[int]string{1: addr}); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	// Probe until the link is marked down. A probe whose write fails
+	// mid-flight is requeued rather than lost, so probes may legally
+	// resurface ahead of the backlog after the reconnect.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := a.Send(1, []byte("probe")); err == ErrPeerDown {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("link never died")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		a.Send(1, []byte(fmt.Sprintf("m%02d", i)))
+	}
+	framesBefore := a.cWireFrames.Value()
+
+	rx2 := &collector{}
+	b2, err := StartWithOptions(1, rx2.handle, Options{ListenAddr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	deadline = time.Now().Add(10 * time.Second)
+	var got []string
+	for {
+		got = rx2.got()
+		if len(got) > 0 && got[len(got)-1] == "m09" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backlog never drained: got %q", got)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for len(got) > 0 && got[0] == "probe" {
+		got = got[1:]
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %q after leading probes, want m00..m09", got)
+	}
+	for i := 0; i < 10; i++ {
+		if want := fmt.Sprintf("m%02d", i); got[i] != want {
+			t.Fatalf("frame %d = %q, want %q (order broken by coalescing)", i, got[i], want)
+		}
+	}
+	flushFrames := a.cWireFrames.Value() - framesBefore
+	if flushFrames >= 10 {
+		t.Fatalf("backlog of 10 messages used %d wire frames — no coalescing", flushFrames)
+	}
+	if a.cWireBytes.Value() == 0 {
+		t.Fatal("wire byte counter never moved")
+	}
+}
+
+// TestCoalescingDisabled pins the opt-out: a negative MaxFrameBytes
+// sends one message per wire frame (the pre-batching format).
+func TestCoalescingDisabled(t *testing.T) {
+	a, err := StartWithOptions(0, func(int, []byte) {}, Options{
+		ReconnectBase: 5 * time.Millisecond,
+		Wire:          core.WireConfig{MaxFrameBytes: -1},
+		Obs:           obs.NewSink(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	rx := &collector{}
+	b, err := Start(1, rx.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.Connect(map[int]string{1: b.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := a.Send(1, []byte(fmt.Sprintf("m%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFrames(t, rx, 20, 10*time.Second)
+	if frames, msgs := a.cWireFrames.Value(), a.Sent(); frames != msgs {
+		t.Fatalf("coalescing disabled but %d frames carried %d messages", frames, msgs)
+	}
+}
+
+// TestQueueBoundedByBytes floods a dead link with large frames: the
+// byte bound must evict oldest frames long before the message-count
+// bound would, and the newest frame must survive.
+func TestQueueBoundedByBytes(t *testing.T) {
+	inj := faults.New(faults.Config{Seed: 4})
+	a, err := StartWithOptions(0, func(int, []byte) {}, Options{
+		QueueLen:      1024,
+		QueueBytes:    4096,
+		ReconnectBase: 5 * time.Millisecond,
+		Faults:        inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	rx := &collector{}
+	b, err := Start(1, rx.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b.Addr()
+	if err := a.Connect(map[int]string{1: addr}); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := a.Send(1, make([]byte, 512)); err == ErrPeerDown {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("link never died")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// 40 × 512B = 20 KiB against a 4 KiB budget: far under QueueLen,
+	// so every eviction below is byte-driven.
+	for i := 0; i < 40; i++ {
+		frame := make([]byte, 512)
+		frame[0] = byte(i)
+		a.Send(1, frame)
+	}
+	if inj.Stats().QueueDrops == 0 {
+		t.Fatal("byte overflow not counted as queue drops")
+	}
+	p := a.peer(1)
+	p.mu.Lock()
+	qBytes, qLen := p.qBytes, len(p.queue)
+	p.mu.Unlock()
+	if qBytes > 4096 {
+		t.Fatalf("queue holds %d bytes, budget 4096", qBytes)
+	}
+	if qLen == 0 {
+		t.Fatal("queue empty after flood")
+	}
+	rx2 := &collector{}
+	b2, err := StartWithOptions(1, rx2.handle, Options{ListenAddr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	got := waitFrames(t, rx2, qLen, 10*time.Second)
+	if last := got[len(got)-1]; last[0] != 39 {
+		t.Fatalf("newest frame missing after byte overflow: first byte %d", last[0])
+	}
+}
+
+// TestMalformedBatchKillsOnlyOffendingConn hand-crafts corrupt batch
+// frames on a raw connection: the node must survive, kill that
+// connection, and keep serving an honest peer.
+func TestMalformedBatchKillsOnlyOffendingConn(t *testing.T) {
+	var delivered atomic.Int64
+	n, err := Start(0, func(int, []byte) { delivered.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	honest, err := Start(5, func(int, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer honest.Close()
+	if err := honest.Connect(map[int]string{0: n.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, payload := range map[string][]byte{
+		"empty batch":      {},
+		"length overrun":   {0x05, 'h', 'i'},
+		"giant length":     {0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 'x'},
+		"truncated varint": {0x80},
+	} {
+		conn, err := net.Dial("tcp", n.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFrame(conn, kindHello, 9, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFrame(conn, kindBatch, 9, payload); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := conn.Read(make([]byte, 1)); err == nil {
+			t.Fatalf("%s: malformed batch left connection open", name)
+		}
+		conn.Close()
+	}
+
+	if err := honest.Send(0, []byte("still fine")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for delivered.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("honest frame never delivered after malformed batches")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMixedVersionHostsInterop runs a two-host grid where one host
+// still emits the legacy gob envelope and the other the compact codec:
+// version sniffing must let both directions decode, and the mini-grid
+// must converge to a shared protocol state (grants flow both ways).
+func TestMixedVersionHostsInterop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network + crypto end-to-end")
+	}
+	scheme, err := paillier.GenerateKey(rand.Reader, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixedMiningGrid(t, scheme, [2]Options{
+		{Wire: core.WireConfig{LegacyGob: true}},
+		{},
+	})
+}
+
+// mixedMiningGrid drives a two-resource secure-mining exchange with
+// per-host transport options and requires both resources to make
+// protocol progress (candidate counters flowing in both directions).
+func mixedMiningGrid(t *testing.T, scheme homo.Scheme, opts [2]Options) {
+	t.Helper()
+	grids := miniGridHosts(t, scheme, opts)
+	defer grids[0].Close()
+	defer grids[1].Close()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		ok := true
+		for _, h := range grids {
+			if rules, _ := h.Snapshot(); rules == 0 {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			s0, _ := grids[0].Snapshot()
+			s1, _ := grids[1].Snapshot()
+			t.Fatalf("mixed-version grid never converged (rules %d / %d)", s0, s1)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for i, h := range grids {
+		if _, halted := h.Snapshot(); halted {
+			t.Fatalf("host %d halted in mixed-version grid", i)
+		}
+	}
+}
+
+// miniGridHosts stands up a two-resource secure-mining grid with
+// per-host transport options, connected and ticking.
+func miniGridHosts(t *testing.T, scheme homo.Scheme, opts [2]Options) [2]*Host {
+	t.Helper()
+	const n = 2
+	seed := int64(7)
+	rng := mrand.New(mrand.NewSource(seed))
+	global := quest.Generate(quest.Params{NumTransactions: n * 120, NumItems: 12,
+		NumPatterns: 6, AvgTransLen: 4, AvgPatternLen: 2, Seed: seed})
+	th := arm.Thresholds{MinFreq: 0.2, MinConf: 0.7}
+	universe := arm.Itemset{}
+	for i := 0; i < 12; i++ {
+		universe = append(universe, arm.Item(i))
+	}
+	parts := hashing.Partition(global, n, rng)
+	cfg := core.Config{Th: th, Universe: universe, ScanBudget: 40,
+		CandidateEvery: 5, K: 1, MaxRuleItems: 2}
+
+	var hosts [2]*Host
+	for i := 0; i < n; i++ {
+		res := core.NewResource(i, cfg, scheme, parts[i], nil, nil)
+		h, err := NewHostWithOptions(i, res, scheme.(homo.Adopter), opts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[i] = h
+	}
+	if err := hosts[1].Node().Connect(map[int]string{0: hosts[0].Node().Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		other := []int{1 - i}
+		if !hosts[i].Node().WaitFor(other, 10*time.Second) {
+			t.Fatalf("host %d: neighbour never connected", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		hosts[i].Run([]int{1 - i}, 2*time.Millisecond)
+	}
+	return hosts
+}

@@ -1,0 +1,31 @@
+package netgrid
+
+import "testing"
+
+// FuzzSplitBatch feeds arbitrary bytes to the batch-frame splitter.
+// Invariants: never panic, never deliver more payload bytes than the
+// frame carried, and reject the empty batch.
+func FuzzSplitBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 'h', 'i', 0x01, 'x'})
+	f.Add([]byte{0x05, 'h', 'i'})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 'x'})
+	f.Add([]byte{0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		total, count := 0, 0
+		ok := splitBatch(data, func(m []byte) bool {
+			total += len(m)
+			count++
+			return true
+		})
+		if ok && len(data) == 0 {
+			t.Fatal("empty batch accepted")
+		}
+		if ok && count == 0 {
+			t.Fatal("well-formed batch delivered nothing")
+		}
+		if total > len(data) {
+			t.Fatalf("delivered %d payload bytes from a %d-byte frame", total, len(data))
+		}
+	})
+}

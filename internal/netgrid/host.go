@@ -21,18 +21,28 @@ type Host struct {
 	node    *Node
 	adopter homo.Adopter
 
-	mu     sync.Mutex // serializes resource access (ticker vs dispatch)
-	ticker *time.Ticker
-	done   chan struct{}
-	wg     sync.WaitGroup
-	logf   func(string, ...any)
+	mu        sync.Mutex // serializes resource access (ticker vs dispatch)
+	ticker    *time.Ticker
+	done      chan struct{}
+	wg        sync.WaitGroup
+	logf      func(string, ...any)
+	legacyGob bool // encode outbound frames with the legacy gob envelope
 }
 
 // hostTransport encodes outbound messages onto the TCP node.
 type hostTransport struct{ h *Host }
 
 func (t hostTransport) Send(to int, msg any) {
-	frame, err := core.EncodeMessage(msg)
+	var frame []byte
+	var err error
+	if t.h.legacyGob {
+		frame, err = core.EncodeMessageLegacy(msg)
+	} else {
+		// Encode into a pooled buffer; Node.Send takes ownership and
+		// recycles it once the bytes reach the socket, so the steady
+		// state allocates nothing here.
+		frame, err = core.AppendMessage(getFrameBuf(), msg)
+	}
 	if err != nil {
 		t.h.logf("netgrid host %d: encode: %v", t.h.node.ID(), err)
 		return
@@ -57,7 +67,8 @@ func NewHost(id int, res *core.Resource, adopter homo.Adopter) (*Host, error) {
 // deliver while a peer is down.
 func NewHostWithOptions(id int, res *core.Resource, adopter homo.Adopter, opt Options) (*Host, error) {
 	h := &Host{res: res, adopter: adopter, done: make(chan struct{}),
-		logf: log.New(log.Writer(), "", 0).Printf}
+		logf:      log.New(log.Writer(), "", 0).Printf,
+		legacyGob: opt.Wire.LegacyGob}
 	if opt.Logf != nil {
 		h.logf = opt.Logf
 	}

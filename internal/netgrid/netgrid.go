@@ -18,11 +18,20 @@
 // id and listen address, so a link heals from whichever side notices
 // first.
 //
-// Per-link FIFO is inherited from TCP; dispatch is serialized through
-// a single inbox per node, so handlers need no internal locking. The
-// sender id in every data frame is verified against the id established
-// by the connection's handshake — a peer cannot spoof frames on behalf
-// of another resource.
+// Sends are asynchronous: every peer has a dedicated sender goroutine
+// that drains a per-peer outbound queue (bounded both in messages and
+// in bytes) into coalesced multi-message frames — one TCP write carries
+// up to Wire.MaxFrameBytes of queued messages — so a burst of small
+// protocol messages costs one syscall and one frame header instead of
+// many. The same queue doubles as the reconnect-drain buffer: frames
+// sent while a peer is down park in it and flush on reconnect (the
+// secure protocol tolerates the resulting duplicates).
+//
+// Per-link FIFO is inherited from TCP plus the single sender per peer;
+// dispatch is serialized through a single inbox per node, so handlers
+// need no internal locking. The sender id in every data frame is
+// verified against the id established by the connection's handshake —
+// a peer cannot spoof frames on behalf of another resource.
 package netgrid
 
 import (
@@ -37,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"secmr/internal/core"
 	"secmr/internal/faults"
 	"secmr/internal/obs"
 )
@@ -61,10 +71,24 @@ type Options struct {
 	// backoff between redial attempts. Defaults 20ms and 1s.
 	ReconnectBase time.Duration
 	ReconnectMax  time.Duration
-	// QueueLen bounds the per-peer queue of frames parked while the
-	// peer is down; the oldest frame is dropped on overflow. Default
-	// 256.
+	// QueueLen bounds the per-peer outbound queue in messages (frames
+	// awaiting their sender goroutine, including frames parked while
+	// the peer is down); the oldest frame is dropped on overflow.
+	// Default 256.
 	QueueLen int
+	// QueueBytes bounds the same queue in payload bytes, so a pile-up
+	// of large RuleCipherMsg frames during a partition cannot balloon
+	// memory even while the message count stays under QueueLen. The
+	// oldest frame is dropped until the new one fits. Default 4 MiB.
+	QueueBytes int
+	// Wire tunes the data path: Wire.MaxFrameBytes bounds one
+	// coalesced frame's payload (0 = 64 KiB default, negative
+	// disables coalescing — one message per frame, the pre-batching
+	// wire format), and Wire.LegacyGob makes Host encode outbound
+	// messages with the legacy gob envelope. For full wire
+	// compatibility with pre-versioned peers set both LegacyGob and a
+	// negative MaxFrameBytes.
+	Wire core.WireConfig
 	// HeartbeatEvery, when positive, enables keepalive pings; a peer
 	// silent for PeerTimeout (default 4×HeartbeatEvery) is declared
 	// down.
@@ -81,8 +105,9 @@ type Options struct {
 	// like real ones (links die, heal, and reconnect).
 	Faults *faults.Injector
 	// FaultDelayUnit scales injected extra delay ticks into wall time
-	// on the write path (under the peer's write lock, so per-link FIFO
-	// holds). Zero disables injected delay.
+	// on the send path (slept by the sender goroutine when the frame
+	// reaches the head of the queue, so per-link FIFO holds). Zero
+	// disables injected delay.
 	FaultDelayUnit time.Duration
 	// Logf receives diagnostics; nil silences them.
 	Logf func(string, ...any)
@@ -105,6 +130,9 @@ func (o Options) withDefaults() Options {
 	if o.QueueLen <= 0 {
 		o.QueueLen = 256
 	}
+	if o.QueueBytes <= 0 {
+		o.QueueBytes = 4 << 20
+	}
 	if o.HeartbeatEvery > 0 && o.PeerTimeout <= 0 {
 		o.PeerTimeout = 4 * o.HeartbeatEvery
 	}
@@ -116,10 +144,11 @@ func (o Options) withDefaults() Options {
 
 // Node is one TCP grid endpoint.
 type Node struct {
-	id      int
-	opt     Options
-	ln      net.Listener
-	handler Handler
+	id       int
+	opt      Options
+	ln       net.Listener
+	handler  Handler
+	maxBatch int // coalescing payload budget per frame; <=0 disables
 
 	mu      sync.Mutex
 	peers   map[int]*peer
@@ -133,12 +162,15 @@ type Node struct {
 	sentCnt atomic.Int64
 
 	// transport telemetry, resolved once at Start (nil = off).
-	obsTr       *obs.Tracer
-	cFramesSent *obs.Counter
-	cFramesRecv *obs.Counter
-	cReconnects *obs.Counter
-	cHbMisses   *obs.Counter
-	gParked     *obs.Gauge
+	obsTr         *obs.Tracer
+	cFramesSent   *obs.Counter
+	cFramesRecv   *obs.Counter
+	cReconnects   *obs.Counter
+	cHbMisses     *obs.Counter
+	gParked       *obs.Gauge
+	cWireBytes    *obs.Counter
+	cWireFrames   *obs.Counter
+	hMsgsPerFrame *obs.Histogram
 }
 
 // emit records one trace event when tracing is on.
@@ -151,21 +183,42 @@ func (n *Node) emit(e obs.Event) {
 // peer is the per-neighbor link state.
 type peer struct {
 	id int
-	// wmu serializes writes on the link, so concurrent Sends to the
-	// same peer (and heartbeats) cannot interleave frame bytes; writes
-	// to different peers proceed in parallel.
+	// wmu serializes writes on the link, so the sender goroutine's
+	// coalesced writes and control frames (hello, ping, pong) cannot
+	// interleave frame bytes; writes to different peers proceed in
+	// parallel.
 	wmu sync.Mutex
 
 	mu       sync.Mutex
 	conn     net.Conn
 	dialer   int    // id of the side that dialed the live conn
 	addr     string // peer's listen address ("" = not dialable from here)
-	queue    [][]byte
+	queue    []outFrame
+	qBytes   int // sum of payload bytes across queue
 	lastSeen time.Time
 	up       bool
 	everUp   bool
 	superv   bool
 	kick     chan struct{} // wakes the supervisor after a link death
+	wake     chan struct{} // wakes the sender goroutine (buffered, 1)
+}
+
+// outFrame is one queued outbound message. delay is injected latency
+// (fault testing): the sender sleeps it when the frame reaches the
+// head of the queue, so later frames queue behind it like on a slow
+// link and per-link FIFO holds.
+type outFrame struct {
+	data  []byte
+	delay time.Duration
+}
+
+// signal wakes the peer's sender goroutine (coalescing-friendly: many
+// signals collapse into one pending token).
+func (p *peer) signal() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
 }
 
 type inFrame struct {
@@ -175,12 +228,19 @@ type inFrame struct {
 
 // Frame kinds. The handshake (hello) carries the sender's listen
 // address so the accepting side can dial back when healing the link.
+// A batch frame coalesces several data messages into one TCP write:
+// its payload is a repetition of uvarint(len) ‖ message bytes.
 const (
 	kindHello = 0
 	kindData  = 1
 	kindPing  = 2
 	kindPong  = 3
+	kindBatch = 4
 )
+
+// defaultMaxFrameBytes is the coalescing budget when
+// Wire.MaxFrameBytes is zero.
+const defaultMaxFrameBytes = 64 << 10
 
 // maxFrame bounds a frame to keep a malformed peer from ballooning
 // memory.
@@ -212,6 +272,17 @@ func StartWithOptions(id int, handler Handler, opt Options) (*Node, error) {
 		inbox:   make(chan inFrame, 1024),
 		done:    make(chan struct{}),
 	}
+	switch {
+	case opt.Wire.MaxFrameBytes == 0:
+		n.maxBatch = defaultMaxFrameBytes
+	case opt.Wire.MaxFrameBytes > 0:
+		n.maxBatch = opt.Wire.MaxFrameBytes
+	default:
+		n.maxBatch = 0 // coalescing disabled
+	}
+	if n.maxBatch > maxFrame-64 {
+		n.maxBatch = maxFrame - 64 // keep batches under the frame cap
+	}
 	if reg := opt.Obs.Registry(); reg != nil {
 		node := strconv.Itoa(id)
 		n.obsTr = opt.Obs.Tracer()
@@ -219,7 +290,10 @@ func StartWithOptions(id int, handler Handler, opt Options) (*Node, error) {
 		n.cFramesRecv = reg.Counter("secmr_net_frames_total", "Data frames, by node and direction.", "node", node, "dir", "recv")
 		n.cReconnects = reg.Counter("secmr_net_reconnects_total", "Link reconnections adopted, by node.", "node", node)
 		n.cHbMisses = reg.Counter("secmr_net_heartbeat_misses_total", "Peers declared down after heartbeat silence, by node.", "node", node)
-		n.gParked = reg.Gauge("secmr_net_parked_frames", "Frames parked for down peers, by node.", "node", node)
+		n.gParked = reg.Gauge("secmr_net_parked_frames", "Frames queued for transmission (down-peer backlog and coalescing), by node.", "node", node)
+		n.cWireBytes = reg.Counter("secmr_wire_bytes_out_total", "Bytes written to peer sockets, frame headers included, by node.", "node", node)
+		n.cWireFrames = reg.Counter("secmr_wire_frames_total", "Coalesced wire frames written, by node.", "node", node)
+		n.hMsgsPerFrame = reg.Histogram("secmr_wire_msgs_per_frame", "Messages coalesced into one wire frame.", obs.MsgsPerFrameBuckets)
 	}
 	n.wg.Add(2)
 	go n.acceptLoop()
@@ -285,8 +359,10 @@ func (n *Node) ensurePeer(id int, addr string) *peer {
 	}
 	p, ok := n.peers[id]
 	if !ok {
-		p = &peer{id: id, kick: make(chan struct{}, 1)}
+		p = &peer{id: id, kick: make(chan struct{}, 1), wake: make(chan struct{}, 1)}
 		n.peers[id] = p
+		n.wg.Add(1)
+		go n.senderLoop(p)
 	}
 	if addr != "" {
 		p.mu.Lock()
@@ -317,12 +393,14 @@ func (n *Node) superviseIfNeeded(p *peer) {
 	}
 }
 
-// adopt installs conn as the peer's live connection and drains the
-// parked queue. When a live connection already exists the deterministic
-// tie-break keeps the one dialed by the smaller id (both endpoints
-// agree on it, so a simultaneous dial converges on one TCP connection);
-// a redial by the same dialer replaces its predecessor. Reports whether
-// conn was adopted.
+// adopt installs conn as the peer's live connection and wakes the
+// sender goroutine to flush any parked backlog. New Sends queue behind
+// the backlog (single sender per peer), so the link's FIFO order
+// survives the outage. When a live connection already exists the
+// deterministic tie-break keeps the one dialed by the smaller id (both
+// endpoints agree on it, so a simultaneous dial converges on one TCP
+// connection); a redial by the same dialer replaces its predecessor.
+// Reports whether conn was adopted.
 func (n *Node) adopt(p *peer, conn net.Conn, dialer int) bool {
 	p.mu.Lock()
 	if p.up {
@@ -336,6 +414,7 @@ func (n *Node) adopt(p *peer, conn net.Conn, dialer int) bool {
 	reconnect := p.everUp
 	p.conn, p.dialer = conn, dialer
 	p.everUp = true
+	p.up = true
 	p.lastSeen = time.Now()
 	p.mu.Unlock()
 
@@ -348,35 +427,7 @@ func (n *Node) adopt(p *peer, conn net.Conn, dialer int) bool {
 		n.cReconnects.Inc()
 		n.emit(obs.Event{Type: obs.EvReconnect, Node: n.id, Peer: p.id})
 	}
-	// Drain the parked queue before declaring the peer up: Sends keep
-	// queueing behind the parked frames until the backlog is flushed,
-	// so the link's FIFO order survives the outage.
-	for {
-		p.mu.Lock()
-		if p.conn != conn {
-			p.mu.Unlock() // lost the connection while draining
-			return true
-		}
-		if len(p.queue) == 0 {
-			p.up = true
-			p.mu.Unlock()
-			break
-		}
-		q := p.queue
-		p.queue = nil
-		p.mu.Unlock()
-		n.gParked.Add(-float64(len(q)))
-		for i, f := range q {
-			if err := n.writeData(p, conn, f); err != nil {
-				p.mu.Lock()
-				p.queue = append(append([][]byte{}, q[i:]...), p.queue...)
-				p.mu.Unlock()
-				n.gParked.Add(float64(len(q) - i))
-				n.markDown(p, conn)
-				return true
-			}
-		}
-	}
+	p.signal()
 	if n.opt.OnPeerUp != nil {
 		n.opt.OnPeerUp(p.id)
 	}
@@ -520,6 +571,34 @@ func (n *Node) readLoop(p *peer, conn net.Conn) {
 			case <-n.done:
 				return
 			}
+		case kindBatch:
+			if from != p.id {
+				n.opt.Logf("netgrid %d: dropping batch claiming sender %d on %d's connection",
+					n.id, from, p.id)
+				n.markDown(p, conn)
+				return
+			}
+			// Split the coalesced payload; every sub-message length is
+			// validated against the remaining buffer, so a malformed
+			// batch kills only this connection, never the node.
+			stopped := false
+			ok := splitBatch(payload, func(msg []byte) bool {
+				select {
+				case n.inbox <- inFrame{from: from, payload: msg}:
+					return true
+				case <-n.done:
+					stopped = true
+					return false
+				}
+			})
+			if stopped {
+				return
+			}
+			if !ok {
+				n.opt.Logf("netgrid %d: malformed batch frame from %d", n.id, p.id)
+				n.markDown(p, conn)
+				return
+			}
 		default:
 			n.markDown(p, conn)
 			return
@@ -638,83 +717,194 @@ func (n *Node) WaitFor(peers []int, timeout time.Duration) bool {
 	}
 }
 
-// Send transmits one frame to a peer. While the peer is down the frame
-// is parked in the bounded per-peer queue (oldest dropped on overflow)
-// and ErrPeerDown is returned; the queue flushes on reconnect. An
-// unknown peer (never connected in either direction) is an error.
+// Send hands one frame to the peer's sender goroutine. The frame's
+// buffer is owned by the transport from this point on (it is recycled
+// into the frame pool after the bytes reach the socket) — callers must
+// not retain or reuse it. While the peer is down the frame parks in
+// the bounded per-peer queue (oldest dropped on message or byte
+// overflow) and ErrPeerDown is returned; the queue flushes on
+// reconnect. An unknown peer (never connected in either direction) is
+// an error.
 func (n *Node) Send(to int, frame []byte) error {
 	p := n.peer(to)
 	if p == nil {
 		return fmt.Errorf("netgrid: no connection to %d", to)
 	}
-	copies := 1
-	var extra []int64
+	var one [1]outFrame
+	one[0] = outFrame{data: frame}
+	entries := one[:]
 	if inj := n.opt.Faults; inj != nil {
 		v := inj.Decide(n.id, to)
 		if v.Drop {
 			n.emit(obs.Event{Type: obs.EvMsgDrop, Node: n.id, Peer: to, Detail: "injected"})
+			putFrameBuf(frame)
 			return nil // lost in transit: indistinguishable from a send
 		}
-		copies, extra = len(v.Extra), v.Extra
+		if len(v.Extra) != 1 || v.Extra[0] != 0 {
+			entries = make([]outFrame, len(v.Extra))
+			for i, ticks := range v.Extra {
+				data := frame
+				if i > 0 { // duplicates need their own buffer: each is recycled independently
+					data = append(getFrameBuf(), frame...)
+				}
+				var d time.Duration
+				if ticks > 0 {
+					d = time.Duration(ticks) * n.opt.FaultDelayUnit
+				}
+				entries[i] = outFrame{data: data, delay: d}
+			}
+		}
 	}
-	for c := 0; c < copies; c++ {
-		p.mu.Lock()
-		if !p.up {
-			n.enqueueLocked(p, frame)
-			p.mu.Unlock()
-			return ErrPeerDown
-		}
-		conn := p.conn
-		p.mu.Unlock()
-		var delay time.Duration
-		if len(extra) > c && extra[c] > 0 {
-			delay = time.Duration(extra[c]) * n.opt.FaultDelayUnit
-		}
-		if err := n.writeDataDelayed(p, conn, frame, delay); err != nil {
-			n.markDown(p, conn)
-			p.mu.Lock()
-			n.enqueueLocked(p, frame)
-			p.mu.Unlock()
-			return err
-		}
+	p.mu.Lock()
+	up := p.up
+	for _, e := range entries {
+		n.enqueueLocked(p, e)
+	}
+	p.mu.Unlock()
+	p.signal()
+	if !up {
+		return ErrPeerDown
 	}
 	return nil
 }
 
-// enqueueLocked parks a frame for a down peer; caller holds p.mu.
-func (n *Node) enqueueLocked(p *peer, frame []byte) {
-	if len(p.queue) >= n.opt.QueueLen {
+// enqueueLocked appends a frame to the peer's outbound queue, evicting
+// oldest frames while either bound (messages or bytes) is exceeded;
+// caller holds p.mu.
+func (n *Node) enqueueLocked(p *peer, f outFrame) {
+	for len(p.queue) > 0 &&
+		(len(p.queue) >= n.opt.QueueLen || p.qBytes+len(f.data) > n.opt.QueueBytes) {
+		old := p.queue[0]
+		p.queue[0] = outFrame{}
 		p.queue = p.queue[1:]
+		p.qBytes -= len(old.data)
+		putFrameBuf(old.data)
 		n.gParked.Add(-1)
 		if inj := n.opt.Faults; inj != nil {
 			inj.CountQueueDrop()
 		}
 		n.emit(obs.Event{Type: obs.EvMsgDrop, Node: n.id, Peer: p.id, Detail: "queue-overflow"})
 	}
-	p.queue = append(p.queue, frame)
+	p.queue = append(p.queue, f)
+	p.qBytes += len(f.data)
 	n.gParked.Add(1)
 }
 
-// writeData sends one data frame and counts it.
-func (n *Node) writeData(p *peer, conn net.Conn, frame []byte) error {
-	return n.writeDataDelayed(p, conn, frame, 0)
+// senderLoop is the peer's single data writer: it owns the order in
+// which queued frames hit the socket, which is what makes per-link
+// FIFO hold across batching, injected delays and reconnect drains.
+func (n *Node) senderLoop(p *peer) {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-p.wake:
+			n.drainPeer(p)
+		}
+	}
 }
 
-// writeDataDelayed sends one data frame, sleeping the injected latency
-// while holding the peer's write lock — like a slow link, later frames
-// queue behind it, so per-link FIFO is preserved.
-func (n *Node) writeDataDelayed(p *peer, conn net.Conn, frame []byte, delay time.Duration) error {
-	p.wmu.Lock()
-	defer p.wmu.Unlock()
-	if delay > 0 {
-		time.Sleep(delay)
+// drainPeer flushes the peer's queue while the link is up, coalescing
+// consecutive frames into batch writes bounded by the frame budget. A
+// head-of-queue injected delay is slept before its write — like a slow
+// link, later frames stay queued behind it. On a write error the
+// undelivered batch returns to the queue front and the link is marked
+// down.
+func (n *Node) drainPeer(p *peer) {
+	for {
+		p.mu.Lock()
+		if !p.up || p.conn == nil || len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		conn := p.conn
+		delay := p.queue[0].delay
+		take := 1
+		if n.maxBatch > 0 {
+			batchBytes := uvarintLen(uint64(len(p.queue[0].data))) + len(p.queue[0].data)
+			for take < len(p.queue) {
+				f := p.queue[take]
+				if f.delay > 0 {
+					break // a delayed frame starts its own write
+				}
+				sz := uvarintLen(uint64(len(f.data))) + len(f.data)
+				if batchBytes+sz > n.maxBatch {
+					break
+				}
+				batchBytes += sz
+				take++
+			}
+		}
+		batch := make([]outFrame, take)
+		copy(batch, p.queue[:take])
+		for i := range p.queue[:take] {
+			p.queue[i] = outFrame{}
+		}
+		p.queue = p.queue[take:]
+		if len(p.queue) == 0 {
+			p.queue = nil
+		}
+		for _, f := range batch {
+			p.qBytes -= len(f.data)
+		}
+		p.mu.Unlock()
+		n.gParked.Add(-float64(take))
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if err := n.writeBatch(p, conn, batch); err != nil {
+			p.mu.Lock()
+			p.queue = append(batch, p.queue...)
+			for _, f := range batch {
+				p.qBytes += len(f.data)
+			}
+			p.mu.Unlock()
+			n.gParked.Add(float64(take))
+			n.markDown(p, conn)
+			return
+		}
 	}
-	if err := writeFrame(conn, kindData, n.id, frame); err != nil {
+}
+
+// writeBatch writes one or more queued frames as a single wire frame:
+// a lone message goes out as a plain data frame (the pre-batching
+// format), several go out as one batch frame whose payload repeats
+// uvarint(len) ‖ message. The write buffer and the delivered message
+// buffers are recycled into the frame pool on success.
+func (n *Node) writeBatch(p *peer, conn net.Conn, batch []outFrame) error {
+	wb := getFrameBuf()
+	if len(batch) == 1 {
+		wb = appendFrameHeader(wb, kindData, n.id, len(batch[0].data))
+		wb = append(wb, batch[0].data...)
+	} else {
+		payload := 0
+		for _, f := range batch {
+			payload += uvarintLen(uint64(len(f.data))) + len(f.data)
+		}
+		wb = appendFrameHeader(wb, kindBatch, n.id, payload)
+		for _, f := range batch {
+			wb = binary.AppendUvarint(wb, uint64(len(f.data)))
+			wb = append(wb, f.data...)
+		}
+	}
+	p.wmu.Lock()
+	_, err := conn.Write(wb)
+	p.wmu.Unlock()
+	if err != nil {
+		putFrameBuf(wb)
 		return err
 	}
-	n.sentCnt.Add(1)
-	n.cFramesSent.Inc()
-	n.emit(obs.Event{Type: obs.EvMsgSend, Node: n.id, Peer: p.id})
+	n.sentCnt.Add(int64(len(batch)))
+	n.cFramesSent.Add(int64(len(batch)))
+	n.cWireBytes.Add(int64(len(wb)))
+	n.cWireFrames.Inc()
+	n.hMsgsPerFrame.Observe(float64(len(batch)))
+	for _, f := range batch {
+		n.emit(obs.Event{Type: obs.EvMsgSend, Node: n.id, Peer: p.id})
+		putFrameBuf(f.data)
+	}
+	putFrameBuf(wb)
 	return nil
 }
 
@@ -725,7 +915,8 @@ func (n *Node) writeFrameTo(p *peer, conn net.Conn, kind byte, payload []byte) e
 	return writeFrame(conn, kind, n.id, payload)
 }
 
-// Sent returns the number of data frames transmitted.
+// Sent returns the number of data messages transmitted (a coalesced
+// batch frame counts once per message it carries).
 func (n *Node) Sent() int64 { return n.sentCnt.Load() }
 
 // Close shuts the node down.
@@ -752,15 +943,81 @@ func (n *Node) Close() {
 // Frame format: 4-byte length (kind+sender+payload), 1-byte kind,
 // 4-byte sender id, payload bytes.
 func writeFrame(w io.Writer, kind byte, from int, payload []byte) error {
-	hdr := make([]byte, 9, 9+len(payload))
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(5+len(payload)))
-	hdr[4] = kind
-	binary.BigEndian.PutUint32(hdr[5:9], uint32(from))
+	buf := appendFrameHeader(make([]byte, 0, 9+len(payload)), kind, from, len(payload))
 	// One Write call per frame: writers on other goroutines hold the
 	// peer write lock, but a single syscall also keeps any raw-conn
 	// writes (tests, tooling) atomic.
-	_, err := w.Write(append(hdr, payload...))
+	_, err := w.Write(append(buf, payload...))
 	return err
+}
+
+// appendFrameHeader appends the 9-byte frame header for a payload of
+// the given length.
+func appendFrameHeader(dst []byte, kind byte, from, payloadLen int) []byte {
+	var hdr [9]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(5+payloadLen))
+	hdr[4] = kind
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(from))
+	return append(dst, hdr[:]...)
+}
+
+// splitBatch walks a batch-frame payload (repeated uvarint(len) ‖
+// message) and hands each message to deliver; it stops early when
+// deliver returns false. It reports whether the payload was well
+// formed: every length must fit the remaining buffer and an empty
+// batch is malformed, so arbitrary input can neither panic nor force
+// an allocation.
+func splitBatch(payload []byte, deliver func([]byte) bool) bool {
+	if len(payload) == 0 {
+		return false
+	}
+	rest := payload
+	for len(rest) > 0 {
+		l, k := binary.Uvarint(rest)
+		if k <= 0 || l > uint64(len(rest)-k) {
+			return false
+		}
+		msg := rest[k : k+int(l)]
+		rest = rest[k+int(l):]
+		if !deliver(msg) {
+			return true
+		}
+	}
+	return true
+}
+
+// uvarintLen returns the encoded size of u as a uvarint.
+func uvarintLen(u uint64) int {
+	n := 1
+	for u >= 0x80 {
+		u >>= 7
+		n++
+	}
+	return n
+}
+
+// framePool recycles outbound frame buffers: hosts encode messages
+// into pooled buffers, Node.Send takes ownership, and the sender
+// goroutine returns them after the bytes reach the socket — so the
+// steady-state encode path allocates nothing.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// maxPooledFrame caps what re-enters the pool so one giant frame
+// cannot pin memory forever.
+const maxPooledFrame = 1 << 20
+
+// getFrameBuf returns a zero-length buffer from the frame pool.
+func getFrameBuf() []byte {
+	return (*framePool.Get().(*[]byte))[:0]
+}
+
+// putFrameBuf returns a buffer to the frame pool.
+func putFrameBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledFrame {
+		return
+	}
+	b = b[:0]
+	framePool.Put(&b)
 }
 
 func readFrame(r io.Reader) (kind byte, from int, payload []byte, err error) {

@@ -1,0 +1,88 @@
+package oblivious
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"secmr/internal/homo"
+)
+
+// Compact wire form of a Counter: a varint-framed vector serialized in
+// one pass, in the fixed field order of vec() —
+//
+//	uvarint(len(Stamps)) ‖ sum ‖ count ‖ num ‖ share ‖ stamps…
+//
+// with each field one homo wire ciphertext (uvarint length +
+// big-endian magnitude). The stamp count is validated against the
+// remaining buffer before any allocation.
+
+var (
+	errCounterNil    = errors.New("oblivious: counter has nil component")
+	errCounterStamps = errors.New("oblivious: malformed stamp count")
+)
+
+// CounterWireSize returns the exact number of bytes AppendCounter will
+// append for c. It panics on nil components, like AppendCounter.
+func CounterWireSize(c *Counter) int {
+	n := uvarintLen(uint64(len(c.Stamps)))
+	n += homo.CiphertextWireSize(c.Sum)
+	n += homo.CiphertextWireSize(c.Count)
+	n += homo.CiphertextWireSize(c.Num)
+	n += homo.CiphertextWireSize(c.Share)
+	for _, s := range c.Stamps {
+		n += homo.CiphertextWireSize(s)
+	}
+	return n
+}
+
+// AppendCounter appends the wire form of c to dst in a single pass and
+// returns the extended slice. It panics on nil components — a Counter
+// with nil fields never leaves correct protocol code.
+func AppendCounter(dst []byte, c *Counter) []byte {
+	if c.Sum == nil || c.Count == nil || c.Num == nil || c.Share == nil {
+		panic(errCounterNil)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(c.Stamps)))
+	dst = homo.AppendCiphertext(dst, c.Sum)
+	dst = homo.AppendCiphertext(dst, c.Count)
+	dst = homo.AppendCiphertext(dst, c.Num)
+	dst = homo.AppendCiphertext(dst, c.Share)
+	for _, s := range c.Stamps {
+		dst = homo.AppendCiphertext(dst, s)
+	}
+	return dst
+}
+
+// ReadCounter parses one wire counter from the front of src and
+// returns it (untagged ciphertexts — callers adopt them into a scheme)
+// along with the number of bytes consumed. Arbitrary input can never
+// cause a panic or an allocation larger than the input itself: every
+// ciphertext costs at least one byte on the wire, so the claimed stamp
+// count is capped by the remaining buffer.
+func ReadCounter(src []byte) (*Counter, int, error) {
+	stamps, k := binary.Uvarint(src)
+	if k <= 0 || stamps > uint64(len(src)-k) {
+		return nil, 0, errCounterStamps
+	}
+	v := make([]*homo.Ciphertext, 0, 4+int(stamps))
+	off := k
+	for i := 0; i < 4+int(stamps); i++ {
+		c, n, err := homo.ReadCiphertext(src[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		v = append(v, c)
+		off += n
+	}
+	return fromVec(v), off, nil
+}
+
+// uvarintLen returns the encoded size of u as a uvarint.
+func uvarintLen(u uint64) int {
+	n := 1
+	for u >= 0x80 {
+		u >>= 7
+		n++
+	}
+	return n
+}

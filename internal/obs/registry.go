@@ -119,6 +119,10 @@ var DefLatencyBuckets = []float64{
 	1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1, 4,
 }
 
+// MsgsPerFrameBuckets covers transport coalescing factors (messages
+// packed into one wire frame) in powers of two.
+var MsgsPerFrameBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {

@@ -274,7 +274,19 @@ type GridConfig struct {
 	// (Paillier noise factors r^N, ElGamal (g^r, h^r) pairs). Only
 	// useful with spare cores. Stop the workers with Grid.Close.
 	NoisePool int
+	// Wire configures the wire codec and message coalescing: the frame
+	// budget TCP transports batch outbound messages under
+	// (MaxFrameBytes; 0 = 64 KiB default, negative disables), and
+	// LegacyGob, which re-enables the pre-versioning gob envelope for
+	// outbound frames (GridStats.BytesSent then reverts to its historic
+	// approximation). The simulated grid has no sockets, so only the
+	// byte accounting is affected here; netgrid hosts honor both knobs.
+	Wire WireConfig
 }
+
+// WireConfig selects the wire codec and frame-coalescing budget. See
+// GridConfig.Wire and netgrid.Options.Wire.
+type WireConfig = core.WireConfig
 
 func (c GridConfig) withDefaults() GridConfig {
 	if c.Algorithm == "" {
@@ -427,7 +439,8 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 				GrowthPerStep: cfg.GrowthPerStep, K: int64(cfg.K),
 				MaxRuleItems: cfg.MaxRuleItems, IntraDelay: true,
 				PaddingDance: cfg.PaddingDance, BlindBits: blindBits,
-				LossyLinks: cfg.Faults != nil, Obs: cfg.Telemetry}
+				LossyLinks: cfg.Faults != nil, Obs: cfg.Telemetry,
+				Wire: cfg.Wire}
 			r := core.NewResource(i, c, scheme, parts[i], feed, nil)
 			g.secure = append(g.secure, r)
 			m = r
@@ -622,8 +635,10 @@ func (g *Grid) RunUntilQuality(target float64, maxSteps int) bool {
 type GridStats struct {
 	// MessagesSent is the total protocol messages brokers originated.
 	MessagesSent int64
-	// BytesSent approximates the total ciphertext bytes on the wire
-	// (AlgorithmSecure only).
+	// BytesSent is the total rule-message bytes on the wire
+	// (AlgorithmSecure only): exact compact-codec frame sizes by
+	// default, or the historic ciphertext approximation when
+	// GridConfig.Wire.LegacyGob is set.
 	BytesSent int64
 	// SFEs counts broker↔controller secure evaluations; Fresh of them
 	// were answered with a data-dependent evaluation, Gated with the
