@@ -28,6 +28,11 @@ type diffRow struct {
 // loadResults reads one benchjson output file.
 func loadResults(path string) ([]result, error) {
 	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		// A missing baseline is the classic silent-pass trap in CI: name
+		// it explicitly so the job fails loud instead of diffing nothing.
+		return nil, fmt.Errorf("benchmark file %s does not exist; generate it with `go test -bench . | benchjson > %s` and commit it as the baseline", path, path)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -68,3 +68,14 @@ func TestRunDiffIdentical(t *testing.T) {
 		t.Fatalf("identical runs produced %d regressions", n)
 	}
 }
+
+func TestLoadResultsMissingBaseline(t *testing.T) {
+	_, err := loadResults(t.TempDir() + "/BENCH_missing.json")
+	if err == nil {
+		t.Fatal("missing baseline loaded without error")
+	}
+	if !strings.Contains(err.Error(), "does not exist") ||
+		!strings.Contains(err.Error(), "BENCH_missing.json") {
+		t.Fatalf("unhelpful missing-baseline error: %v", err)
+	}
+}

@@ -7,6 +7,11 @@
 //
 //	secmr-keys gen  -bits 1024 -priv grid.key -pub grid.pub
 //	secmr-keys info -key grid.key
+//
+// It also inspects a node's durable state directory (snapshot + WAL,
+// see internal/persist) without loading protocol state:
+//
+//	secmr-keys inspect -dir /var/lib/secmr/node-3
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 
 	"secmr/internal/paillier"
+	"secmr/internal/persist"
 )
 
 func main() {
@@ -27,13 +33,15 @@ func main() {
 		gen(os.Args[2:])
 	case "info":
 		info(os.Args[2:])
+	case "inspect":
+		inspect(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: secmr-keys gen [-bits N] [-priv FILE] [-pub FILE] | secmr-keys info -key FILE")
+	fmt.Fprintln(os.Stderr, "usage: secmr-keys gen [-bits N] [-priv FILE] [-pub FILE] | secmr-keys info -key FILE | secmr-keys inspect -dir DIR")
 	os.Exit(2)
 }
 
@@ -92,6 +100,29 @@ func info(args []string) {
 		fmt.Printf("self-test: D(E(20)+E(22)) = %s\n", scheme.DecryptSigned(c))
 	} else {
 		fmt.Println("self-test: homomorphic ops OK (no decryption key)")
+	}
+}
+
+func inspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	dir := fs.String("dir", "", "durable state directory (one node's snapshot + WAL journal)")
+	fs.Parse(args)
+	if *dir == "" {
+		usage()
+	}
+	in, err := persist.Inspect(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if in.NodeID < 0 {
+		fmt.Printf("%s: key material only (%s), no snapshot yet\n", *dir, in.SchemeKind)
+		return
+	}
+	fmt.Printf("%s: node %d, scheme %s\n", *dir, in.NodeID, in.SchemeKind)
+	fmt.Printf("  snapshot: generation %d, %d bytes\n", in.Gen, in.SnapshotBytes)
+	fmt.Printf("  wal:      %d records, %d bytes\n", in.WALRecords, in.WALBytes)
+	if in.TornBytes > 0 {
+		fmt.Printf("  torn tail: %d trailing bytes past the last valid record (dropped on recovery)\n", in.TornBytes)
 	}
 }
 

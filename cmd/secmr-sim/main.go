@@ -8,10 +8,14 @@
 //	secmr-sim -alg secure -resources 64 -local 1000 -k 10 \
 //	          -minfreq 0.02 -minconf 0.6 -steps 4000
 //
-// Chaos flags exercise the fault injector against the same run:
+// Chaos flags exercise the fault injector against the same run. A
+// crash entry prefixed with ! is a crash with amnesia: the node's
+// in-memory state is wiped, and its restart succeeds only when a
+// -persist-dir journal exists to rebuild it from:
 //
 //	secmr-sim -resources 16 -k 3 -drop 0.1 -dup 0.05 -jitter 2 \
-//	          -crash 1@200-320 -partition 100-400:0,1,2|3,4,5
+//	          -crash '!1@200-320' -partition 100-400:0,1,2|3,4,5 \
+//	          -persist-dir /tmp/secmr-journal -snapshot-every 200
 //
 // Observability flags expose the run live and record it:
 //
@@ -82,6 +86,13 @@ func main() {
 		partition = flag.String("partition", "", "partition schedule, e.g. 100-400:0,1,2|3,4,5 (heals at the end step)")
 		faultSeed = flag.Int64("fault-seed", 0, "fault injector seed (0 = -seed)")
 
+		// Durability knobs (see internal/persist and DESIGN.md §9):
+		// a journal directory arms per-resource snapshot+WAL persistence
+		// and the crash-with-amnesia recovery path.
+		persistDir    = flag.String("persist-dir", "", "journal directory for snapshot+WAL durability (secure algorithm only)")
+		snapshotEvery = flag.Int("snapshot-every", 0, "logged events between snapshots (0 = persist default)")
+		fsyncEvery    = flag.Int("fsync-every", 0, "WAL appends coalesced per fsync (0 = persist default)")
+
 		// Observability knobs (see internal/obs): telemetry is always
 		// collected (nil-safe instruments make it nearly free); these
 		// flags expose it.
@@ -135,13 +146,19 @@ func main() {
 		tel.Tr.SetSink(f)
 	}
 
+	var persistCfg *secmr.PersistConfig
+	if *persistDir != "" {
+		persistCfg = &secmr.PersistConfig{Dir: *persistDir,
+			SnapshotEvery: *snapshotEvery, FsyncEvery: *fsyncEvery}
+	}
+
 	grid, err := secmr.NewGrid(db, secmr.GridConfig{
 		Algorithm: secmr.Algorithm(*alg), Topology: secmr.Topology(*topo),
 		Resources: *resources, K: *k,
 		MinFreq: *minFreq, MinConf: *minConf,
 		ScanBudget: *budget, MaxRuleItems: *maxRule,
 		PaillierBits: *paillier, Seed: *seed,
-		Faults:    faultCfg,
+		Faults: faultCfg, Persist: persistCfg,
 		Telemetry: tel, StallPatience: *stallAfter,
 		CryptoWorkers: *cryptoWorkers, NoisePool: *noisePool,
 		Wire: secmr.WireConfig{MaxFrameBytes: *maxFrameBytes, LegacyGob: *legacyGob},
@@ -190,8 +207,8 @@ func main() {
 		rec, prec, len(grid.Output(0)), len(grid.Reports()))
 	if faultCfg != nil {
 		st := grid.FaultStats()
-		fmt.Printf("# faults: dropped=%d duplicated=%d delayed=%d crashDrops=%d cutDrops=%d\n",
-			st.Dropped, st.Duplicated, st.Delayed, st.CrashDrops, st.CutDrops)
+		fmt.Printf("# faults: dropped=%d duplicated=%d delayed=%d crashDrops=%d cutDrops=%d amnesia=%d recoveries=%d\n",
+			st.Dropped, st.Duplicated, st.Delayed, st.CrashDrops, st.CutDrops, st.AmnesiaWipes, grid.Recoveries())
 	}
 
 	summarize(os.Stderr, grid, rec, prec, faultCfg != nil)
@@ -225,8 +242,8 @@ func summarize(w *os.File, grid *secmr.Grid, rec, prec float64, faulty bool) {
 		st.MessagesSent, st.BytesSent, st.SFEs, st.Fresh, st.Gated, st.Violations)
 	if faulty {
 		fs := grid.FaultStats()
-		fmt.Fprintf(w, "faults: dropped=%d duplicated=%d delayed=%d crashDrops=%d cutDrops=%d\n",
-			fs.Dropped, fs.Duplicated, fs.Delayed, fs.CrashDrops, fs.CutDrops)
+		fmt.Fprintf(w, "faults: dropped=%d duplicated=%d delayed=%d crashDrops=%d cutDrops=%d amnesia=%d recoveries=%d\n",
+			fs.Dropped, fs.Duplicated, fs.Delayed, fs.CrashDrops, fs.CutDrops, fs.AmnesiaWipes, grid.Recoveries())
 	}
 	if stalled := grid.Stalled(); len(stalled) > 0 {
 		fmt.Fprintf(w, "stalled resources (recall flat below target): %v\n", stalled)
@@ -275,9 +292,11 @@ func buildFaults(drop, dup float64, jitter int, crash, partition string, faultSe
 	}
 	cfg := &secmr.FaultConfig{Seed: faultSeed, DropProb: drop, DupProb: dup, DelayJitter: jitter}
 	for _, spec := range splitList(crash) {
+		amnesia := strings.HasPrefix(spec, "!")
+		spec = strings.TrimPrefix(spec, "!")
 		node, at, ok := strings.Cut(spec, "@")
 		if !ok {
-			return nil, fmt.Errorf("bad -crash entry %q (want node@down or node@down-up)", spec)
+			return nil, fmt.Errorf("bad -crash entry %q (want node@down or node@down-up, ! prefix = amnesia)", spec)
 		}
 		id, err := strconv.Atoi(node)
 		if err != nil {
@@ -288,7 +307,7 @@ func buildFaults(drop, dup float64, jitter int, crash, partition string, faultSe
 		if err != nil {
 			return nil, fmt.Errorf("bad -crash step in %q: %v", spec, err)
 		}
-		cfg.Schedule = append(cfg.Schedule, secmr.FaultEvent{At: downAt, Crash: []int{id}})
+		cfg.Schedule = append(cfg.Schedule, secmr.FaultEvent{At: downAt, Crash: []int{id}, Amnesia: amnesia})
 		if hasUp {
 			upAt, err := strconv.ParseInt(up, 10, 64)
 			if err != nil {

@@ -48,8 +48,6 @@ type Accountant struct {
 	// hop; drained by the broker, possibly one step later under
 	// IntraDelay).
 	replies map[string]*oblivious.Counter
-
-	rng *rand.Rand
 }
 
 type scanState struct {
@@ -65,8 +63,17 @@ func newAccountant(id int, cfg Config, enc homo.Encryptor, pub homo.Public, loca
 		scans:   map[string]*scanState{},
 		replies: map[string]*oblivious.Counter{},
 		slotOf:  map[int]int{},
-		rng:     rand.New(rand.NewSource(int64(id)*7919 + 13)),
 	}
+}
+
+// dealingSeed derives the RNG seed for one share dealing. Each dealing
+// is a deterministic function of (resource id, epoch) so that a
+// resource recovering from a snapshot and replaying its event log
+// (internal/persist) re-creates every dealing bit-for-bit: the grants
+// live neighbours still hold must match the replayed share vector or
+// the Σshares = 1 verification would raise false malicious reports.
+func dealingSeed(id, epoch int) int64 {
+	return int64(id)*7919 + 13 + int64(epoch)*1_000_003
 }
 
 // setup creates the shares for this resource's neighbourhood and
@@ -81,14 +88,16 @@ func (a *Accountant) setup(neighbors []int) map[int]ShareGrant {
 }
 
 // redeal draws a fresh share vector summing to 1 over the current
-// neighbourhood and returns the grant for every neighbour.
+// neighbourhood and returns the grant for every neighbour. The draw is
+// seeded from (id, epoch) — see dealingSeed.
 func (a *Accountant) redeal() map[int]ShareGrant {
 	a.epoch++
+	rng := rand.New(rand.NewSource(dealingSeed(a.id, a.epoch)))
 	n := len(a.neighbors) + 1 // slot 0 is ⊥
 	a.shareVals = make([]int64, n)
 	acc := int64(0)
 	for i := 1; i < n; i++ {
-		v := a.rng.Int63n(1 << 40)
+		v := rng.Int63n(1 << 40)
 		a.shareVals[i] = v
 		acc += v
 	}

@@ -60,6 +60,17 @@ type Controller struct {
 
 	// clock is the Lamport clock for outgoing timestamps.
 	clock int64
+	// clockLease is the highest clock value durably reserved with the
+	// journal; onClockLease extends the reservation (synchronously —
+	// the lease must hit stable storage before any stamp beyond the
+	// previous one leaves the resource). Both are zero/nil without
+	// persistence. WAL replay can reconstruct *fewer* clock increments
+	// than the live run performed (recovery-time reply re-staging is
+	// not itself a replayed event), so without the lease a recovered
+	// resource could stamp below values its neighbours already
+	// verified and trip their replay detection. See internal/persist.
+	clockLease   int64
+	onClockLease func(upTo int64)
 	// seen is T̃: the last verified timestamp per (rule, slot).
 	seen map[string][]int64
 
@@ -299,6 +310,10 @@ func (c *Controller) RefreshStamps(slots, slot int) []*homo.Ciphertext {
 // the next Lamport time (Algorithm 3's reply).
 func (c *Controller) outgoingStamps(slots, slot int) []*homo.Ciphertext {
 	c.clock++
+	if c.onClockLease != nil && c.clock > c.clockLease {
+		c.clockLease = c.clock + clockLeaseStep
+		c.onClockLease(c.clockLease)
+	}
 	out := make([]*homo.Ciphertext, slots)
 	for i := range out {
 		if i == slot {

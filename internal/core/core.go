@@ -193,6 +193,9 @@ type Resource struct {
 	// keeps counting after a halt, because report re-flooding must
 	// outlive the resource's own participation.
 	lossTick int64
+	// journal, when non-nil, receives every state-mutating input before
+	// it is processed plus periodic snapshots (SetJournal).
+	journal Journal
 }
 
 // NewResource assembles a secure resource. scheme is the grid-wide
@@ -248,10 +251,19 @@ func (r *Resource) Bootstrap(neighbors []int, tr Transport) {
 		}
 	}
 	r.Broker.init(neighbors)
+	if r.journal != nil {
+		// Cut the bootstrap snapshot immediately: recovery must always
+		// find one (the WAL alone cannot rebuild the initial dealing's
+		// conversation with the transport).
+		r.journal.Snapshot(r.EncodeState())
+	}
 }
 
 // HandleMessage ingests one grid message.
 func (r *Resource) HandleMessage(tr Transport, from int, payload any) {
+	if r.journal != nil {
+		r.journal.LogMessage(from, payload)
+	}
 	switch m := payload.(type) {
 	case ShareGrant:
 		r.tel.grantsRecv.Inc()
@@ -273,6 +285,12 @@ func (r *Resource) HandleMessage(tr Transport, from int, payload any) {
 
 // Tick advances one §6 step over the given transport.
 func (r *Resource) Tick(tr Transport) {
+	if r.journal != nil {
+		r.journal.LogTick()
+		// Deferred because Tick has several early returns (halt,
+		// violation) and the snapshot must reflect the post-tick state.
+		defer r.snapshotIfDue()
+	}
 	if r.cfg.LossyLinks {
 		r.lossRecoveryTick(tr)
 	}
@@ -306,6 +324,9 @@ func (r *Resource) Tick(tr Transport) {
 // shares, the broker re-binds stored counters to the new dealing and
 // opens the edge, and every neighbour receives a refreshed grant.
 func (r *Resource) HandleNeighborJoin(tr Transport, v int) {
+	if r.journal != nil {
+		r.journal.LogJoin(v)
+	}
 	if r.halted {
 		return
 	}
@@ -320,6 +341,13 @@ func (r *Resource) HandleNeighborJoin(tr Transport, v int) {
 
 // Init implements sim.Node.
 func (r *Resource) Init(ctx *sim.Context) {
+	if r.Broker.inited {
+		// A restored resource (RestoreResource) joining an engine: its
+		// overlay state is already built and its neighbours still hold
+		// its grants — re-announce instead of re-dealing.
+		r.Rejoin(simTransport{ctx})
+		return
+	}
 	r.Bootstrap(ctx.Neighbors(), simTransport{ctx})
 }
 

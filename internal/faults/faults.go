@@ -65,6 +65,12 @@ type Event struct {
 	Crash []int
 	// Restart brings these nodes back up.
 	Restart []int
+	// Amnesia upgrades this event's Crash list to crash-with-amnesia:
+	// the nodes lose their in-memory state, and their later Restart goes
+	// through the runtime's recovery path (sim.Engine.Recover) instead
+	// of resuming in place. A restarted amnesiac node with no durable
+	// state to recover from stays down permanently.
+	Amnesia bool
 	// Partition, when non-nil, installs a partition: links between
 	// nodes in *different* groups are cut. Nodes absent from every
 	// group are unaffected (their links stay up). Replaces any
@@ -83,6 +89,9 @@ type Stats struct {
 	CutDrops   int64 // messages lost to a partition
 	QueueDrops int64 // transport queue overflow (netgrid reports these)
 	Reconnects int64 // transport reconnections (netgrid reports these)
+	// AmnesiaWipes counts crash-with-amnesia events: crashes whose
+	// restart must go through durable-state recovery.
+	AmnesiaWipes int64
 }
 
 // Verdict is the fate of one message. When Drop is false, Extra holds
@@ -104,17 +113,24 @@ type Injector struct {
 	parted  bool
 	nextEvt int
 	stats   Stats
+	// amnesiac marks down nodes whose crash wiped their in-memory
+	// state; their restart is diverted to the recovery path.
+	amnesiac map[int]bool
+	// recovered queues amnesiac nodes whose restart fired, for the
+	// hosting runtime to drain (TakeRecovered) and rebuild.
+	recovered []int
 	// injected-fault counters, resolved once by SetObs (nil = off).
-	cDrop, cDup, cDelay, cCrash, cCut, cQueue, cReconn *obs.Counter
+	cDrop, cDup, cDelay, cCrash, cCut, cQueue, cReconn, cAmnesia *obs.Counter
 }
 
 // New builds an injector. The schedule is replayed by Advance in the
 // order given; events must be sorted by At.
 func New(cfg Config) *Injector {
 	return &Injector{
-		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		down: map[int]bool{},
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		down:     map[int]bool{},
+		amnesiac: map[int]bool{},
 	}
 }
 
@@ -133,6 +149,7 @@ func (in *Injector) SetObs(sink *obs.Sink) {
 	in.cCut = reg.Counter("secmr_faults_injected_total", help, "action", "cut_drop")
 	in.cQueue = reg.Counter("secmr_faults_injected_total", help, "action", "queue_drop")
 	in.cReconn = reg.Counter("secmr_faults_injected_total", help, "action", "reconnect")
+	in.cAmnesia = reg.Counter("secmr_faults_injected_total", help, "action", "crash_amnesia")
 }
 
 // Advance applies every scheduled event with At <= now. The simulator
@@ -146,8 +163,20 @@ func (in *Injector) Advance(now int64) {
 		in.nextEvt++
 		for _, u := range ev.Crash {
 			in.down[u] = true
+			if ev.Amnesia {
+				in.amnesiac[u] = true
+				in.stats.AmnesiaWipes++
+				in.cAmnesia.Inc()
+			}
 		}
 		for _, u := range ev.Restart {
+			if in.amnesiac[u] {
+				// The node lost its state; keep it down until the hosting
+				// runtime drains it (TakeRecovered) and rebuilds it from
+				// durable state — or fails to and re-crashes it.
+				delete(in.amnesiac, u)
+				in.recovered = append(in.recovered, u)
+			}
 			delete(in.down, u)
 		}
 		if ev.Partition != nil {
@@ -166,11 +195,55 @@ func (in *Injector) Crash(node int) {
 	in.mu.Unlock()
 }
 
-// Restart brings a crashed node back up.
+// Restart brings a crashed node back up. An amnesiac node is queued
+// for recovery instead of resuming (see CrashAmnesia, TakeRecovered).
 func (in *Injector) Restart(node int) {
 	in.mu.Lock()
+	if in.amnesiac[node] {
+		delete(in.amnesiac, node)
+		in.recovered = append(in.recovered, node)
+	}
 	delete(in.down, node)
 	in.mu.Unlock()
+}
+
+// CrashAmnesia marks a node down AND wipes its in-memory state: unlike
+// a plain Crash, the later Restart does not resume the old instance but
+// queues the node for durable-state recovery at the hosting runtime.
+func (in *Injector) CrashAmnesia(node int) {
+	in.mu.Lock()
+	in.down[node] = true
+	in.amnesiac[node] = true
+	in.stats.AmnesiaWipes++
+	in.cAmnesia.Inc()
+	in.mu.Unlock()
+}
+
+// TakeRecovered drains the list of amnesiac nodes whose restart fired
+// since the last call. The hosting runtime must rebuild each from
+// durable state (sim.Engine.Recover) or crash it again for good.
+func (in *Injector) TakeRecovered() []int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := in.recovered
+	in.recovered = nil
+	return out
+}
+
+// TakeRecoveredFor removes one node from the recovered queue,
+// reporting whether it was there. Concurrent runtimes that own one
+// goroutine per node (internal/grid) use this so each node drains only
+// its own recovery without racing on the shared list.
+func (in *Injector) TakeRecoveredFor(node int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, u := range in.recovered {
+		if u == node {
+			in.recovered = append(in.recovered[:i], in.recovered[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Down reports whether a node is currently crashed.

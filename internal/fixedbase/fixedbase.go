@@ -90,7 +90,10 @@ func (t *Table) Exp(e *big.Int) *big.Int {
 		acc.Mul(acc, t.rows[i][d-1])
 		acc.Mod(acc, t.mod)
 	}
-	return acc
+	// The all-zero-digit exponent skips every reduction; mod 1 is the
+	// one modulus where the unreduced empty product (1) is not already
+	// a residue.
+	return acc.Mod(acc, t.mod)
 }
 
 // digit extracts window bits of e starting at bit offset off.

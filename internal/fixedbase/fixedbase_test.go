@@ -40,6 +40,48 @@ func TestEdgeExponents(t *testing.T) {
 	}
 }
 
+// TestWindowOne pins the degenerate 1-bit window: every table row
+// holds exactly one residue (span 2^1 − 1 = 1) and Exp degenerates to
+// plain binary decomposition, which must still agree with math/big for
+// the boundary exponents and bases.
+func TestWindowOne(t *testing.T) {
+	mod := big.NewInt(1_000_003)
+	for _, base := range []int64{0, 1, 2, 999_999} {
+		b := big.NewInt(base)
+		tab := New(b, mod, 16, 1)
+		for _, r := range tab.rows {
+			if len(r) != 1 {
+				t.Fatalf("window-1 row holds %d residues, want 1", len(r))
+			}
+		}
+		for _, e := range []int64{0, 1, 2, 3, (1 << 16) - 1} {
+			exp := big.NewInt(e)
+			want := new(big.Int).Exp(b, exp, mod)
+			if got := tab.Exp(exp); got.Cmp(want) != 0 {
+				t.Fatalf("base=%d e=%d: got %v want %v", base, e, got, want)
+			}
+		}
+	}
+}
+
+// TestZeroExponent pins base^0 = 1 mod m for every window width —
+// including mod 1, where even the empty product must reduce to 0.
+func TestZeroExponent(t *testing.T) {
+	zero := big.NewInt(0)
+	for _, window := range []uint{1, 2, 4, 6} {
+		tab := New(big.NewInt(7), big.NewInt(101), 12, window)
+		if got := tab.Exp(zero); got.Cmp(big.NewInt(1)) != 0 {
+			t.Fatalf("w=%d: 7^0 mod 101 = %v, want 1", window, got)
+		}
+	}
+	// Mod 1: the only residue is 0; Exp's accumulator starts at the
+	// unreduced 1, so the no-digit path must not leak it.
+	tab := New(big.NewInt(0), big.NewInt(1), 4, 2)
+	if got := tab.Exp(zero); got.Sign() != 0 {
+		t.Fatalf("0^0 mod 1 = %v, want 0", got)
+	}
+}
+
 // Exponents beyond maxBits fall back to the general path.
 func TestOverlongExponentFallsBack(t *testing.T) {
 	mod := big.NewInt(999983)

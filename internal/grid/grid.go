@@ -70,6 +70,16 @@ type Runtime struct {
 	// events. All hooks are nil-safe atomics, so they are race-free
 	// under the concurrent runtime.
 	Obs *obs.Sink
+	// Recover, when set alongside Inject, is the crash-with-amnesia
+	// rebuild hook (the concurrent counterpart of sim.Engine.Recover):
+	// after faults.Injector.CrashAmnesia + Restart, the node's next
+	// inbound delivery first calls Recover(id) to rebuild the actor
+	// from durable state. The replacement's OnStart runs immediately
+	// (its rejoin announcement), then the delivery proceeds to it. A
+	// nil return keeps the node down for good. Recover runs on the
+	// node's own delivery goroutine, so implementations need no extra
+	// locking for per-node state.
+	Recover func(id int) Actor
 
 	obsSent      *obs.Counter
 	obsDelivered *obs.Counter
@@ -203,17 +213,46 @@ func (r *Runtime) Run(ctx context.Context) bool {
 		r.wg.Add(1)
 		go r.forward(ctx, key[0], key[1], ch)
 	}
+	// One synthetic outstanding token per actor so the system cannot be
+	// declared quiet before every actor's OnStart ran.
+	for range r.actors {
+		r.outstanding.Add(1)
+		r.obsPendGauge.Add(1)
+	}
 	for i := range r.actors {
 		i := i
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
 			sendFn := func(to int, payload any) { r.send(i, to, payload) }
+			// The live actor is goroutine-local: a crash-with-amnesia
+			// recovery swaps it here, never in the shared slice, so no
+			// other goroutine ever observes the replacement racily.
+			// OnStart runs on this same goroutine, making the Actor
+			// contract (callbacks on a single goroutine) literal.
+			actor := r.actors[i]
+			maybeRecover := func() {
+				if r.Inject == nil || r.Recover == nil || !r.Inject.TakeRecoveredFor(i) {
+					return
+				}
+				if repl := r.Recover(i); repl != nil {
+					actor = repl
+					repl.OnStart(i, sendFn) // rejoin announcement
+				} else {
+					// Nothing durable to rebuild from: the node stays
+					// down for good.
+					r.Inject.Crash(i)
+				}
+			}
+			maybeRecover()
+			actor.OnStart(i, sendFn)
+			r.release()
 			for {
 				select {
 				case <-ctx.Done():
 					return
 				case m := <-r.inboxes[i]:
+					maybeRecover()
 					if r.Inject != nil && r.Inject.Down(i) {
 						// A crashed actor loses its inbound messages;
 						// release keeps quiescence detection sound.
@@ -225,7 +264,7 @@ func (r *Runtime) Run(ctx context.Context) bool {
 						r.release()
 						continue
 					}
-					r.actors[i].OnMessage(i, m.from, m.payload, sendFn)
+					actor.OnMessage(i, m.from, m.payload, sendFn)
 					r.delivered.Add(1)
 					r.obsDelivered.Inc()
 					if r.Obs != nil && r.Obs.Tr != nil {
@@ -236,20 +275,6 @@ func (r *Runtime) Run(ctx context.Context) bool {
 			}
 		}()
 	}
-	// OnStart runs under one synthetic outstanding token per actor so
-	// the system cannot be declared quiet before every actor started.
-	for range r.actors {
-		r.outstanding.Add(1)
-		r.obsPendGauge.Add(1)
-	}
-	for i := range r.actors {
-		i := i
-		go func() {
-			r.actors[i].OnStart(i, func(to int, payload any) { r.send(i, to, payload) })
-			r.release()
-		}()
-	}
-
 	quiesced := false
 	select {
 	case <-r.quiet:

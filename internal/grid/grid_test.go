@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -248,6 +249,127 @@ func TestInjectDuplicationIncreasesDeliveries(t *testing.T) {
 	// hop1: 2 copies, hop2: 4, hop3: 8 => 14 deliveries, 0 further sends.
 	if st := rt.Stats(); st.Delivered != 14 {
 		t.Fatalf("delivered %d, want 14 (1+dup fan-out of depth 3)", st.Delivered)
+	}
+}
+
+func TestAmnesiaRecoveryUnderConcurrency(t *testing.T) {
+	// Concurrent counterpart of the simulator's amnesia recovery: after
+	// a vote converges, the victim is crashed with amnesia (in-memory
+	// instance wiped) and restarted; the runtime's Recover hook rebuilds
+	// it from its "durable" state — here the construction-time local
+	// vote, the analog of a snapshot. Scalable-Majority is purely
+	// reactive, so recovery works because the rebuilt node's OnStart
+	// re-announces its regressed aggregate: that perturbs each peer's
+	// edge state, which makes the peers re-send their own aggregates and
+	// re-teach the victim the global outcome.
+	rng := rand.New(rand.NewSource(21))
+	const n, victim = 12, 5
+	tree := topology.RandomTree(n, topology.DelayRange{Min: 1, Max: 3}, rng)
+	votes := make([][2]int64, n)
+	var s, c int64
+	for i := range votes {
+		cnt := int64(1 + rng.Intn(15))
+		sum := int64(rng.Intn(int(cnt) + 1))
+		votes[i] = [2]int64{sum, cnt}
+		s += sum
+		c += cnt
+	}
+	if 2*s-c == 0 {
+		t.Fatal("fixture is an exact tie; pick another seed")
+	}
+	want := 2*s-c >= 0
+
+	newActor := func(i int) *majorityActor {
+		return &majorityActor{inst: majority.NewInstance(1, 2),
+			neighbors: tree.Neighbors(i), sum: votes[i][0], cnt: votes[i][1]}
+	}
+	mas := make([]*majorityActor, n)
+	actors := make([]Actor, n)
+	for i := range actors {
+		mas[i] = newActor(i)
+		actors[i] = mas[i]
+	}
+	inj := faults.New(faults.Config{Seed: 8})
+	rt := NewRuntime(tree, actors)
+	rt.DelayUnit = 200 * time.Microsecond
+	rt.Inject = inj
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if !rt.Run(ctx) {
+		t.Fatal("phase 1 did not quiesce")
+	}
+	for i, a := range mas {
+		if a.decision() != want {
+			t.Fatalf("phase 1: node %d decided %v want %v", i, a.decision(), want)
+		}
+	}
+
+	// Crash with amnesia, then restart: the wiped actor object stays in
+	// the slice (a process that rebooted with empty memory), and the
+	// injector queues the node for recovery.
+	inj.CrashAmnesia(victim)
+	inj.Restart(victim)
+	var recovers atomic.Int64
+	rt2 := NewRuntime(tree, actors)
+	rt2.DelayUnit = 200 * time.Microsecond
+	rt2.Inject = inj
+	rt2.Recover = func(id int) Actor {
+		if id != victim {
+			t.Errorf("recover hook called for node %d, want %d", id, victim)
+			return nil
+		}
+		recovers.Add(1)
+		mas[id] = newActor(id) // rebuilt from the durable local vote
+		return mas[id]
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if !rt2.Run(ctx2) {
+		t.Fatal("phase 2 did not quiesce after amnesia recovery")
+	}
+	if got := recovers.Load(); got != 1 {
+		t.Fatalf("recover hook fired %d times, want 1", got)
+	}
+	if st := inj.Stats(); st.AmnesiaWipes != 1 {
+		t.Fatalf("injector stats: %+v, want one amnesia wipe", st)
+	}
+	for i, a := range mas {
+		if a.decision() != want {
+			t.Fatalf("phase 2: node %d decided %v want %v after recovery", i, a.decision(), want)
+		}
+	}
+}
+
+func TestAmnesiaWithoutDurableStateStaysDown(t *testing.T) {
+	// A nil Recover return means nothing durable existed: the node must
+	// stay down for good, and the rest of the grid must still quiesce.
+	rng := rand.New(rand.NewSource(31))
+	ring := topology.Ring(4, topology.DelayRange{Min: 1, Max: 1}, rng)
+	actors := make([]Actor, 4)
+	cas := make([]*chattyActor, 4)
+	for i := range actors {
+		cas[i] = &chattyActor{limit: 100, next: (i + 1) % 4}
+		actors[i] = cas[i]
+	}
+	inj := faults.New(faults.Config{Seed: 9})
+	inj.CrashAmnesia(2)
+	inj.Restart(2)
+	rt := NewRuntime(ring, actors)
+	rt.Inject = inj
+	rt.Recover = func(id int) Actor { return nil }
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if !rt.Run(ctx) {
+		t.Fatal("did not quiesce with an unrecoverable actor")
+	}
+	cas[2].mu.Lock()
+	saw := cas[2].seen
+	cas[2].mu.Unlock()
+	if saw != 0 {
+		t.Fatalf("unrecoverable node processed %d messages, want 0", saw)
+	}
+	if rt.Stats().Dropped == 0 {
+		t.Fatal("no drops recorded at the permanently-down node")
 	}
 }
 

@@ -50,6 +50,11 @@ func (p *Plain) Name() string { return fmt.Sprintf("plain-%d", p.m.BitLen()-1) }
 // PlaintextSpace returns the plaintext modulus.
 func (p *Plain) PlaintextSpace() *big.Int { return new(big.Int).Set(p.m) }
 
+// Bits returns the plaintext-space bit length the scheme was built
+// with (NewPlain's argument) — the scheme's whole "key material", used
+// by internal/persist to rebuild an equivalent instance from disk.
+func (p *Plain) Bits() int { return p.m.BitLen() - 1 }
+
 func (p *Plain) nonce() uint64 {
 	return p.nonceCtr.Add(1) & (1<<plainNonceBits - 1)
 }

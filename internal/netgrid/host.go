@@ -27,6 +27,9 @@ type Host struct {
 	wg        sync.WaitGroup
 	logf      func(string, ...any)
 	legacyGob bool // encode outbound frames with the legacy gob envelope
+	// onClose, when set, releases host-owned durability state (the
+	// journal a RecoverHost attached) after the ticker stops.
+	onClose func()
 }
 
 // hostTransport encodes outbound messages onto the TCP node.
@@ -124,6 +127,24 @@ func (h *Host) Run(neighbors []int, stepEvery time.Duration) {
 	h.mu.Lock()
 	h.res.Bootstrap(neighbors, hostTransport{h})
 	h.mu.Unlock()
+	h.startTicker(stepEvery)
+}
+
+// RunRecovered starts the step loop for a resource rebuilt from
+// durable state (persist.Recover): instead of bootstrapping — which
+// would re-deal shares the neighbours already hold — the resource
+// re-announces itself (grants under the current dealing, known
+// reports) and resumes ticking. Neighbours must be connected (WaitFor)
+// first.
+func (h *Host) RunRecovered(stepEvery time.Duration) {
+	h.mu.Lock()
+	h.res.Rejoin(hostTransport{h})
+	h.mu.Unlock()
+	h.startTicker(stepEvery)
+}
+
+// startTicker runs the §6 step loop until StopTicking.
+func (h *Host) startTicker(stepEvery time.Duration) {
 	h.ticker = time.NewTicker(stepEvery)
 	h.wg.Add(1)
 	go func() {
@@ -160,5 +181,9 @@ func (h *Host) StopTicking() {
 // Close stops the ticker and the TCP endpoint. Idempotent.
 func (h *Host) Close() {
 	h.StopTicking()
+	if h.onClose != nil {
+		h.onClose()
+		h.onClose = nil
+	}
 	h.node.Close()
 }

@@ -40,6 +40,10 @@ const (
 
 	// Watchdog layer.
 	EvStall EventType = "stall" // a resource's recall stalled below target
+
+	// Durability layer (internal/persist).
+	EvSnapshot EventType = "snapshot" // a state snapshot was cut (Value: bytes)
+	EvRecover  EventType = "recover"  // a resource was rebuilt from disk (Value: replayed events)
 )
 
 // Event is one structured trace record. Node is the emitting

@@ -1,0 +1,75 @@
+package persist
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// benchFixture prepares a warmed, journaled grid and returns one
+// resource's state and directory.
+func benchFixture(b *testing.B, steps int) *fixture {
+	b.Helper()
+	f := buildGrid(b, b.TempDir(), 4, 17, Options{SnapshotEvery: 50, FsyncEvery: 16})
+	f.engine.Run(steps)
+	return f
+}
+
+// BenchmarkSnapshotEncode measures the state codec alone.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	f := benchFixture(b, 80)
+	r := f.res[1]
+	state := r.EncodeState()
+	b.SetBytes(int64(len(state)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.EncodeState()
+	}
+}
+
+// BenchmarkSnapshotWrite measures a full snapshot cycle: encode,
+// atomic write, WAL generation switch.
+func BenchmarkSnapshotWrite(b *testing.B) {
+	f := benchFixture(b, 80)
+	r, j := f.res[1], f.jnl[1]
+	state := r.EncodeState()
+	b.SetBytes(int64(len(state)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Snapshot(r.EncodeState())
+	}
+	b.StopTimer()
+	if err := j.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWALAppend measures fsync-batched event logging.
+func BenchmarkWALAppend(b *testing.B) {
+	f := benchFixture(b, 10)
+	j := f.jnl[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.LogTick()
+	}
+	b.StopTimer()
+	if err := j.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWALReplay measures end-to-end recovery: snapshot load,
+// restore, tail replay.
+func BenchmarkWALReplay(b *testing.B) {
+	f := benchFixture(b, 80)
+	f.closeAll(b)
+	dir := f.dirs[1]
+	if fi, err := filepath.Glob(filepath.Join(dir, "wal.*.log")); err != nil || len(fi) == 0 {
+		b.Fatalf("no WAL to replay: %v %v", fi, err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Recover(dir, RecoverOptions{Cfg: f.cfg, Scheme: f.scheme}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package persist is the durability subsystem: versioned, atomically
+// written snapshots of a resource's full protocol state (the
+// core.EncodeState codec), an append-only CRC-framed write-ahead log
+// of state-mutating protocol events, and a Recover path that rebuilds
+// a resource from disk alone after a crash-with-amnesia restart.
+//
+// On-disk layout, one directory per resource:
+//
+//	key.bin        key material (scheme kind byte + secmr-keys blob)
+//	snapshot.bin   latest full-state snapshot (magic SMRSNP01)
+//	wal.<gen>.log  event log since snapshot generation <gen>
+//
+// Crash consistency is by generation pairing: the snapshot header
+// carries its generation G, and recovery replays only wal.G.log. A
+// snapshot is written tmp → fsync → rename → dir-fsync, so the pair
+// (snapshot, its log) switches atomically: a crash between the rename
+// and the creation of the next log simply yields an empty tail. See
+// DESIGN.md §9.
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"secmr/internal/elgamal"
+	"secmr/internal/homo"
+	"secmr/internal/paillier"
+)
+
+// Scheme kind bytes in key.bin — the secmr-keys on-disk vocabulary.
+const (
+	schemePlain    = 1
+	schemePaillier = 2
+	schemeElGamal  = 3
+)
+
+// ExportScheme serializes a grid cryptosystem's key material: one kind
+// byte followed by the scheme's own private-key blob (the same
+// encoding secmr-keys writes). Only the three concrete schemes are
+// supported — wrappers (telemetry instrumentation) must be unwrapped
+// by the caller first.
+func ExportScheme(s homo.Scheme) ([]byte, error) {
+	switch sc := s.(type) {
+	case *homo.Plain:
+		return binary.AppendUvarint([]byte{schemePlain}, uint64(sc.Bits())), nil
+	case *paillier.Scheme:
+		blob, err := sc.ExportPrivate()
+		if err != nil {
+			return nil, fmt.Errorf("persist: exporting paillier key: %w", err)
+		}
+		return append([]byte{schemePaillier}, blob...), nil
+	case *elgamal.Scheme:
+		blob, err := sc.ExportPrivate()
+		if err != nil {
+			return nil, fmt.Errorf("persist: exporting elgamal key: %w", err)
+		}
+		return append([]byte{schemeElGamal}, blob...), nil
+	default:
+		return nil, fmt.Errorf("persist: cannot export key material for scheme %T", s)
+	}
+}
+
+// LoadScheme rebuilds a cryptosystem from an ExportScheme blob.
+func LoadScheme(data []byte) (homo.Scheme, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("persist: key material too short (%d bytes)", len(data))
+	}
+	switch kind := data[0]; kind {
+	case schemePlain:
+		bits, n := binary.Uvarint(data[1:])
+		if n <= 0 || bits < 2 || bits > 4096 {
+			return nil, fmt.Errorf("persist: malformed plain-scheme key material")
+		}
+		return homo.NewPlain(int(bits)), nil
+	case schemePaillier:
+		return paillier.Import(data[1:])
+	case schemeElGamal:
+		return elgamal.Import(data[1:])
+	default:
+		return nil, fmt.Errorf("persist: unknown scheme kind %d", kind)
+	}
+}
+
+// SchemeKindName names a key.bin kind byte for diagnostics (Inspect,
+// secmr-keys inspect).
+func SchemeKindName(kind byte) string {
+	switch kind {
+	case schemePlain:
+		return "plain"
+	case schemePaillier:
+		return "paillier"
+	case schemeElGamal:
+		return "elgamal"
+	default:
+		return fmt.Sprintf("unknown(%d)", kind)
+	}
+}

@@ -49,6 +49,100 @@ func TestValidation(t *testing.T) {
 	}
 }
 
+// TestExhaustionThenRefill drives the pool through its two regimes:
+// draining faster than the workers produce must yield misses (Get
+// never blocks), and backing off must let the workers refill the
+// buffer so hits resume.
+func TestExhaustionThenRefill(t *testing.T) {
+	gate := make(chan struct{})
+	var produced atomic.Int64
+	p := New(2, 1, func() int64 {
+		<-gate
+		return produced.Add(1)
+	})
+	defer p.Stop()
+
+	// The generator is gated shut: the pool must be empty and every
+	// Get must miss immediately rather than block on the worker.
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		if v, ok := p.Get(); ok {
+			t.Fatalf("Get() = (%v, true) from a gated generator", v)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("100 misses took %v; Get must not block", elapsed)
+	}
+
+	// Open the gate: the worker refills and hits resume.
+	close(gate)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := p.Get(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pool never refilled after the generator unblocked")
+		}
+	}
+}
+
+// TestConcurrentExhaustionAccounting hammers a small pool from many
+// consumers (run with -race): every hit must carry a distinct generated
+// value — no value may be delivered twice, and hits cannot outnumber
+// what the generator produced.
+func TestConcurrentExhaustionAccounting(t *testing.T) {
+	var produced atomic.Int64
+	p := New(4, 2, func() int64 { return produced.Add(1) })
+	defer p.Stop()
+
+	const consumers, draws = 8, 2000
+	seen := make([]map[int64]bool, consumers)
+	var hits, misses atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < consumers; g++ {
+		g := g
+		seen[g] = make(map[int64]bool)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < draws; i++ {
+				if v, ok := p.Get(); ok {
+					if seen[g][v] {
+						t.Errorf("consumer %d drew value %d twice", g, v)
+						return
+					}
+					seen[g][v] = true
+					hits.Add(1)
+				} else {
+					misses.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	union := make(map[int64]bool)
+	for _, m := range seen {
+		for v := range m {
+			if union[v] {
+				t.Fatalf("value %d delivered to two consumers", v)
+			}
+			union[v] = true
+		}
+	}
+	if h := hits.Load(); h > produced.Load() {
+		t.Fatalf("%d hits from only %d generated values", h, produced.Load())
+	}
+	// 8 consumers racing a 2-worker pool of 4 must outrun it sometimes;
+	// zero misses would mean Get can block on the generator.
+	if misses.Load() == 0 {
+		t.Fatal("no exhaustion observed; pool kept up implausibly")
+	}
+	if hits.Load() == 0 {
+		t.Fatal("no hits observed; workers never refilled under load")
+	}
+}
+
 // Concurrent consumers plus Stop must not race (run with -race).
 func TestConcurrentGetAndStop(t *testing.T) {
 	p := New(8, 2, func() int { return 1 })

@@ -49,6 +49,13 @@ type NeighborJoiner interface {
 	OnNeighborJoin(ctx *Context, v NodeID)
 }
 
+// Rejoiner is implemented by nodes that can re-announce themselves to
+// the overlay after a recovery swapped them in (Engine.Recover): the
+// hook runs once, before the node's first post-recovery tick.
+type Rejoiner interface {
+	OnRejoin(ctx *Context)
+}
+
 // event is a scheduled message delivery.
 type event struct {
 	at      int64
@@ -108,6 +115,14 @@ type Engine struct {
 	// Tap, when set, observes every accepted send (before fault
 	// injection) — tracing and bandwidth accounting for experiments.
 	Tap func(from, to NodeID, at int64, payload any)
+	// Recover, when set, rebuilds a node after a crash-with-amnesia
+	// restart (faults.Event.Amnesia, Injector.CrashAmnesia): it receives
+	// the node id and returns the replacement — typically restored from
+	// durable state (internal/persist) — or nil when nothing can be
+	// restored, in which case the node is crashed again and stays down
+	// for good (a machine that lost its memory and has no disk never
+	// rejoins). Without a Recover hook every amnesiac restart is lost.
+	Recover func(id NodeID) Node
 
 	nodes  []Node
 	ctxs   []Context
@@ -189,14 +204,18 @@ func (e *Engine) init() {
 // Step advances the simulation by one tick: deliveries first, then one
 // OnTick per node. Nodes the injector marks down are skipped entirely —
 // they neither receive (in-flight messages to them are lost, as a
-// crashed TCP endpoint would lose them) nor tick; they resume with
-// their state intact on restart, modelling the paper's transient
-// resource outages.
+// crashed TCP endpoint would lose them) nor tick. A plain crash resumes
+// with in-memory state intact on restart (the paper's transient
+// resource outages); an amnesiac crash (faults.Event.Amnesia) wipes it,
+// and the restart goes through the Recover hook instead.
 func (e *Engine) Step() {
 	e.init()
 	e.now++
 	if e.Inject != nil {
 		e.Inject.Advance(e.now)
+		for _, id := range e.Inject.TakeRecovered() {
+			e.recoverNode(id)
+		}
 	}
 	for len(e.queue) > 0 && e.queue[0].at <= e.now {
 		ev := heap.Pop(&e.queue).(*event)
@@ -224,6 +243,30 @@ func (e *Engine) Step() {
 	e.obsPending.Set(float64(len(e.queue)))
 	e.obsStep.Set(float64(e.now))
 }
+
+// recoverNode replaces an amnesiac node's wiped instance with whatever
+// the Recover hook rebuilds from durable state. When recovery is
+// impossible the node is crashed again permanently.
+func (e *Engine) recoverNode(id NodeID) {
+	var repl Node
+	if e.Recover != nil {
+		repl = e.Recover(id)
+	}
+	if repl == nil {
+		e.Inject.Crash(id)
+		return
+	}
+	e.nodes[id] = repl
+	if r, ok := repl.(Rejoiner); ok {
+		r.OnRejoin(&e.ctxs[id])
+	}
+}
+
+// ReplaceNode swaps the node hosted at id — the engine-level primitive
+// behind recovery; the caller owns protocol-state consistency (the
+// replacement should be a restored instance of the old node, see
+// core.RestoreResource).
+func (e *Engine) ReplaceNode(id NodeID, n Node) { e.nodes[id] = n }
 
 // AddLink inserts a new overlay edge at runtime (a resource joining
 // the communication tree) and notifies both endpoints if they

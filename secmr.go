@@ -31,6 +31,7 @@ import (
 	crand "crypto/rand"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"strconv"
 	"sync"
 
@@ -45,6 +46,7 @@ import (
 	"secmr/internal/oblivious"
 	"secmr/internal/obs"
 	"secmr/internal/paillier"
+	"secmr/internal/persist"
 	"secmr/internal/quest"
 	"secmr/internal/sim"
 	"secmr/internal/topology"
@@ -274,6 +276,16 @@ type GridConfig struct {
 	// (Paillier noise factors r^N, ElGamal (g^r, h^r) pairs). Only
 	// useful with spare cores. Stop the workers with Grid.Close.
 	NoisePool int
+	// Persist, when non-nil, turns on durable state (AlgorithmSecure
+	// only): snapshots + WAL per resource under Persist.Dir, and
+	// crash-with-amnesia recovery — an amnesiac crash (FaultEvent.
+	// Amnesia) wipes the in-memory resource, and its restart rebuilds
+	// it from disk and rejoins it through the grid runtime.
+	Persist *PersistConfig
+	// Audit records every controller gate decision for offline k-TTP
+	// admissibility checking (AlgorithmSecure only; see
+	// core.Config.Audit). Costs memory linear in decisions.
+	Audit bool
 	// Wire configures the wire codec and message coalescing: the frame
 	// budget TCP transports batch outbound messages under
 	// (MaxFrameBytes; 0 = 64 KiB default, negative disables), and
@@ -287,6 +299,26 @@ type GridConfig struct {
 // WireConfig selects the wire codec and frame-coalescing budget. See
 // GridConfig.Wire and netgrid.Options.Wire.
 type WireConfig = core.WireConfig
+
+// PersistConfig enables the durability subsystem (internal/persist) on
+// an AlgorithmSecure grid: each resource journals its protocol state
+// to Dir/node-<i> — key material, versioned snapshots written
+// atomically, and an fsync-batched write-ahead log of every
+// state-mutating event in between. A resource crashed with amnesia
+// (FaultEvent.Amnesia, or the secmr-sim `!` crash prefix) is rebuilt
+// from its directory alone on restart and rejoins the grid; without
+// persistence an amnesiac resource stays down for good.
+type PersistConfig struct {
+	// Dir is the root state directory (one subdirectory per resource).
+	Dir string
+	// SnapshotEvery is the snapshot cadence in protocol ticks
+	// (default 256). Each snapshot truncates the WAL.
+	SnapshotEvery int
+	// FsyncEvery batches WAL fsyncs: the log is flushed to disk every
+	// this many records (default 64; 1 = synchronous). Clock-lease
+	// records always fsync immediately regardless.
+	FsyncEvery int
+}
 
 func (c GridConfig) withDefaults() GridConfig {
 	if c.Algorithm == "" {
@@ -347,6 +379,12 @@ type Grid struct {
 	// (non-nil only when cfg.NoisePool > 0 started one).
 	stopPool func()
 
+	// Durability plumbing; populated only when cfg.Persist is set.
+	coreCfg  core.Config // per-resource config sans feed, for recovery
+	scheme   homo.Scheme // the (possibly instrumented) grid scheme
+	journals []*persist.Journal
+	recovers int64 // successful crash-with-amnesia recoveries
+
 	// Telemetry plumbing; all nil (and all hooks no-ops) when
 	// cfg.Telemetry is nil.
 	obs          *obs.Sink
@@ -377,6 +415,14 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 	if cfg.Algorithm != AlgorithmPlain && cfg.K > cfg.Resources {
 		return nil, fmt.Errorf("secmr: k=%d exceeds the %d resources: no resource could ever aggregate k participants, so nothing would ever be released (lower K or add resources)", cfg.K, cfg.Resources)
 	}
+	if cfg.Persist != nil {
+		if cfg.Algorithm != AlgorithmSecure {
+			return nil, fmt.Errorf("secmr: Persist requires AlgorithmSecure (got %q)", cfg.Algorithm)
+		}
+		if cfg.Persist.Dir == "" {
+			return nil, fmt.Errorf("secmr: Persist.Dir must be set")
+		}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	th := Thresholds{MinFreq: cfg.MinFreq, MinConf: cfg.MinConf}
 	universe := db.Items()
@@ -391,7 +437,7 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 	if cfg.CryptoWorkers > 0 {
 		homo.SetWorkers(cfg.CryptoWorkers)
 	}
-	var scheme homo.Scheme
+	var scheme, rawScheme homo.Scheme
 	var blindBits int
 	var stopPool func()
 	if cfg.Algorithm == AlgorithmSecure {
@@ -399,6 +445,7 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 		if err != nil {
 			return nil, err
 		}
+		rawScheme = scheme // pre-instrumentation, for key-material export
 		if cfg.NoisePool > 0 {
 			switch sc := scheme.(type) {
 			case *paillier.Scheme:
@@ -412,7 +459,8 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 		scheme = oblivious.InstrumentScheme(scheme, cfg.Telemetry)
 	}
 
-	g := &Grid{cfg: cfg, truth: truth, obs: cfg.Telemetry, stopPool: stopPool}
+	g := &Grid{cfg: cfg, truth: truth, obs: cfg.Telemetry, stopPool: stopPool,
+		scheme: scheme}
 	if reg := cfg.Telemetry.Registry(); reg != nil {
 		g.gRecall = reg.Gauge("secmr_grid_recall", "Average recall against R[DB] at the last quality sample.")
 		g.gPrecision = reg.Gauge("secmr_grid_precision", "Average precision against R[DB] at the last quality sample.")
@@ -440,8 +488,22 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 				MaxRuleItems: cfg.MaxRuleItems, IntraDelay: true,
 				PaddingDance: cfg.PaddingDance, BlindBits: blindBits,
 				LossyLinks: cfg.Faults != nil, Obs: cfg.Telemetry,
-				Wire: cfg.Wire}
+				Audit: cfg.Audit, Wire: cfg.Wire}
+			g.coreCfg = c
 			r := core.NewResource(i, c, scheme, parts[i], feed, nil)
+			if cfg.Persist != nil {
+				j, err := persist.Open(g.persistDir(i), i, persist.Options{
+					SnapshotEvery: cfg.Persist.SnapshotEvery,
+					FsyncEvery:    cfg.Persist.FsyncEvery,
+					Keys:          rawScheme,
+					Obs:           cfg.Telemetry,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("secmr: persistence for resource %d: %w", i, err)
+				}
+				g.journals = append(g.journals, j)
+				r.SetJournal(j)
+			}
 			g.secure = append(g.secure, r)
 			m = r
 		case AlgorithmKPrivate, AlgorithmPlain:
@@ -461,6 +523,9 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 		nodes[i] = m
 	}
 	g.engine = sim.NewEngine(tree, nodes, cfg.Seed)
+	if cfg.Persist != nil {
+		g.engine.Recover = g.recoverNode
+	}
 	if cfg.Telemetry != nil {
 		g.engine.SetObs(cfg.Telemetry)
 	}
@@ -493,6 +558,56 @@ func buildTopology(t Topology, n int, rng *rand.Rand) (*topology.Graph, error) {
 	}
 }
 
+// persistDir is resource i's durable state directory.
+func (g *Grid) persistDir(i int) string {
+	return filepath.Join(g.cfg.Persist.Dir, "node-"+strconv.Itoa(i))
+}
+
+// recoverNode is the sim.Engine.Recover hook: rebuild an amnesiac
+// resource from its snapshot + WAL tail and hand it back to the
+// engine, which re-announces it to the grid (Rejoin). Called from
+// Step, which already holds g.mu — must not lock. A nil return keeps
+// the node down for good (the safe answer when the disk state is
+// gone or torn beyond the last snapshot).
+func (g *Grid) recoverNode(id int) sim.Node {
+	if id >= len(g.journals) || g.journals[id] == nil {
+		return nil
+	}
+	old := g.secure[id]
+	old.SetJournal(nil)
+	g.journals[id].Close()
+	g.journals[id] = nil
+	dir := g.persistDir(id)
+	r, _, err := persist.Recover(dir, persist.RecoverOptions{
+		Cfg: g.coreCfg, Scheme: g.scheme, Obs: g.obs,
+	})
+	if err != nil {
+		return nil
+	}
+	j, err := persist.Open(dir, id, persist.Options{
+		SnapshotEvery: g.cfg.Persist.SnapshotEvery,
+		FsyncEvery:    g.cfg.Persist.FsyncEvery,
+		Obs:           g.cfg.Telemetry,
+	})
+	if err != nil {
+		return nil
+	}
+	r.SetJournal(j)
+	g.journals[id] = j
+	g.secure[id] = r
+	g.miners[id] = r
+	g.recovers++
+	return r
+}
+
+// Recoveries reports how many crash-with-amnesia recoveries the grid
+// has performed (resources rebuilt from disk and rejoined).
+func (g *Grid) Recoveries() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.recovers
+}
+
 // Step advances the grid n simulation steps (§6 semantics: each
 // resource processes ScanBudget transactions per step).
 func (g *Grid) Step(n int) {
@@ -512,6 +627,16 @@ func (g *Grid) Close() {
 	if g.stopPool != nil {
 		g.stopPool()
 		g.stopPool = nil
+	}
+	for i, j := range g.journals {
+		if j == nil {
+			continue
+		}
+		if g.secure[i] != nil {
+			g.secure[i].SetJournal(nil)
+		}
+		j.Close()
+		g.journals[i] = nil
 	}
 }
 
