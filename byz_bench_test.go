@@ -1,0 +1,61 @@
+package secmr
+
+import "testing"
+
+// BenchmarkQuarantineStepOverhead measures the steady-state per-step
+// price of arming quarantine on an honest grid — the report/eviction
+// machinery sits on the hot path (ingress checks, attribution wiring),
+// so its cost when nobody misbehaves must stay negligible.
+func BenchmarkQuarantineStepOverhead(b *testing.B) {
+	for _, armed := range []bool{false, true} {
+		name := "off"
+		if armed {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			db := GenerateQuestWith(QuestParams{NumTransactions: 1200, NumItems: 24,
+				NumPatterns: 10, AvgTransLen: 5, AvgPatternLen: 2, Seed: 1})
+			grid, err := NewGrid(db, GridConfig{Algorithm: AlgorithmSecure, Resources: 8,
+				K: 3, MinFreq: 0.12, MinConf: 0.6, ScanBudget: 50, MaxRuleItems: 3, Seed: 1,
+				Quarantine: QuarantineConfig{Enabled: armed}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			grid.Step(30) // warm-up: candidate lattice exists
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				grid.Step(1)
+			}
+		})
+	}
+}
+
+// BenchmarkByzantineDetectEvict is the macro number for the quarantine
+// pipeline: from cold start with one live share-forger, run until every
+// resource has detected, flooded, evicted and re-dealt — the full
+// detect→attribute→evict→heal cycle. The steps-to-evict metric tracks
+// detection latency; ns/op tracks the total compute cost of surviving
+// one Byzantine member.
+func BenchmarkByzantineDetectEvict(b *testing.B) {
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		db := GenerateQuestWith(QuestParams{NumTransactions: 1200, NumItems: 24,
+			NumPatterns: 10, AvgTransLen: 5, AvgPatternLen: 2, Seed: 1})
+		grid, err := NewGrid(db, GridConfig{Algorithm: AlgorithmSecure, Resources: 8,
+			K: 3, MinFreq: 0.12, MinConf: 0.6, ScanBudget: 50, MaxRuleItems: 3, Seed: 1,
+			Quarantine:  QuarantineConfig{Enabled: true},
+			Adversaries: []AdversarySpec{{Node: 3, Kind: "forge-share"}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = 0
+		for len(grid.Evictions()) == 0 {
+			grid.Step(5)
+			steps += 5
+			if steps > 3000 {
+				b.Fatal("forger never evicted")
+			}
+		}
+	}
+	b.ReportMetric(float64(steps), "steps-to-evict")
+}

@@ -86,6 +86,13 @@ func main() {
 		partition = flag.String("partition", "", "partition schedule, e.g. 100-400:0,1,2|3,4,5 (heals at the end step)")
 		faultSeed = flag.Int64("fault-seed", 0, "fault injector seed (0 = -seed)")
 
+		// Byzantine knobs (see internal/attack and DESIGN.md §10): plant
+		// live adversaries inside resources and, with quarantine on, let
+		// the honest majority evict them and keep mining.
+		adversary   = flag.String("adversary", "", "live adversaries, e.g. 3:forge-share,7:equivocate@200 (node:kind[:victim][@from]; kinds: double-count, omit, isolate, replay, garbage, forge-share, equivocate, random)")
+		quarantine  = flag.Bool("quarantine", false, "evict corroborated cheaters and keep mining instead of halting on the first report")
+		evictQuorum = flag.Int("evict-quorum", 0, "independent accusers required to evict without cryptographic evidence (0 = default 2; setting it implies -quarantine)")
+
 		// Durability knobs (see internal/persist and DESIGN.md §9):
 		// a journal directory arms per-resource snapshot+WAL persistence
 		// and the crash-with-amnesia recovery path.
@@ -124,6 +131,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	advSpecs, err := buildAdversaries(*adversary)
+	if err != nil {
+		fatal(err)
+	}
 
 	// Telemetry is always on: the instruments are atomic-cheap and the
 	// final stderr summary reads them. The trace ring only leaves the
@@ -159,6 +170,11 @@ func main() {
 		ScanBudget: *budget, MaxRuleItems: *maxRule,
 		PaillierBits: *paillier, Seed: *seed,
 		Faults: faultCfg, Persist: persistCfg,
+		Adversaries: advSpecs,
+		Quarantine: secmr.QuarantineConfig{
+			Enabled:     *quarantine || *evictQuorum > 0,
+			EvictQuorum: *evictQuorum,
+		},
 		Telemetry: tel, StallPatience: *stallAfter,
 		CryptoWorkers: *cryptoWorkers, NoisePool: *noisePool,
 		Wire: secmr.WireConfig{MaxFrameBytes: *maxFrameBytes, LegacyGob: *legacyGob},
@@ -203,8 +219,8 @@ func main() {
 		fmt.Printf("# series written to %s\n", *csvPath)
 	}
 	rec, prec := grid.SampleQuality()
-	fmt.Printf("# final: recall=%.3f precision=%.3f rules@resource0=%d reports=%d\n",
-		rec, prec, len(grid.Output(0)), len(grid.Reports()))
+	fmt.Printf("# final: recall=%.3f precision=%.3f rules@resource0=%d reports=%d evicted=%d\n",
+		rec, prec, len(grid.Output(0)), len(grid.Reports()), len(grid.Evictions()))
 	if faultCfg != nil {
 		st := grid.FaultStats()
 		fmt.Printf("# faults: dropped=%d duplicated=%d delayed=%d crashDrops=%d cutDrops=%d amnesia=%d recoveries=%d\n",
@@ -244,6 +260,12 @@ func summarize(w *os.File, grid *secmr.Grid, rec, prec float64, faulty bool) {
 		fs := grid.FaultStats()
 		fmt.Fprintf(w, "faults: dropped=%d duplicated=%d delayed=%d crashDrops=%d cutDrops=%d amnesia=%d recoveries=%d\n",
 			fs.Dropped, fs.Duplicated, fs.Delayed, fs.CrashDrops, fs.CutDrops, fs.AmnesiaWipes, grid.Recoveries())
+	}
+	if ev := grid.Evictions(); len(ev) > 0 {
+		fmt.Fprintf(w, "quarantine: evicted=%v\n", ev)
+		for _, rep := range grid.Reports() {
+			fmt.Fprintf(w, "  %s\n", rep.String())
+		}
 	}
 	if stalled := grid.Stalled(); len(stalled) > 0 {
 		fmt.Fprintf(w, "stalled resources (recall flat below target): %v\n", stalled)
@@ -353,6 +375,36 @@ func buildFaults(drop, dup float64, jitter int, crash, partition string, faultSe
 			secmr.FaultEvent{At: endAt, Heal: true})
 	}
 	return cfg, nil
+}
+
+// buildAdversaries parses the -adversary list. Each entry is
+// node:kind[:victim][@from] — e.g. "3:forge-share", "5:replay:2@400".
+func buildAdversaries(spec string) ([]secmr.AdversarySpec, error) {
+	var out []secmr.AdversarySpec
+	for _, entry := range splitList(spec) {
+		body, fromStr, hasFrom := strings.Cut(entry, "@")
+		parts := strings.Split(body, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("bad -adversary entry %q (want node:kind[:victim][@from])", entry)
+		}
+		node, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad -adversary node in %q: %v", entry, err)
+		}
+		a := secmr.AdversarySpec{Node: node, Kind: parts[1]}
+		if len(parts) == 3 {
+			if a.Victim, err = strconv.Atoi(parts[2]); err != nil {
+				return nil, fmt.Errorf("bad -adversary victim in %q: %v", entry, err)
+			}
+		}
+		if hasFrom {
+			if a.From, err = strconv.ParseInt(fromStr, 10, 64); err != nil {
+				return nil, fmt.Errorf("bad -adversary start step in %q: %v", entry, err)
+			}
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 func splitList(s string) []string {

@@ -16,6 +16,7 @@
 package attack
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -184,12 +185,129 @@ func (g *Garbage) TamperPayload(pub homo.Public, rule string, to int,
 	return out
 }
 
+// Equivocate sends conflicting counters to different recipients: the
+// favoured peers receive honest payloads while everyone else gets a
+// counter whose attached share is doubled. The recipients cannot
+// compare notes on the values (they are ciphertexts), but the forged
+// share breaks Σshares = 1 at every disfavoured recipient, whose
+// controller pins the violation on this broker's slot — a self-evident
+// report that evicts the equivocator grid-wide under quarantine.
+type Equivocate struct {
+	// Favor selects the recipients that receive honest payloads; nil
+	// favours even-numbered resources.
+	Favor    func(to int) bool
+	Tampered int
+}
+
+func (e *Equivocate) Name() string { return "equivocate" }
+
+func (e *Equivocate) TamperFull(pub homo.Public, rule string, parts map[int]*oblivious.Counter,
+	history func(int) []*oblivious.Counter) *oblivious.Counter {
+	return nil
+}
+
+func (e *Equivocate) TamperPayload(pub homo.Public, rule string, to int,
+	h *oblivious.Counter) *oblivious.Counter {
+	favor := e.Favor
+	if favor == nil {
+		favor = func(to int) bool { return to%2 == 0 }
+	}
+	if favor(to) {
+		return nil
+	}
+	e.Tampered++
+	out := h.Clone()
+	out.Share = pub.ScalarMul(2, h.Share)
+	return out
+}
+
+// ForgeShare attaches a zeroed share to every outgoing counter instead
+// of the recipient-granted one — the simplest share forgery. Every
+// recipient's Σshares = 1 check fails and attributes the mismatch to
+// this broker's slot.
+type ForgeShare struct {
+	Tampered int
+}
+
+func (f *ForgeShare) Name() string { return "forge-share" }
+
+func (f *ForgeShare) TamperFull(pub homo.Public, rule string, parts map[int]*oblivious.Counter,
+	history func(int) []*oblivious.Counter) *oblivious.Counter {
+	return nil
+}
+
+func (f *ForgeShare) TamperPayload(pub homo.Public, rule string, to int,
+	h *oblivious.Counter) *oblivious.Counter {
+	f.Tampered++
+	out := h.Clone()
+	out.Share = pub.EncryptZero()
+	return out
+}
+
+// Scheduled gates an adversary behind an activation predicate, so a
+// fault schedule (internal/faults Corrupt events) can flip a
+// previously honest resource to Byzantine mid-run — the live-adversary
+// model: the tamperer rides inside the runtime instead of being wired
+// in from step zero.
+type Scheduled struct {
+	Inner  core.Adversary
+	Active func() bool
+}
+
+func (s *Scheduled) Name() string { return "scheduled-" + s.Inner.Name() }
+
+func (s *Scheduled) TamperFull(pub homo.Public, rule string, parts map[int]*oblivious.Counter,
+	history func(int) []*oblivious.Counter) *oblivious.Counter {
+	if !s.Active() {
+		return nil
+	}
+	return s.Inner.TamperFull(pub, rule, parts, history)
+}
+
+func (s *Scheduled) TamperPayload(pub homo.Public, rule string, to int,
+	h *oblivious.Counter) *oblivious.Counter {
+	if !s.Active() {
+		return nil
+	}
+	return s.Inner.TamperPayload(pub, rule, to, h)
+}
+
+// New builds a broker adversary by kind name — the CLI/facade factory.
+// Recognized kinds: double-count, omit, isolate, replay, garbage,
+// forge-share, equivocate, random. victim parameterizes the kinds that
+// target a specific neighbour; seed feeds the randomized ones.
+func New(kind string, seed int64, victim int) (core.Adversary, error) {
+	switch kind {
+	case "double-count":
+		return &DoubleCount{Victim: victim}, nil
+	case "omit":
+		return &Omit{Victim: victim}, nil
+	case "isolate":
+		return &Isolate{Victim: victim}, nil
+	case "replay":
+		return &Replay{Victim: victim}, nil
+	case "garbage":
+		return &Garbage{Rng: rand.New(rand.NewSource(seed))}, nil
+	case "forge-share":
+		return &ForgeShare{}, nil
+	case "equivocate":
+		return &Equivocate{}, nil
+	case "random":
+		return &RandomTamperer{Rng: rand.New(rand.NewSource(seed)), PFull: 0.05, PPayload: 0.05}, nil
+	default:
+		return nil, fmt.Errorf("attack: unknown adversary kind %q", kind)
+	}
+}
+
 var (
 	_ core.Adversary = (*DoubleCount)(nil)
 	_ core.Adversary = (*Omit)(nil)
 	_ core.Adversary = (*Isolate)(nil)
 	_ core.Adversary = (*Replay)(nil)
 	_ core.Adversary = (*Garbage)(nil)
+	_ core.Adversary = (*Equivocate)(nil)
+	_ core.Adversary = (*ForgeShare)(nil)
+	_ core.Adversary = (*Scheduled)(nil)
 )
 
 // LyingController corrupts a controller: it flips every FlipEvery-th

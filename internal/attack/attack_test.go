@@ -8,6 +8,7 @@ import (
 	"secmr/internal/core"
 	"secmr/internal/hashing"
 	"secmr/internal/homo"
+	"secmr/internal/oblivious"
 	"secmr/internal/quest"
 	"secmr/internal/sim"
 	"secmr/internal/topology"
@@ -16,6 +17,15 @@ import (
 // buildGrid wires n secure resources with resource `evil` running the
 // given adversary.
 func buildGrid(t *testing.T, n, evil int, adv core.Adversary, seed int64) (*sim.Engine, []*core.Resource) {
+	t.Helper()
+	return buildGridWith(t, n, evil, adv, seed, nil)
+}
+
+// buildGridWith is buildGrid with a config hook (used to arm
+// quarantine, which changes detection from halt-on-alarm to
+// attribute-and-evict).
+func buildGridWith(t *testing.T, n, evil int, adv core.Adversary, seed int64,
+	mutate func(*core.Config)) (*sim.Engine, []*core.Resource) {
 	t.Helper()
 	scheme := homo.NewPlain(96)
 	rng := mrand.New(mrand.NewSource(seed))
@@ -31,6 +41,9 @@ func buildGrid(t *testing.T, n, evil int, adv core.Adversary, seed int64) (*sim.
 	tree := topology.Line(n, topology.DelayRange{Min: 1, Max: 1}, rng)
 	cfg := core.Config{Th: th, Universe: universe, ScanBudget: 40, CandidateEvery: 5,
 		K: 2, MaxRuleItems: 3, IntraDelay: true}
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	resources := make([]*core.Resource, n)
 	nodes := make([]sim.Node, n)
 	for i := 0; i < n; i++ {
@@ -225,6 +238,131 @@ func TestDetectionBoundaryProperty(t *testing.T) {
 		if adv.FullTampers == 0 && detected {
 			t.Fatalf("seed %d: detection without any SFE-input corruption (payload tampers: %d)",
 				seed, adv.PayloadTampers)
+		}
+	}
+}
+
+func TestEquivocateSplitsRecipients(t *testing.T) {
+	// The defining property: the same outbound counter, tampered or not
+	// depending on the recipient. Favoured peers see the honest payload
+	// untouched; everyone else gets a doubled share with the counter
+	// values themselves intact (so the conflict is invisible until the
+	// share-sum check).
+	scheme := homo.NewPlain(96)
+	c := oblivious.NewZero(scheme, 2)
+	c.Share = scheme.EncryptInt(7)
+	c.Sum = scheme.EncryptInt(3)
+
+	adv := &Equivocate{} // default: favour even-numbered recipients
+	if out := adv.TamperPayload(scheme, "r", 2, c); out != nil {
+		t.Fatal("favoured (even) recipient received a tampered payload")
+	}
+	if adv.Tampered != 0 {
+		t.Fatal("tamper counter moved on an honest send")
+	}
+	out := adv.TamperPayload(scheme, "r", 3, c)
+	if out == nil {
+		t.Fatal("disfavoured (odd) recipient received the honest payload")
+	}
+	if adv.Tampered != 1 {
+		t.Fatalf("tampered = %d, want 1", adv.Tampered)
+	}
+	if got := scheme.DecryptSigned(out.Share).Int64(); got != 14 {
+		t.Fatalf("forged share decrypts to %d, want doubled 14", got)
+	}
+	if got := scheme.DecryptSigned(out.Sum).Int64(); got != 3 {
+		t.Fatalf("counter value changed to %d; equivocation must only forge the share", got)
+	}
+	if got := scheme.DecryptSigned(c.Share).Int64(); got != 7 {
+		t.Fatalf("original counter mutated (share now %d)", got)
+	}
+
+	// Favor overrides the parity default.
+	picky := &Equivocate{Favor: func(to int) bool { return to == 5 }}
+	if out := picky.TamperPayload(scheme, "r", 5, c); out != nil {
+		t.Fatal("custom-favoured recipient tampered")
+	}
+	if out := picky.TamperPayload(scheme, "r", 2, c); out == nil {
+		t.Fatal("custom-disfavoured recipient not tampered")
+	}
+}
+
+func TestEquivocateDetected(t *testing.T) {
+	// On the 0-1-2-3 line, resource 1 favours neighbour 0 and forges the
+	// share on everything sent to neighbour 2 — conflicting payloads for
+	// the same rounds. With quarantine armed, 2's controller decrypts
+	// its stored shares, pins the mismatch on 1's slot, and the evidence
+	// flood evicts the equivocator everywhere — including at the
+	// favoured neighbour, which never saw a bad payload itself.
+	adv := &Equivocate{Favor: func(to int) bool { return to == 0 }}
+	e, resources := buildGridWith(t, 4, 1, adv, 8, func(cfg *core.Config) {
+		cfg.Quarantine.Enabled = true
+	})
+	e.Run(200)
+	if adv.Tampered == 0 {
+		t.Fatal("equivocator never sent a conflicting payload")
+	}
+	assertDetected(t, resources, func(a int) bool { return a == 1 })
+	// The victim's accusation carries decrypted-share evidence.
+	evidence := false
+	for _, rep := range resources[2].Reports() {
+		if rep.Accused == 1 && rep.Evidence {
+			evidence = true
+		}
+	}
+	if !evidence {
+		t.Fatal("victim raised no evidence-backed accusation of the equivocator")
+	}
+	for i, r := range resources {
+		if i == 1 {
+			continue
+		}
+		ev := r.Evicted()
+		if len(ev) != 1 || ev[0] != 1 {
+			t.Fatalf("resource %d evicted %v, want the equivocator", i, ev)
+		}
+		if r.Halted() {
+			t.Fatalf("resource %d halted despite quarantine", i)
+		}
+	}
+	// The equivocator's own controller saw nothing (its local SFE inputs
+	// were honest) and the flood accusing it is ignored locally.
+	if resources[1].Halted() || len(resources[1].Evicted()) != 0 {
+		t.Fatal("equivocator acted on the accusation against itself")
+	}
+}
+
+func TestScheduledAdversaryActivates(t *testing.T) {
+	// The live-adversary model: a resource runs honestly until its
+	// activation predicate flips (in production, a faults.Injector
+	// Corrupt event), then starts forging shares and is promptly caught.
+	inner := &ForgeShare{}
+	active := false
+	adv := &Scheduled{Inner: inner, Active: func() bool { return active }}
+	e, resources := buildGridWith(t, 4, 2, adv, 9, func(cfg *core.Config) {
+		cfg.Quarantine.Enabled = true
+	})
+	e.Run(40) // activate while traffic still flows, or nothing to forge
+	if inner.Tampered != 0 {
+		t.Fatal("scheduled adversary tampered before activation")
+	}
+	for i, r := range resources {
+		if len(r.Reports()) != 0 {
+			t.Fatalf("resource %d reported before the adversary went live", i)
+		}
+	}
+	active = true
+	e.Run(300)
+	if inner.Tampered == 0 {
+		t.Fatal("scheduled adversary never tampered after activation")
+	}
+	assertDetected(t, resources, func(a int) bool { return a == 2 })
+	for i, r := range resources {
+		if i == 2 {
+			continue
+		}
+		if ev := r.Evicted(); len(ev) != 1 || ev[0] != 2 {
+			t.Fatalf("resource %d evicted %v, want the forger", i, ev)
 		}
 	}
 }

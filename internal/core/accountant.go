@@ -132,6 +132,40 @@ func (a *Accountant) addNeighbor(v int) map[int]ShareGrant {
 	return a.redeal()
 }
 
+// removeNeighbor shrinks the neighbourhood by one resource and
+// re-deals the shares over the survivors. Slots are re-assigned
+// positionally (survivors keep their relative order), so the broker
+// can permute stored stamp vectors old-slot → new-slot. The returned
+// grants must be distributed to every surviving neighbour.
+func (a *Accountant) removeNeighbor(v int) map[int]ShareGrant {
+	if _, ok := a.slotOf[v]; !ok {
+		return a.redeal()
+	}
+	keep := a.neighbors[:0]
+	for _, w := range a.neighbors {
+		if w != v {
+			keep = append(keep, w)
+		}
+	}
+	a.neighbors = keep
+	a.slotOf = make(map[int]int, len(a.neighbors))
+	for i, w := range a.neighbors {
+		a.slotOf[w] = i + 1
+	}
+	return a.redeal()
+}
+
+// expectedShare exposes the dealt plaintext share for one slot (0 is
+// ⊥) — the quarantine attribution capability: the controller compares
+// it against each part's attached share to pin a share-sum violation
+// on the forging slot.
+func (a *Accountant) expectedShare(slot int) (int64, bool) {
+	if slot < 0 || slot >= len(a.shareVals) {
+		return 0, false
+	}
+	return a.shareVals[slot], true
+}
+
 // currentGrants re-issues every neighbour's grant under the *current*
 // dealing — same epoch, same share values, fresh encryptions. Used by
 // the LossyLinks recovery: grants are single-shot at bootstrap, so a

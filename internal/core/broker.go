@@ -530,6 +530,98 @@ func (b *Broker) onNeighborJoin(v int) map[int]ShareGrant {
 	return grants
 }
 
+// onNeighborEvict handles a quarantined overlay neighbour: the
+// accountant re-deals over the survivors (new dealing epoch, new slot
+// geometry), the broker drops the evicted edge from every candidate
+// and re-binds stored counters — shares to the new dealing, timestamp
+// vectors permuted from old slots to new — and the controller's seen
+// vectors follow the same permutation while its k-gates re-anchor.
+// Returns the refreshed grants for the survivors.
+func (b *Broker) onNeighborEvict(v int) map[int]ShareGrant {
+	oldSlot := make(map[int]int, len(b.acc.slotOf))
+	for w, s := range b.acc.slotOf {
+		oldSlot[w] = s
+	}
+	grants := b.acc.removeNeighbor(v)
+	b.shareEpoch = b.acc.epoch
+	keep := b.neighbors[:0]
+	for _, w := range b.neighbors {
+		if w != v {
+			keep = append(keep, w)
+		}
+	}
+	b.neighbors = keep
+	delete(b.links, v)
+	slots := b.acc.numSlots()
+	// perm[newSlot] = oldSlot for every surviving slot; 0 is ⊥, fixed.
+	perm := make([]int, slots)
+	for _, w := range b.acc.neighbors {
+		perm[b.acc.slotOf[w]] = oldSlot[w]
+	}
+	remap := func(c *oblivious.Counter, slot int) {
+		old := c.Stamps
+		c.Stamps = make([]*homo.Ciphertext, slots)
+		for ns, os := range perm {
+			if os < len(old) {
+				c.Stamps[ns] = old[os]
+			}
+		}
+		for i, s := range c.Stamps {
+			if s == nil {
+				c.Stamps[i] = b.pub.EncryptZero()
+			}
+		}
+		c.Share = b.acc.shareEnc(slot)
+	}
+	for _, key := range b.order {
+		c := b.cands[key]
+		remap(c.local, 0)
+		delete(c.edges, v)
+		for w, e := range c.edges {
+			remap(e.inbound, b.acc.slotFor(w))
+		}
+		c.outDirty = true
+		for _, e := range c.edges {
+			e.dirty = true
+			e.staleSinceSend = true
+		}
+	}
+	// Staged accountant replies carry old-geometry stamp vectors and a
+	// superseded share; rebind them too.
+	for _, reply := range b.stagedReplies {
+		remap(reply, 0)
+	}
+	for _, h := range b.history {
+		delete(h, v)
+	}
+	b.ctl.remapSeen(perm)
+	b.ctl.dropEdgeGates(v)
+	b.ctl.rebaseGates()
+	return grants
+}
+
+// partShare exposes the share ciphertext attached to one slot's
+// current counter for a rule (quarantine attribution): slot 0 is the
+// accountant's ⊥ counter, slot ≥ 1 the neighbour's stored inbound
+// counter.
+func (b *Broker) partShare(rule string, slot int) *homo.Ciphertext {
+	c, ok := b.cands[rule]
+	if !ok {
+		return nil
+	}
+	if slot == 0 {
+		return c.local.Share
+	}
+	if slot-1 >= len(b.acc.neighbors) {
+		return nil
+	}
+	e, ok := c.edges[b.acc.neighbors[slot-1]]
+	if !ok {
+		return nil
+	}
+	return e.inbound.Share
+}
+
 // generateCandidates is Algorithm 4's periodic pass: an Output() SFE
 // per candidate, then lattice expansion from the believed-correct set.
 func (b *Broker) generateCandidates() {

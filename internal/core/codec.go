@@ -28,7 +28,11 @@ import (
 //	     rule:   byte λ-kind ‖ itemset LHS ‖ itemset RHS ‖
 //	             varint epoch ‖ counter (see oblivious.AppendCounter)
 //	     report: varint accused ‖ varint reporter ‖
-//	             uvarint len ‖ reason bytes
+//	             uvarint len ‖ reason bytes ‖ flags byte
+//
+// The report's trailing flags byte (bit 0 = Evidence) is optional on
+// decode — frames written before quarantine existed omit it and parse
+// with Evidence clear — and always written by new encoders.
 //
 // where an itemset is uvarint count ‖ varint items and a ciphertext ct
 // is uvarint length ‖ big-endian magnitude (homo.AppendCiphertext).
@@ -106,7 +110,12 @@ func AppendMessage(dst []byte, msg any) ([]byte, error) {
 		dst = binary.AppendVarint(dst, int64(m.Accused))
 		dst = binary.AppendVarint(dst, int64(m.Reporter))
 		dst = binary.AppendUvarint(dst, uint64(len(m.Reason)))
-		return append(dst, m.Reason...), nil
+		dst = append(dst, m.Reason...)
+		var flags byte
+		if m.Evidence {
+			flags |= 1
+		}
+		return append(dst, flags), nil
 	default:
 		return nil, fmt.Errorf("core: cannot encode message type %T", msg)
 	}
@@ -132,7 +141,7 @@ func MessageWireSize(msg any) int {
 			varintLen(int64(m.Epoch)) + oblivious.CounterWireSize(m.Counter)
 	case MaliciousReport:
 		return 2 + varintLen(int64(m.Accused)) + varintLen(int64(m.Reporter)) +
-			uvarintLen(uint64(len(m.Reason))) + len(m.Reason)
+			uvarintLen(uint64(len(m.Reason))) + len(m.Reason) + 1
 	default:
 		return 0
 	}
@@ -196,6 +205,11 @@ func decodeCompact(body []byte, adopter homo.Adopter) (any, error) {
 		m.Accused = r.int()
 		m.Reporter = r.int()
 		m.Reason = r.str()
+		if r.err == nil && r.rem() > 0 {
+			// Optional trailing flags byte (absent in pre-quarantine
+			// frames, which decode with Evidence clear).
+			m.Evidence = r.byte()&1 != 0
+		}
 		if err := r.done(); err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"secmr/internal/homo"
 	"secmr/internal/oblivious"
@@ -85,6 +86,14 @@ type Controller struct {
 	// adv, when set, corrupts answers (attack harness).
 	adv ControllerAdversary
 
+	// partShare/expectShare are the quarantine attribution capabilities
+	// NewResource wires in: the broker's per-slot share ciphertexts for
+	// a rule, and the accountant's dealt plaintext values. With both, a
+	// share-sum violation is pinned to the slot whose attached share
+	// does not decrypt to its dealt value (see attributeShare).
+	partShare   func(rule string, slot int) *homo.Ciphertext
+	expectShare func(slot int) (int64, bool)
+
 	// audit, when enabled, records every gate decision for offline
 	// k-TTP admissibility checking (Definition 3.1).
 	audit []AuditEntry
@@ -96,12 +105,20 @@ type Controller struct {
 // AuditEntry records one controller gate decision: the totals behind
 // the query and whether a fresh (data-dependent) answer was granted.
 // Stream identifies the decision stream ("out:<rule>" or
-// "send:<rule>#<edge>").
+// "send:<rule>#<edge>"). An entry with Rebase set (Stream
+// AuditRebaseStream) marks a membership-eviction gate re-anchoring:
+// admissibility chains must be split there, because every gate's
+// accumulation restarted from zero (see rebaseGates).
 type AuditEntry struct {
 	Stream     string
 	Count, Num int64
 	Fresh      bool
+	Rebase     bool
 }
+
+// AuditRebaseStream is the Stream of the marker entry rebaseGates
+// appends at an eviction epoch boundary.
+const AuditRebaseStream = "rebase"
 
 // ControllerStats counts SFE outcomes.
 type ControllerStats struct {
@@ -164,9 +181,11 @@ func (c *Controller) Stats() ControllerStats { return c.stats }
 // SetAdversary installs a controller corruption (attack harness).
 func (c *Controller) SetAdversary(adv ControllerAdversary) { c.adv = adv }
 
-// AuditTrail returns the recorded gate decisions (empty unless
-// Config.Audit is set).
-func (c *Controller) AuditTrail() []AuditEntry { return c.audit }
+// AuditTrail returns a copy of the recorded gate decisions (empty
+// unless Config.Audit is set).
+func (c *Controller) AuditTrail() []AuditEntry {
+	return append([]AuditEntry(nil), c.audit...)
+}
 
 // record appends an audit entry when auditing is on.
 func (c *Controller) record(stream string, cnt, num int64, fresh bool) {
@@ -193,10 +212,7 @@ func (c *Controller) takeReport() (MaliciousReport, bool) {
 func (c *Controller) verify(rule string, full *oblivious.Counter, neighborAt func(slot int) int) bool {
 	if c.dec.DecryptSigned(full.Share).Int64() != 1 {
 		c.stats.Violations++
-		c.pendingReport = &MaliciousReport{
-			Accused: c.id, Reporter: c.id,
-			Reason: fmt.Sprintf("broker share-sum violation on rule %s", rule),
-		}
+		c.pendingReport = c.attributeShare(rule, neighborAt)
 		return false
 	}
 	prev, ok := c.seen[rule]
@@ -219,12 +235,108 @@ func (c *Controller) verify(rule string, full *oblivious.Counter, neighborAt fun
 				accused = neighborAt(slot)
 				reason = fmt.Sprintf("stale timestamp for rule %s (replayed counter)", rule)
 			}
+			// Deliberately no Evidence: a stale stamp is ambiguous — this
+			// resource's own broker replaying a neighbour's genuinely
+			// signed old counter produces the same signature as the
+			// neighbour cheating, so exhibiting the messages proves
+			// nothing. Quarantine only evicts on a quorum of independent
+			// reporters; a lone replaying broker stalls its own mining
+			// instead of framing the victim.
 			c.pendingReport = &MaliciousReport{Accused: accused, Reporter: c.id, Reason: reason}
 			return false
 		}
 		prev[slot] = t
 	}
 	return true
+}
+
+// attributeShare turns a share-sum violation into a report. Without
+// quarantine (or without the attribution capabilities) the paper's
+// response stands: the resource confesses — its own broker submitted
+// an aggregate breaking Σshares = 1 — and Algorithm 3 halts it. Under
+// quarantine the controller decrypts each slot's attached share and
+// compares it to the dealt value: the first mismatching neighbour
+// slot is the forger, and the report carries Evidence (the stored
+// counter is sender-authenticated by the transport and the dealing is
+// checkable, so the violation is self-evident to this verifier). When
+// every attached part matches, the aggregate itself was doctored — by
+// the only entity that assembles it, this resource's own broker — so
+// the report is a confession.
+func (c *Controller) attributeShare(rule string, neighborAt func(int) int) *MaliciousReport {
+	if c.cfg.Quarantine.Enabled && c.partShare != nil && c.expectShare != nil {
+		for slot := 1; ; slot++ {
+			want, ok := c.expectShare(slot)
+			if !ok {
+				break
+			}
+			ct := c.partShare(rule, slot)
+			if ct == nil {
+				break
+			}
+			if c.dec.DecryptSigned(ct).Int64() != want {
+				return &MaliciousReport{
+					Accused: neighborAt(slot), Reporter: c.id, Evidence: true,
+					Reason: fmt.Sprintf("forged share on rule %s", rule),
+				}
+			}
+		}
+		return &MaliciousReport{
+			Accused: c.id, Reporter: c.id, Evidence: true,
+			Reason: fmt.Sprintf("broker share-sum violation on rule %s", rule),
+		}
+	}
+	return &MaliciousReport{
+		Accused: c.id, Reporter: c.id,
+		Reason: fmt.Sprintf("broker share-sum violation on rule %s", rule),
+	}
+}
+
+// remapSeen permutes every verified-timestamp vector into a new slot
+// geometry after an eviction; perm[newSlot] = oldSlot (built by the
+// broker from the accountant's positional re-slotting).
+func (c *Controller) remapSeen(perm []int) {
+	for rule, prev := range c.seen {
+		next := make([]int64, len(perm))
+		for ns, os := range perm {
+			if os < len(prev) {
+				next[ns] = prev[os]
+			}
+		}
+		c.seen[rule] = next
+	}
+}
+
+// dropEdgeGates forgets the send-gate state of a quarantined edge.
+func (c *Controller) dropEdgeGates(v int) {
+	suffix := fmt.Sprintf("#%d", v)
+	for key := range c.sendGates {
+		if strings.HasSuffix(key, suffix) {
+			delete(c.sendGates, key)
+		}
+	}
+}
+
+// rebaseGates re-anchors every k-gate after a membership eviction.
+// The evicted subtree's contribution vanishes from the totals, so the
+// old baselines could never be reached again (cnt and num can only
+// shrink past them) and every gate would freeze — the same pathology
+// as the documented k ≥ 2 freeze, but permanent. Re-anchoring at zero
+// means the next fresh answer requires a full ≥ k group accumulated
+// from scratch under the new membership: no sub-k release, and the
+// freeze caveat gains its exit path. The cached answers survive (a
+// k-TTP leaves the requester its prior knowledge); with auditing on,
+// a rebase marker is appended so offline admissibility checks split
+// their per-stream chains at the boundary.
+func (c *Controller) rebaseGates() {
+	for _, g := range c.sendGates {
+		g.gateCount, g.gateNum, g.freshed = 0, 0, false
+	}
+	for _, g := range c.outGates {
+		g.gateCount, g.gateNum, g.freshed = 0, 0, false
+	}
+	if c.cfg.Audit {
+		c.audit = append(c.audit, AuditEntry{Stream: AuditRebaseStream, Rebase: true})
+	}
 }
 
 // SendDecision is the SFE a broker runs before transmitting on one

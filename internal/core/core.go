@@ -26,6 +26,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"secmr/internal/arm"
 	"secmr/internal/homo"
@@ -86,6 +87,31 @@ type Config struct {
 	// accounting here, frame coalescing for TCP transports (netgrid
 	// embeds the same type in its Options).
 	Wire WireConfig
+	// Quarantine arms the Byzantine evict-and-continue response
+	// (DESIGN.md §10): corroborated malicious reports evict the accused
+	// instead of halting the grid, and mining continues among the
+	// survivors.
+	Quarantine QuarantineConfig
+}
+
+// QuarantineConfig parameterizes the Byzantine quarantine response.
+// Disabled (the zero value), a report halts the resource — the paper's
+// Algorithm 3 response, which makes a single cheater a grid-wide
+// denial of service. Enabled, corroborated reports move the accused to
+// an evicted set: its traffic is dropped at ingress, membership
+// advances one epoch, shares are re-dealt over the survivors, and the
+// k-gates re-anchor so no sub-k group is ever exposed across the
+// boundary.
+type QuarantineConfig struct {
+	// Enabled switches the response to detections from halt to
+	// evict-and-continue.
+	Enabled bool
+	// EvictQuorum is the number of distinct reporters required to evict
+	// on a bare accusation (a report without self-evident Evidence).
+	// Reports carrying Evidence and confessions (Accused == Reporter)
+	// evict on their own. Default 2 — a lone false accuser can stall
+	// its own mining but never evict an honest member.
+	EvictQuorum int
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +126,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BlindBits == 0 {
 		c.BlindBits = 16
+	}
+	if c.Quarantine.EvictQuorum == 0 {
+		c.Quarantine.EvictQuorum = 2
 	}
 	return c
 }
@@ -163,6 +192,14 @@ type MaliciousReport struct {
 	Accused  int
 	Reporter int
 	Reason   string
+	// Evidence marks the violation as cryptographically self-evident:
+	// any resource holding the reporter's claim can check it against
+	// protocol invariants without trusting the reporter (e.g. a stored,
+	// sender-authenticated counter whose attached share does not match
+	// the dealing). Under quarantine a single Evidence report justifies
+	// eviction; a bare accusation needs EvictQuorum independent
+	// reporters.
+	Evidence bool
 }
 
 func (m MaliciousReport) String() string {
@@ -186,6 +223,13 @@ type Resource struct {
 	reports     []MaliciousReport
 	reportsSeen map[string]bool
 
+	// Quarantine state (Config.Quarantine): the evicted members, the
+	// per-accused reporter sets backing quorum eviction, and the
+	// membership epoch (bumped once per eviction).
+	evicted         map[int]bool
+	accusers        map[int]map[int]bool
+	membershipEpoch int
+
 	neighbors []int
 	step      int64
 	tel       *telemetry
@@ -206,21 +250,46 @@ type Resource struct {
 // (the attack harness).
 func NewResource(id int, cfg Config, scheme homo.Scheme, local *arm.Database, feed []arm.Transaction, adv Adversary) *Resource {
 	cfg = cfg.withDefaults()
-	r := &Resource{ID: id, cfg: cfg, reportsSeen: map[string]bool{}}
+	r := &Resource{ID: id, cfg: cfg, reportsSeen: map[string]bool{},
+		evicted: map[int]bool{}, accusers: map[int]map[int]bool{}}
 	r.tel = newTelemetry(id, cfg.Obs, func() int64 { return r.step })
 	r.Accountant = newAccountant(id, cfg, scheme, scheme, local, feed)
 	r.Controller = newController(id, cfg, scheme, scheme, scheme)
 	r.Broker = newBroker(id, cfg, scheme, r.Accountant, r.Controller, adv)
 	r.Controller.tel = r.tel
 	r.Broker.tel = r.tel
+	// Quarantine attribution capabilities: the controller pins a
+	// share-sum violation to the guilty slot by decrypting each stored
+	// part's share and comparing it to the dealt value.
+	r.Controller.partShare = r.Broker.partShare
+	r.Controller.expectShare = r.Accountant.expectedShare
 	return r
 }
 
 // Halted reports whether the resource stopped after a detection.
 func (r *Resource) Halted() bool { return r.halted }
 
-// Reports returns the malicious-participant reports seen here.
-func (r *Resource) Reports() []MaliciousReport { return r.reports }
+// Reports returns the malicious-participant reports seen here. The
+// returned slice is a copy: callers must not be able to mutate
+// protocol state.
+func (r *Resource) Reports() []MaliciousReport {
+	return append([]MaliciousReport(nil), r.reports...)
+}
+
+// Evicted returns the members this resource has quarantined, sorted
+// (a copy; empty unless Config.Quarantine is enabled).
+func (r *Resource) Evicted() []int {
+	out := make([]int, 0, len(r.evicted))
+	for v := range r.evicted {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MembershipEpoch counts the evictions this resource has applied; it
+// advances by one each time a member is quarantined.
+func (r *Resource) MembershipEpoch() int { return r.membershipEpoch }
 
 // Output returns R̃_u — the rules this resource currently believes
 // correct (non-mutating; metric observation is not a controller
@@ -261,6 +330,12 @@ func (r *Resource) Bootstrap(neighbors []int, tr Transport) {
 
 // HandleMessage ingests one grid message.
 func (r *Resource) HandleMessage(tr Transport, from int, payload any) {
+	if r.cfg.Quarantine.Enabled && r.evicted[from] {
+		// An evicted member keeps no voice: its grants, counters and
+		// reports are discarded before any crypto (or journal) work.
+		r.tel.quarantineDrops.Inc()
+		return
+	}
 	if r.journal != nil {
 		r.journal.LogMessage(from, payload)
 	}
@@ -330,12 +405,21 @@ func (r *Resource) HandleNeighborJoin(tr Transport, v int) {
 	if r.halted {
 		return
 	}
+	if r.cfg.Quarantine.Enabled && r.evicted[v] {
+		return // no readmission for evicted members
+	}
 	r.neighbors = append(r.neighbors, v)
 	grants := r.Broker.onNeighborJoin(v)
 	for _, w := range r.neighbors {
 		if g, ok := grants[w]; ok {
 			tr.Send(w, g)
 		}
+	}
+	// The joiner may sit across the cut an eviction (or churn) opened;
+	// hand it every known report so detection state survives overlay
+	// healing.
+	for _, rep := range r.reports {
+		tr.Send(v, rep)
 	}
 }
 
@@ -400,12 +484,20 @@ func (r *Resource) lossRecoveryTick(tr Transport) {
 }
 
 // raiseReport records a locally detected violation and floods it.
+// Without quarantine the resource halts (Algorithm 3); with it, the
+// resource keeps mining unless it accused itself (a confession — its
+// own broker or accountant state is corrupt, so continuing would keep
+// feeding poisoned aggregates to the SFEs).
 func (r *Resource) raiseReport(tr Transport, rep MaliciousReport) {
 	r.propagateReport(tr, rep, -1)
+	if r.cfg.Quarantine.Enabled && rep.Accused != r.ID {
+		return
+	}
 	r.halted = true
 }
 
-// propagateReport floods a report across the tree exactly once.
+// propagateReport floods a report across the tree exactly once, then
+// applies the quarantine policy when armed.
 func (r *Resource) propagateReport(tr Transport, rep MaliciousReport, from int) {
 	key := fmt.Sprintf("%d/%d/%s", rep.Accused, rep.Reporter, rep.Reason)
 	if r.reportsSeen[key] {
@@ -423,6 +515,74 @@ func (r *Resource) propagateReport(tr Transport, rep MaliciousReport, from int) 
 	for _, v := range r.neighbors {
 		if v != from {
 			tr.Send(v, rep)
+		}
+	}
+	if r.cfg.Quarantine.Enabled {
+		r.considerEviction(tr, rep)
+	}
+}
+
+// considerEviction applies the quarantine policy to a newly recorded
+// report: self-evident violations and confessions evict on a single
+// report; bare accusations accumulate until EvictQuorum distinct
+// reporters corroborate them. Accusations against this resource
+// itself are not acted on locally (the accusers evict us from their
+// side; acting on them here would let a malicious flood talk an
+// honest resource into self-destruction beyond what its own detector
+// found).
+func (r *Resource) considerEviction(tr Transport, rep MaliciousReport) {
+	v := rep.Accused
+	if v == r.ID || r.evicted[v] {
+		return
+	}
+	if rep.Evidence || rep.Accused == rep.Reporter {
+		r.evictPeer(tr, v)
+		return
+	}
+	set := r.accusers[v]
+	if set == nil {
+		set = map[int]bool{}
+		r.accusers[v] = set
+	}
+	set[rep.Reporter] = true
+	if len(set) >= r.cfg.Quarantine.EvictQuorum {
+		r.evictPeer(tr, v)
+	}
+}
+
+// evictPeer quarantines one member: it joins the evicted set (its
+// traffic is dropped at ingress from now on) and membership advances
+// one epoch. When the evicted member is an overlay neighbour, the
+// accountant re-deals its shares over the survivors (a new dealing
+// epoch, so the evicted member's in-flight counters are rejected by
+// the existing epoch check), the broker drops the evicted edge and
+// re-binds stored counters to the shrunken slot geometry, the
+// controller re-anchors its k-gates (no sub-k release across the
+// boundary — see Controller.rebaseGates), and every surviving
+// neighbour receives a refreshed grant.
+func (r *Resource) evictPeer(tr Transport, v int) {
+	r.evicted[v] = true
+	delete(r.accusers, v)
+	r.membershipEpoch++
+	r.tel.evictions.Inc()
+	r.tel.emit(obs.Event{Type: obs.EvEvict, Peer: v, Value: int64(r.membershipEpoch)})
+	idx := -1
+	for i, w := range r.neighbors {
+		if w == v {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return // not an overlay neighbour; nothing to re-deal
+	}
+	r.neighbors = append(r.neighbors[:idx], r.neighbors[idx+1:]...)
+	grants := r.Broker.onNeighborEvict(v)
+	for _, w := range r.neighbors {
+		if g, ok := grants[w]; ok {
+			tr.Send(w, g)
+			r.tel.grantsSent.Inc()
+			r.tel.emit(obs.Event{Type: obs.EvGrantSend, Peer: w, Detail: "evict-redeal"})
 		}
 	}
 }

@@ -27,6 +27,9 @@ type telemetry struct {
 	reportsRaised *obs.Counter
 	reportsRecv   *obs.Counter
 	refloods      *obs.Counter
+
+	evictions       *obs.Counter
+	quarantineDrops *obs.Counter
 }
 
 // newTelemetry resolves every instrument once. now supplies the
@@ -48,6 +51,8 @@ func newTelemetry(id int, sink *obs.Sink, now func() int64) *telemetry {
 		reportsRaised:   reg.Counter("secmr_reports_total", "Malicious-participant reports by kind.", "kind", "raised"),
 		reportsRecv:     reg.Counter("secmr_reports_total", "Malicious-participant reports by kind.", "kind", "received"),
 		refloods:        reg.Counter("secmr_report_refloods_total", "Lossy-link periodic report re-floods."),
+		evictions:       reg.Counter("secmr_evictions_total", "Members quarantined after corroborated malicious reports."),
+		quarantineDrops: reg.Counter("secmr_quarantine_drops_total", "Inbound messages dropped because the sender is evicted."),
 	}
 }
 

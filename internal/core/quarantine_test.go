@@ -1,0 +1,271 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"secmr/internal/homo"
+	"secmr/internal/obs"
+)
+
+// sinkTransport records outbound messages for direct-delivery tests.
+type sinkTransport struct {
+	sent []struct {
+		to  int
+		msg any
+	}
+}
+
+func (s *sinkTransport) Send(to int, msg any) {
+	s.sent = append(s.sent, struct {
+		to  int
+		msg any
+	}{to, msg})
+}
+
+// quarantineGrid builds a running secure grid with quarantine armed and
+// returns a resource that has at least two live neighbors, so eviction
+// tests can observe both the neighbor removal and the survivor redeal.
+func quarantineGrid(t *testing.T, mutate func(cfg *Config)) (*Resource, []*Resource, homo.Scheme) {
+	t.Helper()
+	scheme := homo.NewPlain(96)
+	e, resources, _ := buildSecureGrid(t, scheme, 6, 2, 11, func(cfg *Config) {
+		cfg.Quarantine.Enabled = true
+		cfg.Obs = obs.NewSink() // real counters, so tests can read them
+		if mutate != nil {
+			mutate(cfg)
+		}
+	}, nil)
+	e.Run(60)
+	for _, r := range resources {
+		if len(r.neighbors) >= 2 {
+			return r, resources, scheme
+		}
+	}
+	t.Fatal("no resource with two neighbors in the test tree")
+	return nil, nil, nil
+}
+
+func hasInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestQuarantineEvidenceEvictsOnSingleReport: one report carrying
+// cryptographic evidence is enough — the accused leaves the neighbor
+// set, shares are re-dealt to the survivors, the epoch advances, the
+// resource keeps mining, and traffic from the evicted member is
+// dropped before processing.
+func TestQuarantineEvidenceEvictsOnSingleReport(t *testing.T) {
+	r, _, _ := quarantineGrid(t, nil)
+	victim, from := r.neighbors[0], r.neighbors[1]
+	tr := &sinkTransport{}
+	r.HandleMessage(tr, from, MaliciousReport{
+		Accused: victim, Reporter: from, Reason: "forged share on rule x", Evidence: true})
+
+	if !hasInt(r.Evicted(), victim) {
+		t.Fatalf("evicted = %v, want %d", r.Evicted(), victim)
+	}
+	if r.MembershipEpoch() != 1 {
+		t.Fatalf("membership epoch = %d, want 1", r.MembershipEpoch())
+	}
+	if r.Halted() {
+		t.Fatal("quarantine must not halt the evicting resource")
+	}
+	if hasInt(r.neighbors, victim) {
+		t.Fatal("evicted member still in the neighbor set")
+	}
+	redeals := 0
+	for _, s := range tr.sent {
+		if _, ok := s.msg.(ShareGrant); ok {
+			if s.to == victim {
+				t.Fatal("redeal grant sent to the evicted member")
+			}
+			redeals++
+		}
+	}
+	if redeals == 0 {
+		t.Fatal("eviction did not re-deal shares to the survivors")
+	}
+
+	// Messages from the evicted member are dropped before processing.
+	before := len(r.Reports())
+	r.HandleMessage(tr, victim, MaliciousReport{
+		Accused: from, Reporter: victim, Reason: "smear from beyond the grave"})
+	if len(r.Reports()) != before {
+		t.Fatal("report from an evicted sender was processed")
+	}
+	if r.tel.quarantineDrops.Value() == 0 {
+		t.Fatal("quarantine drop counter never moved")
+	}
+}
+
+// TestQuarantineQuorumAccumulation: bare accusations (no evidence)
+// evict only once EvictQuorum distinct reporters corroborate; repeat
+// accusations by one reporter never add up to a quorum.
+func TestQuarantineQuorumAccumulation(t *testing.T) {
+	r, _, _ := quarantineGrid(t, nil) // default EvictQuorum = 2
+	from := r.neighbors[0]
+	const accused = 99 // not a neighbor: quorum logic alone
+	tr := &sinkTransport{}
+
+	r.HandleMessage(tr, from, MaliciousReport{
+		Accused: accused, Reporter: 7, Reason: "stale timestamp on rule a"})
+	if hasInt(r.Evicted(), accused) {
+		t.Fatal("evicted on a single uncorroborated accusation")
+	}
+	// Same reporter again (different reason): still one distinct voice.
+	r.HandleMessage(tr, from, MaliciousReport{
+		Accused: accused, Reporter: 7, Reason: "stale timestamp on rule b"})
+	if hasInt(r.Evicted(), accused) {
+		t.Fatal("one reporter counted twice toward the quorum")
+	}
+	// A second independent reporter completes the quorum.
+	r.HandleMessage(tr, from, MaliciousReport{
+		Accused: accused, Reporter: 8, Reason: "stale timestamp on rule c"})
+	if !hasInt(r.Evicted(), accused) {
+		t.Fatal("two independent reporters did not evict")
+	}
+}
+
+// TestQuarantineConfessionEvicts: a self-accusation (the reporter's own
+// controller caught its local state cheating) is self-evident and
+// evicts on one report.
+func TestQuarantineConfessionEvicts(t *testing.T) {
+	r, _, _ := quarantineGrid(t, nil)
+	from := r.neighbors[0]
+	tr := &sinkTransport{}
+	r.HandleMessage(tr, from, MaliciousReport{
+		Accused: 42, Reporter: 42, Reason: "broker share-sum violation on rule z"})
+	if !hasInt(r.Evicted(), 42) {
+		t.Fatal("confession did not evict")
+	}
+}
+
+// TestQuarantineSelfAccusationIgnoredLocally: a flood accusing this
+// resource itself must not talk it into self-eviction or a halt — the
+// accusers quarantine it from their side; acting locally would hand
+// any malicious flooder a remote kill switch.
+func TestQuarantineSelfAccusationIgnoredLocally(t *testing.T) {
+	r, _, _ := quarantineGrid(t, nil)
+	from := r.neighbors[0]
+	tr := &sinkTransport{}
+	r.HandleMessage(tr, from, MaliciousReport{
+		Accused: r.ID, Reporter: from, Reason: "framed", Evidence: true})
+	if hasInt(r.Evicted(), r.ID) {
+		t.Fatal("resource evicted itself on a third-party accusation")
+	}
+	if r.Halted() {
+		t.Fatal("resource halted on a third-party accusation")
+	}
+	if r.MembershipEpoch() != 0 {
+		t.Fatalf("membership epoch = %d, want 0", r.MembershipEpoch())
+	}
+}
+
+// TestReportDedupAcrossRefloodAndRestore pins the reportsSeen contract:
+// duplicate, reordered and re-flooded deliveries of the same report
+// record it once and forward it once — including after a snapshot
+// restore rebuilds the dedup set from the persisted report list.
+func TestReportDedupAcrossRefloodAndRestore(t *testing.T) {
+	scheme := homo.NewPlain(96)
+	e, resources, _ := buildSecureGrid(t, scheme, 5, 2, 13, nil, nil)
+	e.Run(60)
+	var r *Resource
+	for _, cand := range resources {
+		if len(cand.neighbors) >= 2 {
+			r = cand
+			break
+		}
+	}
+	if r == nil {
+		t.Fatal("no resource with two neighbors")
+	}
+	a, b := r.neighbors[0], r.neighbors[1]
+	repX := MaliciousReport{Accused: 4, Reporter: 2, Reason: "stale timestamp on rule x"}
+	repY := MaliciousReport{Accused: 4, Reporter: 3, Reason: "stale timestamp on rule y"}
+
+	tr := &sinkTransport{}
+	r.HandleMessage(tr, a, repX)
+	forwards := len(tr.sent)
+	if forwards == 0 {
+		t.Fatal("first delivery was not forwarded")
+	}
+	r.HandleMessage(tr, a, repX) // exact duplicate (fault-injected dup)
+	r.HandleMessage(tr, b, repX) // re-flood from the other edge
+	if got := len(r.Reports()); got != 1 {
+		t.Fatalf("%d reports recorded, want 1", got)
+	}
+	if len(tr.sent) != forwards {
+		t.Fatal("duplicate delivery was re-forwarded")
+	}
+
+	// Reordered distinct reports both land exactly once.
+	r.HandleMessage(tr, b, repY)
+	r.HandleMessage(tr, a, repY)
+	if got := len(r.Reports()); got != 2 {
+		t.Fatalf("%d reports recorded after reorder, want 2", got)
+	}
+
+	// The dedup set survives a persist/recover cycle: the snapshot
+	// stores only the reports, and restore rebuilds reportsSeen.
+	restored, err := RestoreResource(r.ID, r.cfg, scheme, r.EncodeState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := &sinkTransport{}
+	restored.HandleMessage(tr2, a, repX)
+	restored.HandleMessage(tr2, b, repY)
+	if got := len(restored.Reports()); got != 2 {
+		t.Fatalf("%d reports after restore re-flood, want 2", got)
+	}
+	if len(tr2.sent) != 0 {
+		t.Fatal("restored resource re-forwarded already-seen reports")
+	}
+}
+
+// TestQuarantineSnapshotRoundTrip: the v2 snapshot carries the whole
+// quarantine state — evicted set, membership epoch, partial quorum
+// accusations and per-report evidence flags — and re-encoding the
+// restored resource reproduces the image bit-for-bit.
+func TestQuarantineSnapshotRoundTrip(t *testing.T) {
+	r, _, scheme := quarantineGrid(t, nil)
+	victim, from := r.neighbors[0], r.neighbors[1]
+	tr := &sinkTransport{}
+	r.HandleMessage(tr, from, MaliciousReport{
+		Accused: victim, Reporter: from, Reason: "forged share on rule q", Evidence: true})
+	r.HandleMessage(tr, from, MaliciousReport{
+		Accused: 77, Reporter: 9, Reason: "stale timestamp on rule w"})
+
+	state := r.EncodeState()
+	restored, err := RestoreResource(r.ID, r.cfg, scheme, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.Evicted(), r.Evicted()) {
+		t.Fatalf("evicted restored as %v, want %v", restored.Evicted(), r.Evicted())
+	}
+	if restored.MembershipEpoch() != r.MembershipEpoch() {
+		t.Fatalf("epoch restored as %d, want %d", restored.MembershipEpoch(), r.MembershipEpoch())
+	}
+	if !reflect.DeepEqual(restored.accusers, r.accusers) {
+		t.Fatalf("accusers restored as %v, want %v", restored.accusers, r.accusers)
+	}
+	if !reflect.DeepEqual(restored.Reports(), r.Reports()) {
+		t.Fatal("reports (with evidence flags) did not survive the round trip")
+	}
+	if re := restored.EncodeState(); !bytes.Equal(state, re) {
+		t.Fatalf("re-encoded snapshot diverges (%d vs %d bytes)", len(state), len(re))
+	}
+	// The restored resource still refuses the evicted member's traffic.
+	restored.HandleMessage(tr, victim, MaliciousReport{
+		Accused: from, Reporter: victim, Reason: "smear"})
+	if hasInt(restored.Evicted(), from) {
+		t.Fatal("restored resource processed a message from an evicted sender")
+	}
+}

@@ -41,7 +41,11 @@ import (
 // restored resource reproduces the snapshot bit-for-bit.
 
 // snapshotVersion is the first byte of every EncodeState image.
-const snapshotVersion = 1
+// Version 2 added the quarantine state (per-report Evidence flags,
+// membership epoch, evicted set, accuser sets) and the audit rebase
+// marker; RestoreResource still reads version-1 images (they restore
+// with empty quarantine state).
+const snapshotVersion = 2
 
 // clockLeaseStep is how far ahead of the current Lamport clock a
 // durable clock lease reaches. Larger values mean fewer synchronous
@@ -166,6 +170,7 @@ func (r *Resource) EncodeState() []byte {
 		dst = binary.AppendVarint(dst, int64(rep.Accused))
 		dst = binary.AppendVarint(dst, int64(rep.Reporter))
 		dst = appendString(dst, rep.Reason)
+		dst = appendBool(dst, rep.Evidence)
 	}
 	// One neighbour list serves all three entities: Bootstrap and
 	// HandleNeighborJoin keep them identical, and the accountant's slot
@@ -173,6 +178,23 @@ func (r *Resource) EncodeState() []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(r.neighbors)))
 	for _, v := range r.neighbors {
 		dst = binary.AppendVarint(dst, int64(v))
+	}
+
+	// Quarantine state (since version 2).
+	dst = binary.AppendVarint(dst, int64(r.membershipEpoch))
+	evicted := sortedIntKeys(r.evicted)
+	dst = binary.AppendUvarint(dst, uint64(len(evicted)))
+	for _, v := range evicted {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(r.accusers)))
+	for _, v := range sortedIntKeys(r.accusers) {
+		dst = binary.AppendVarint(dst, int64(v))
+		reporters := sortedIntKeys(r.accusers[v])
+		dst = binary.AppendUvarint(dst, uint64(len(reporters)))
+		for _, w := range reporters {
+			dst = binary.AppendVarint(dst, int64(w))
+		}
 	}
 
 	// Accountant.
@@ -266,6 +288,7 @@ func (r *Resource) EncodeState() []byte {
 		dst = binary.AppendVarint(dst, e.Count)
 		dst = binary.AppendVarint(dst, e.Num)
 		dst = appendBool(dst, e.Fresh)
+		dst = appendBool(dst, e.Rebase)
 	}
 	return dst
 }
@@ -285,8 +308,9 @@ func RestoreResource(id int, cfg Config, scheme homo.Scheme, state []byte) (*Res
 	if len(state) == 0 {
 		return nil, errors.New("core: empty snapshot")
 	}
-	if state[0] != snapshotVersion {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d", state[0])
+	version := state[0]
+	if version != 1 && version != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", version)
 	}
 	rd := &wireReader{buf: state[1:]}
 
@@ -296,13 +320,34 @@ func RestoreResource(id int, cfg Config, scheme homo.Scheme, state []byte) (*Res
 	halted := rd.bool()
 	var reports []MaliciousReport
 	for i, n := 0, rd.count(); i < n; i++ {
-		reports = append(reports, MaliciousReport{
+		rep := MaliciousReport{
 			Accused: rd.int(), Reporter: rd.int(), Reason: rd.str(),
-		})
+		}
+		if version >= 2 {
+			rep.Evidence = rd.bool()
+		}
+		reports = append(reports, rep)
 	}
 	var neighbors []int
 	for i, n := 0, rd.count(); i < n; i++ {
 		neighbors = append(neighbors, rd.int())
+	}
+	membershipEpoch := 0
+	evicted := map[int]bool{}
+	accusers := map[int]map[int]bool{}
+	if version >= 2 {
+		membershipEpoch = rd.int()
+		for i, n := 0, rd.count(); i < n; i++ {
+			evicted[rd.int()] = true
+		}
+		for i, n := 0, rd.count(); i < n; i++ {
+			v := rd.int()
+			set := map[int]bool{}
+			for j, m := 0, rd.count(); j < m; j++ {
+				set[rd.int()] = true
+			}
+			accusers[v] = set
+		}
 	}
 
 	// Accountant scalars.
@@ -334,6 +379,9 @@ func RestoreResource(id int, cfg Config, scheme homo.Scheme, state []byte) (*Res
 		res.reportsSeen[fmt.Sprintf("%d/%d/%s", rep.Accused, rep.Reporter, rep.Reason)] = true
 	}
 	res.neighbors = append([]int(nil), neighbors...)
+	res.membershipEpoch = membershipEpoch
+	res.evicted = evicted
+	res.accusers = accusers
 
 	a := res.Accountant
 	a.neighbors = append([]int(nil), neighbors...)
@@ -442,9 +490,13 @@ func RestoreResource(id int, cfg Config, scheme homo.Scheme, state []byte) (*Res
 		return nil, err
 	}
 	for i, n := 0, rd.count(); i < n; i++ {
-		c.audit = append(c.audit, AuditEntry{
+		e := AuditEntry{
 			Stream: rd.str(), Count: int64(rd.int()), Num: int64(rd.int()), Fresh: rd.bool(),
-		})
+		}
+		if version >= 2 {
+			e.Rebase = rd.bool()
+		}
+		c.audit = append(c.audit, e)
 	}
 	if err := rd.done(); err != nil {
 		return nil, err

@@ -78,6 +78,11 @@ type Event struct {
 	Partition [][]int
 	// Heal removes the installed partition.
 	Heal bool
+	// Corrupt flips these nodes to Byzantine: a previously honest
+	// resource starts tampering from this event on (adversaries wired
+	// through attack.Scheduled consult Injector.Byzantine). Corruption
+	// is one-way — there is no scheduled "repent".
+	Corrupt []int
 }
 
 // Stats counts injected faults.
@@ -92,6 +97,8 @@ type Stats struct {
 	// AmnesiaWipes counts crash-with-amnesia events: crashes whose
 	// restart must go through durable-state recovery.
 	AmnesiaWipes int64
+	// Corruptions counts nodes flipped to Byzantine by Corrupt events.
+	Corruptions int64
 }
 
 // Verdict is the fate of one message. When Drop is false, Extra holds
@@ -116,11 +123,15 @@ type Injector struct {
 	// amnesiac marks down nodes whose crash wiped their in-memory
 	// state; their restart is diverted to the recovery path.
 	amnesiac map[int]bool
+	// byz marks nodes flipped to Byzantine by Corrupt events (or the
+	// imperative Corrupt method); attack.Scheduled adversaries consult
+	// it through Byzantine.
+	byz map[int]bool
 	// recovered queues amnesiac nodes whose restart fired, for the
 	// hosting runtime to drain (TakeRecovered) and rebuild.
 	recovered []int
 	// injected-fault counters, resolved once by SetObs (nil = off).
-	cDrop, cDup, cDelay, cCrash, cCut, cQueue, cReconn, cAmnesia *obs.Counter
+	cDrop, cDup, cDelay, cCrash, cCut, cQueue, cReconn, cAmnesia, cCorrupt *obs.Counter
 }
 
 // New builds an injector. The schedule is replayed by Advance in the
@@ -131,6 +142,7 @@ func New(cfg Config) *Injector {
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		down:     map[int]bool{},
 		amnesiac: map[int]bool{},
+		byz:      map[int]bool{},
 	}
 }
 
@@ -150,6 +162,7 @@ func (in *Injector) SetObs(sink *obs.Sink) {
 	in.cQueue = reg.Counter("secmr_faults_injected_total", help, "action", "queue_drop")
 	in.cReconn = reg.Counter("secmr_faults_injected_total", help, "action", "reconnect")
 	in.cAmnesia = reg.Counter("secmr_faults_injected_total", help, "action", "crash_amnesia")
+	in.cCorrupt = reg.Counter("secmr_faults_injected_total", help, "action", "corrupt")
 }
 
 // Advance applies every scheduled event with At <= now. The simulator
@@ -185,7 +198,34 @@ func (in *Injector) Advance(now int64) {
 		if ev.Heal {
 			in.parted, in.group = false, nil
 		}
+		for _, u := range ev.Corrupt {
+			if !in.byz[u] {
+				in.byz[u] = true
+				in.stats.Corruptions++
+				in.cCorrupt.Inc()
+			}
+		}
 	}
+}
+
+// Corrupt flips a node to Byzantine immediately (the imperative
+// counterpart of a scheduled Corrupt event).
+func (in *Injector) Corrupt(node int) {
+	in.mu.Lock()
+	if !in.byz[node] {
+		in.byz[node] = true
+		in.stats.Corruptions++
+		in.cCorrupt.Inc()
+	}
+	in.mu.Unlock()
+}
+
+// Byzantine reports whether a node has been flipped to Byzantine.
+// attack.Scheduled adversaries use it as their activation predicate.
+func (in *Injector) Byzantine(node int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.byz[node]
 }
 
 // Crash marks a node down until Restart.

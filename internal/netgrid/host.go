@@ -22,6 +22,7 @@ type Host struct {
 	adopter homo.Adopter
 
 	mu        sync.Mutex // serializes resource access (ticker vs dispatch)
+	bansDone  int        // evictions already mirrored onto the transport
 	ticker    *time.Ticker
 	done      chan struct{}
 	wg        sync.WaitGroup
@@ -118,6 +119,23 @@ func (h *Host) handle(from int, frame []byte) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.res.HandleMessage(hostTransport{h}, from, msg)
+	h.syncBansLocked()
+}
+
+// syncBansLocked mirrors the resource's quarantine decisions onto the
+// transport: every member the resource has evicted is banned at the
+// TCP layer, so its connections drop and its redials are refused. The
+// eviction count is monotone, so the comparison keeps the common path
+// to one slice build. Called with h.mu held.
+func (h *Host) syncBansLocked() {
+	ev := h.res.Evicted()
+	if len(ev) == h.bansDone {
+		return
+	}
+	h.bansDone = len(ev)
+	for _, v := range ev {
+		h.node.Ban(v) // idempotent
+	}
 }
 
 // Run bootstraps the resource toward its neighbours and starts the
@@ -156,6 +174,7 @@ func (h *Host) startTicker(stepEvery time.Duration) {
 			case <-h.ticker.C:
 				h.mu.Lock()
 				h.res.Tick(hostTransport{h})
+				h.syncBansLocked()
 				h.mu.Unlock()
 			}
 		}

@@ -153,6 +153,7 @@ type Node struct {
 	mu      sync.Mutex
 	peers   map[int]*peer
 	pending map[net.Conn]bool // inbound conns awaiting their handshake
+	banned  map[int]bool      // peers severed by Ban (guarded by mu)
 	rng     *rand.Rand        // backoff jitter (guarded by mu)
 
 	inbox   chan inFrame
@@ -331,7 +332,7 @@ func (n *Node) acceptLoop() {
 			n.mu.Lock()
 			delete(n.pending, conn)
 			n.mu.Unlock()
-			if err != nil || kind != kindHello {
+			if err != nil || kind != kindHello || n.Banned(from) {
 				conn.Close()
 				return
 			}
@@ -434,6 +435,54 @@ func (n *Node) adopt(p *peer, conn net.Conn, dialer int) bool {
 	return true
 }
 
+// Ban permanently severs the transport's relationship with a peer: the
+// live connection (if any) is closed, parked frames to it are
+// discarded, future Sends to it vanish, and both inbound handshakes
+// and outbound redials are refused. Hosts call it when their resource
+// quarantines a member, so an evicted participant cannot keep
+// injecting traffic at the transport layer. Irreversible for the life
+// of the node; idempotent.
+func (n *Node) Ban(id int) {
+	n.mu.Lock()
+	if n.banned == nil {
+		n.banned = map[int]bool{}
+	}
+	if n.banned[id] {
+		n.mu.Unlock()
+		return
+	}
+	n.banned[id] = true
+	p := n.peers[id]
+	n.mu.Unlock()
+	n.emit(obs.Event{Type: obs.EvEvict, Node: n.id, Peer: id, Detail: "transport-ban"})
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	conn, up := p.conn, p.up
+	queue := p.queue
+	p.queue, p.qBytes = nil, 0
+	p.mu.Unlock()
+	for _, f := range queue {
+		putFrameBuf(f.data)
+		n.gParked.Add(-1)
+	}
+	if up {
+		n.markDown(p, conn)
+	}
+	select {
+	case p.kick <- struct{}{}: // let a parked supervisor notice the ban and exit
+	default:
+	}
+}
+
+// Banned reports whether a peer has been severed by Ban.
+func (n *Node) Banned(id int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.banned[id]
+}
+
 // markDown retires conn if it is still the peer's live connection,
 // then notifies and wakes the supervisor. Safe to call from any
 // goroutine and for stale connections.
@@ -469,6 +518,9 @@ func (n *Node) supervise(p *peer) {
 			return
 		default:
 		}
+		if n.Banned(p.id) {
+			return
+		}
 		p.mu.Lock()
 		up := p.up
 		p.mu.Unlock()
@@ -503,6 +555,9 @@ func (n *Node) supervise(p *peer) {
 // dialPeer attempts one dial+handshake; the fault injector can veto it
 // (crashed endpoint or partitioned link).
 func (n *Node) dialPeer(p *peer) bool {
+	if n.Banned(p.id) {
+		return false
+	}
 	if inj := n.opt.Faults; inj != nil {
 		if inj.Down(n.id) || inj.Down(p.id) || inj.Cut(n.id, p.id) {
 			return false
@@ -613,6 +668,11 @@ func (n *Node) dispatchLoop() {
 		case <-n.done:
 			return
 		case f := <-n.inbox:
+			if n.Banned(f.from) {
+				// Frames already in flight when the ban landed.
+				n.emit(obs.Event{Type: obs.EvMsgDrop, Node: n.id, Peer: f.from, Detail: "banned"})
+				continue
+			}
 			n.cFramesRecv.Inc()
 			n.emit(obs.Event{Type: obs.EvMsgDeliver, Node: n.id, Peer: f.from})
 			n.handler(f.from, f.payload)
@@ -726,6 +786,10 @@ func (n *Node) WaitFor(peers []int, timeout time.Duration) bool {
 // reconnect. An unknown peer (never connected in either direction) is
 // an error.
 func (n *Node) Send(to int, frame []byte) error {
+	if n.Banned(to) {
+		putFrameBuf(frame)
+		return nil // severed on purpose: indistinguishable from a send
+	}
 	p := n.peer(to)
 	if p == nil {
 		return fmt.Errorf("netgrid: no connection to %d", to)

@@ -33,6 +33,7 @@ const (
 	EvOutputDec   EventType = "output_dec"   // controller answered an Output() SFE
 	EvReportRaise EventType = "report_raise" // controller detected a violation; resource floods
 	EvReportRecv  EventType = "report_recv"  // resource ingested a malicious report
+	EvEvict       EventType = "evict"        // resource quarantined a member (Value: membership epoch)
 
 	// Crypto layer (only emitted when explicitly enabled by filter —
 	// see Tracer.ExplicitlyEnabled — because per-op volume is huge).

@@ -32,10 +32,12 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
 
 	"secmr/internal/arm"
+	"secmr/internal/attack"
 	"secmr/internal/core"
 	"secmr/internal/elgamal"
 	"secmr/internal/faults"
@@ -70,7 +72,31 @@ type (
 	Thresholds = arm.Thresholds
 	// MaliciousReport is the detection broadcast raised by controllers.
 	MaliciousReport = core.MaliciousReport
+	// QuarantineConfig enables eviction instead of halt on corroborated
+	// malicious reports (see core.QuarantineConfig).
+	QuarantineConfig = core.QuarantineConfig
 )
+
+// AdversarySpec plants a live adversary inside one resource of an
+// AlgorithmSecure grid: the resource runs the full honest protocol but
+// its broker tampers with outbound counters according to Kind. Specs
+// compose with GridConfig.Quarantine for end-to-end detect-and-evict
+// runs, and with GridConfig.Faults for combined chaos regimes.
+type AdversarySpec struct {
+	// Node is the resource to corrupt.
+	Node int
+	// Kind selects the tamper strategy: "double-count", "omit",
+	// "isolate", "replay", "garbage", "forge-share", "equivocate" or
+	// "random" (see internal/attack).
+	Kind string
+	// Victim is the targeted neighbor for kinds that aim at one peer
+	// (omit, isolate, replay); ignored by the rest.
+	Victim int
+	// From, when positive, delays the corruption: the node runs honestly
+	// until simulation step From and turns Byzantine then (a scheduled
+	// faults.Event.Corrupt under the hood). Zero corrupts from the start.
+	From int64
+}
 
 // Fault-injection vocabulary (see internal/faults): a FaultConfig
 // describes a seeded, deterministic link-fault regime — independent
@@ -286,6 +312,19 @@ type GridConfig struct {
 	// admissibility checking (AlgorithmSecure only; see
 	// core.Config.Audit). Costs memory linear in decisions.
 	Audit bool
+	// Quarantine, when Enabled, turns malicious-report handling from
+	// halt into detect-and-evict (AlgorithmSecure only): resources
+	// quarantine an accused member once a report carries cryptographic
+	// evidence or EvictQuorum independent reporters corroborate it,
+	// re-deal shares among the survivors and keep mining. The facade
+	// additionally patches the overlay around evicted cut vertices so
+	// the honest survivors stay connected. See Grid.Evictions.
+	Quarantine QuarantineConfig
+	// Adversaries plants live Byzantine participants (AlgorithmSecure
+	// only). With Quarantine off a detection halts the victimized
+	// resources, as the paper specifies; with Quarantine on the grid
+	// evicts the cheaters and converges on the honest majority.
+	Adversaries []AdversarySpec
 	// Wire configures the wire codec and message coalescing: the frame
 	// budget TCP transports batch outbound messages under
 	// (MaxFrameBytes; 0 = 64 KiB default, negative disables), and
@@ -371,9 +410,12 @@ type Grid struct {
 	engine *sim.Engine
 	miners []miner
 	secure []*core.Resource // non-nil entries only for AlgorithmSecure
-	inject *faults.Injector // non-nil only when cfg.Faults is set
+	inject *faults.Injector // non-nil when cfg.Faults or a scheduled adversary is set
 	truth  RuleSet
 	step   int
+	// healed marks evicted members whose overlay gap has been patched
+	// (see healQuarantined).
+	healed map[int]bool
 
 	// stopPool stops the cryptosystem's background noise workers
 	// (non-nil only when cfg.NoisePool > 0 started one).
@@ -461,6 +503,58 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 
 	g := &Grid{cfg: cfg, truth: truth, obs: cfg.Telemetry, stopPool: stopPool,
 		scheme: scheme}
+	// Fault injection and live adversaries share one injector: scheduled
+	// corruptions (AdversarySpec.From) ride the fault schedule, so one
+	// seed replays the whole chaos run, Byzantine flips included. The
+	// injector must exist before the resources so delayed adversaries
+	// can close over its Byzantine predicate.
+	if len(cfg.Adversaries) > 0 && cfg.Algorithm != AlgorithmSecure {
+		return nil, fmt.Errorf("secmr: Adversaries require AlgorithmSecure (got %q)", cfg.Algorithm)
+	}
+	var advFor map[int]core.Adversary
+	{
+		faultCfg := faults.Config{Seed: cfg.Seed}
+		if cfg.Faults != nil {
+			faultCfg = *cfg.Faults
+		}
+		needInject := cfg.Faults != nil
+		if len(cfg.Adversaries) > 0 {
+			advFor = map[int]core.Adversary{}
+			sched := append([]FaultEvent(nil), faultCfg.Schedule...)
+			for _, spec := range cfg.Adversaries {
+				if spec.Node < 0 || spec.Node >= cfg.Resources {
+					return nil, fmt.Errorf("secmr: adversary node %d outside [0,%d)", spec.Node, cfg.Resources)
+				}
+				if _, dup := advFor[spec.Node]; dup {
+					return nil, fmt.Errorf("secmr: resource %d has two adversaries", spec.Node)
+				}
+				adv, err := attack.New(spec.Kind, cfg.Seed+int64(spec.Node)*1_000_003, spec.Victim)
+				if err != nil {
+					return nil, fmt.Errorf("secmr: %w", err)
+				}
+				advFor[spec.Node] = adv
+				if spec.From > 0 {
+					needInject = true
+					sched = append(sched, FaultEvent{At: spec.From, Corrupt: []int{spec.Node}})
+				}
+			}
+			sort.SliceStable(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
+			faultCfg.Schedule = sched
+		}
+		if needInject {
+			g.inject = faults.New(faultCfg)
+			if cfg.Telemetry != nil {
+				g.inject.SetObs(cfg.Telemetry)
+			}
+		}
+		for _, spec := range cfg.Adversaries {
+			if spec.From > 0 {
+				node, inj := spec.Node, g.inject
+				advFor[node] = &attack.Scheduled{Inner: advFor[node],
+					Active: func() bool { return inj.Byzantine(node) }}
+			}
+		}
+	}
 	if reg := cfg.Telemetry.Registry(); reg != nil {
 		g.gRecall = reg.Gauge("secmr_grid_recall", "Average recall against R[DB] at the last quality sample.")
 		g.gPrecision = reg.Gauge("secmr_grid_precision", "Average precision against R[DB] at the last quality sample.")
@@ -488,9 +582,10 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 				MaxRuleItems: cfg.MaxRuleItems, IntraDelay: true,
 				PaddingDance: cfg.PaddingDance, BlindBits: blindBits,
 				LossyLinks: cfg.Faults != nil, Obs: cfg.Telemetry,
-				Audit: cfg.Audit, Wire: cfg.Wire}
+				Audit: cfg.Audit, Wire: cfg.Wire,
+				Quarantine: cfg.Quarantine}
 			g.coreCfg = c
-			r := core.NewResource(i, c, scheme, parts[i], feed, nil)
+			r := core.NewResource(i, c, scheme, parts[i], feed, advFor[i])
 			if cfg.Persist != nil {
 				j, err := persist.Open(g.persistDir(i), i, persist.Options{
 					SnapshotEvery: cfg.Persist.SnapshotEvery,
@@ -529,12 +624,8 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 	if cfg.Telemetry != nil {
 		g.engine.SetObs(cfg.Telemetry)
 	}
-	if cfg.Faults != nil {
-		g.inject = faults.New(*cfg.Faults)
+	if g.inject != nil {
 		g.engine.Inject = g.inject
-		if cfg.Telemetry != nil {
-			g.inject.SetObs(cfg.Telemetry)
-		}
 	}
 	return g, nil
 }
@@ -615,6 +706,72 @@ func (g *Grid) Step(n int) {
 	defer g.mu.Unlock()
 	g.engine.Run(n)
 	g.step += n
+	g.healQuarantined()
+}
+
+// healQuarantined patches the overlay around newly quarantined members.
+// The protocol runs on a spanning tree, so an evicted member is usually
+// a cut vertex: its honest neighbors would be stranded in separate
+// components and never again aggregate k participants. Linking those
+// neighbors consecutively (guarded by HasEdge, so healing is
+// idempotent) restores one connected tree over the survivors; the
+// OnNeighborJoin handshake re-deals shares across each new edge.
+// Called with g.mu held, between engine steps.
+func (g *Grid) healQuarantined() {
+	if !g.cfg.Quarantine.Enabled || g.secure == nil {
+		return
+	}
+	evicted := map[int]bool{}
+	for _, r := range g.secure {
+		for _, v := range r.Evicted() {
+			evicted[v] = true
+		}
+	}
+	fresh := make([]int, 0, len(evicted))
+	for v := range evicted {
+		if !g.healed[v] {
+			fresh = append(fresh, v)
+		}
+	}
+	sort.Ints(fresh) // deterministic healing order for replayable runs
+	for _, v := range fresh {
+		if g.healed == nil {
+			g.healed = map[int]bool{}
+		}
+		g.healed[v] = true
+		var ring []int
+		for _, u := range g.engine.Graph.Neighbors(v) {
+			if !evicted[u] {
+				ring = append(ring, u)
+			}
+		}
+		sort.Ints(ring)
+		for i := 0; i+1 < len(ring); i++ {
+			if u, w := ring[i], ring[i+1]; !g.engine.Graph.HasEdge(u, w) {
+				g.engine.AddLink(u, w, 2)
+			}
+		}
+	}
+}
+
+// Evictions returns the members quarantined by at least one resource
+// (sorted; empty unless GridConfig.Quarantine is enabled and someone
+// cheated).
+func (g *Grid) Evictions() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	set := map[int]bool{}
+	for _, r := range g.secure {
+		for _, v := range r.Evicted() {
+			set[v] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Close stops the grid's background crypto workers (the noise pool
