@@ -108,6 +108,7 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "stream the event trace as JSONL to this file")
 		traceTypes = flag.String("trace-types", "", "comma-separated event types to trace (empty = all implicit types; crypto-op must be listed explicitly)")
 		stallAfter = flag.Int("stall-patience", 0, "quality samples without recall improvement before a resource is flagged stalled (0 = default 8)")
+		flightDir  = flag.String("flight-dir", "", "black-box flight recorder directory: dump trace+metrics+watchdog state there on stalls, evictions and recoveries (readable with secmr-trace flight)")
 	)
 	flag.Parse()
 
@@ -175,7 +176,7 @@ func main() {
 			Enabled:     *quarantine || *evictQuorum > 0,
 			EvictQuorum: *evictQuorum,
 		},
-		Telemetry: tel, StallPatience: *stallAfter,
+		Telemetry: tel, StallPatience: *stallAfter, FlightDir: *flightDir,
 		CryptoWorkers: *cryptoWorkers, NoisePool: *noisePool,
 		Wire: secmr.WireConfig{MaxFrameBytes: *maxFrameBytes, LegacyGob: *legacyGob},
 	})
@@ -205,7 +206,21 @@ func main() {
 		if rec >= 0.99 && prec >= 0.99 {
 			break
 		}
-		grid.Step(*sample)
+		// The facade processes evictions — and cuts flight-recorder
+		// dumps — between Step calls, so with the recorder armed step
+		// in fine chunks to land each dump while the incident is still
+		// inside the bounded trace ring.
+		chunk := *sample
+		if *flightDir != "" && chunk > 10 {
+			chunk = 10
+		}
+		for done := 0; done < *sample; done += chunk {
+			n := chunk
+			if rest := *sample - done; rest < n {
+				n = rest
+			}
+			grid.Step(n)
+		}
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

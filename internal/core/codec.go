@@ -10,6 +10,7 @@ import (
 	"secmr/internal/arm"
 	"secmr/internal/homo"
 	"secmr/internal/oblivious"
+	"secmr/internal/obs"
 )
 
 // Wire codec: a real deployment exchanges ShareGrant, RuleCipherMsg
@@ -50,6 +51,21 @@ const (
 	// [0x80, 0xF8) — the range gob's leading uvarint can never emit —
 	// so version sniffing is unambiguous.
 	codecVersion = 0x9C
+	// codecVersionCausal prefixes a compact frame with a causal-context
+	// envelope (see AppendMessageCtx):
+	//
+	//	[0]  version byte 0x9D
+	//	[1…] uvarint origin ‖ uvarint oseq ‖ uvarint hops ‖
+	//	     complete 0x9C frame
+	//
+	// A separate version byte (rather than trailing fields on 0x9C) is
+	// what keeps mixed-version grids interoperable: pre-causal decoders
+	// reject trailing bytes, so the context must lead, and a peer that
+	// must stay legible to them simply emits plain 0x9C frames
+	// (WireConfig.NoCausalCtx). Decoders accept all three encodings
+	// transparently — DecodeMessage strips the envelope, and
+	// DecodeMessageCtx surfaces it.
+	codecVersionCausal = 0x9D
 
 	wireKindGrant  = 1
 	wireKindRule   = 2
@@ -71,6 +87,13 @@ type WireConfig struct {
 	// peers that predate the version byte. Decoding always accepts
 	// both encodings.
 	LegacyGob bool
+	// NoCausalCtx suppresses the 0x9D causal-context envelope on
+	// outbound compact frames, emitting bare 0x9C frames instead — for
+	// interoperating with peers that know the compact codec but predate
+	// causal tracing. Decoding always accepts frames with and without
+	// the envelope; disabling it only loses the cross-node trace links
+	// for this sender's messages.
+	NoCausalCtx bool
 }
 
 // EncodeMessage serializes one grid message (ShareGrant, RuleCipherMsg
@@ -147,12 +170,88 @@ func MessageWireSize(msg any) int {
 	}
 }
 
-// DecodeMessage deserializes a frame produced by AppendMessage or the
-// legacy gob encoder (sniffed by first byte), adopting every contained
-// ciphertext into the given scheme. A nil adopter is allowed only for
-// ciphertext-free messages (MaliciousReport). Malformed input of any
-// shape returns an error — it never panics and never allocates more
-// than the input size.
+// AppendMessageCtx appends msg prefixed with its causal-context
+// envelope (version 0x9D). An invalid context degrades to the bare
+// compact frame, so callers can pass whatever they have.
+func AppendMessageCtx(dst []byte, msg any, cc obs.CausalCtx) ([]byte, error) {
+	if !cc.Valid() {
+		return AppendMessage(dst, msg)
+	}
+	dst = append(dst, codecVersionCausal)
+	dst = binary.AppendUvarint(dst, uint64(cc.Origin))
+	dst = binary.AppendUvarint(dst, uint64(cc.OSeq))
+	dst = binary.AppendUvarint(dst, uint64(cc.Hops))
+	return AppendMessage(dst, msg)
+}
+
+// MessageWireSizeCtx is MessageWireSize for a causal-context frame.
+func MessageWireSizeCtx(msg any, cc obs.CausalCtx) int {
+	n := MessageWireSize(msg)
+	if n == 0 || !cc.Valid() {
+		return n
+	}
+	return n + 1 + uvarintLen(uint64(cc.Origin)) + uvarintLen(uint64(cc.OSeq)) +
+		uvarintLen(uint64(cc.Hops))
+}
+
+// PeekCausalCtx parses just the causal-context envelope from a frame,
+// without decoding (or validating) the message. It reports false for
+// frames without an envelope (bare compact, legacy gob) and for
+// malformed envelopes — transports use it to stamp trace events from
+// raw frame bytes cheaply.
+func PeekCausalCtx(data []byte) (obs.CausalCtx, bool) {
+	cc, _, ok := splitCausalCtx(data)
+	return cc, ok
+}
+
+// splitCausalCtx strips a 0x9D envelope, returning the context and the
+// inner frame; ok is false when data does not start with a well-formed
+// envelope.
+func splitCausalCtx(data []byte) (cc obs.CausalCtx, inner []byte, ok bool) {
+	if len(data) == 0 || data[0] != codecVersionCausal {
+		return obs.CausalCtx{}, nil, false
+	}
+	rest := data[1:]
+	fields := [3]uint64{}
+	for i := range fields {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return obs.CausalCtx{}, nil, false
+		}
+		fields[i] = v
+		rest = rest[n:]
+	}
+	cc = obs.CausalCtx{Origin: int(fields[0]), OSeq: int64(fields[1]), Hops: int(fields[2])}
+	if !cc.Valid() || len(rest) == 0 || rest[0] == codecVersionCausal {
+		// A zero oseq or a nested envelope is malformed, not an older
+		// dialect — reject instead of guessing.
+		return obs.CausalCtx{}, nil, false
+	}
+	return cc, rest, true
+}
+
+// DecodeMessageCtx is DecodeMessage surfacing the causal-context
+// envelope: frames without one (bare compact, legacy gob) decode with
+// a zero context, so mixed-version grids interoperate.
+func DecodeMessageCtx(data []byte, adopter homo.Adopter) (any, obs.CausalCtx, error) {
+	if cc, inner, ok := splitCausalCtx(data); ok {
+		msg, err := DecodeMessage(inner, adopter)
+		if err != nil {
+			return nil, obs.CausalCtx{}, err
+		}
+		return msg, cc, nil
+	}
+	msg, err := DecodeMessage(data, adopter)
+	return msg, obs.CausalCtx{}, err
+}
+
+// DecodeMessage deserializes a frame produced by AppendMessage,
+// AppendMessageCtx (the causal envelope is stripped; use
+// DecodeMessageCtx to keep it) or the legacy gob encoder (sniffed by
+// first byte), adopting every contained ciphertext into the given
+// scheme. A nil adopter is allowed only for ciphertext-free messages
+// (MaliciousReport). Malformed input of any shape returns an error —
+// it never panics and never allocates more than the input size.
 func DecodeMessage(data []byte, adopter homo.Adopter) (any, error) {
 	if len(data) == 0 {
 		return nil, errors.New("core: empty frame")
@@ -160,6 +259,12 @@ func DecodeMessage(data []byte, adopter homo.Adopter) (any, error) {
 	switch b := data[0]; {
 	case b == codecVersion:
 		return decodeCompact(data[1:], adopter)
+	case b == codecVersionCausal:
+		_, inner, ok := splitCausalCtx(data)
+		if !ok {
+			return nil, errors.New("core: malformed causal-context envelope")
+		}
+		return DecodeMessage(inner, adopter)
 	case b < 0x80 || b >= 0xF8:
 		return decodeLegacy(data, adopter)
 	default:

@@ -269,6 +269,14 @@ func NewResource(id int, cfg Config, scheme homo.Scheme, local *arm.Database, fe
 // Halted reports whether the resource stopped after a detection.
 func (r *Resource) Halted() bool { return r.halted }
 
+// TraceClock returns the resource's causal trace clock: the Lamport
+// clock its trace events are stamped with. Hosting runtimes tick it
+// for outbound messages and merge inbound clock values into it, so
+// per-node traces order into one cross-node causal DAG. Distinct from
+// the controller's protocol timestamp clock, which is part of the
+// verified protocol state.
+func (r *Resource) TraceClock() *obs.Clock { return r.tel.clock }
+
 // Reports returns the malicious-participant reports seen here. The
 // returned slice is a copy: callers must not be able to mutate
 // protocol state.
@@ -507,10 +515,17 @@ func (r *Resource) propagateReport(tr Transport, rep MaliciousReport, from int) 
 	r.reports = append(r.reports, rep)
 	if from < 0 {
 		r.tel.reportsRaised.Inc()
-		r.tel.emit(obs.Event{Type: obs.EvReportRaise, Peer: rep.Accused, Detail: rep.Reason})
+		// Value carries the framing/evidence bit (DESIGN.md §10): 1 for a
+		// self-evident violation, 0 for a bare accusation — the forensics
+		// CLI surfaces the distinction in eviction reports. Rule keys the
+		// report object (accused/reporter) so one flood can be followed
+		// across nodes the way a rule's counter can.
+		r.tel.emit(obs.Event{Type: obs.EvReportRaise, Peer: rep.Accused, Detail: rep.Reason,
+			Rule: reportTraceKey(rep), Value: bool01(rep.Evidence)})
 	} else {
 		r.tel.reportsRecv.Inc()
-		r.tel.emit(obs.Event{Type: obs.EvReportRecv, Peer: from, Detail: rep.Reason})
+		r.tel.emit(obs.Event{Type: obs.EvReportRecv, Peer: from, Detail: rep.Reason,
+			Rule: reportTraceKey(rep), Value: bool01(rep.Evidence)})
 	}
 	for _, v := range r.neighbors {
 		if v != from {
@@ -520,6 +535,13 @@ func (r *Resource) propagateReport(tr Transport, rep MaliciousReport, from int) 
 	if r.cfg.Quarantine.Enabled {
 		r.considerEviction(tr, rep)
 	}
+}
+
+// reportTraceKey keys a MaliciousReport for trace events: filtering by
+// it follows one accusation's flood across every node, and the
+// forensics tooling parses the accused/reporter pair back out.
+func reportTraceKey(rep MaliciousReport) string {
+	return fmt.Sprintf("report:%d/%d", rep.Accused, rep.Reporter)
 }
 
 // considerEviction applies the quarantine policy to a newly recorded

@@ -11,6 +11,11 @@ type telemetry struct {
 	sink *obs.Sink
 	id   int
 	now  func() int64
+	// clock is the resource's causal trace clock (obs.Clock, distinct
+	// from the controller's protocol Lamport clock): every emitted event
+	// ticks it, and the hosting runtime ticks/merges it around message
+	// transfer, so per-node traces order into one cross-node DAG.
+	clock *obs.Clock
 
 	grantsSent   *obs.Counter
 	grantsRecv   *obs.Counter
@@ -37,7 +42,7 @@ type telemetry struct {
 func newTelemetry(id int, sink *obs.Sink, now func() int64) *telemetry {
 	reg := sink.Registry()
 	return &telemetry{
-		sink: sink, id: id, now: now,
+		sink: sink, id: id, now: now, clock: obs.NewClock(),
 		grantsSent:      reg.Counter("secmr_grants_sent_total", "Share grants transmitted (bootstrap, joins and lossy-link refresh)."),
 		grantsRecv:      reg.Counter("secmr_grants_recv_total", "Share grants received."),
 		countersSent:    reg.Counter("secmr_counters_sent_total", "Oblivious counters transmitted."),
@@ -56,13 +61,14 @@ func newTelemetry(id int, sink *obs.Sink, now func() int64) *telemetry {
 	}
 }
 
-// emit stamps the resource ID and step onto a trace event and records
-// it. Cost with tracing off: one pointer check.
+// emit stamps the resource ID, step and logical clock onto a trace
+// event and records it. Cost with tracing off: one pointer check.
 func (t *telemetry) emit(e obs.Event) {
 	if t == nil || t.sink == nil || t.sink.Tr == nil {
 		return
 	}
 	e.Node = t.id
 	e.Step = t.now()
+	e.LC = t.clock.Tick()
 	t.sink.Tr.Emit(e)
 }

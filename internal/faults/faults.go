@@ -103,11 +103,23 @@ type Stats struct {
 
 // Verdict is the fate of one message. When Drop is false, Extra holds
 // one extra-delay value (in ticks) per copy to deliver; len(Extra) is
-// 1 normally and 2 for a duplicated message.
+// 1 normally and 2 for a duplicated message. Cause names why a Drop
+// verdict fired ("crash", "partition-cut" or "injected"), so trace
+// events and loss forensics can attribute every lost message to the
+// fault that ate it.
 type Verdict struct {
 	Drop  bool
+	Cause string
 	Extra []int64
 }
+
+// Drop-cause vocabulary stamped into Verdict.Cause and, by the
+// runtimes, into EvMsgDrop trace details.
+const (
+	CauseCrash    = "crash"
+	CauseCut      = "partition-cut"
+	CauseInjected = "injected"
+)
 
 // Injector is the shared fault decision point. All methods are safe
 // for concurrent use.
@@ -132,6 +144,9 @@ type Injector struct {
 	recovered []int
 	// injected-fault counters, resolved once by SetObs (nil = off).
 	cDrop, cDup, cDelay, cCrash, cCut, cQueue, cReconn, cAmnesia, cCorrupt *obs.Counter
+	// tr receives adversary-activation trace events (EvCorrupt) — the
+	// anchor of an eviction's causal chain.
+	tr *obs.Tracer
 }
 
 // New builds an injector. The schedule is replayed by Advance in the
@@ -163,6 +178,7 @@ func (in *Injector) SetObs(sink *obs.Sink) {
 	in.cReconn = reg.Counter("secmr_faults_injected_total", help, "action", "reconnect")
 	in.cAmnesia = reg.Counter("secmr_faults_injected_total", help, "action", "crash_amnesia")
 	in.cCorrupt = reg.Counter("secmr_faults_injected_total", help, "action", "corrupt")
+	in.tr = sink.Tracer()
 }
 
 // Advance applies every scheduled event with At <= now. The simulator
@@ -203,6 +219,10 @@ func (in *Injector) Advance(now int64) {
 				in.byz[u] = true
 				in.stats.Corruptions++
 				in.cCorrupt.Inc()
+				// The activation event anchors eviction forensics: the
+				// causal chain behind an eviction starts here.
+				in.tr.Emit(obs.Event{Type: obs.EvCorrupt, Step: now, Node: u, Peer: -1,
+					Detail: "scheduled"})
 			}
 		}
 	}
@@ -216,6 +236,7 @@ func (in *Injector) Corrupt(node int) {
 		in.byz[node] = true
 		in.stats.Corruptions++
 		in.cCorrupt.Inc()
+		in.tr.Emit(obs.Event{Type: obs.EvCorrupt, Node: node, Peer: -1, Detail: "imperative"})
 	}
 	in.mu.Unlock()
 }
@@ -349,17 +370,17 @@ func (in *Injector) Decide(from, to int) Verdict {
 	if in.down[from] || in.down[to] {
 		in.stats.CrashDrops++
 		in.cCrash.Inc()
-		return Verdict{Drop: true}
+		return Verdict{Drop: true, Cause: CauseCrash}
 	}
 	if in.cutLocked(from, to) {
 		in.stats.CutDrops++
 		in.cCut.Inc()
-		return Verdict{Drop: true}
+		return Verdict{Drop: true, Cause: CauseCut}
 	}
 	if in.cfg.DropProb > 0 && in.rng.Float64() < in.cfg.DropProb {
 		in.stats.Dropped++
 		in.cDrop.Inc()
-		return Verdict{Drop: true}
+		return Verdict{Drop: true, Cause: CauseInjected}
 	}
 	copies := 1
 	if in.cfg.DupProb > 0 && in.rng.Float64() < in.cfg.DupProb {

@@ -1,0 +1,226 @@
+package forensics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"secmr/internal/obs"
+)
+
+// Accusation is one report_raise observed in the trace.
+type Accusation struct {
+	Reporter int
+	Accused  int
+	Reason   string
+	Evidence bool // the report carried cryptographic evidence
+	Step     int64
+}
+
+// EvictionStory is the forensic timeline of one accused member:
+// adversary activation (when the trace recorded it), the detections,
+// the report flood, and the resources that quarantined the accused.
+type EvictionStory struct {
+	Accused int
+	// ActivationStep is when fault injection flipped the accused
+	// Byzantine (-1 when the trace holds no corrupt event — either an
+	// always-on adversary or an honest member that was framed).
+	ActivationStep   int64
+	ActivationDetail string
+	// Accusations are the distinct (reporter, reason) detections.
+	Accusations []Accusation
+	// FloodRecv counts report_recv relays for this accused — how far
+	// the accusation propagated.
+	FloodRecv int
+	// Evictors are the resources that quarantined the accused, with
+	// the step it happened (sorted by node).
+	Evictors []EvictEvent
+}
+
+// EvictEvent is one resource's quarantine decision.
+type EvictEvent struct {
+	Node  int
+	Step  int64
+	Epoch int64 // post-eviction membership epoch (Event.Value)
+}
+
+// Reporters returns the distinct accusing resources, sorted.
+func (s *EvictionStory) Reporters() []int {
+	set := map[int]bool{}
+	for _, a := range s.Accusations {
+		set[a.Reporter] = true
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HasEvidence reports whether any accusation carried cryptographic
+// evidence (a single evidence-backed report suffices for eviction; a
+// bare accusation needs quorum corroboration — the framing defense,
+// DESIGN.md §10).
+func (s *EvictionStory) HasEvidence() bool {
+	for _, a := range s.Accusations {
+		if a.Evidence {
+			return true
+		}
+	}
+	return false
+}
+
+// EvictionForensics groups the trace's malicious-participant activity
+// by accused member.
+type EvictionForensics struct {
+	Stories []*EvictionStory // sorted by accused id
+}
+
+// parseReportKey splits the "report:accused/reporter" trace key the
+// core layer stamps on report events.
+func parseReportKey(rule string) (accused, reporter int, ok bool) {
+	rest, found := strings.CutPrefix(rule, "report:")
+	if !found {
+		return 0, 0, false
+	}
+	a, r, found := strings.Cut(rest, "/")
+	if !found {
+		return 0, 0, false
+	}
+	if _, err := fmt.Sscanf(a, "%d", &accused); err != nil {
+		return 0, 0, false
+	}
+	if _, err := fmt.Sscanf(r, "%d", &reporter); err != nil {
+		return 0, 0, false
+	}
+	return accused, reporter, true
+}
+
+// Evictions reconstructs every accused member's story from the DAG.
+func (d *DAG) Evictions() *EvictionForensics {
+	stories := map[int]*EvictionStory{}
+	story := func(accused int) *EvictionStory {
+		s := stories[accused]
+		if s == nil {
+			s = &EvictionStory{Accused: accused, ActivationStep: -1}
+			stories[accused] = s
+		}
+		return s
+	}
+	seenRaise := map[string]bool{}
+	for _, e := range d.Events {
+		switch e.Type {
+		case obs.EvCorrupt:
+			s := story(e.Node)
+			if s.ActivationStep < 0 {
+				s.ActivationStep = e.Step
+				s.ActivationDetail = e.Detail
+			}
+		case obs.EvReportRaise:
+			accused, reporter, ok := parseReportKey(e.Rule)
+			if !ok {
+				accused, reporter = e.Peer, e.Node
+			}
+			s := story(accused)
+			// The flood re-raises a report at every hop; count each
+			// distinct (reporter, reason) detection once.
+			key := fmt.Sprintf("%d/%d/%s", accused, reporter, e.Detail)
+			if seenRaise[key] {
+				continue
+			}
+			seenRaise[key] = true
+			s.Accusations = append(s.Accusations, Accusation{
+				Reporter: reporter, Accused: accused, Reason: e.Detail,
+				Evidence: e.Value != 0, Step: e.Step,
+			})
+		case obs.EvReportRecv:
+			if accused, _, ok := parseReportKey(e.Rule); ok {
+				story(accused).FloodRecv++
+			}
+		case obs.EvEvict:
+			if e.Detail == "transport-ban" {
+				continue // the TCP-layer mirror of a protocol eviction
+			}
+			s := story(e.Peer)
+			s.Evictors = append(s.Evictors, EvictEvent{Node: e.Node, Step: e.Step, Epoch: e.Value})
+		}
+	}
+	out := &EvictionForensics{}
+	for _, s := range stories {
+		sort.Slice(s.Accusations, func(i, j int) bool {
+			a, b := s.Accusations[i], s.Accusations[j]
+			if a.Step != b.Step {
+				return a.Step < b.Step
+			}
+			if a.Reporter != b.Reporter {
+				return a.Reporter < b.Reporter
+			}
+			return a.Reason < b.Reason
+		})
+		sort.Slice(s.Evictors, func(i, j int) bool {
+			a, b := s.Evictors[i], s.Evictors[j]
+			if a.Node != b.Node {
+				return a.Node < b.Node
+			}
+			return a.Step < b.Step
+		})
+		out.Stories = append(out.Stories, s)
+	}
+	sort.Slice(out.Stories, func(i, j int) bool {
+		return out.Stories[i].Accused < out.Stories[j].Accused
+	})
+	return out
+}
+
+// Evicted returns the members actually quarantined by at least one
+// resource, sorted.
+func (f *EvictionForensics) Evicted() []int {
+	var out []int
+	for _, s := range f.Stories {
+		if len(s.Evictors) > 0 {
+			out = append(out, s.Accused)
+		}
+	}
+	return out
+}
+
+// WriteText prints the eviction forensics, one timeline per accused.
+func (f *EvictionForensics) WriteText(w io.Writer) error {
+	if len(f.Stories) == 0 {
+		_, err := fmt.Fprintln(w, "no malicious-participant activity in trace")
+		return err
+	}
+	for _, s := range f.Stories {
+		fmt.Fprintf(w, "member %d:\n", s.Accused)
+		if s.ActivationStep >= 0 {
+			fmt.Fprintf(w, "  adversary activated     step=%d (%s)\n", s.ActivationStep, s.ActivationDetail)
+		} else {
+			fmt.Fprintf(w, "  no adversary activation in trace (always-on adversary, or a framed honest member)\n")
+		}
+		for _, a := range s.Accusations {
+			tag := "accusation"
+			if a.Evidence {
+				tag = "evidence  "
+			}
+			fmt.Fprintf(w, "  %s              step=%-6d reporter=%-3d reason=%q\n", tag, a.Step, a.Reporter, a.Reason)
+		}
+		if s.FloodRecv > 0 {
+			fmt.Fprintf(w, "  report flood            %d relayed receipts\n", s.FloodRecv)
+		}
+		reporters := s.Reporters()
+		switch {
+		case len(s.Evictors) == 0 && len(s.Accusations) > 0:
+			fmt.Fprintf(w, "  NOT evicted             %d reporter(s), no quorum or evidence\n", len(reporters))
+		case len(s.Evictors) > 0 && s.HasEvidence():
+			fmt.Fprintf(w, "  evicted on evidence     single cryptographic proof suffices\n")
+		case len(s.Evictors) > 0:
+			fmt.Fprintf(w, "  evicted on quorum       %d independent reporters corroborate %v\n", len(reporters), reporters)
+		}
+		for _, ev := range s.Evictors {
+			fmt.Fprintf(w, "  quarantined by %-3d      step=%-6d epoch=%d\n", ev.Node, ev.Step, ev.Epoch)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package forensics
+
+import (
+	"bytes"
+	"testing"
+
+	"secmr/internal/obs"
+)
+
+func withCC(e obs.Event, origin int, oseq int64, hops int) obs.Event {
+	return e.WithCausal(obs.CausalCtx{Origin: origin, OSeq: oseq, Hops: hops})
+}
+
+// syntheticRun is a two-hop relay: node 0 sends transmission (0,1) to
+// node 1, which relays as (1,5) to node 2; a second transmission (0,2)
+// is dropped by fault injection; a third (0,3) vanishes untraced.
+func syntheticRun() ([]obs.Event, []obs.Event, []obs.Event) {
+	n0 := []obs.Event{
+		{Step: 1, Type: obs.EvCounterSend, Node: 0, Peer: 1, Rule: "f{7}", LC: 1},
+		withCC(obs.Event{Step: 1, Type: obs.EvMsgSend, Node: 0, Peer: 1, LC: 1}, 0, 1, 1),
+		withCC(obs.Event{Step: 2, Type: obs.EvMsgSend, Node: 0, Peer: 2, LC: 2}, 0, 2, 1),
+		withCC(obs.Event{Step: 3, Type: obs.EvMsgSend, Node: 0, Peer: 2, LC: 3}, 0, 3, 1),
+	}
+	n1 := []obs.Event{
+		withCC(obs.Event{Step: 4, Type: obs.EvMsgDeliver, Node: 1, Peer: 0, LC: 2}, 0, 1, 1),
+		{Step: 4, Type: obs.EvCounterRecv, Node: 1, Peer: 0, Rule: "f{7}", LC: 3},
+		{Step: 4, Type: obs.EvCounterSend, Node: 1, Peer: 2, Rule: "f{7}", LC: 4},
+		withCC(obs.Event{Step: 4, Type: obs.EvMsgSend, Node: 1, Peer: 2, LC: 5}, 1, 5, 2),
+	}
+	n2 := []obs.Event{
+		withCC(obs.Event{Step: 2, Type: obs.EvMsgDrop, Node: 2, Peer: 0, Detail: "injected", LC: 1}, 0, 2, 1),
+		withCC(obs.Event{Step: 6, Type: obs.EvMsgDeliver, Node: 2, Peer: 1, LC: 6}, 1, 5, 2),
+		{Step: 6, Type: obs.EvCounterRecv, Node: 2, Peer: 1, Rule: "f{7}", LC: 7},
+		{Step: 20, Type: obs.EvOutputDec, Node: 2, Peer: -1, Rule: "f{7}", Value: 1, LC: 8},
+	}
+	return n0, n1, n2
+}
+
+func TestMergeDeterministicAcrossInputOrder(t *testing.T) {
+	n0, n1, n2 := syntheticRun()
+	a := Merge(n0, n1, n2)
+	b := Merge(n2, n0, n1)
+	var bufA, bufB bytes.Buffer
+	if err := a.WriteText(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteText(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() != bufB.String() {
+		t.Fatalf("merge order leaked into output:\n--- a\n%s--- b\n%s", bufA.String(), bufB.String())
+	}
+	if len(a.Events) != 12 || a.MaxStep != 20 {
+		t.Fatalf("merged %d events, horizon %d", len(a.Events), a.MaxStep)
+	}
+	// Transmission (0,1) has one send and one deliver, linked by key.
+	m := a.ByKey[MsgKey{Origin: 0, OSeq: 1}]
+	if m == nil || len(m.Sends) != 1 || len(m.Delivers) != 1 || len(m.Drops) != 0 {
+		t.Fatalf("transmission (0,1) mis-indexed: %+v", m)
+	}
+}
+
+func TestLossesClassification(t *testing.T) {
+	n0, n1, n2 := syntheticRun()
+	d := Merge(n0, n1, n2)
+	// Default grace (8): trace horizon is 20, so the untraced send at
+	// step 3 is judged (3+8 <= 20), not censored.
+	rep := d.Losses(0)
+	if rep.Total != 4 || rep.Delivered != 2 {
+		t.Fatalf("total=%d delivered=%d, want 4/2", rep.Total, rep.Delivered)
+	}
+	if len(rep.Lost) != 2 || rep.Censored != 0 {
+		t.Fatalf("lost=%d censored=%d, want 2/0", len(rep.Lost), rep.Censored)
+	}
+	byKey := map[MsgKey]Loss{}
+	for _, l := range rep.Lost {
+		byKey[l.Key] = l
+	}
+	if l := byKey[MsgKey{0, 2}]; l.Unexplained || len(l.Causes) != 1 || l.Causes[0] != "injected" {
+		t.Fatalf("injected drop misclassified: %+v", l)
+	}
+	if l := byKey[MsgKey{0, 3}]; !l.Unexplained || l.From != 0 || l.To != 2 {
+		t.Fatalf("untraced loss not flagged unexplained: %+v", l)
+	}
+	if got := rep.Unexplained(); len(got) != 1 || got[0].Key != (MsgKey{0, 3}) {
+		t.Fatalf("Unexplained() = %+v", got)
+	}
+	// A wide grace censors the untraced send instead of judging it.
+	rep = d.Losses(100)
+	if rep.Censored != 1 || len(rep.Unexplained()) != 0 {
+		t.Fatalf("grace=100: censored=%d unexplained=%d, want 1/0",
+			rep.Censored, len(rep.Unexplained()))
+	}
+	// The attributed drop is still a loss: drop records are conclusive
+	// regardless of grace.
+	if len(rep.Lost) != 1 || rep.Lost[0].Key != (MsgKey{0, 2}) {
+		t.Fatalf("grace=100: lost=%+v", rep.Lost)
+	}
+}
+
+func TestCriticalPathCrossesNodes(t *testing.T) {
+	n0, n1, n2 := syntheticRun()
+	d := Merge(n0, n1, n2)
+	path := d.CriticalPath("f{7}")
+	if len(path) == 0 {
+		t.Fatal("no path for a decided rule")
+	}
+	if last := path[len(path)-1]; last.Type != obs.EvOutputDec || last.Node != 2 {
+		t.Fatalf("path must end at the decision, got %+v", last)
+	}
+	// The walk must cross both hops: counter events at all three nodes.
+	nodes := map[int]bool{}
+	var sends, delivers int
+	for _, e := range path {
+		nodes[e.Node] = true
+		switch e.Type {
+		case obs.EvMsgSend:
+			sends++
+		case obs.EvMsgDeliver:
+			delivers++
+		}
+	}
+	if !nodes[0] || !nodes[1] || !nodes[2] {
+		t.Fatalf("path does not span all nodes: %v (path %v)", nodes, path)
+	}
+	if sends != 2 || delivers != 2 {
+		t.Fatalf("path has %d sends / %d delivers, want 2/2", sends, delivers)
+	}
+	// Causal order: every event's index in the merged DAG ascends.
+	if d.CriticalPath("no-such-rule") != nil {
+		t.Fatal("undecided rule produced a path")
+	}
+}
+
+func TestParseReportKey(t *testing.T) {
+	cases := []struct {
+		in                string
+		accused, reporter int
+		ok                bool
+	}{
+		{"report:4/2", 4, 2, true},
+		{"report:0/19", 0, 19, true},
+		{"report:4", 0, 0, false},
+		{"report:x/y", 0, 0, false},
+		{"f{7}", 0, 0, false},
+		{"", 0, 0, false},
+	}
+	for _, c := range cases {
+		a, r, ok := parseReportKey(c.in)
+		if a != c.accused || r != c.reporter || ok != c.ok {
+			t.Errorf("parseReportKey(%q) = (%d,%d,%v), want (%d,%d,%v)",
+				c.in, a, r, ok, c.accused, c.reporter, c.ok)
+		}
+	}
+}
+
+func TestEvictionForensics(t *testing.T) {
+	trace := []obs.Event{
+		// Member 4 activates, is detected with evidence by node 2, the
+		// report floods (relayed raises dedup away), three nodes evict.
+		{Step: 100, Type: obs.EvCorrupt, Node: 4, Peer: -1, Detail: "scheduled"},
+		{Step: 120, Type: obs.EvReportRaise, Node: 2, Peer: 4, Rule: "report:4/2", Detail: "forged share", Value: 1},
+		{Step: 121, Type: obs.EvReportRecv, Node: 0, Peer: 2, Rule: "report:4/2"},
+		{Step: 121, Type: obs.EvReportRaise, Node: 0, Peer: 4, Rule: "report:4/2", Detail: "forged share", Value: 1}, // relay re-raise
+		{Step: 122, Type: obs.EvReportRecv, Node: 1, Peer: 0, Rule: "report:4/2"},
+		{Step: 125, Type: obs.EvEvict, Node: 0, Peer: 4, Value: 2},
+		{Step: 125, Type: obs.EvEvict, Node: 1, Peer: 4, Value: 2},
+		{Step: 126, Type: obs.EvEvict, Node: 2, Peer: 4, Value: 2},
+		{Step: 126, Type: obs.EvEvict, Node: 2, Peer: 4, Detail: "transport-ban", Value: 2}, // TCP mirror, skipped
+		// Member 3 is framed: two bare accusations, never evicted.
+		{Step: 200, Type: obs.EvReportRaise, Node: 5, Peer: 3, Rule: "report:3/5", Detail: "stale timestamp"},
+		{Step: 201, Type: obs.EvReportRaise, Node: 6, Peer: 3, Rule: "report:3/6", Detail: "stale timestamp"},
+	}
+	f := Merge(trace).Evictions()
+	if len(f.Stories) != 2 {
+		t.Fatalf("%d stories, want 2", len(f.Stories))
+	}
+	if got := f.Evicted(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("Evicted() = %v, want [4]", got)
+	}
+	framed, cheater := f.Stories[0], f.Stories[1]
+	if cheater.Accused != 4 || cheater.ActivationStep != 100 || cheater.ActivationDetail != "scheduled" {
+		t.Fatalf("cheater story: %+v", cheater)
+	}
+	if !cheater.HasEvidence() {
+		t.Fatal("evidence bit lost")
+	}
+	// The relay re-raise by node 0 carries the original reporter in its
+	// rule key, so the flood collapses to the one true detection.
+	if got := cheater.Reporters(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("reporters = %v, want [2]", got)
+	}
+	if len(cheater.Accusations) != 1 {
+		t.Fatalf("relay re-raises not deduped: %+v", cheater.Accusations)
+	}
+	if cheater.FloodRecv != 2 {
+		t.Fatalf("flood recv = %d, want 2", cheater.FloodRecv)
+	}
+	if len(cheater.Evictors) != 3 {
+		t.Fatalf("evictors = %+v (transport-ban must not count)", cheater.Evictors)
+	}
+	if framed.Accused != 3 || framed.ActivationStep != -1 || len(framed.Evictors) != 0 {
+		t.Fatalf("framed story: %+v", framed)
+	}
+	if framed.HasEvidence() {
+		t.Fatal("bare accusations must not count as evidence")
+	}
+	var buf bytes.Buffer
+	if err := f.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"adversary activated     step=100 (scheduled)",
+		"evicted on evidence",
+		"NOT evicted",
+		"framed honest member",
+		"report flood            2 relayed receipts",
+	} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

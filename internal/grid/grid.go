@@ -42,6 +42,9 @@ type message struct {
 	// extra is injected delay in link-delay ticks (scaled by
 	// DelayUnit at the forwarder).
 	extra int64
+	// cc is the message's causal context, minted at send time;
+	// fault-injected duplicates share their original's identity.
+	cc obs.CausalCtx
 }
 
 // Stats aggregates runtime counters.
@@ -86,8 +89,11 @@ type Runtime struct {
 	obsDropped   *obs.Counter
 	obsPendGauge *obs.Gauge
 
-	inboxes     []chan message
-	links       map[[2]int]chan message // per-directed-edge FIFO queues
+	inboxes []chan message
+	links   map[[2]int]chan message // per-directed-edge FIFO queues
+	// clocks holds one causal trace clock per node (atomic, so the
+	// sender tick and receiver merge never race).
+	clocks      []*obs.Clock
 	outstanding atomic.Int64
 	delivered   atomic.Int64
 	dropped     atomic.Int64
@@ -105,8 +111,10 @@ func NewRuntime(g *topology.Graph, actors []Actor) *Runtime {
 	r := &Runtime{g: g, actors: actors, quiet: make(chan struct{}),
 		links: map[[2]int]chan message{}}
 	r.inboxes = make([]chan message, g.N)
+	r.clocks = make([]*obs.Clock, g.N)
 	for i := range r.inboxes {
 		r.inboxes[i] = make(chan message, 4096)
+		r.clocks[i] = obs.NewClock()
 	}
 	// One FIFO queue per directed edge: Scalable-Majority (like most
 	// gossip protocols) assumes per-link ordering; a shared unordered
@@ -119,16 +127,20 @@ func NewRuntime(g *topology.Graph, actors []Actor) *Runtime {
 }
 
 // send enqueues a delivery on the link's FIFO queue, applying fault
-// injection. Blocks only if the link buffer (4096) fills — far beyond
-// what the quiescing protocols here generate.
-func (r *Runtime) send(from, to int, payload any) {
+// injection. hops is the chain depth of the delivery the caller is
+// currently handling (0 from OnStart). Blocks only if the link buffer
+// (4096) fills — far beyond what the quiescing protocols here generate.
+func (r *Runtime) send(from, to int, payload any, hops int) {
 	ch, ok := r.links[[2]int{from, to}]
 	if !ok {
 		panic(fmt.Sprintf("grid: %d -> %d is not an edge", from, to))
 	}
 	r.obsSent.Inc()
+	// One sender-clock tick per send mints the message's causal
+	// identity; fault-injected duplicates share it.
+	cc := obs.CausalCtx{Origin: from, OSeq: r.clocks[from].Tick(), Hops: hops + 1}
 	if r.Obs != nil && r.Obs.Tr != nil {
-		r.Obs.Tr.Emit(obs.Event{Type: obs.EvMsgSend, Node: from, Peer: to})
+		r.Obs.Tr.Emit(obs.Event{Type: obs.EvMsgSend, Node: from, Peer: to, LC: cc.OSeq}.WithCausal(cc))
 	}
 	if r.Inject != nil {
 		v := r.Inject.Decide(from, to)
@@ -136,20 +148,24 @@ func (r *Runtime) send(from, to int, payload any) {
 			r.dropped.Add(1)
 			r.obsDropped.Inc()
 			if r.Obs != nil && r.Obs.Tr != nil {
-				r.Obs.Tr.Emit(obs.Event{Type: obs.EvMsgDrop, Node: from, Peer: to, Detail: "injected"})
+				cause := v.Cause
+				if cause == "" {
+					cause = faults.CauseInjected
+				}
+				r.Obs.Tr.Emit(obs.Event{Type: obs.EvMsgDrop, Node: from, Peer: to, Detail: cause}.WithCausal(cc))
 			}
 			return
 		}
 		for _, extra := range v.Extra {
 			r.outstanding.Add(1)
 			r.obsPendGauge.Add(1)
-			ch <- message{from: from, payload: payload, extra: extra}
+			ch <- message{from: from, payload: payload, extra: extra, cc: cc}
 		}
 		return
 	}
 	r.outstanding.Add(1)
 	r.obsPendGauge.Add(1)
-	ch <- message{from: from, payload: payload}
+	ch <- message{from: from, payload: payload, cc: cc}
 }
 
 // forward drains one directed link into the recipient's inbox,
@@ -224,7 +240,12 @@ func (r *Runtime) Run(ctx context.Context) bool {
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
-			sendFn := func(to int, payload any) { r.send(i, to, payload) }
+			// inHops is the hop count of the delivery currently being
+			// handled (0 outside OnMessage). It is goroutine-local —
+			// callbacks run on this goroutine only — so relayed sends
+			// inherit the chain depth without any locking.
+			inHops := 0
+			sendFn := func(to int, payload any) { r.send(i, to, payload, inHops) }
 			// The live actor is goroutine-local: a crash-with-amnesia
 			// recovery swaps it here, never in the shared slice, so no
 			// other goroutine ever observes the replacement racily.
@@ -259,16 +280,21 @@ func (r *Runtime) Run(ctx context.Context) bool {
 						r.dropped.Add(1)
 						r.obsDropped.Inc()
 						if r.Obs != nil && r.Obs.Tr != nil {
-							r.Obs.Tr.Emit(obs.Event{Type: obs.EvMsgDrop, Node: m.from, Peer: i, Detail: "receiver-down"})
+							r.Obs.Tr.Emit(obs.Event{Type: obs.EvMsgDrop, Node: m.from, Peer: i, Detail: faults.CauseCrash}.WithCausal(m.cc))
 						}
 						r.release()
 						continue
 					}
+					// Merge before the handler so any events it emits (via
+					// its own clock) order after the matching send.
+					lc := r.clocks[i].Merge(m.cc.OSeq)
+					inHops = m.cc.Hops
 					actor.OnMessage(i, m.from, m.payload, sendFn)
+					inHops = 0
 					r.delivered.Add(1)
 					r.obsDelivered.Inc()
 					if r.Obs != nil && r.Obs.Tr != nil {
-						r.Obs.Tr.Emit(obs.Event{Type: obs.EvMsgDeliver, Node: i, Peer: m.from})
+						r.Obs.Tr.Emit(obs.Event{Type: obs.EvMsgDeliver, Node: i, Peer: m.from, LC: lc}.WithCausal(m.cc))
 					}
 					r.release()
 				}

@@ -199,7 +199,7 @@ func TestNonEdgeSendPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	rt.send(0, 0, nil)
+	rt.send(0, 0, nil, 0)
 }
 
 func TestInjectDropsReduceDeliveriesButQuiesce(t *testing.T) {

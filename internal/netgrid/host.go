@@ -8,6 +8,7 @@ import (
 	"secmr/internal/arm"
 	"secmr/internal/core"
 	"secmr/internal/homo"
+	"secmr/internal/obs"
 )
 
 // Host runs one complete Secure-Majority-Rule resource (broker +
@@ -28,6 +29,11 @@ type Host struct {
 	wg        sync.WaitGroup
 	logf      func(string, ...any)
 	legacyGob bool // encode outbound frames with the legacy gob envelope
+	noCausal  bool // omit the causal-context wire envelope on sends
+	// inHops is the hop count of the inbound message currently being
+	// handled (0 outside handle), so relayed sends inherit the chain
+	// depth. Guarded by h.mu — every resource callback runs under it.
+	inHops int
 	// onClose, when set, releases host-owned durability state (the
 	// journal a RecoverHost attached) after the ticker stops.
 	onClose func()
@@ -39,13 +45,21 @@ type hostTransport struct{ h *Host }
 func (t hostTransport) Send(to int, msg any) {
 	var frame []byte
 	var err error
-	if t.h.legacyGob {
+	switch {
+	case t.h.legacyGob:
 		frame, err = core.EncodeMessageLegacy(msg)
-	} else {
+	case t.h.noCausal:
 		// Encode into a pooled buffer; Node.Send takes ownership and
 		// recycles it once the bytes reach the socket, so the steady
 		// state allocates nothing here.
 		frame, err = core.AppendMessage(getFrameBuf(), msg)
+	default:
+		// Same pooled-buffer path, with the causal-context envelope
+		// prefixed: one sender-clock tick per message, hop depth
+		// inherited from the inbound message being handled (Send always
+		// runs under h.mu, which guards inHops).
+		cc := obs.CausalCtx{Origin: t.h.node.ID(), OSeq: t.h.res.TraceClock().Tick(), Hops: t.h.inHops + 1}
+		frame, err = core.AppendMessageCtx(getFrameBuf(), msg, cc)
 	}
 	if err != nil {
 		t.h.logf("netgrid host %d: encode: %v", t.h.node.ID(), err)
@@ -72,9 +86,16 @@ func NewHost(id int, res *core.Resource, adopter homo.Adopter) (*Host, error) {
 func NewHostWithOptions(id int, res *core.Resource, adopter homo.Adopter, opt Options) (*Host, error) {
 	h := &Host{res: res, adopter: adopter, done: make(chan struct{}),
 		logf:      log.New(log.Writer(), "", 0).Printf,
-		legacyGob: opt.Wire.LegacyGob}
+		legacyGob: opt.Wire.LegacyGob,
+		noCausal:  opt.Wire.NoCausalCtx}
 	if opt.Logf != nil {
 		h.logf = opt.Logf
+	}
+	if opt.Clock == nil {
+		// Share the resource's trace clock with the transport, so frame
+		// deliver events and the resource's own events interleave in one
+		// Lamport order.
+		opt.Clock = res.TraceClock()
 	}
 	node, err := StartWithOptions(id, h.handle, opt)
 	if err != nil {
@@ -109,16 +130,21 @@ func (h *Host) OutputSnapshot() arm.RuleSet {
 	return h.res.Output()
 }
 
-// handle decodes one inbound frame and hands it to the resource.
+// handle decodes one inbound frame and hands it to the resource. The
+// frame's causal context (merged into the trace clock by the dispatch
+// loop) scopes the hop depth around HandleMessage, so messages the
+// resource sends in response extend the chain.
 func (h *Host) handle(from int, frame []byte) {
-	msg, err := core.DecodeMessage(frame, h.adopter)
+	msg, cc, err := core.DecodeMessageCtx(frame, h.adopter)
 	if err != nil {
 		h.logf("netgrid host %d: dropping malformed frame from %d: %v", h.node.ID(), from, err)
 		return
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.inHops = cc.Hops
 	h.res.HandleMessage(hostTransport{h}, from, msg)
+	h.inHops = 0
 	h.syncBansLocked()
 }
 

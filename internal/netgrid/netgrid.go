@@ -115,6 +115,13 @@ type Options struct {
 	// counters, a parked-queue gauge, and reconnect / heartbeat-miss
 	// trace events. All hooks are nil-safe.
 	Obs *obs.Sink
+	// Clock, when set, is the node's causal trace clock: inbound frames
+	// carrying a causal context (core.AppendMessageCtx) merge their
+	// origin clock value into it before dispatch, so the handler's own
+	// trace events order after the matching send. Host wires the
+	// resource's TraceClock here. Nil disables merging (events still
+	// carry whatever context the frame holds).
+	Clock *obs.Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -668,13 +675,17 @@ func (n *Node) dispatchLoop() {
 		case <-n.done:
 			return
 		case f := <-n.inbox:
+			cc, _ := core.PeekCausalCtx(f.payload)
 			if n.Banned(f.from) {
 				// Frames already in flight when the ban landed.
-				n.emit(obs.Event{Type: obs.EvMsgDrop, Node: n.id, Peer: f.from, Detail: "banned"})
+				n.emit(obs.Event{Type: obs.EvMsgDrop, Node: n.id, Peer: f.from, Detail: "banned"}.WithCausal(cc))
 				continue
 			}
 			n.cFramesRecv.Inc()
-			n.emit(obs.Event{Type: obs.EvMsgDeliver, Node: n.id, Peer: f.from})
+			// Merge before the handler runs, so the events it emits
+			// order after the matching send.
+			lc := n.opt.Clock.Merge(cc.OSeq)
+			n.emit(obs.Event{Type: obs.EvMsgDeliver, Node: n.id, Peer: f.from, LC: lc}.WithCausal(cc))
 			n.handler(f.from, f.payload)
 		}
 	}
@@ -800,7 +811,12 @@ func (n *Node) Send(to int, frame []byte) error {
 	if inj := n.opt.Faults; inj != nil {
 		v := inj.Decide(n.id, to)
 		if v.Drop {
-			n.emit(obs.Event{Type: obs.EvMsgDrop, Node: n.id, Peer: to, Detail: "injected"})
+			cause := v.Cause
+			if cause == "" {
+				cause = faults.CauseInjected
+			}
+			cc, _ := core.PeekCausalCtx(frame)
+			n.emit(obs.Event{Type: obs.EvMsgDrop, Node: n.id, Peer: to, Detail: cause}.WithCausal(cc))
 			putFrameBuf(frame)
 			return nil // lost in transit: indistinguishable from a send
 		}
@@ -842,12 +858,15 @@ func (n *Node) enqueueLocked(p *peer, f outFrame) {
 		p.queue[0] = outFrame{}
 		p.queue = p.queue[1:]
 		p.qBytes -= len(old.data)
+		// Peek the causal context before the buffer re-enters the pool
+		// (a pooled buffer may be reused by another goroutine at once).
+		cc, _ := core.PeekCausalCtx(old.data)
 		putFrameBuf(old.data)
 		n.gParked.Add(-1)
 		if inj := n.opt.Faults; inj != nil {
 			inj.CountQueueDrop()
 		}
-		n.emit(obs.Event{Type: obs.EvMsgDrop, Node: n.id, Peer: p.id, Detail: "queue-overflow"})
+		n.emit(obs.Event{Type: obs.EvMsgDrop, Node: n.id, Peer: p.id, Detail: "queue-overflow"}.WithCausal(cc))
 	}
 	p.queue = append(p.queue, f)
 	p.qBytes += len(f.data)
@@ -965,7 +984,8 @@ func (n *Node) writeBatch(p *peer, conn net.Conn, batch []outFrame) error {
 	n.cWireFrames.Inc()
 	n.hMsgsPerFrame.Observe(float64(len(batch)))
 	for _, f := range batch {
-		n.emit(obs.Event{Type: obs.EvMsgSend, Node: n.id, Peer: p.id})
+		cc, _ := core.PeekCausalCtx(f.data)
+		n.emit(obs.Event{Type: obs.EvMsgSend, Node: n.id, Peer: p.id, LC: cc.OSeq}.WithCausal(cc))
 		putFrameBuf(f.data)
 	}
 	putFrameBuf(wb)

@@ -1,0 +1,76 @@
+package obs
+
+import "sync/atomic"
+
+// Clock is a per-node Lamport logical clock for causal tracing. It is
+// independent of the protocol's own timestamp clock (core.Controller
+// keeps one for verification); this clock only orders trace events, so
+// per-node JSONL traces from different machines merge into one causal
+// DAG. All methods are nil-safe and lock-free.
+//
+// The first Tick returns 1, so a logical-clock value of 0 always means
+// "no causal information" — CausalCtx.Valid relies on this.
+type Clock struct {
+	v atomic.Int64
+}
+
+// NewClock returns a clock at 0 (first Tick yields 1).
+func NewClock() *Clock { return &Clock{} }
+
+// Tick advances the clock for a local event and returns the new value.
+func (c *Clock) Tick() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Add(1)
+}
+
+// Merge folds a remote clock value into the local clock on message
+// receipt (Lamport receive rule: max(local, remote)+1) and returns the
+// new value, so every post-receipt local event is ordered after the
+// send.
+func (c *Clock) Merge(remote int64) int64 {
+	if c == nil {
+		return 0
+	}
+	for {
+		cur := c.v.Load()
+		next := cur
+		if remote > next {
+			next = remote
+		}
+		next++
+		if c.v.CompareAndSwap(cur, next) {
+			return next
+		}
+	}
+}
+
+// Now returns the current value without advancing.
+func (c *Clock) Now() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// CausalCtx is the compact causal context a message carries on the
+// wire: the node that originated this transmission, that node's
+// logical-clock value at send time, and how many message hops the
+// causal chain behind it spans (a fresh send is hop 1; a message sent
+// while handling another message — a report relay, a re-aggregated
+// counter — is the inbound hop count plus one).
+//
+// (Origin, OSeq) identifies one transmission: OSeq comes from the
+// origin's Clock.Tick, so it is unique per origin, and fault-injected
+// duplicates intentionally share their original's identity.
+type CausalCtx struct {
+	Origin int
+	OSeq   int64
+	Hops   int
+}
+
+// Valid reports whether the context carries causal information. OSeq
+// is never 0 for a real context (Tick starts at 1), which keeps the
+// zero value unambiguous even though Origin 0 is a legal node id.
+func (cc CausalCtx) Valid() bool { return cc.OSeq > 0 }

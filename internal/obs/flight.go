@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FlightRecorder is the black-box counterpart of the live introspection
+// server: on notable incidents (a convergence stall, an eviction, a
+// crash-with-amnesia recovery) it dumps the current trace ring, a
+// metrics snapshot and the watchdog state to a bounded on-disk
+// directory — so a post-mortem works even when nobody was scraping
+// /metrics while the grid degraded.
+//
+// Each Dump writes one directory named <seq>-<reason> containing
+//
+//	trace.jsonl  — the tracer ring (WriteJSONL, unfiltered)
+//	metrics.prom — the registry in Prometheus text format
+//	state.json   — reason, dump seq, stalled resources, caller extras
+//
+// assembled in a hidden temp directory and renamed into place, so a
+// reader (secmr-trace flight) never observes a half-written dump. Only
+// the newest MaxDumps dumps are retained; older ones are pruned after
+// each write. The recorder keeps no wall-clock state — dump ordering is
+// the monotone sequence number — so runs stay deterministic.
+//
+// All methods are nil-safe: a nil recorder records nothing.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	dir  string
+	sink *Sink
+	wd   *Watchdog
+	max  int
+	seq  int
+}
+
+// FlightOptions tunes the recorder.
+type FlightOptions struct {
+	// MaxDumps bounds the retained dump directories (default 16).
+	MaxDumps int
+}
+
+// NewFlightRecorder opens (creating if needed) the dump directory and
+// resumes the sequence number past any dumps already present, so a
+// restarted process never overwrites its predecessor's evidence.
+func NewFlightRecorder(dir string, sink *Sink, wd *Watchdog, opt FlightOptions) (*FlightRecorder, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if opt.MaxDumps <= 0 {
+		opt.MaxDumps = 16
+	}
+	f := &FlightRecorder{dir: dir, sink: sink, wd: wd, max: opt.MaxDumps}
+	for _, name := range listDumps(dir) {
+		if n := dumpSeq(name); n > f.seq {
+			f.seq = n
+		}
+	}
+	return f, nil
+}
+
+// listDumps returns the dump directory names under dir, sorted (the
+// zero-padded seq prefix makes lexicographic order chronological).
+func listDumps(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() && dumpSeq(e.Name()) > 0 {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dumpSeq parses the sequence number from a dump directory name
+// ("0007-evict" → 7); 0 means not a dump.
+func dumpSeq(name string) int {
+	num, _, ok := strings.Cut(name, "-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n
+}
+
+// Dump writes one incident dump and returns its directory. reason is
+// sanitized into the directory name; extra fields are merged into
+// state.json. Errors are returned but a failed dump never disturbs the
+// recorder's state beyond a leaked temp directory.
+func (f *FlightRecorder) Dump(reason string, extra map[string]any) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	name := fmt.Sprintf("%04d-%s", f.seq, sanitizeReason(reason))
+	tmp := filepath.Join(f.dir, ".tmp-"+name)
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return "", err
+	}
+
+	var trace bytes.Buffer
+	if tr := f.sink.Tracer(); tr != nil {
+		if err := tr.WriteJSONL(&trace, Filter{}); err != nil {
+			return "", err
+		}
+	}
+	var metrics bytes.Buffer
+	if reg := f.sink.Registry(); reg != nil {
+		if err := reg.WritePrometheus(&metrics); err != nil {
+			return "", err
+		}
+	}
+	state := map[string]any{
+		"reason":  reason,
+		"seq":     f.seq,
+		"stalled": f.wd.Stalled(),
+		// trace_evicted counts ring-buffer evictions: how many events the
+		// bounded tracer discarded before this dump (trace completeness).
+		"trace_evicted": f.sink.Tracer().Evicted(),
+	}
+	for k, v := range extra {
+		state[k] = v
+	}
+	stateJSON, err := json.MarshalIndent(state, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	for file, data := range map[string][]byte{
+		"trace.jsonl":  trace.Bytes(),
+		"metrics.prom": metrics.Bytes(),
+		"state.json":   append(stateJSON, '\n'),
+	} {
+		if err := os.WriteFile(filepath.Join(tmp, file), data, 0o644); err != nil {
+			return "", err
+		}
+	}
+	final := filepath.Join(f.dir, name)
+	if err := os.Rename(tmp, final); err != nil {
+		return "", err
+	}
+	f.pruneLocked()
+	return final, nil
+}
+
+// pruneLocked removes the oldest dumps beyond the retention bound;
+// caller holds f.mu.
+func (f *FlightRecorder) pruneLocked() {
+	dumps := listDumps(f.dir)
+	for len(dumps) > f.max {
+		os.RemoveAll(filepath.Join(f.dir, dumps[0]))
+		dumps = dumps[1:]
+	}
+}
+
+// sanitizeReason maps a free-form reason onto a filesystem-safe slug.
+func sanitizeReason(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('-')
+		}
+	}
+	if b.Len() == 0 {
+		return "dump"
+	}
+	return b.String()
+}
+
+// FlightDump is one loaded incident dump.
+type FlightDump struct {
+	// Dir is the dump directory.
+	Dir string
+	// State is the parsed state.json.
+	State map[string]any
+	// Events is the parsed trace ring.
+	Events []Event
+	// Metrics is the raw Prometheus text snapshot.
+	Metrics string
+}
+
+// ReadFlightDump loads one dump directory written by Dump.
+func ReadFlightDump(dir string) (*FlightDump, error) {
+	d := &FlightDump{Dir: dir}
+	stateRaw, err := os.ReadFile(filepath.Join(dir, "state.json"))
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(stateRaw, &d.State); err != nil {
+		return nil, fmt.Errorf("obs: parsing %s state: %w", dir, err)
+	}
+	traceF, err := os.Open(filepath.Join(dir, "trace.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	d.Events, err = ReadJSONL(traceF)
+	traceF.Close()
+	if err != nil {
+		return nil, fmt.Errorf("obs: parsing %s trace: %w", dir, err)
+	}
+	metrics, err := os.ReadFile(filepath.Join(dir, "metrics.prom"))
+	if err != nil {
+		return nil, err
+	}
+	d.Metrics = string(metrics)
+	return d, nil
+}
+
+// ListFlightDumps returns the dump directories under dir, oldest first.
+func ListFlightDumps(dir string) []string {
+	names := listDumps(dir)
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		out = append(out, filepath.Join(dir, n))
+	}
+	return out
+}

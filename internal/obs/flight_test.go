@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testFlightSink builds a sink with a few ring events and one metric,
+// so dumps have recognizable content.
+func testFlightSink(t *testing.T) *Sink {
+	t.Helper()
+	s := NewSink()
+	s.Reg.Counter("secmr_flight_test_total", "test").Add(7)
+	s.Emit(Event{Type: EvMsgSend, Node: 1, Peer: 2, Step: 10})
+	s.Emit(Event{Type: EvMsgDeliver, Node: 2, Peer: 1, Step: 11})
+	return s
+}
+
+func TestFlightRecorderDumpRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sink := testFlightSink(t)
+	wd := NewWatchdog(2, 0.01, 0.99)
+	wd.Observe(3, 0.5)
+	wd.Observe(3, 0.5)
+	wd.Observe(3, 0.5) // trips: 3 is stalled
+	fr, err := NewFlightRecorder(dir, sink, wd, FlightOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, err := fr.Dump("evict", map[string]any{"evicted_member": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(dump) != "0001-evict" {
+		t.Fatalf("dump dir = %s, want 0001-evict", dump)
+	}
+	fd, err := ReadFlightDump(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.State["reason"] != "evict" {
+		t.Fatalf("reason = %v", fd.State["reason"])
+	}
+	if fd.State["evicted_member"] != float64(4) {
+		t.Fatalf("extra field lost: %v", fd.State["evicted_member"])
+	}
+	stalled, _ := fd.State["stalled"].([]any)
+	if len(stalled) != 1 || stalled[0] != float64(3) {
+		t.Fatalf("stalled = %v, want [3]", fd.State["stalled"])
+	}
+	if len(fd.Events) != 2 || fd.Events[0].Type != EvMsgSend {
+		t.Fatalf("trace ring not captured: %+v", fd.Events)
+	}
+	if !strings.Contains(fd.Metrics, "secmr_flight_test_total 7") {
+		t.Fatalf("metrics snapshot missing counter:\n%s", fd.Metrics)
+	}
+	// A second dump with a reason needing sanitization.
+	if d2, err := fr.Dump("Crash / Recovery!", nil); err != nil {
+		t.Fatal(err)
+	} else if filepath.Base(d2) != "0002-crash---recovery-" {
+		t.Fatalf("unsanitized dump name %s", d2)
+	}
+	if got := ListFlightDumps(dir); len(got) != 2 {
+		t.Fatalf("ListFlightDumps = %v", got)
+	}
+}
+
+func TestFlightRecorderRetentionAndSeqResume(t *testing.T) {
+	dir := t.TempDir()
+	sink := testFlightSink(t)
+	fr, err := NewFlightRecorder(dir, sink, nil, FlightOptions{MaxDumps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := fr.Dump("stall", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dumps := ListFlightDumps(dir)
+	if len(dumps) != 3 {
+		t.Fatalf("retention kept %d dumps, want 3: %v", len(dumps), dumps)
+	}
+	if filepath.Base(dumps[0]) != "0003-stall" || filepath.Base(dumps[2]) != "0005-stall" {
+		t.Fatalf("pruned the wrong dumps: %v", dumps)
+	}
+	// A restarted recorder resumes past the surviving evidence instead
+	// of overwriting it.
+	fr2, err := NewFlightRecorder(dir, sink, nil, FlightOptions{MaxDumps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fr2.Dump("recover", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(d) != "0006-recover" {
+		t.Fatalf("seq did not resume from disk: %s", d)
+	}
+	// No half-written temp directories left behind.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("leaked temp dump %s", e.Name())
+		}
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	if dir, err := fr.Dump("stall", nil); err != nil || dir != "" {
+		t.Fatalf("nil recorder Dump = (%q, %v)", dir, err)
+	}
+	if got := ListFlightDumps(filepath.Join(t.TempDir(), "missing")); len(got) != 0 {
+		t.Fatalf("missing dir listed dumps: %v", got)
+	}
+}

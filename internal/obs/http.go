@@ -28,6 +28,12 @@ type ServerOpts struct {
 func NewMux(o ServerOpts) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if o.Registry == nil {
+			// Match /trace: a sink configured with only a Tracer serves
+			// 404 here instead of panicking on the nil registry.
+			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = o.Registry.WritePrometheus(w)
 	})
@@ -39,6 +45,12 @@ func NewMux(o ServerOpts) *http.ServeMux {
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")
+		// The Health provider downgrades the status (stalled resources,
+		// evictions); anything but "ok" is surfaced as 503 so load
+		// balancers and probes see the degradation without parsing JSON.
+		if s, ok := body["status"].(string); ok && s != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
 		_ = json.NewEncoder(w).Encode(body)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTracerRingAccountingConcurrent hammers a small ring from many
+// goroutines and checks the conservation law: every accepted event is
+// either still in the ring or counted as evicted.
+func TestTracerRingAccountingConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 500
+		ringCap    = 64
+	)
+	tr := NewTracer(ringCap)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr.Emit(Event{Type: EvMsgSend, Node: g, Step: int64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := int64(goroutines * perG)
+	if got := int64(tr.Len()) + tr.Evicted(); got != total {
+		t.Fatalf("ring accounting: Len(%d) + Evicted(%d) = %d, want %d",
+			tr.Len(), tr.Evicted(), got, total)
+	}
+	if tr.Len() != ringCap {
+		t.Fatalf("ring holds %d events, want full capacity %d", tr.Len(), ringCap)
+	}
+	// Seq must be unique and dense across concurrent emitters.
+	seen := map[int64]bool{}
+	for _, e := range tr.Events(Filter{}) {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+// TestHealthzDegraded covers the 503 path: a Health provider that
+// downgrades status must flip the HTTP code so probes notice without
+// parsing JSON.
+func TestHealthzDegraded(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", ServerOpts{
+		Health: func() map[string]any {
+			return map[string]any{"status": "degraded", "stalled": []int{3}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"status":"degraded"`) {
+		t.Fatalf("healthz body: %s", body)
+	}
+	// /metrics and /trace without backends must 404, not panic.
+	for _, path := range []string{"/metrics", "/trace"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s with nil backend = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestTraceFilterParsing covers the query-parameter edge cases of the
+// /trace endpoint: comma lists, whitespace, unknown types, bad ints.
+func TestTraceFilterParsing(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Emit(Event{Type: EvMsgSend, Node: 0})
+	tr.Emit(Event{Type: EvMsgDeliver, Node: 1})
+	tr.Emit(Event{Type: EvMsgSend, Node: 2})
+	srv, err := Serve("127.0.0.1:0", ServerOpts{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(q string) (int, []Event) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + "/trace" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			return resp.StatusCode, nil
+		}
+		evs, err := ReadJSONL(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, evs
+	}
+	if code, evs := get(""); code != 200 || len(evs) != 3 {
+		t.Fatalf("unfiltered: %d, %d events", code, len(evs))
+	}
+	// Comma list with surrounding whitespace.
+	if code, evs := get("?node=0,%202"); code != 200 || len(evs) != 2 {
+		t.Fatalf("node list: %d, %d events", code, len(evs))
+	}
+	// Unknown event type is a valid (empty) filter, not an error.
+	if code, evs := get("?type=no-such-event"); code != 200 || len(evs) != 0 {
+		t.Fatalf("unknown type: %d, %d events", code, len(evs))
+	}
+	// Trailing comma in the list is tolerated.
+	if code, evs := get("?type=msg_send,"); code != 200 || len(evs) != 2 {
+		t.Fatalf("trailing comma: %d, %d events", code, len(evs))
+	}
+	// Non-integer node is a client error.
+	if code, _ := get("?node=1,abc"); code != http.StatusBadRequest {
+		t.Fatalf("bad node = %d, want 400", code)
+	}
+}
+
+// TestWatchdogForget pins the quarantine contract: a forgotten series
+// drops off the stalled list and restarts from scratch if it ever
+// reports again.
+func TestWatchdogForget(t *testing.T) {
+	wd := NewWatchdog(2, 0.01, 0.99)
+	for i := 0; i < 3; i++ {
+		wd.Observe(5, 0.4)
+	}
+	if got := wd.Stalled(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("setup: stalled = %v, want [5]", got)
+	}
+	wd.Forget(5)
+	if got := wd.Stalled(); len(got) != 0 {
+		t.Fatalf("after Forget: stalled = %v", got)
+	}
+	if wd.FlatSamples(5) != 0 {
+		t.Fatalf("after Forget: flat samples survive")
+	}
+	// The series restarts cleanly: one flat sample is not a stall.
+	if wd.Observe(5, 0.4) {
+		t.Fatal("first sample after Forget tripped the watchdog")
+	}
+	// Forget on an unknown id and on a nil watchdog are no-ops.
+	wd.Forget(99)
+	var nilWD *Watchdog
+	nilWD.Forget(1)
+}

@@ -42,6 +42,9 @@ const (
 	// Watchdog layer.
 	EvStall EventType = "stall" // a resource's recall stalled below target
 
+	// Fault-injection layer (internal/faults).
+	EvCorrupt EventType = "corrupt" // a node was flipped to Byzantine (adversary activation)
+
 	// Durability layer (internal/persist).
 	EvSnapshot EventType = "snapshot" // a state snapshot was cut (Value: bytes)
 	EvRecover  EventType = "recover"  // a resource was rebuilt from disk (Value: replayed events)
@@ -52,6 +55,14 @@ const (
 // candidate rule so one oblivious counter's lifecycle can be filtered
 // end to end. Value carries an event-specific integer (a decision bit,
 // an epoch, a stalled-sample count); Dur nanoseconds for timed events.
+//
+// The causal fields tie per-node traces into one cross-node DAG: LC is
+// the emitting node's Lamport clock (Clock) at emission, and
+// Origin/OSeq/Hops echo the CausalCtx of the message the event is
+// about (message events only) — (Origin, OSeq) matches one msg_send to
+// its msg_deliver/msg_drop events on other nodes. OSeq > 0 marks a
+// present context (Origin 0 is a legal node id, so it cannot be the
+// sentinel; see CausalCtx.Valid).
 type Event struct {
 	Seq    int64     `json:"seq"`
 	Step   int64     `json:"step"`
@@ -62,6 +73,22 @@ type Event struct {
 	Detail string    `json:"detail,omitempty"`
 	Value  int64     `json:"value,omitempty"`
 	Dur    int64     `json:"dur_ns,omitempty"`
+	LC     int64     `json:"lc,omitempty"`
+	Origin int       `json:"origin,omitempty"`
+	OSeq   int64     `json:"oseq,omitempty"`
+	Hops   int       `json:"hops,omitempty"`
+}
+
+// Causal returns the event's message causal context (zero when the
+// event carries none).
+func (e Event) Causal() CausalCtx {
+	return CausalCtx{Origin: e.Origin, OSeq: e.OSeq, Hops: e.Hops}
+}
+
+// WithCausal stamps a message causal context onto the event.
+func (e Event) WithCausal(cc CausalCtx) Event {
+	e.Origin, e.OSeq, e.Hops = cc.Origin, cc.OSeq, cc.Hops
+	return e
 }
 
 // Filter restricts what a tracer records. Zero fields mean "no

@@ -74,6 +74,21 @@ func (w *Watchdog) Observe(id int, value float64) bool {
 	return false
 }
 
+// Forget drops all state for series id, clearing any stalled flag. Call
+// it when the resource behind the series leaves the system for good (a
+// quarantined member, a decommissioned node) — an evicted member's
+// recall is frozen by construction and would otherwise be reported
+// stalled forever. The series restarts from scratch if Observe sees it
+// again.
+func (w *Watchdog) Forget(id int) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	delete(w.state, id)
+	w.mu.Unlock()
+}
+
 // FlatSamples returns how many consecutive non-improving samples
 // series id has accumulated.
 func (w *Watchdog) FlatSamples(id int) int {

@@ -56,6 +56,15 @@ type Rejoiner interface {
 	OnRejoin(ctx *Context)
 }
 
+// TraceClocked is implemented by nodes that own a causal trace clock
+// (core.Resource does); the engine ticks it on sends and merges
+// inbound clock values into it, so the node's own trace events and the
+// engine's transport events share one Lamport order. Nodes without one
+// get an engine-owned clock.
+type TraceClocked interface {
+	TraceClock() *obs.Clock
+}
+
 // event is a scheduled message delivery.
 type event struct {
 	at      int64
@@ -63,6 +72,9 @@ type event struct {
 	from    NodeID
 	to      NodeID
 	payload any
+	// cc is the message's causal context, minted at send time;
+	// fault-injected duplicates share their original's identity.
+	cc obs.CausalCtx
 }
 
 type eventHeap []*event
@@ -143,6 +155,13 @@ type Engine struct {
 	// lastAt tracks the latest scheduled delivery per directed link so
 	// injected jitter cannot reorder a FIFO link.
 	lastAt map[[2]int]int64
+	// clocks holds engine-owned trace clocks for nodes that are not
+	// TraceClocked, allocated lazily by clockOf.
+	clocks []*obs.Clock
+	// curHops is the hop count of the message currently being delivered
+	// (0 between deliveries), so sends made from inside OnMessage inherit
+	// the chain depth. Single-goroutine engine — a plain field suffices.
+	curHops int
 }
 
 // NewEngine builds an engine over the graph; nodes[i] is hosted at
@@ -177,6 +196,24 @@ func (e *Engine) SetObs(sink *obs.Sink) {
 
 // Now returns the current step.
 func (e *Engine) Now() int64 { return e.now }
+
+// clockOf returns the trace clock for node id: the node's own when it
+// is TraceClocked (looked up per call, so recovery swaps take effect),
+// otherwise a lazily allocated engine-owned one.
+func (e *Engine) clockOf(id NodeID) *obs.Clock {
+	if tc, ok := e.nodes[id].(TraceClocked); ok {
+		if ck := tc.TraceClock(); ck != nil {
+			return ck
+		}
+	}
+	if e.clocks == nil {
+		e.clocks = make([]*obs.Clock, len(e.nodes))
+	}
+	if e.clocks[id] == nil {
+		e.clocks[id] = obs.NewClock()
+	}
+	return e.clocks[id]
+}
 
 // Stats returns a copy of the counters.
 func (e *Engine) Stats() Stats { return e.stats }
@@ -223,16 +260,21 @@ func (e *Engine) Step() {
 			e.stats.Dropped++
 			e.obsDropped.Inc()
 			if e.obsTr != nil {
-				e.obsTr.Emit(obs.Event{Type: obs.EvMsgDrop, Step: e.now, Node: ev.from, Peer: ev.to, Detail: "receiver-down"})
+				e.obsTr.Emit(obs.Event{Type: obs.EvMsgDrop, Step: e.now, Node: ev.from, Peer: ev.to, Detail: faults.CauseCrash}.WithCausal(ev.cc))
 			}
 			continue
 		}
 		e.stats.Delivered++
 		e.obsDelivered.Inc()
+		// Merge the sender's clock value before the handler runs, so every
+		// event the handler emits orders after the matching send.
+		lc := e.clockOf(ev.to).Merge(ev.cc.OSeq)
 		if e.obsTr != nil {
-			e.obsTr.Emit(obs.Event{Type: obs.EvMsgDeliver, Step: e.now, Node: ev.to, Peer: ev.from})
+			e.obsTr.Emit(obs.Event{Type: obs.EvMsgDeliver, Step: e.now, Node: ev.to, Peer: ev.from, LC: lc}.WithCausal(ev.cc))
 		}
+		e.curHops = ev.cc.Hops
 		e.nodes[ev.to].OnMessage(&e.ctxs[ev.to], ev.from, ev.payload)
+		e.curHops = 0
 	}
 	for i := range e.nodes {
 		if e.Inject != nil && e.Inject.Down(i) {
@@ -324,8 +366,12 @@ func (e *Engine) send(from, to NodeID, payload any) {
 	}
 	e.stats.Sent++
 	e.obsSent.Inc()
+	// Mint the message's causal identity: one sender-clock tick per send,
+	// shared by every fault-injected duplicate. Hops chains through the
+	// delivery currently being handled, if any.
+	cc := obs.CausalCtx{Origin: from, OSeq: e.clockOf(from).Tick(), Hops: e.curHops + 1}
 	if e.obsTr != nil {
-		e.obsTr.Emit(obs.Event{Type: obs.EvMsgSend, Step: e.now, Node: from, Peer: to})
+		e.obsTr.Emit(obs.Event{Type: obs.EvMsgSend, Step: e.now, Node: from, Peer: to, LC: cc.OSeq}.WithCausal(cc))
 	}
 	if e.Tap != nil {
 		e.Tap(from, to, e.now, payload)
@@ -340,7 +386,11 @@ func (e *Engine) send(from, to NodeID, payload any) {
 			e.stats.Dropped++
 			e.obsDropped.Inc()
 			if e.obsTr != nil {
-				e.obsTr.Emit(obs.Event{Type: obs.EvMsgDrop, Step: e.now, Node: from, Peer: to, Detail: "injected"})
+				cause := v.Cause
+				if cause == "" {
+					cause = faults.CauseInjected
+				}
+				e.obsTr.Emit(obs.Event{Type: obs.EvMsgDrop, Step: e.now, Node: from, Peer: to, Detail: cause}.WithCausal(cc))
 			}
 			return
 		}
@@ -359,13 +409,16 @@ func (e *Engine) send(from, to NodeID, payload any) {
 			}
 			e.lastAt[link] = at
 			e.seq++
-			heap.Push(&e.queue, &event{at: at, seq: e.seq, from: from, to: to, payload: payload})
+			heap.Push(&e.queue, &event{at: at, seq: e.seq, from: from, to: to, payload: payload, cc: cc})
 		}
 		return
 	}
 	if e.Faults.DropProb > 0 && e.rng.Float64() < e.Faults.DropProb {
 		e.stats.Dropped++
 		e.obsDropped.Inc()
+		if e.obsTr != nil {
+			e.obsTr.Emit(obs.Event{Type: obs.EvMsgDrop, Step: e.now, Node: from, Peer: to, Detail: faults.CauseInjected}.WithCausal(cc))
+		}
 		return
 	}
 	copies := 1
@@ -376,7 +429,7 @@ func (e *Engine) send(from, to NodeID, payload any) {
 	}
 	for c := 0; c < copies; c++ {
 		e.seq++
-		heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, from: from, to: to, payload: payload})
+		heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, from: from, to: to, payload: payload, cc: cc})
 	}
 }
 

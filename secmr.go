@@ -292,6 +292,14 @@ type GridConfig struct {
 	// without recall improvement flag a resource as stalled (convergence
 	// watchdog; default 8). Diagnostics only — it never alters the run.
 	StallPatience int
+	// FlightDir, when set, arms the black-box flight recorder (requires
+	// Telemetry): on every notable incident — a convergence stall, an
+	// eviction, a crash-with-amnesia recovery — the grid dumps the trace
+	// ring, a metrics snapshot and the watchdog state into a bounded
+	// directory of atomic per-incident dumps, readable post-mortem with
+	// `secmr-trace flight` even when nothing was scraping the live
+	// introspection endpoint. See obs.FlightRecorder.
+	FlightDir string
 	// CryptoWorkers overrides the parallel width of batched
 	// homomorphic operations (0 keeps the default, GOMAXPROCS). The
 	// worker pool is process-global, so the last grid constructed wins;
@@ -431,6 +439,7 @@ type Grid struct {
 	// cfg.Telemetry is nil.
 	obs          *obs.Sink
 	watchdog     *obs.Watchdog
+	flight       *obs.FlightRecorder
 	recallGauges []*obs.Gauge
 	gRecall      *obs.Gauge
 	gPrecision   *obs.Gauge
@@ -567,6 +576,16 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 		}
 		g.watchdog = obs.NewWatchdog(cfg.StallPatience, 1e-9, 0.99)
 	}
+	if cfg.FlightDir != "" {
+		if cfg.Telemetry == nil {
+			return nil, fmt.Errorf("secmr: FlightDir requires GridConfig.Telemetry")
+		}
+		fr, err := obs.NewFlightRecorder(cfg.FlightDir, cfg.Telemetry, g.watchdog, obs.FlightOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("secmr: flight recorder: %w", err)
+		}
+		g.flight = fr
+	}
 	nodes := make([]sim.Node, cfg.Resources)
 	for i := 0; i < cfg.Resources; i++ {
 		var feed []Transaction
@@ -688,6 +707,7 @@ func (g *Grid) recoverNode(id int) sim.Node {
 	g.secure[id] = r
 	g.miners[id] = r
 	g.recovers++
+	g.flight.Dump("recover", map[string]any{"node": id, "recoveries": g.recovers})
 	return r
 }
 
@@ -739,6 +759,11 @@ func (g *Grid) healQuarantined() {
 			g.healed = map[int]bool{}
 		}
 		g.healed[v] = true
+		// The evicted member will never produce quality samples again;
+		// dropping its watchdog state keeps Stalled() (and /healthz)
+		// about live resources only.
+		g.watchdog.Forget(v)
+		g.flight.Dump("evict", map[string]any{"evicted_member": v, "step": g.step})
 		var ring []int
 		for _, u := range g.engine.Graph.Neighbors(v) {
 			if !evicted[u] {
@@ -760,6 +785,10 @@ func (g *Grid) healQuarantined() {
 func (g *Grid) Evictions() []int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	return g.evictionsLocked()
+}
+
+func (g *Grid) evictionsLocked() []int {
 	set := map[int]bool{}
 	for _, r := range g.secure {
 		for _, v := range r.Evicted() {
@@ -856,10 +885,18 @@ func (g *Grid) SampleQuality() (recall, precision float64) {
 		if g.recallGauges != nil {
 			g.recallGauges[i].Set(r)
 		}
+		// Evicted members never converge again by design; keeping them
+		// out of the watchdog feed (they were Forgotten on eviction)
+		// keeps Stalled() and /healthz about live resources.
+		if g.healed[i] {
+			continue
+		}
 		if g.watchdog.Observe(i, r) {
 			g.cStalls.Inc()
 			g.obs.Emit(obs.Event{Type: obs.EvStall, Step: int64(g.step), Node: i,
 				Peer: -1, Value: int64(g.watchdog.FlatSamples(i))})
+			g.flight.Dump("stall", map[string]any{
+				"node": i, "step": g.step, "flat_samples": g.watchdog.FlatSamples(i)})
 		}
 	}
 	n := float64(len(g.miners))
@@ -890,10 +927,20 @@ func (g *Grid) ServeIntrospection(addr string) (*IntrospectionServer, error) {
 			g.mu.Lock()
 			step := g.step
 			r, p := g.qualityLocked()
+			evicted := g.evictionsLocked()
 			g.mu.Unlock()
+			stalled := g.watchdog.Stalled()
+			// A grid that has stalled resources or has evicted members is
+			// up but degraded; the health endpoint surfaces that as a 503
+			// so orchestration probes see it without parsing the body.
+			status := "ok"
+			if len(stalled) > 0 || len(evicted) > 0 {
+				status = "degraded"
+			}
 			return map[string]any{
-				"step": step, "recall": r, "precision": p,
-				"stalled": g.watchdog.Stalled(),
+				"status": status,
+				"step":   step, "recall": r, "precision": p,
+				"stalled": stalled, "evictions": evicted,
 			}
 		},
 	})
