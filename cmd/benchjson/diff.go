@@ -84,13 +84,15 @@ func diffResults(oldRs, newRs []result) []diffRow {
 	return rows
 }
 
-// runDiff prints the comparison table and returns the number of
-// benchmarks that regressed past the threshold (0 when threshold ≤ 0:
-// report-only mode never counts failures).
-func runDiff(w io.Writer, oldRs, newRs []result, threshold float64) int {
+// runDiff prints the comparison table and returns one "key +delta%"
+// line per benchmark that regressed past the threshold (always empty
+// when threshold ≤ 0: report-only mode never counts failures). The
+// caller surfaces the returned list in its failure message, so a red
+// CI job names the offending benchmarks instead of just exiting 1.
+func runDiff(w io.Writer, oldRs, newRs []result, threshold float64) []string {
 	rows := diffResults(oldRs, newRs)
 	fmt.Fprintf(w, "%-64s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
-	regressions := 0
+	var regressed []string
 	for _, r := range rows {
 		switch r.presence {
 		case "new":
@@ -101,14 +103,16 @@ func runDiff(w io.Writer, oldRs, newRs []result, threshold float64) int {
 			mark := ""
 			if threshold > 0 && r.delta > threshold {
 				mark = " REGRESSION"
-				regressions++
+				regressed = append(regressed, fmt.Sprintf("%s %+.1f%%", r.key, 100*r.delta))
 			}
 			fmt.Fprintf(w, "%-64s %14.0f %14.0f %+8.1f%%%s\n", r.key, r.oldNs, r.newNs, 100*r.delta, mark)
 		}
 	}
 	if threshold > 0 {
-		fmt.Fprintf(w, "threshold %.0f%%: %d regression(s)\n", 100*threshold, regressions)
-		return regressions
+		fmt.Fprintf(w, "threshold %.0f%%: %d regression(s)\n", 100*threshold, len(regressed))
+		for _, reg := range regressed {
+			fmt.Fprintf(w, "  %s\n", reg)
+		}
 	}
-	return 0
+	return regressed
 }

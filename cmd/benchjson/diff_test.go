@@ -44,28 +44,38 @@ func TestDiffResults(t *testing.T) {
 func TestRunDiffThreshold(t *testing.T) {
 	oldRs, newRs := diffFixture()
 	var buf strings.Builder
-	if n := runDiff(&buf, oldRs, newRs, 0.25); n != 1 {
-		t.Fatalf("threshold 25%%: %d regressions, want 1 (output:\n%s)", n, buf.String())
+	regressed := runDiff(&buf, oldRs, newRs, 0.25)
+	if len(regressed) != 1 {
+		t.Fatalf("threshold 25%%: %d regressions, want 1 (output:\n%s)", len(regressed), buf.String())
+	}
+	// The failure path must NAME the offender — a bare exit 1 forces
+	// whoever reads the CI log to re-derive which benchmark regressed.
+	if !strings.Contains(regressed[0], "secmr/internal/homo.BenchmarkPaillierEncrypt-4") ||
+		!strings.Contains(regressed[0], "+40.0%") {
+		t.Fatalf("regression list does not name the offender: %q", regressed[0])
 	}
 	if !strings.Contains(buf.String(), "REGRESSION") {
 		t.Fatalf("regression not marked:\n%s", buf.String())
 	}
+	if !strings.Contains(buf.String(), "1 regression(s)\n  secmr/internal/homo.BenchmarkPaillierEncrypt-4 +40.0%") {
+		t.Fatalf("summary does not enumerate the offender:\n%s", buf.String())
+	}
 	// Report-only mode never fails, whatever the deltas.
 	buf.Reset()
-	if n := runDiff(&buf, oldRs, newRs, 0); n != 0 {
-		t.Fatalf("report-only returned %d", n)
+	if regressed := runDiff(&buf, oldRs, newRs, 0); len(regressed) != 0 {
+		t.Fatalf("report-only returned %v", regressed)
 	}
 	// A generous threshold tolerates the +40%.
-	if n := runDiff(&strings.Builder{}, oldRs, newRs, 0.50); n != 0 {
-		t.Fatalf("threshold 50%%: %d regressions, want 0", n)
+	if regressed := runDiff(&strings.Builder{}, oldRs, newRs, 0.50); len(regressed) != 0 {
+		t.Fatalf("threshold 50%%: %v, want none", regressed)
 	}
 }
 
 func TestRunDiffIdentical(t *testing.T) {
 	oldRs, _ := diffFixture()
 	var buf strings.Builder
-	if n := runDiff(&buf, oldRs, oldRs, 0.01); n != 0 {
-		t.Fatalf("identical runs produced %d regressions", n)
+	if regressed := runDiff(&buf, oldRs, oldRs, 0.01); len(regressed) != 0 {
+		t.Fatalf("identical runs produced regressions: %v", regressed)
 	}
 }
 

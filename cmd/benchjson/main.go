@@ -56,7 +56,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		if runDiff(os.Stdout, oldRs, newRs, *threshold) > 0 {
+		if regressed := runDiff(os.Stdout, oldRs, newRs, *threshold); len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past %.0f%%: %s\n",
+				len(regressed), 100**threshold, strings.Join(regressed, ", "))
 			os.Exit(1)
 		}
 		return

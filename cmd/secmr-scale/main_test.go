@@ -1,0 +1,55 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestRunPointConverges: the harness itself must prove convergence and
+// agreement, so a small point doubles as a correctness test of the
+// whole stack (BA topology → spanning tree → sharded engine →
+// flyweight voters).
+func TestRunPointConverges(t *testing.T) {
+	r, err := runPoint(1600, 4, 1, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["steps"] <= 0 {
+		t.Fatalf("no steps recorded: %+v", r)
+	}
+	if r.Metrics["messages"] <= 0 {
+		t.Fatalf("no messages recorded: %+v", r)
+	}
+}
+
+// TestRunPointShardInvariance: the same seed must converge to the same
+// step count whatever the shard count — the scale harness leans on the
+// sharded engine's determinism guarantee.
+func TestRunPointShardInvariance(t *testing.T) {
+	a, err := runPoint(1600, 1, 7, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runPoint(1600, runtime.GOMAXPROCS(0), 7, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics["steps"] != b.Metrics["steps"] || a.Metrics["messages"] != b.Metrics["messages"] {
+		t.Fatalf("shards=1 (%v steps, %v msgs) vs shards=max (%v steps, %v msgs)",
+			a.Metrics["steps"], a.Metrics["messages"], b.Metrics["steps"], b.Metrics["messages"])
+	}
+}
+
+// TestScaleSmoke100k: the ISSUE 8 acceptance bar — a 100k-resource
+// grid must converge in one process. Runs in a few seconds.
+func TestScaleSmoke100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k grid in -short mode")
+	}
+	r, err := runPoint(100000, runtime.GOMAXPROCS(0), 1, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("100k: steps=%.0f wall=%.0fms rss=%.0fMB msgs=%.0f",
+		r.Metrics["steps"], r.NsPerOp/1e6, r.Metrics["peak-rss-mb"], r.Metrics["messages"])
+}

@@ -5,70 +5,55 @@
 // Usage:
 //
 //	topogen -model ba -n 2000 -m 2 -dmin 1 -dmax 5 -seed 1 -tree
+//
+// For mega-grid topologies (-model ba at 100k–1M nodes), -stream
+// writes each edge as the attachment process generates it instead of
+// materializing the graph: memory stays bounded by the sampling list
+// alone and a million-node topology is on disk in a few seconds.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"strconv"
 
 	"secmr/internal/topology"
 )
 
+// options mirrors the flag set; separated so tests can drive run
+// without exec-ing the binary.
+type options struct {
+	model        string
+	n, m         int
+	alpha, beta  float64
+	rows, ases   int
+	dmin, dmax   int
+	seed         int64
+	tree, stream bool
+}
+
 func main() {
-	var (
-		model = flag.String("model", "ba", "topology model: ba, waxman, hier, ring, line, star, grid, tree")
-		n     = flag.Int("n", 2000, "number of nodes")
-		m     = flag.Int("m", 2, "BA attachment degree")
-		alpha = flag.Float64("alpha", 0.15, "Waxman alpha")
-		beta  = flag.Float64("beta", 0.2, "Waxman beta")
-		rows  = flag.Int("rows", 0, "grid rows (default sqrt-ish)")
-		ases  = flag.Int("as", 16, "hier: number of AS domains")
-		dmin  = flag.Int("dmin", 1, "minimum link delay (ticks)")
-		dmax  = flag.Int("dmax", 5, "maximum link delay (ticks)")
-		seed  = flag.Int64("seed", 1, "seed")
-		tree  = flag.Bool("tree", false, "emit the BFS spanning tree instead of the full graph")
-		out   = flag.String("o", "", "output file (default stdout)")
-	)
+	var o options
+	flag.StringVar(&o.model, "model", "ba", "topology model: ba, waxman, hier, ring, line, star, grid, tree")
+	flag.IntVar(&o.n, "n", 2000, "number of nodes")
+	flag.IntVar(&o.m, "m", 2, "BA attachment degree")
+	flag.Float64Var(&o.alpha, "alpha", 0.15, "Waxman alpha")
+	flag.Float64Var(&o.beta, "beta", 0.2, "Waxman beta")
+	flag.IntVar(&o.rows, "rows", 0, "grid rows (default sqrt-ish)")
+	flag.IntVar(&o.ases, "as", 16, "hier: number of AS domains")
+	flag.IntVar(&o.dmin, "dmin", 1, "minimum link delay (ticks)")
+	flag.IntVar(&o.dmax, "dmax", 5, "maximum link delay (ticks)")
+	flag.Int64Var(&o.seed, "seed", 1, "seed")
+	flag.BoolVar(&o.tree, "tree", false, "emit the BFS spanning tree instead of the full graph")
+	flag.BoolVar(&o.stream, "stream", false, "ba only: stream edges as generated, never building the graph (incompatible with -tree)")
+	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	rng := rand.New(rand.NewSource(*seed))
-	d := topology.DelayRange{Min: *dmin, Max: *dmax}
-	var g *topology.Graph
-	switch *model {
-	case "ba":
-		g = topology.BarabasiAlbert(*n, *m, d, rng)
-	case "waxman":
-		g = topology.Waxman(*n, *alpha, *beta, d, rng)
-	case "hier":
-		routers := (*n + *ases - 1) / *ases
-		intra := topology.DelayRange{Min: *dmin, Max: *dmin}
-		g = topology.Hierarchical(*ases, routers, *m, intra, d, rng)
-	case "ring":
-		g = topology.Ring(*n, d, rng)
-	case "line":
-		g = topology.Line(*n, d, rng)
-	case "star":
-		g = topology.Star(*n, d, rng)
-	case "grid":
-		r := *rows
-		if r == 0 {
-			for r = 1; r*r < *n; r++ {
-			}
-		}
-		g = topology.Grid(r, (*n+r-1)/r, d, rng)
-	case "tree":
-		g = topology.RandomTree(*n, d, rng)
-	default:
-		fmt.Fprintf(os.Stderr, "topogen: unknown model %q\n", *model)
-		os.Exit(1)
-	}
-	if *tree {
-		g = g.SpanningTree(0)
-	}
-
-	w := os.Stdout
+	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -78,12 +63,102 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := topology.WriteGraph(w, g); err != nil {
+	if err := run(o, w, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "topogen:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "model=%s nodes=%d edges=%d connected=%v diameter=%d\n",
-		*model, g.N, g.NumEdges(), g.IsConnected(), diameterIfSmall(g))
+}
+
+func run(o options, w, stats io.Writer) error {
+	rng := rand.New(rand.NewSource(o.seed))
+	d := topology.DelayRange{Min: o.dmin, Max: o.dmax}
+
+	if o.stream {
+		if o.model != "ba" {
+			return fmt.Errorf("-stream supports only -model ba (got %q)", o.model)
+		}
+		if o.tree {
+			return fmt.Errorf("-stream cannot extract a spanning tree (drop -tree)")
+		}
+		edges, err := streamBA(o.n, o.m, d, rng, w)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stats, "model=ba nodes=%d edges=%d connected=true diameter=-1\n", o.n, edges)
+		return nil
+	}
+
+	var g *topology.Graph
+	switch o.model {
+	case "ba":
+		g = topology.BarabasiAlbert(o.n, o.m, d, rng)
+	case "waxman":
+		g = topology.Waxman(o.n, o.alpha, o.beta, d, rng)
+	case "hier":
+		routers := (o.n + o.ases - 1) / o.ases
+		intra := topology.DelayRange{Min: o.dmin, Max: o.dmin}
+		g = topology.Hierarchical(o.ases, routers, o.m, intra, d, rng)
+	case "ring":
+		g = topology.Ring(o.n, d, rng)
+	case "line":
+		g = topology.Line(o.n, d, rng)
+	case "star":
+		g = topology.Star(o.n, d, rng)
+	case "grid":
+		r := o.rows
+		if r == 0 {
+			for r = 1; r*r < o.n; r++ {
+			}
+		}
+		g = topology.Grid(r, (o.n+r-1)/r, d, rng)
+	case "tree":
+		g = topology.RandomTree(o.n, d, rng)
+	default:
+		return fmt.Errorf("unknown model %q", o.model)
+	}
+	if o.tree {
+		g = g.SpanningTree(0)
+	}
+	if err := topology.WriteGraph(w, g); err != nil {
+		return err
+	}
+	fmt.Fprintf(stats, "model=%s nodes=%d edges=%d connected=%v diameter=%d\n",
+		o.model, g.N, g.NumEdges(), g.IsConnected(), diameterIfSmall(g))
+	return nil
+}
+
+// streamBA writes the edge list in generation order (the BA process
+// emits each edge exactly once, and ReadGraph accepts any order), so
+// nothing but the preferential-attachment sampling list is held in
+// memory.
+func streamBA(n, m int, d topology.DelayRange, rng *rand.Rand, w io.Writer) (int, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# nodes %d\n", n); err != nil {
+		return 0, err
+	}
+	edges := 0
+	var werr error
+	var line []byte
+	topology.BarabasiAlbertStream(n, m, d, rng, func(u, v, delay int) {
+		if werr != nil {
+			return
+		}
+		line = strconv.AppendInt(line[:0], int64(u), 10)
+		line = append(line, ' ')
+		line = strconv.AppendInt(line, int64(v), 10)
+		line = append(line, ' ')
+		line = strconv.AppendInt(line, int64(delay), 10)
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
+			werr = err
+			return
+		}
+		edges++
+	})
+	if werr != nil {
+		return edges, werr
+	}
+	return edges, bw.Flush()
 }
 
 // diameterIfSmall avoids the O(N·E) diameter computation on huge

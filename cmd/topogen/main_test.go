@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"secmr/internal/topology"
+)
+
+// TestStreamMatchesMaterialized: for the same seed, -stream must
+// describe exactly the graph BarabasiAlbert builds — same node count,
+// same edge set, same delays (the stream writes generation order, so
+// compare via ReadGraph, not bytes).
+func TestStreamMatchesMaterialized(t *testing.T) {
+	o := options{model: "ba", n: 500, m: 2, dmin: 1, dmax: 5, seed: 42}
+	var full, streamed bytes.Buffer
+	if err := run(o, &full, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	o.stream = true
+	if err := run(o, &streamed, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	g, err := topology.ReadGraph(&full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := topology.ReadGraph(&streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != s.N || g.NumEdges() != s.NumEdges() {
+		t.Fatalf("shape: %d/%d vs %d/%d", g.N, g.NumEdges(), s.N, s.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if !s.HasEdge(e.U, e.V) || s.Delay(e.U, e.V) != e.Delay {
+			t.Fatalf("edge (%d,%d,%d) missing from stream", e.U, e.V, e.Delay)
+		}
+	}
+}
+
+// TestStreamRejectsUnsupported: -stream is BA-only and cannot apply
+// -tree.
+func TestStreamRejectsUnsupported(t *testing.T) {
+	if err := run(options{model: "waxman", n: 10, m: 2, stream: true}, io.Discard, io.Discard); err == nil {
+		t.Fatal("stream+waxman accepted")
+	}
+	if err := run(options{model: "ba", n: 10, m: 2, stream: true, tree: true}, io.Discard, io.Discard); err == nil {
+		t.Fatal("stream+tree accepted")
+	}
+}
+
+// TestMillionNodeSmoke generates a 1M-node BA(m=2) topology. Streamed
+// it never builds the graph; materialized it exercises the flyweight
+// Graph storage and the O(E log E) writer. Both must finish fast (this
+// entire test runs in a few seconds) — before the parallel-slice Graph
+// and the sort fix, the materialized path alone took hours.
+func TestMillionNodeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-node generation in -short mode")
+	}
+	const n = 1_000_000
+	var stats strings.Builder
+	cw := &countWriter{}
+	if err := run(options{model: "ba", n: n, m: 2, dmin: 1, dmax: 5, seed: 7, stream: true}, cw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if cw.n == 0 {
+		t.Fatal("no output")
+	}
+	if !strings.Contains(stats.String(), "edges=1999997") {
+		t.Fatalf("stats %q: want (m-1)+(n-m)*m = 1999997 edges", stats.String())
+	}
+
+	// Materialized path: build the full graph, spanning tree included.
+	if err := run(options{model: "ba", n: n, m: 2, dmin: 1, dmax: 5, seed: 7, tree: true}, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}

@@ -157,14 +157,20 @@ func (s Itemset) Key() string {
 	if len(s) == 0 {
 		return ""
 	}
-	var b strings.Builder
+	return string(s.AppendKey(nil))
+}
+
+// AppendKey appends the Key encoding to dst and returns it — the
+// allocation-free form for callers that key into interned tables with
+// a reusable scratch buffer.
+func (s Itemset) AppendKey(dst []byte) []byte {
 	for i, it := range s {
 		if i > 0 {
-			b.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		b.WriteString(strconv.Itoa(int(it)))
+		dst = strconv.AppendInt(dst, int64(it), 10)
 	}
-	return b.String()
+	return dst
 }
 
 // ParseItemset inverts Key.

@@ -42,7 +42,18 @@ func NewRule(lhs, rhs Itemset, kind Threshold) Rule {
 
 // Key returns a canonical map key ("1,2>3|conf").
 func (r Rule) Key() string {
-	return r.LHS.Key() + ">" + r.RHS.Key() + "|" + r.Kind.String()
+	return string(r.AppendKey(nil))
+}
+
+// AppendKey appends the Key encoding to dst and returns it — the
+// allocation-free form for per-message key computation against a
+// reusable scratch buffer.
+func (r Rule) AppendKey(dst []byte) []byte {
+	dst = r.LHS.AppendKey(dst)
+	dst = append(dst, '>')
+	dst = r.RHS.AppendKey(dst)
+	dst = append(dst, '|')
+	return append(dst, r.Kind.String()...)
 }
 
 // String renders "{1 2} => {3} [conf]".

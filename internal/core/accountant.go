@@ -5,6 +5,7 @@ import (
 
 	"secmr/internal/arm"
 	"secmr/internal/homo"
+	"secmr/internal/intern"
 	"secmr/internal/oblivious"
 )
 
@@ -36,9 +37,13 @@ type Accountant struct {
 	slotOf    map[int]int // neighbor id -> slot (≥1)
 	neighbors []int
 
-	// per-rule scan state.
-	scans     map[string]*scanState
-	scanOrder []string
+	// per-rule scan state, in registration order (which is also the
+	// broker's candidate creation order); scanIdx maps a rule's interned
+	// symbol to its index. Dense slices instead of string-keyed maps:
+	// at mega-grid scale the per-tick walk is a linear slice scan and
+	// rule keys are stored once process-wide (internal/intern).
+	scans   []*scanState
+	scanIdx map[intern.Sym]int32
 
 	// t is the Algorithm 2 reply counter (the accountant's logical
 	// clock for the ⊥ timestamp slot).
@@ -46,12 +51,18 @@ type Accountant struct {
 
 	// replies staged for the broker this step (the accountant→broker
 	// hop; drained by the broker, possibly one step later under
-	// IntraDelay).
-	replies map[string]*oblivious.Counter
+	// IntraDelay). Parallel to scans (nil = nothing staged); nReplies
+	// counts the non-nil entries, and replySpare is the drained buffer
+	// handed back by recycleReplies so steady-state staging allocates
+	// nothing.
+	replies    []*oblivious.Counter
+	nReplies   int
+	replySpare []*oblivious.Counter
 }
 
 type scanState struct {
 	rule       arm.Rule
+	sym        intern.Sym
 	pos        int
 	sum, count int64
 }
@@ -60,8 +71,7 @@ func newAccountant(id int, cfg Config, enc homo.Encryptor, pub homo.Public, loca
 	return &Accountant{
 		id: id, cfg: cfg, enc: enc, pub: pub,
 		db: local, feed: feed,
-		scans:   map[string]*scanState{},
-		replies: map[string]*oblivious.Counter{},
+		scanIdx: map[intern.Sym]int32{},
 		slotOf:  map[int]int{},
 	}
 }
@@ -104,8 +114,10 @@ func (a *Accountant) redeal() map[int]ShareGrant {
 	a.shareVals[0] = 1 - acc
 	// Undrained replies were built under the previous dealing (stale
 	// share, short stamp vector); rebuild them from the scan totals.
-	for key := range a.replies {
-		a.replies[key] = a.reply(a.scans[key])
+	for i, r := range a.replies {
+		if r != nil {
+			a.replies[i] = a.reply(a.scans[i])
+		}
 	}
 	grants := make(map[int]ShareGrant, len(a.neighbors))
 	for _, v := range a.neighbors {
@@ -221,12 +233,13 @@ func (a *Accountant) localPlaceholder() *oblivious.Counter {
 func (a *Accountant) encryptedOne() *homo.Ciphertext { return a.enc.EncryptInt(1) }
 
 // register starts counting support for a candidate rule.
-func (a *Accountant) register(rule arm.Rule) {
-	key := rule.Key()
-	if _, ok := a.scans[key]; !ok {
-		a.scans[key] = &scanState{rule: rule}
-		a.scanOrder = append(a.scanOrder, key)
+func (a *Accountant) register(rule arm.Rule, sym intern.Sym) {
+	if _, ok := a.scanIdx[sym]; ok {
+		return
 	}
+	a.scanIdx[sym] = int32(len(a.scans))
+	a.scans = append(a.scans, &scanState{rule: rule, sym: sym})
+	a.replies = append(a.replies, nil)
 }
 
 // tick performs one step of Algorithm 2's cyclic reading: grow the
@@ -238,8 +251,7 @@ func (a *Accountant) tick() {
 		a.db.Append(a.feed[a.feedPos])
 		a.feedPos++
 	}
-	for _, key := range a.scanOrder {
-		s := a.scans[key]
+	for i, s := range a.scans {
 		if s.pos >= a.db.Len() {
 			continue
 		}
@@ -260,9 +272,17 @@ func (a *Accountant) tick() {
 			}
 		}
 		if changed {
-			a.replies[key] = a.reply(s)
+			a.stage(i)
 		}
 	}
+}
+
+// stage (re)stages a reply for scan index i.
+func (a *Accountant) stage(i int) {
+	if a.replies[i] == nil {
+		a.nReplies++
+	}
+	a.replies[i] = a.reply(a.scans[i])
 }
 
 // reply encrypts the rule's current totals as the ⊥ counter: the
@@ -284,12 +304,34 @@ func (a *Accountant) reply(s *scanState) *oblivious.Counter {
 	return c
 }
 
-// drainReplies hands staged replies to the broker.
-func (a *Accountant) drainReplies() map[string]*oblivious.Counter {
-	if len(a.replies) == 0 {
+// drainReplies hands staged replies to the broker as a dense slice
+// parallel to the scan table (index i belongs to a.scans[i]; nil =
+// nothing staged). The scan table is append-only, so the indices stay
+// valid even if candidates are added before the buffer is consumed.
+// The consumer should hand the buffer back via recycleReplies.
+func (a *Accountant) drainReplies() []*oblivious.Counter {
+	if a.nReplies == 0 {
 		return nil
 	}
 	out := a.replies
-	a.replies = map[string]*oblivious.Counter{}
+	spare := a.replySpare
+	a.replySpare = nil
+	for len(spare) < len(a.scans) {
+		spare = append(spare, nil)
+	}
+	a.replies = spare
+	a.nReplies = 0
 	return out
+}
+
+// recycleReplies returns a fully consumed drainReplies buffer for
+// reuse.
+func (a *Accountant) recycleReplies(buf []*oblivious.Counter) {
+	if buf == nil || a.replySpare != nil {
+		return
+	}
+	for i := range buf {
+		buf[i] = nil
+	}
+	a.replySpare = buf
 }

@@ -5,7 +5,22 @@ import (
 
 	"secmr/internal/arm"
 	"secmr/internal/homo"
+	"secmr/internal/intern"
+	"secmr/internal/oblivious"
 )
+
+// replyFor resolves a drained reply buffer (dense, scan-indexed) back
+// to one rule's reply.
+func replyFor(a *Accountant, replies []*oblivious.Counter, rule arm.Rule) *oblivious.Counter {
+	if replies == nil {
+		return nil
+	}
+	i, ok := a.scanIdx[intern.S(rule.Key())]
+	if !ok || int(i) >= len(replies) {
+		return nil
+	}
+	return replies[i]
+}
 
 func mkAccountant(db *arm.Database, budget int, neighbors []int) (*Accountant, homo.Scheme) {
 	s := homo.NewPlain(96)
@@ -25,12 +40,12 @@ func TestAccountantIncrementalCounting(t *testing.T) {
 	)
 	a, s := mkAccountant(db, 2, []int{7})
 	rule := arm.NewRule(arm.NewItemset(1), arm.NewItemset(2), arm.ThresholdConf)
-	a.register(rule)
+	a.register(rule, intern.S(rule.Key()))
 
 	// Budget 2: after one tick, two transactions scanned.
 	a.tick()
 	replies := a.drainReplies()
-	r := replies[rule.Key()]
+	r := replyFor(a, replies, rule)
 	if r == nil {
 		t.Fatal("no reply after first tick")
 	}
@@ -44,7 +59,7 @@ func TestAccountantIncrementalCounting(t *testing.T) {
 	}
 	// Complete the scan; totals must match a direct count.
 	a.tick()
-	r = a.drainReplies()[rule.Key()]
+	r = replyFor(a, a.drainReplies(), rule)
 	cl, cb := db.SupportPair(rule.LHS, rule.RHS)
 	if got := s.DecryptSigned(r.Count).Int64(); got != int64(cl) {
 		t.Fatalf("final count %d want %d", got, cl)
@@ -63,9 +78,9 @@ func TestAccountantReplyStructure(t *testing.T) {
 	db := arm.NewDatabase(arm.NewItemset(1))
 	a, s := mkAccountant(db, 10, []int{3, 9})
 	rule := arm.NewRule(nil, arm.NewItemset(1), arm.ThresholdFreq)
-	a.register(rule)
+	a.register(rule, intern.S(rule.Key()))
 	a.tick()
-	r := a.drainReplies()[rule.Key()]
+	r := replyFor(a, a.drainReplies(), rule)
 	if len(r.Stamps) != 3 { // ⊥ + two neighbors
 		t.Fatalf("stamp slots = %d", len(r.Stamps))
 	}
@@ -142,7 +157,7 @@ func TestAccountantFeedGrowth(t *testing.T) {
 	a := newAccountant(1, cfg, s, s, &arm.Database{}, feed)
 	a.setup(nil)
 	rule := arm.NewRule(nil, arm.NewItemset(1), arm.ThresholdFreq)
-	a.register(rule)
+	a.register(rule, intern.S(rule.Key()))
 	a.tick()
 	if a.db.Len() != 3 {
 		t.Fatalf("db len %d after first tick", a.db.Len())
@@ -151,7 +166,7 @@ func TestAccountantFeedGrowth(t *testing.T) {
 	if a.db.Len() != 5 {
 		t.Fatalf("feed not exhausted correctly: %d", a.db.Len())
 	}
-	r := a.drainReplies()[rule.Key()]
+	r := replyFor(a, a.drainReplies(), rule)
 	if got := s.DecryptSigned(r.Count).Int64(); got != 5 {
 		t.Fatalf("count %d want 5", got)
 	}

@@ -2,10 +2,10 @@ package core
 
 import (
 	"math/rand"
-	"sort"
 
 	"secmr/internal/arm"
 	"secmr/internal/homo"
+	"secmr/internal/intern"
 	"secmr/internal/oblivious"
 	"secmr/internal/obs"
 )
@@ -55,9 +55,12 @@ type secEdge struct {
 	lastSendStep   int64
 }
 
-// secCandidate is one rule's encrypted voting state.
+// secCandidate is one rule's encrypted voting state. The rule key is
+// held once as an interned symbol plus the interned string (for traces
+// and adversary hooks); every lookup path uses the symbol.
 type secCandidate struct {
 	rule             arm.Rule
+	sym              intern.Sym
 	key              string
 	lambdaN, lambdaD int64
 	local            *oblivious.Counter // the ⊥ counter (accountant replies)
@@ -90,11 +93,23 @@ type Broker struct {
 
 	neighbors []int
 	links     map[int]*brokerEdge
-	cands     map[string]*secCandidate
-	// order keeps candidate keys in creation order so per-tick walks
-	// are deterministic (map iteration order is randomized in Go).
-	order []string
-	step  int64
+	// cands holds every candidate in creation order (the per-tick walk
+	// is a dense slice scan); candIdx maps a rule's interned symbol to
+	// its index. Creation order equals the accountant's scan
+	// registration order — addCandidate appends to both in lockstep.
+	cands   []*secCandidate
+	candIdx map[intern.Sym]int32
+	step    int64
+
+	// keyBuf is the scratch buffer ruleSym encodes rule keys into; the
+	// interner copies on first sight, so lookups never allocate.
+	keyBuf []byte
+
+	// scratch is the reusable accumulator fullSum folds neighbourhood
+	// counters into (honest path only); its field pointers are replaced
+	// wholesale on every call, so no ciphertext is ever shared with it
+	// beyond one evaluation.
+	scratch oblivious.Counter
 
 	// shareEpoch is the accountant's current share-dealing epoch;
 	// inbound counters from other dealings are dropped.
@@ -107,12 +122,15 @@ type Broker struct {
 	inited  bool
 	preInit []preInitMsg
 
-	// stagedReplies models the accountant→broker hop under IntraDelay.
-	stagedReplies map[string]*oblivious.Counter
+	// stagedReplies models the accountant→broker hop under IntraDelay:
+	// the dense buffer drainReplies produced, held for one step. Index
+	// i belongs to acc.scans[i] (the scan table is append-only, so the
+	// indices survive candidates created in between).
+	stagedReplies []*oblivious.Counter
 
 	// history keeps superseded inbound counters per rule and source
 	// for replay adversaries (only populated when adv != nil).
-	history map[string]map[int][]*oblivious.Counter
+	history map[intern.Sym]map[int][]*oblivious.Counter
 
 	rng   *rand.Rand
 	stats BrokerStats
@@ -123,13 +141,30 @@ func newBroker(id int, cfg Config, pub homo.Public, acc *Accountant, ctl *Contro
 	return &Broker{
 		id: id, cfg: cfg, pub: pub, acc: acc, ctl: ctl, adv: adv,
 		links:   map[int]*brokerEdge{},
-		cands:   map[string]*secCandidate{},
-		history: map[string]map[int][]*oblivious.Counter{},
+		candIdx: map[intern.Sym]int32{},
+		history: map[intern.Sym]map[int][]*oblivious.Counter{},
 		rng:     rand.New(rand.NewSource(int64(id)*104729 + 7)),
 		// Disabled telemetry by default; NewResource swaps in the
 		// resource-wide set (see newController).
 		tel: newTelemetry(id, nil, func() int64 { return 0 }),
 	}
+}
+
+// ruleSym interns a rule's canonical key without allocating on the
+// repeat path: the key is encoded into the broker's scratch buffer and
+// handed to the interner, which only copies it the first time that key
+// is seen process-wide.
+func (b *Broker) ruleSym(rule *arm.Rule) intern.Sym {
+	b.keyBuf = rule.AppendKey(b.keyBuf[:0])
+	return intern.SBytes(b.keyBuf)
+}
+
+// candAt returns the candidate for an interned rule key, or nil.
+func (b *Broker) candAt(sym intern.Sym) *secCandidate {
+	if i, ok := b.candIdx[sym]; ok {
+		return b.cands[i]
+	}
+	return nil
 }
 
 // preInitMsg is a buffered pre-initialization message.
@@ -174,8 +209,8 @@ func (b *Broker) init(neighbors []int) {
 // Accountant.placeholderFor). Returns nil when the size cap rejects
 // the rule.
 func (b *Broker) addCandidate(rule arm.Rule) *secCandidate {
-	key := rule.Key()
-	if c, ok := b.cands[key]; ok {
+	sym := b.ruleSym(&rule)
+	if c := b.candAt(sym); c != nil {
 		return c
 	}
 	if b.cfg.MaxRuleItems > 0 && len(rule.LHS)+len(rule.RHS) > b.cfg.MaxRuleItems {
@@ -183,7 +218,7 @@ func (b *Broker) addCandidate(rule arm.Rule) *secCandidate {
 	}
 	ln, ld := rational(b.cfg.Th.Lambda(rule.Kind))
 	c := &secCandidate{
-		rule: rule, key: key, lambdaN: ln, lambdaD: ld,
+		rule: rule, sym: sym, key: intern.Str(sym), lambdaN: ln, lambdaD: ld,
 		local:    b.acc.localPlaceholder(),
 		edges:    map[int]*secEdge{},
 		outDirty: true,
@@ -195,9 +230,9 @@ func (b *Broker) addCandidate(rule arm.Rule) *secCandidate {
 			sentCount: b.pub.EncryptZero(),
 		}
 	}
-	b.cands[key] = c
-	b.order = append(b.order, key)
-	b.acc.register(rule)
+	b.candIdx[sym] = int32(len(b.cands))
+	b.cands = append(b.cands, c)
+	b.acc.register(rule, sym)
 	b.stats.CandidatesSeen++
 	return c
 }
@@ -230,8 +265,8 @@ func (b *Broker) onRuleMsg(from int, m RuleCipherMsg) {
 		}
 		return
 	}
-	c, ok := b.cands[m.Rule.Key()]
-	if !ok {
+	c := b.candAt(b.ruleSym(&m.Rule))
+	if c == nil {
 		c = b.addCandidate(m.Rule)
 		if c == nil {
 			return // above the size cap
@@ -259,10 +294,10 @@ func (b *Broker) onRuleMsg(from int, m RuleCipherMsg) {
 		m.Counter.Stamps = append(m.Counter.Stamps, b.pub.EncryptZero())
 	}
 	if b.adv != nil {
-		h := b.history[c.key]
+		h := b.history[c.sym]
 		if h == nil {
 			h = map[int][]*oblivious.Counter{}
-			b.history[c.key] = h
+			b.history[c.sym] = h
 		}
 		h[from] = append(h[from], e.inbound)
 	}
@@ -281,18 +316,18 @@ func (b *Broker) onRuleMsg(from int, m RuleCipherMsg) {
 }
 
 // applyAccountantReplies moves staged encrypted vote updates into the
-// candidates' ⊥ counters, modelling the accountant→broker hop.
+// candidates' ⊥ counters, modelling the accountant→broker hop. The
+// reply buffer is dense (index i ↔ acc.scans[i], which is candidate
+// creation order), so application is a linear walk with no sorting or
+// string keys; consumed buffers are recycled back to the accountant.
 func (b *Broker) applyAccountantReplies(tr Transport) {
-	apply := func(replies map[string]*oblivious.Counter) {
-		keys := make([]string, 0, len(replies))
-		for key := range replies {
-			keys = append(keys, key)
-		}
-		sort.Strings(keys)
-		for _, key := range keys {
-			reply := replies[key]
-			c, ok := b.cands[key]
-			if !ok {
+	apply := func(replies []*oblivious.Counter) {
+		for i, reply := range replies {
+			if reply == nil {
+				continue
+			}
+			c := b.candAt(b.acc.scans[i].sym)
+			if c == nil {
 				continue
 			}
 			b.stats.RepliesApplied++
@@ -306,13 +341,16 @@ func (b *Broker) applyAccountantReplies(tr Transport) {
 				e.staleSinceSend = true
 			}
 		}
+		b.acc.recycleReplies(replies)
 	}
-	apply(b.stagedReplies)
-	b.stagedReplies = nil
+	if b.stagedReplies != nil {
+		apply(b.stagedReplies)
+		b.stagedReplies = nil
+	}
 	fresh := b.acc.drainReplies()
 	if b.cfg.IntraDelay {
 		b.stagedReplies = fresh
-	} else {
+	} else if fresh != nil {
 		apply(fresh)
 	}
 }
@@ -345,8 +383,12 @@ func (b *Broker) paddingDance(tr Transport, c *secCandidate, next *oblivious.Cou
 func (b *Broker) encOne() *homo.Ciphertext { return b.acc.encryptedOne() }
 
 // fullSum aggregates the ⊥ counter and every inbound counter — the
-// quantity all SFE inputs are built from. The adversary hook may
-// replace it (detection surface).
+// quantity all SFE inputs are built from. The honest path folds the
+// neighbourhood into the broker's reused scratch counter (no counter
+// shells or stamp slices per evaluation); the result is only valid
+// until the next fullSum call, which every caller satisfies (SFE
+// inputs are consumed synchronously). The adversary hook may replace
+// it (detection surface) — that cold path keeps the allocating chain.
 func (b *Broker) fullSum(c *secCandidate) *oblivious.Counter {
 	if b.adv != nil {
 		parts := map[int]*oblivious.Counter{-1: c.local}
@@ -354,7 +396,7 @@ func (b *Broker) fullSum(c *secCandidate) *oblivious.Counter {
 			parts[v] = e.inbound
 		}
 		hist := func(from int) []*oblivious.Counter {
-			if h, ok := b.history[c.key]; ok {
+			if h, ok := b.history[c.sym]; ok {
 				return h[from]
 			}
 			return nil
@@ -362,12 +404,21 @@ func (b *Broker) fullSum(c *secCandidate) *oblivious.Counter {
 		if tampered := b.adv.TamperFull(b.pub, c.key, parts, hist); tampered != nil {
 			return tampered
 		}
+		full := c.local
+		for _, e := range c.edges {
+			full = oblivious.Add(b.pub, full, e.inbound)
+		}
+		return full
 	}
-	full := c.local
-	for _, e := range c.edges {
-		full = oblivious.Add(b.pub, full, e.inbound)
+	s := &b.scratch
+	s.Sum, s.Count, s.Num, s.Share = c.local.Sum, c.local.Count, c.local.Num, c.local.Share
+	s.Stamps = append(s.Stamps[:0], c.local.Stamps...)
+	for _, v := range b.neighbors {
+		if e, ok := c.edges[v]; ok {
+			oblivious.AddInto(b.pub, s, e.inbound)
+		}
 	}
-	return full
+	return s
 }
 
 // sumValues aggregates only the value components (sum, count, num) of
@@ -391,8 +442,7 @@ func (b *Broker) sumValues(c *secCandidate, except int) (sum, count, num *homo.C
 func (b *Broker) evaluateSends(tr Transport) {
 	b.step++
 	neighborAt := func(slot int) int { return b.acc.neighbors[slot-1] }
-	for _, key := range b.order {
-		c := b.cands[key]
+	for _, c := range b.cands {
 		var full *oblivious.Counter
 		for _, v := range b.neighbors {
 			e := c.edges[v]
@@ -433,7 +483,7 @@ func (b *Broker) evaluateSends(tr Transport) {
 				b.pub.ScalarMul(c.lambdaD, full.Sum),
 				b.pub.ScalarMul(c.lambdaN, full.Count))
 			diff := b.pub.Sub(duv, du)
-			send, stamps, ok := b.ctl.SendDecision(c.key, v, full,
+			send, stamps, ok := b.ctl.SendDecision(c.sym, v, full,
 				oblivious.Blind(b.pub, duv, b.cfg.BlindBits, b.rng),
 				oblivious.Blind(b.pub, diff, b.cfg.BlindBits, b.rng),
 				first, link.grant.NumSlots, link.grant.Slot, neighborAt)
@@ -505,8 +555,7 @@ func (b *Broker) onNeighborJoin(v int) map[int]ShareGrant {
 			c.Stamps = append(c.Stamps, b.pub.EncryptZero())
 		}
 	}
-	for _, key := range b.order {
-		c := b.cands[key]
+	for _, c := range b.cands {
 		rebind(c.local, 0)
 		for w, e := range c.edges {
 			rebind(e.inbound, b.acc.slotFor(w))
@@ -525,7 +574,9 @@ func (b *Broker) onNeighborJoin(v int) map[int]ShareGrant {
 	// Staged accountant replies carry old-geometry stamp vectors and a
 	// superseded share; rebind them too.
 	for _, reply := range b.stagedReplies {
-		rebind(reply, 0)
+		if reply != nil {
+			rebind(reply, 0)
+		}
 	}
 	return grants
 }
@@ -573,8 +624,7 @@ func (b *Broker) onNeighborEvict(v int) map[int]ShareGrant {
 		}
 		c.Share = b.acc.shareEnc(slot)
 	}
-	for _, key := range b.order {
-		c := b.cands[key]
+	for _, c := range b.cands {
 		remap(c.local, 0)
 		delete(c.edges, v)
 		for w, e := range c.edges {
@@ -589,7 +639,9 @@ func (b *Broker) onNeighborEvict(v int) map[int]ShareGrant {
 	// Staged accountant replies carry old-geometry stamp vectors and a
 	// superseded share; rebind them too.
 	for _, reply := range b.stagedReplies {
-		remap(reply, 0)
+		if reply != nil {
+			remap(reply, 0)
+		}
 	}
 	for _, h := range b.history {
 		delete(h, v)
@@ -604,9 +656,9 @@ func (b *Broker) onNeighborEvict(v int) map[int]ShareGrant {
 // current counter for a rule (quarantine attribution): slot 0 is the
 // accountant's ⊥ counter, slot ≥ 1 the neighbour's stored inbound
 // counter.
-func (b *Broker) partShare(rule string, slot int) *homo.Ciphertext {
-	c, ok := b.cands[rule]
-	if !ok {
+func (b *Broker) partShare(rule intern.Sym, slot int) *homo.Ciphertext {
+	c := b.candAt(rule)
+	if c == nil {
 		return nil
 	}
 	if slot == 0 {
@@ -626,14 +678,13 @@ func (b *Broker) partShare(rule string, slot int) *homo.Ciphertext {
 // per candidate, then lattice expansion from the believed-correct set.
 func (b *Broker) generateCandidates() {
 	neighborAt := func(slot int) int { return b.acc.neighbors[slot-1] }
-	answers := map[string]bool{}
-	for _, key := range b.order {
-		c := b.cands[key]
+	answers := make([]bool, len(b.cands))
+	for i, c := range b.cands {
 		if !c.outDirty {
 			// No input ciphertext was replaced since the last query, so
 			// the controller's totals are unchanged and its answer is
 			// necessarily the cached one; skip the SFE.
-			answers[key] = b.ctl.PeekOutput(key)
+			answers[i] = b.ctl.PeekOutput(c.sym)
 			continue
 		}
 		c.outDirty = false
@@ -641,14 +692,14 @@ func (b *Broker) generateCandidates() {
 		du := b.pub.Sub(
 			b.pub.ScalarMul(c.lambdaD, full.Sum),
 			b.pub.ScalarMul(c.lambdaN, full.Count))
-		correct, ok := b.ctl.OutputDecision(key, full,
+		correct, ok := b.ctl.OutputDecision(c.sym, full,
 			oblivious.Blind(b.pub, du, b.cfg.BlindBits, b.rng), neighborAt)
 		if !ok {
 			return
 		}
-		answers[key] = correct
+		answers[i] = correct
 	}
-	truth := b.assembleOutput(func(key string) bool { return answers[key] })
+	truth := b.assembleOutput(func(i int, c *secCandidate) bool { return answers[i] })
 	existing := arm.RuleSet{}
 	for _, c := range b.cands {
 		existing.Add(c.rule)
@@ -659,7 +710,8 @@ func (b *Broker) generateCandidates() {
 		return
 	}
 	for _, rule := range existing.Sorted() {
-		if _, ok := b.cands[rule.Key()]; !ok {
+		rule := rule
+		if _, ok := b.candIdx[b.ruleSym(&rule)]; !ok {
 			b.addCandidate(rule)
 		}
 	}
@@ -682,28 +734,30 @@ func counterBytes(c *oblivious.Counter) int64 {
 // Output assembles R̃_u from the controller's cached answers without
 // running SFEs.
 func (b *Broker) Output() arm.RuleSet {
-	return b.assembleOutput(b.ctl.PeekOutput)
+	return b.assembleOutput(func(i int, c *secCandidate) bool { return b.ctl.PeekOutput(c.sym) })
 }
 
 // assembleOutput applies the "confident rules between frequent
 // itemsets" filter: a confidence rule is reported only when its own
-// vote and its union's frequency vote both pass.
-func (b *Broker) assembleOutput(decide func(key string) bool) arm.RuleSet {
+// vote and its union's frequency vote both pass. decide receives each
+// candidate with its index (answers are index-parallel during a
+// generation pass).
+func (b *Broker) assembleOutput(decide func(i int, c *secCandidate) bool) arm.RuleSet {
 	out := arm.RuleSet{}
-	for key, c := range b.cands {
+	for i, c := range b.cands {
 		if c.rule.Kind != arm.ThresholdFreq {
 			continue
 		}
-		if decide(key) {
+		if decide(i, c) {
 			out.Add(c.rule)
 		}
 	}
-	for key, c := range b.cands {
+	for i, c := range b.cands {
 		if c.rule.Kind != arm.ThresholdConf {
 			continue
 		}
 		companion := arm.NewRule(nil, c.rule.Union(), arm.ThresholdFreq)
-		if decide(key) && out.Has(companion) {
+		if decide(i, c) && out.Has(companion) {
 			out.Add(c.rule)
 		}
 	}
@@ -713,8 +767,12 @@ func (b *Broker) assembleOutput(decide func(key string) bool) arm.RuleSet {
 // DebugAggregate decrypts a candidate's full aggregate through the
 // resource's own controller capability — test/diagnostic use only.
 func (b *Broker) DebugAggregate(key string) (sum, count, num int64, ok bool) {
-	c, ok := b.cands[key]
+	sym, ok := intern.Lookup(key)
 	if !ok {
+		return 0, 0, 0, false
+	}
+	c := b.candAt(sym)
+	if c == nil {
 		return 0, 0, 0, false
 	}
 	full := b.fullSum(c)

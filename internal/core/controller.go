@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"secmr/internal/homo"
+	"secmr/internal/intern"
 	"secmr/internal/oblivious"
 	"secmr/internal/obs"
 )
@@ -72,13 +72,16 @@ type Controller struct {
 	// verified and trip their replay detection. See internal/persist.
 	clockLease   int64
 	onClockLease func(upTo int64)
-	// seen is T̃: the last verified timestamp per (rule, slot).
-	seen map[string][]int64
+	// seen is T̃: the last verified timestamp per (rule, slot). Rules
+	// are keyed by interned symbol throughout the controller — an
+	// integer compare instead of a string hash on every SFE, and no
+	// fmt.Sprintf composite keys on the hot path.
+	seen map[intern.Sym][]int64
 
 	// Per-(rule,edge) send-decision gate state.
-	sendGates map[string]*gateState
+	sendGates map[sendGateKey]*gateState
 	// Per-rule output gate state (Algorithm 1's Output()).
-	outGates map[string]*gateState
+	outGates map[intern.Sym]*gateState
 
 	// pendingReport is the detection raised by the latest SFE, if any.
 	pendingReport *MaliciousReport
@@ -91,7 +94,7 @@ type Controller struct {
 	// a rule, and the accountant's dealt plaintext values. With both, a
 	// share-sum violation is pinned to the slot whose attached share
 	// does not decrypt to its dealt value (see attributeShare).
-	partShare   func(rule string, slot int) *homo.Ciphertext
+	partShare   func(rule intern.Sym, slot int) *homo.Ciphertext
 	expectShare func(slot int) (int64, bool)
 
 	// audit, when enabled, records every gate decision for offline
@@ -127,6 +130,15 @@ type ControllerStats struct {
 	GatedDecisions int64 // answered with the in-gate default / cached value
 	Suppressed     int64 // no-change queries suppressed
 	Violations     int64
+}
+
+// sendGateKey addresses one edge's send-decision gate — a comparable
+// struct instead of the historical fmt.Sprintf("%s#%d") key, so the
+// hot path neither formats nor hashes strings. The snapshot codec
+// still writes the legacy string form (see appendGateMap callers).
+type sendGateKey struct {
+	rule intern.Sym
+	edge int32
 }
 
 // gateState is the k-gate bookkeeping for one decision stream.
@@ -165,9 +177,9 @@ func (g *gateState) open(k, cnt, num int64) bool {
 func newController(id int, cfg Config, dec homo.Decryptor, enc homo.Encryptor, pub homo.Public) *Controller {
 	return &Controller{
 		id: id, cfg: cfg, dec: dec, enc: enc, pub: pub,
-		seen:      map[string][]int64{},
-		sendGates: map[string]*gateState{},
-		outGates:  map[string]*gateState{},
+		seen:      map[intern.Sym][]int64{},
+		sendGates: map[sendGateKey]*gateState{},
+		outGates:  map[intern.Sym]*gateState{},
 		// Disabled telemetry by default; NewResource swaps in the
 		// resource-wide set. Keeps entities built directly (tests,
 		// harnesses) hook-safe.
@@ -187,10 +199,20 @@ func (c *Controller) AuditTrail() []AuditEntry {
 	return append([]AuditEntry(nil), c.audit...)
 }
 
-// record appends an audit entry when auditing is on.
-func (c *Controller) record(stream string, cnt, num int64, fresh bool) {
+// recordSend appends a send-stream audit entry when auditing is on.
+// The stream string is only materialized under the flag — the hot path
+// never formats it.
+func (c *Controller) recordSend(rule intern.Sym, edge int, cnt, num int64, fresh bool) {
 	if c.cfg.Audit {
+		stream := fmt.Sprintf("send:%s#%d", intern.Str(rule), edge)
 		c.audit = append(c.audit, AuditEntry{Stream: stream, Count: cnt, Num: num, Fresh: fresh})
+	}
+}
+
+// recordOut appends an output-stream audit entry when auditing is on.
+func (c *Controller) recordOut(rule intern.Sym, cnt, num int64, fresh bool) {
+	if c.cfg.Audit {
+		c.audit = append(c.audit, AuditEntry{Stream: "out:" + intern.Str(rule), Count: cnt, Num: num, Fresh: fresh})
 	}
 }
 
@@ -209,7 +231,7 @@ func (c *Controller) takeReport() (MaliciousReport, bool) {
 // (≥1) back to resource IDs for accusation; slot 0 is the accountant.
 // Returns false when a violation was detected (and records the
 // report).
-func (c *Controller) verify(rule string, full *oblivious.Counter, neighborAt func(slot int) int) bool {
+func (c *Controller) verify(rule intern.Sym, full *oblivious.Counter, neighborAt func(slot int) int) bool {
 	if c.dec.DecryptSigned(full.Share).Int64() != 1 {
 		c.stats.Violations++
 		c.pendingReport = c.attributeShare(rule, neighborAt)
@@ -233,7 +255,7 @@ func (c *Controller) verify(rule string, full *oblivious.Counter, neighborAt fun
 			reason := "accountant counter replay"
 			if slot > 0 {
 				accused = neighborAt(slot)
-				reason = fmt.Sprintf("stale timestamp for rule %s (replayed counter)", rule)
+				reason = fmt.Sprintf("stale timestamp for rule %s (replayed counter)", intern.Str(rule))
 			}
 			// Deliberately no Evidence: a stale stamp is ambiguous — this
 			// resource's own broker replaying a neighbour's genuinely
@@ -262,7 +284,7 @@ func (c *Controller) verify(rule string, full *oblivious.Counter, neighborAt fun
 // every attached part matches, the aggregate itself was doctored — by
 // the only entity that assembles it, this resource's own broker — so
 // the report is a confession.
-func (c *Controller) attributeShare(rule string, neighborAt func(int) int) *MaliciousReport {
+func (c *Controller) attributeShare(rule intern.Sym, neighborAt func(int) int) *MaliciousReport {
 	if c.cfg.Quarantine.Enabled && c.partShare != nil && c.expectShare != nil {
 		for slot := 1; ; slot++ {
 			want, ok := c.expectShare(slot)
@@ -276,18 +298,18 @@ func (c *Controller) attributeShare(rule string, neighborAt func(int) int) *Mali
 			if c.dec.DecryptSigned(ct).Int64() != want {
 				return &MaliciousReport{
 					Accused: neighborAt(slot), Reporter: c.id, Evidence: true,
-					Reason: fmt.Sprintf("forged share on rule %s", rule),
+					Reason: fmt.Sprintf("forged share on rule %s", intern.Str(rule)),
 				}
 			}
 		}
 		return &MaliciousReport{
 			Accused: c.id, Reporter: c.id, Evidence: true,
-			Reason: fmt.Sprintf("broker share-sum violation on rule %s", rule),
+			Reason: fmt.Sprintf("broker share-sum violation on rule %s", intern.Str(rule)),
 		}
 	}
 	return &MaliciousReport{
 		Accused: c.id, Reporter: c.id,
-		Reason: fmt.Sprintf("broker share-sum violation on rule %s", rule),
+		Reason: fmt.Sprintf("broker share-sum violation on rule %s", intern.Str(rule)),
 	}
 }
 
@@ -308,9 +330,8 @@ func (c *Controller) remapSeen(perm []int) {
 
 // dropEdgeGates forgets the send-gate state of a quarantined edge.
 func (c *Controller) dropEdgeGates(v int) {
-	suffix := fmt.Sprintf("#%d", v)
 	for key := range c.sendGates {
-		if strings.HasSuffix(key, suffix) {
+		if key.edge == int32(v) {
 			delete(c.sendGates, key)
 		}
 	}
@@ -354,7 +375,7 @@ func (c *Controller) rebaseGates() {
 // new can flow, so resending is pure echo (this is the controller-side
 // equivalent of the plaintext no-op suppression, computed from totals
 // the controller legitimately holds for the gate).
-func (c *Controller) SendDecision(rule string, edge int, full *oblivious.Counter,
+func (c *Controller) SendDecision(rule intern.Sym, edge int, full *oblivious.Counter,
 	blindDuv, blindDiff *homo.Ciphertext, firstContact bool,
 	recipientSlots int, recipientSlot int, neighborAt func(int) int) (send bool, stamps []*homo.Ciphertext, ok bool) {
 
@@ -364,7 +385,7 @@ func (c *Controller) SendDecision(rule string, edge int, full *oblivious.Counter
 	}
 	cnt := c.dec.DecryptSigned(full.Count).Int64()
 	num := c.dec.DecryptSigned(full.Num).Int64()
-	key := fmt.Sprintf("%s#%d", rule, edge)
+	key := sendGateKey{rule: rule, edge: int32(edge)}
 	g, okG := c.sendGates[key]
 	if !okG {
 		g = &gateState{}
@@ -376,32 +397,32 @@ func (c *Controller) SendDecision(rule string, edge int, full *oblivious.Counter
 		// encrypted body reveals nothing.
 		send = true
 		g.lastCount, g.lastNum, g.queried = cnt, num, true
-		c.tel.emit(obs.Event{Type: obs.EvVoteGated, Peer: edge, Rule: rule, Detail: "first-contact"})
+		c.tel.emit(obs.Event{Type: obs.EvVoteGated, Peer: edge, Rule: intern.Str(rule), Detail: "first-contact"})
 	case g.queried && cnt == g.lastCount && num == g.lastNum:
 		c.stats.Suppressed++
 		c.tel.votesSuppressed.Inc()
-		c.tel.emit(obs.Event{Type: obs.EvVoteSupp, Peer: edge, Rule: rule})
+		c.tel.emit(obs.Event{Type: obs.EvVoteSupp, Peer: edge, Rule: intern.Str(rule)})
 		send = false
 	case g.open(c.cfg.K, cnt, num):
 		c.stats.FreshDecisions++
 		c.tel.votesFresh.Inc()
-		c.record("send:"+key, cnt, num, true)
+		c.recordSend(rule, edge, cnt, num, true)
 		g.lastCount, g.lastNum, g.queried = cnt, num, true
 		sDuv := oblivious.SignOf(c.dec, blindDuv)
 		sDiff := oblivious.SignOf(c.dec, blindDiff)
 		// (Δuv ≥ 0 ∧ Δuv > Δu) ∨ (Δuv < 0 ∧ Δuv < Δu).
 		send = (sDuv >= 0 && sDiff > 0) || (sDuv < 0 && sDiff < 0)
-		c.tel.emit(obs.Event{Type: obs.EvVoteFresh, Peer: edge, Rule: rule, Detail: voteDetail(send)})
+		c.tel.emit(obs.Event{Type: obs.EvVoteFresh, Peer: edge, Rule: intern.Str(rule), Detail: voteDetail(send)})
 	default:
 		c.stats.GatedDecisions++
 		c.tel.votesGated.Inc()
-		c.record("send:"+key, cnt, num, false)
+		c.recordSend(rule, edge, cnt, num, false)
 		g.lastCount, g.lastNum, g.queried = cnt, num, true
 		send = true
-		c.tel.emit(obs.Event{Type: obs.EvVoteGated, Peer: edge, Rule: rule, Detail: "in-gate"})
+		c.tel.emit(obs.Event{Type: obs.EvVoteGated, Peer: edge, Rule: intern.Str(rule), Detail: "in-gate"})
 	}
 	if c.adv != nil {
-		send = c.adv.TamperAnswer("send", rule, send)
+		send = c.adv.TamperAnswer("send", intern.Str(rule), send)
 	}
 	if !send {
 		return false, nil, true
@@ -443,7 +464,7 @@ func (c *Controller) outgoingStamps(slots, slot int) []*homo.Ciphertext {
 // otherwise the cached previous answer stands (a k-TTP "ignores" the
 // request, leaving the requester with its prior knowledge). Returns
 // ok=false on a verification failure.
-func (c *Controller) OutputDecision(rule string, full *oblivious.Counter,
+func (c *Controller) OutputDecision(rule intern.Sym, full *oblivious.Counter,
 	blindDu *homo.Ciphertext, neighborAt func(int) int) (correct bool, ok bool) {
 
 	c.stats.SFEs++
@@ -460,25 +481,25 @@ func (c *Controller) OutputDecision(rule string, full *oblivious.Counter,
 	if g.open(c.cfg.K, cnt, num) {
 		c.stats.FreshDecisions++
 		c.tel.votesFresh.Inc()
-		c.record("out:"+rule, cnt, num, true)
+		c.recordOut(rule, cnt, num, true)
 		g.cached = oblivious.SignOf(c.dec, blindDu) >= 0
-		c.tel.emit(obs.Event{Type: obs.EvOutputDec, Peer: -1, Rule: rule, Detail: "fresh", Value: bool01(g.cached)})
+		c.tel.emit(obs.Event{Type: obs.EvOutputDec, Peer: -1, Rule: intern.Str(rule), Detail: "fresh", Value: bool01(g.cached)})
 	} else {
 		c.stats.GatedDecisions++
 		c.tel.votesGated.Inc()
-		c.record("out:"+rule, cnt, num, false)
-		c.tel.emit(obs.Event{Type: obs.EvOutputDec, Peer: -1, Rule: rule, Detail: "cached", Value: bool01(g.cached)})
+		c.recordOut(rule, cnt, num, false)
+		c.tel.emit(obs.Event{Type: obs.EvOutputDec, Peer: -1, Rule: intern.Str(rule), Detail: "cached", Value: bool01(g.cached)})
 	}
 	c.tel.outputDecisions.Inc()
 	if c.adv != nil {
-		return c.adv.TamperAnswer("output", rule, g.cached), true
+		return c.adv.TamperAnswer("output", intern.Str(rule), g.cached), true
 	}
 	return g.cached, true
 }
 
 // PeekOutput reads the cached answer without running an SFE (metric
 // observation).
-func (c *Controller) PeekOutput(rule string) bool {
+func (c *Controller) PeekOutput(rule intern.Sym) bool {
 	if g, ok := c.outGates[rule]; ok {
 		return g.cached
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"secmr/internal/homo"
+	"secmr/internal/intern"
 	"secmr/internal/oblivious"
 )
 
@@ -64,7 +65,7 @@ func TestOutputDecisionCachesAcrossGate(t *testing.T) {
 	// First query: Δ=+1 over cnt=10, num=3 → fresh, true.
 	full := counter(s, 6, 10, 3, 1, 1, 0)
 	du := oblivious.Blind(s, s.EncryptInt(1), 8, rng)
-	correct, ok := ctl.OutputDecision("r", full, du, neighborAt)
+	correct, ok := ctl.OutputDecision(intern.S("r"), full, du, neighborAt)
 	if !ok || !correct {
 		t.Fatalf("first: correct=%v ok=%v", correct, ok)
 	}
@@ -72,20 +73,20 @@ func TestOutputDecisionCachesAcrossGate(t *testing.T) {
 	// closed, so the cached TRUE must stand (data independence).
 	full2 := counter(s, 6, 11, 3, 1, 2, 0)
 	duNeg := oblivious.Blind(s, s.EncryptInt(-5), 8, rng)
-	correct, ok = ctl.OutputDecision("r", full2, duNeg, neighborAt)
+	correct, ok = ctl.OutputDecision(intern.S("r"), full2, duNeg, neighborAt)
 	if !ok || !correct {
 		t.Fatalf("gated: correct=%v ok=%v (cache must persist)", correct, ok)
 	}
 	// Third: enough growth → fresh negative answer.
 	full3 := counter(s, 6, 14, 3, 1, 3, 0)
-	correct, ok = ctl.OutputDecision("r", full3, oblivious.Blind(s, s.EncryptInt(-5), 8, rng), neighborAt)
+	correct, ok = ctl.OutputDecision(intern.S("r"), full3, oblivious.Blind(s, s.EncryptInt(-5), 8, rng), neighborAt)
 	if !ok || correct {
 		t.Fatalf("fresh negative: correct=%v ok=%v", correct, ok)
 	}
-	if got := ctl.PeekOutput("r"); got {
+	if got := ctl.PeekOutput(intern.S("r")); got {
 		t.Fatal("peek should reflect the fresh negative answer")
 	}
-	if ctl.PeekOutput("unknown-rule") {
+	if ctl.PeekOutput(intern.S("unknown-rule")) {
 		t.Fatal("unknown rule should peek false")
 	}
 }
@@ -94,7 +95,7 @@ func TestVerifyShareViolation(t *testing.T) {
 	ctl, s := mkController(1)
 	rng := mrand.New(mrand.NewSource(2))
 	bad := counter(s, 1, 5, 2, 7 /* share != 1 */, 1, 0)
-	_, ok := ctl.OutputDecision("r", bad, oblivious.Blind(s, s.EncryptInt(1), 8, rng), neighborAt)
+	_, ok := ctl.OutputDecision(intern.S("r"), bad, oblivious.Blind(s, s.EncryptInt(1), 8, rng), neighborAt)
 	if ok {
 		t.Fatal("share violation not flagged")
 	}
@@ -115,12 +116,12 @@ func TestVerifyTimestampReplay(t *testing.T) {
 	rng := mrand.New(mrand.NewSource(3))
 	// Establish stamps (acct=1, neighbor slot=5).
 	good := counter(s, 1, 5, 2, 1, 1, 5)
-	if _, ok := ctl.OutputDecision("r", good, oblivious.Blind(s, s.EncryptInt(1), 8, rng), neighborAt); !ok {
+	if _, ok := ctl.OutputDecision(intern.S("r"), good, oblivious.Blind(s, s.EncryptInt(1), 8, rng), neighborAt); !ok {
 		t.Fatal("good counter rejected")
 	}
 	// Same rule, neighbor stamp regressed to 3 < 5: replay.
 	stale := counter(s, 2, 9, 2, 1, 2, 3)
-	if _, ok := ctl.OutputDecision("r", stale, oblivious.Blind(s, s.EncryptInt(1), 8, rng), neighborAt); ok {
+	if _, ok := ctl.OutputDecision(intern.S("r"), stale, oblivious.Blind(s, s.EncryptInt(1), 8, rng), neighborAt); ok {
 		t.Fatal("stale stamp accepted")
 	}
 	rep, bad := ctl.takeReport()
@@ -130,7 +131,7 @@ func TestVerifyTimestampReplay(t *testing.T) {
 	// Stamps are tracked per rule: the same stamp values on another
 	// rule are fine.
 	other := counter(s, 1, 5, 2, 1, 1, 3)
-	if _, ok := ctl.OutputDecision("r2", other, oblivious.Blind(s, s.EncryptInt(1), 8, rng), neighborAt); !ok {
+	if _, ok := ctl.OutputDecision(intern.S("r2"), other, oblivious.Blind(s, s.EncryptInt(1), 8, rng), neighborAt); !ok {
 		t.Fatal("per-rule stamp tracking broken")
 	}
 }
@@ -141,7 +142,7 @@ func TestSendDecisionFirstContactAndSuppression(t *testing.T) {
 	blind := func(v int64) *homo.Ciphertext { return oblivious.Blind(s, s.EncryptInt(v), 8, rng) }
 	full := counter(s, 1, 2, 1, 1, 1, 0)
 	// First contact always sends and returns stamps.
-	send, stamps, ok := ctl.SendDecision("r", 7, full, blind(0), blind(0), true, 4, 2, neighborAt)
+	send, stamps, ok := ctl.SendDecision(intern.S("r"), 7, full, blind(0), blind(0), true, 4, 2, neighborAt)
 	if !ok || !send || len(stamps) != 4 {
 		t.Fatalf("first contact: send=%v stamps=%d ok=%v", send, len(stamps), ok)
 	}
@@ -153,7 +154,7 @@ func TestSendDecisionFirstContactAndSuppression(t *testing.T) {
 		t.Fatal("non-designated slot nonzero")
 	}
 	// Unchanged totals: suppressed.
-	send, _, ok = ctl.SendDecision("r", 7, counter(s, 1, 2, 1, 1, 2, 0), blind(0), blind(0), false, 4, 2, neighborAt)
+	send, _, ok = ctl.SendDecision(intern.S("r"), 7, counter(s, 1, 2, 1, 1, 2, 0), blind(0), blind(0), false, 4, 2, neighborAt)
 	if !ok || send {
 		t.Fatalf("unchanged totals must be suppressed: send=%v", send)
 	}
@@ -161,7 +162,7 @@ func TestSendDecisionFirstContactAndSuppression(t *testing.T) {
 		t.Fatal("suppression not counted")
 	}
 	// Changed but sub-k growth: the data-independent default (send).
-	send, _, ok = ctl.SendDecision("r", 7, counter(s, 2, 3, 2, 1, 3, 0), blind(9), blind(9), false, 4, 2, neighborAt)
+	send, _, ok = ctl.SendDecision(intern.S("r"), 7, counter(s, 2, 3, 2, 1, 3, 0), blind(9), blind(9), false, 4, 2, neighborAt)
 	if !ok || !send {
 		t.Fatalf("in-gate default must be send: send=%v", send)
 	}
@@ -172,20 +173,20 @@ func TestSendDecisionFreshUsesMajorityCondition(t *testing.T) {
 	rng := mrand.New(mrand.NewSource(5))
 	blind := func(v int64) *homo.Ciphertext { return oblivious.Blind(s, s.EncryptInt(v), 8, rng) }
 	// First contact bootstraps.
-	ctl.SendDecision("r", 7, counter(s, 1, 2, 1, 1, 1, 0), blind(0), blind(0), true, 3, 1, neighborAt)
+	ctl.SendDecision(intern.S("r"), 7, counter(s, 1, 2, 1, 1, 1, 0), blind(0), blind(0), true, 3, 1, neighborAt)
 	// Growth ≥ k in both: fresh evaluation of the §4.1 condition.
 	// Δuv = +5, Δuv − Δu = +3 → (Δuv ≥ 0 ∧ Δuv > Δu) → send.
-	send, _, ok := ctl.SendDecision("r", 7, counter(s, 4, 6, 3, 1, 2, 0), blind(5), blind(3), false, 3, 1, neighborAt)
+	send, _, ok := ctl.SendDecision(intern.S("r"), 7, counter(s, 4, 6, 3, 1, 2, 0), blind(5), blind(3), false, 3, 1, neighborAt)
 	if !ok || !send {
 		t.Fatalf("positive-overshoot must send: %v", send)
 	}
 	// Again with growth: Δuv = +5, diff = −3 → condition false.
-	send, _, ok = ctl.SendDecision("r", 7, counter(s, 9, 11, 5, 1, 3, 0), blind(5), blind(-3), false, 3, 1, neighborAt)
+	send, _, ok = ctl.SendDecision(intern.S("r"), 7, counter(s, 9, 11, 5, 1, 3, 0), blind(5), blind(-3), false, 3, 1, neighborAt)
 	if !ok || send {
 		t.Fatalf("agreeing edge must not send: %v", send)
 	}
 	// Negative branch: Δuv = −5, diff = −2 (Δuv < Δu) → send.
-	send, _, ok = ctl.SendDecision("r", 7, counter(s, 12, 16, 7, 1, 4, 0), blind(-5), blind(-2), false, 3, 1, neighborAt)
+	send, _, ok = ctl.SendDecision(intern.S("r"), 7, counter(s, 12, 16, 7, 1, 4, 0), blind(-5), blind(-2), false, 3, 1, neighborAt)
 	if !ok || !send {
 		t.Fatalf("negative-overshoot must send: %v", send)
 	}

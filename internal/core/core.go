@@ -30,6 +30,7 @@ import (
 
 	"secmr/internal/arm"
 	"secmr/internal/homo"
+	"secmr/internal/intern"
 	"secmr/internal/oblivious"
 	"secmr/internal/obs"
 	"secmr/internal/sim"
@@ -221,7 +222,7 @@ type Resource struct {
 	halted bool
 	// reports collects every MaliciousReport seen at this resource.
 	reports     []MaliciousReport
-	reportsSeen map[string]bool
+	reportsSeen map[reportKey]bool
 
 	// Quarantine state (Config.Quarantine): the evicted members, the
 	// per-accused reporter sets backing quorum eviction, and the
@@ -250,7 +251,7 @@ type Resource struct {
 // (the attack harness).
 func NewResource(id int, cfg Config, scheme homo.Scheme, local *arm.Database, feed []arm.Transaction, adv Adversary) *Resource {
 	cfg = cfg.withDefaults()
-	r := &Resource{ID: id, cfg: cfg, reportsSeen: map[string]bool{},
+	r := &Resource{ID: id, cfg: cfg, reportsSeen: map[reportKey]bool{},
 		evicted: map[int]bool{}, accusers: map[int]map[int]bool{}}
 	r.tel = newTelemetry(id, cfg.Obs, func() int64 { return r.step })
 	r.Accountant = newAccountant(id, cfg, scheme, scheme, local, feed)
@@ -357,7 +358,10 @@ func (r *Resource) HandleMessage(tr Transport, from int, payload any) {
 			return
 		}
 		r.tel.countersRecv.Inc()
-		r.tel.emit(obs.Event{Type: obs.EvCounterRecv, Peer: from, Rule: m.Rule.Key()})
+		// Interned key: Rule.Key() would allocate a fresh string per
+		// message; ruleSym encodes into the broker's scratch buffer and
+		// Str hands back the one process-wide copy.
+		r.tel.emit(obs.Event{Type: obs.EvCounterRecv, Peer: from, Rule: intern.Str(r.Broker.ruleSym(&m.Rule))})
 		r.Broker.onRuleMsg(from, m)
 	case MaliciousReport:
 		r.propagateReport(tr, m, from)
@@ -504,10 +508,18 @@ func (r *Resource) raiseReport(tr Transport, rep MaliciousReport) {
 	r.halted = true
 }
 
+// reportKey deduplicates report floods — a comparable struct instead
+// of the historical fmt.Sprintf("%d/%d/%s") string, so re-deliveries
+// of an already-seen report cost a map probe and no formatting.
+type reportKey struct {
+	accused, reporter int
+	reason            string
+}
+
 // propagateReport floods a report across the tree exactly once, then
 // applies the quarantine policy when armed.
 func (r *Resource) propagateReport(tr Transport, rep MaliciousReport, from int) {
-	key := fmt.Sprintf("%d/%d/%s", rep.Accused, rep.Reporter, rep.Reason)
+	key := reportKey{rep.Accused, rep.Reporter, rep.Reason}
 	if r.reportsSeen[key] {
 		return
 	}

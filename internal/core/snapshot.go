@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"secmr/internal/arm"
 	"secmr/internal/homo"
+	"secmr/internal/intern"
 	"secmr/internal/oblivious"
 	"secmr/internal/obs"
 	"secmr/internal/sim"
@@ -121,9 +124,9 @@ func (r *Resource) EnsureClockAtLeast(floor int64) {
 // unchanged aggregates are suppressed at the controller.
 func (r *Resource) RestageReplies() {
 	a := r.Accountant
-	for _, key := range a.scanOrder {
-		if s := a.scans[key]; s.pos > 0 {
-			a.replies[key] = a.reply(s)
+	for i, s := range a.scans {
+		if s.pos > 0 {
+			a.stage(i)
 		}
 	}
 }
@@ -214,9 +217,8 @@ func (r *Resource) EncodeState() []byte {
 	for _, tx := range tail {
 		dst = appendItemset(dst, tx)
 	}
-	dst = binary.AppendUvarint(dst, uint64(len(a.scanOrder)))
-	for _, key := range a.scanOrder {
-		s := a.scans[key]
+	dst = binary.AppendUvarint(dst, uint64(len(a.scans)))
+	for _, s := range a.scans {
 		dst = appendRule(dst, s.rule)
 		dst = binary.AppendVarint(dst, int64(s.pos))
 		dst = binary.AppendVarint(dst, s.sum)
@@ -239,9 +241,8 @@ func (r *Resource) EncodeState() []byte {
 			dst = homo.AppendCiphertext(dst, l.grant.Share)
 		}
 	}
-	dst = binary.AppendUvarint(dst, uint64(len(b.order)))
-	for _, key := range b.order {
-		c := b.cands[key]
+	dst = binary.AppendUvarint(dst, uint64(len(b.cands)))
+	for _, c := range b.cands {
 		dst = appendRule(dst, c.rule)
 		dst = appendBool(dst, c.outDirty)
 		dst = oblivious.AppendCounter(dst, c.local)
@@ -271,17 +272,21 @@ func (r *Resource) EncodeState() []byte {
 	c := r.Controller
 	dst = binary.AppendVarint(dst, c.clock)
 	dst = binary.AppendVarint(dst, c.clockLease)
+	// Rule keys live as interned symbols in memory; the snapshot writes
+	// the legacy strings (sorted), so the byte format is unchanged and
+	// symbol numbering — which depends on interning order — never leaks
+	// into persisted state.
 	dst = binary.AppendUvarint(dst, uint64(len(c.seen)))
-	for _, rule := range sortedStrKeys(c.seen) {
-		dst = appendString(dst, rule)
+	for _, rule := range sortedSymKeys(c.seen) {
+		dst = appendString(dst, intern.Str(rule))
 		stamps := c.seen[rule]
 		dst = binary.AppendUvarint(dst, uint64(len(stamps)))
 		for _, t := range stamps {
 			dst = binary.AppendVarint(dst, t)
 		}
 	}
-	dst = appendGateMap(dst, c.sendGates)
-	dst = appendGateMap(dst, c.outGates)
+	dst = appendSendGates(dst, c.sendGates)
+	dst = appendOutGates(dst, c.outGates)
 	dst = binary.AppendUvarint(dst, uint64(len(c.audit)))
 	for _, e := range c.audit {
 		dst = appendString(dst, e.Stream)
@@ -376,7 +381,7 @@ func RestoreResource(id int, cfg Config, scheme homo.Scheme, state []byte) (*Res
 	res.step, res.lossTick, res.halted = step, lossTick, halted
 	for _, rep := range reports {
 		res.reports = append(res.reports, rep)
-		res.reportsSeen[fmt.Sprintf("%d/%d/%s", rep.Accused, rep.Reporter, rep.Reason)] = true
+		res.reportsSeen[reportKey{rep.Accused, rep.Reporter, rep.Reason}] = true
 	}
 	res.neighbors = append([]int(nil), neighbors...)
 	res.membershipEpoch = membershipEpoch
@@ -391,13 +396,13 @@ func RestoreResource(id int, cfg Config, scheme homo.Scheme, state []byte) (*Res
 	a.epoch, a.t, a.shareVals = epoch, at, shareVals
 	for i, n := 0, rd.count(); i < n; i++ {
 		rule := readRule(rd)
-		s := &scanState{rule: rule, pos: rd.int(), sum: int64(rd.int()), count: int64(rd.int())}
+		s := &scanState{rule: rule, sym: intern.S(rule.Key()), pos: rd.int(), sum: int64(rd.int()), count: int64(rd.int())}
 		if rd.err != nil {
 			return nil, rd.err
 		}
-		key := rule.Key()
-		a.scans[key] = s
-		a.scanOrder = append(a.scanOrder, key)
+		a.scanIdx[s.sym] = int32(len(a.scans))
+		a.scans = append(a.scans, s)
+		a.replies = append(a.replies, nil)
 	}
 
 	b := res.Broker
@@ -424,9 +429,10 @@ func RestoreResource(id int, cfg Config, scheme homo.Scheme, state []byte) (*Res
 	}
 	for i, n := 0, rd.count(); i < n; i++ {
 		rule := readRule(rd)
+		sym := intern.S(rule.Key())
 		ln, ld := rational(b.cfg.Th.Lambda(rule.Kind))
 		c := &secCandidate{
-			rule: rule, key: rule.Key(), lambdaN: ln, lambdaD: ld,
+			rule: rule, sym: sym, key: intern.Str(sym), lambdaN: ln, lambdaD: ld,
 			outDirty: rd.bool(),
 			edges:    map[int]*secEdge{},
 		}
@@ -461,8 +467,8 @@ func RestoreResource(id int, cfg Config, scheme homo.Scheme, state []byte) (*Res
 			}
 			c.edges[v] = e
 		}
-		b.cands[c.key] = c
-		b.order = append(b.order, c.key)
+		b.candIdx[sym] = int32(len(b.cands))
+		b.cands = append(b.cands, c)
 	}
 
 	c := res.Controller
@@ -480,13 +486,13 @@ func RestoreResource(id int, cfg Config, scheme homo.Scheme, state []byte) (*Res
 		for j, m := 0, rd.count(); j < m; j++ {
 			stamps = append(stamps, int64(rd.int()))
 		}
-		c.seen[rule] = stamps
+		c.seen[intern.S(rule)] = stamps
 	}
 	var err error
-	if c.sendGates, err = readGateMap(rd); err != nil {
+	if c.sendGates, err = readSendGates(rd); err != nil {
 		return nil, err
 	}
-	if c.outGates, err = readGateMap(rd); err != nil {
+	if c.outGates, err = readOutGates(rd); err != nil {
 		return nil, err
 	}
 	for i, n := 0, rd.count(); i < n; i++ {
@@ -532,46 +538,101 @@ func readRule(rd *wireReader) arm.Rule {
 	return r
 }
 
-func appendGateMap(dst []byte, gates map[string]*gateState) []byte {
-	dst = binary.AppendUvarint(dst, uint64(len(gates)))
-	for _, key := range sortedStrKeys(gates) {
-		g := gates[key]
-		dst = appendString(dst, key)
-		dst = binary.AppendVarint(dst, g.gateCount)
-		dst = binary.AppendVarint(dst, g.gateNum)
-		dst = binary.AppendVarint(dst, g.lastCount)
-		dst = binary.AppendVarint(dst, g.lastNum)
-		var flags byte
-		if g.queried {
-			flags |= 1
-		}
-		if g.freshed {
-			flags |= 2
-		}
-		if g.cached {
-			flags |= 4
-		}
-		dst = append(dst, flags)
+// appendGateState writes one gate's scalar state (shared by both gate
+// maps; the caller writes the key).
+func appendGateState(dst []byte, g *gateState) []byte {
+	dst = binary.AppendVarint(dst, g.gateCount)
+	dst = binary.AppendVarint(dst, g.gateNum)
+	dst = binary.AppendVarint(dst, g.lastCount)
+	dst = binary.AppendVarint(dst, g.lastNum)
+	var flags byte
+	if g.queried {
+		flags |= 1
+	}
+	if g.freshed {
+		flags |= 2
+	}
+	if g.cached {
+		flags |= 4
+	}
+	return append(dst, flags)
+}
+
+func readGateState(rd *wireReader) *gateState {
+	g := &gateState{
+		gateCount: int64(rd.int()), gateNum: int64(rd.int()),
+		lastCount: int64(rd.int()), lastNum: int64(rd.int()),
+	}
+	flags := rd.byte()
+	g.queried = flags&1 != 0
+	g.freshed = flags&2 != 0
+	g.cached = flags&4 != 0
+	return g
+}
+
+// appendSendGates persists the send-gate map under the legacy string
+// keys "<rule>#<edge>" (sorted), keeping the snapshot byte format
+// identical to the string-keyed implementation.
+func appendSendGates(dst []byte, gates map[sendGateKey]*gateState) []byte {
+	keys := make([]string, 0, len(gates))
+	byKey := make(map[string]*gateState, len(gates))
+	for k, g := range gates {
+		s := fmt.Sprintf("%s#%d", intern.Str(k.rule), k.edge)
+		keys = append(keys, s)
+		byKey[s] = g
+	}
+	sort.Strings(keys)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, s := range keys {
+		dst = appendString(dst, s)
+		dst = appendGateState(dst, byKey[s])
 	}
 	return dst
 }
 
-func readGateMap(rd *wireReader) (map[string]*gateState, error) {
-	gates := map[string]*gateState{}
+func readSendGates(rd *wireReader) (map[sendGateKey]*gateState, error) {
+	gates := map[sendGateKey]*gateState{}
 	for i, n := 0, rd.count(); i < n; i++ {
 		key := rd.str()
-		g := &gateState{
-			gateCount: int64(rd.int()), gateNum: int64(rd.int()),
-			lastCount: int64(rd.int()), lastNum: int64(rd.int()),
-		}
-		flags := rd.byte()
+		g := readGateState(rd)
 		if rd.err != nil {
 			return nil, rd.err
 		}
-		g.queried = flags&1 != 0
-		g.freshed = flags&2 != 0
-		g.cached = flags&4 != 0
-		gates[key] = g
+		// Rule keys never contain '#', so the last one separates the
+		// edge suffix.
+		cut := strings.LastIndexByte(key, '#')
+		if cut < 0 {
+			return nil, fmt.Errorf("core: malformed send-gate key %q", key)
+		}
+		edge, err := strconv.Atoi(key[cut+1:])
+		if err != nil {
+			return nil, fmt.Errorf("core: malformed send-gate key %q: %w", key, err)
+		}
+		gates[sendGateKey{rule: intern.S(key[:cut]), edge: int32(edge)}] = g
+	}
+	return gates, rd.err
+}
+
+// appendOutGates persists the output-gate map under the legacy rule-
+// string keys (sorted).
+func appendOutGates(dst []byte, gates map[intern.Sym]*gateState) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(gates)))
+	for _, sym := range sortedSymKeys(gates) {
+		dst = appendString(dst, intern.Str(sym))
+		dst = appendGateState(dst, gates[sym])
+	}
+	return dst
+}
+
+func readOutGates(rd *wireReader) (map[intern.Sym]*gateState, error) {
+	gates := map[intern.Sym]*gateState{}
+	for i, n := 0, rd.count(); i < n; i++ {
+		key := rd.str()
+		g := readGateState(rd)
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		gates[intern.S(key)] = g
 	}
 	return gates, rd.err
 }
@@ -623,5 +684,17 @@ func sortedStrKeys[V any](m map[string]V) []string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	return keys
+}
+
+// sortedSymKeys sorts a symbol-keyed map by the interned *strings*:
+// symbol numbering depends on process-wide interning order, so only
+// the string order is deterministic across runs.
+func sortedSymKeys[V any](m map[intern.Sym]V) []intern.Sym {
+	keys := make([]intern.Sym, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return intern.Str(keys[i]) < intern.Str(keys[j]) })
 	return keys
 }

@@ -5,7 +5,62 @@ import (
 	"testing"
 
 	"secmr/internal/homo"
+	"secmr/internal/intern"
 )
+
+// TestGateMapsRoundTripInternedKeys exercises the legacy-string gate
+// codec directly: in memory the gates are keyed by interned symbols
+// (and packed (rule, edge) structs), but the snapshot writes the
+// historical "<rule>#<edge>" / "<rule>" strings. Encoding and decoding
+// must agree on those strings regardless of symbol numbering.
+func TestGateMapsRoundTripInternedKeys(t *testing.T) {
+	send := map[sendGateKey]*gateState{
+		{rule: intern.S("1,2>3|conf"), edge: 7}:  {gateCount: 4, gateNum: 2, queried: true},
+		{rule: intern.S(">5|freq"), edge: 12}:    {lastCount: 9, freshed: true},
+		{rule: intern.S("1,2>3|conf"), edge: 30}: {cached: true},
+	}
+	out := map[intern.Sym]*gateState{
+		intern.S(">5|freq"):    {gateCount: 1, cached: true},
+		intern.S("1,2>3|conf"): {lastNum: 3},
+	}
+	buf := appendSendGates(nil, send)
+	buf = appendOutGates(buf, out)
+
+	rd := &wireReader{buf: buf}
+	gotSend, err := readSendGates(rd)
+	if err != nil {
+		t.Fatalf("readSendGates: %v", err)
+	}
+	gotOut, err := readOutGates(rd)
+	if err != nil {
+		t.Fatalf("readOutGates: %v", err)
+	}
+	if len(gotSend) != len(send) || len(gotOut) != len(out) {
+		t.Fatalf("size mismatch: send %d/%d out %d/%d", len(gotSend), len(send), len(gotOut), len(out))
+	}
+	for k, g := range send {
+		got, ok := gotSend[k]
+		if !ok {
+			t.Fatalf("send gate %v lost (rule %q)", k, intern.Str(k.rule))
+		}
+		if *got != *g {
+			t.Fatalf("send gate %v: %+v != %+v", k, got, g)
+		}
+	}
+	for k, g := range out {
+		got, ok := gotOut[k]
+		if !ok || *got != *g {
+			t.Fatalf("out gate %q mismatch", intern.Str(k))
+		}
+	}
+	// Re-encoding the decoded maps must reproduce the bytes (sorted
+	// legacy-string order is canonical).
+	buf2 := appendSendGates(nil, gotSend)
+	buf2 = appendOutGates(buf2, gotOut)
+	if !bytes.Equal(buf, buf2) {
+		t.Fatal("gate maps do not re-encode bit-for-bit")
+	}
+}
 
 // TestSnapshotRoundTrip drives a secure grid to the middle of a run,
 // snapshots every resource, restores each from bytes alone, and checks
@@ -32,7 +87,8 @@ func TestSnapshotRoundTrip(t *testing.T) {
 			t.Fatalf("resource %d: re-encoded snapshot diverges at byte %d (%d vs %d bytes total)",
 				i, off, len(state), len(re))
 		}
-		for _, key := range r.Broker.order {
+		for _, cand := range r.Broker.cands {
+			key := cand.key
 			s1, c1, n1, _ := r.Broker.DebugAggregate(key)
 			s2, c2, n2, ok := restored.Broker.DebugAggregate(key)
 			if !ok {

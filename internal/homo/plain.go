@@ -55,8 +55,14 @@ func (p *Plain) PlaintextSpace() *big.Int { return new(big.Int).Set(p.m) }
 // by internal/persist to rebuild an equivalent instance from disk.
 func (p *Plain) Bits() int { return p.m.BitLen() - 1 }
 
+// nonce returns a unique value in [2^31, 2^32): the forced top bit
+// makes every ciphertext's bit length a pure function of its
+// plaintext (bitlen(V) = bitlen(m) + 32 even for m = 0), so encoded
+// sizes — and everything derived from them, like wire-byte telemetry —
+// never depend on how many nonces the process drew before, or in what
+// order concurrent shards drew them. Uniqueness survives 2^31 draws.
 func (p *Plain) nonce() uint64 {
-	return p.nonceCtr.Add(1) & (1<<plainNonceBits - 1)
+	return 1<<(plainNonceBits-1) | (p.nonceCtr.Add(1) & (1<<(plainNonceBits-1) - 1))
 }
 
 func (p *Plain) wrap(v *big.Int) *Ciphertext {

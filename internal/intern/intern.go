@@ -1,0 +1,90 @@
+// Package intern is a process-wide string interning table mapping
+// canonical protocol keys (itemset/rule keys, mostly) to dense 32-bit
+// symbols. At mega-grid scale every resource holds per-candidate maps;
+// keying them by Sym instead of string collapses hashing cost to an
+// integer compare and stores each distinct key's bytes exactly once in
+// the process, however many resources reference it.
+//
+// Symbols are assignment-ordered: the numeric value of a Sym depends on
+// which goroutine interned the string first, so protocol logic must
+// never branch on Sym ordering — iteration that has to be deterministic
+// stays in per-resource creation order, and anything serialized durably
+// goes through Str (the snapshot codec writes strings, sorted, and
+// re-interns on decode; symbol values are never persisted).
+package intern
+
+import "sync"
+
+// Sym is a dense process-wide symbol for an interned string. The zero
+// Sym is reserved (no string ever maps to it), so the zero value of a
+// struct field reads as "no key".
+type Sym uint32
+
+var table = struct {
+	sync.RWMutex
+	ids  map[string]Sym
+	strs []string // strs[sym] = string; index 0 reserved
+}{
+	ids:  make(map[string]Sym, 1024),
+	strs: make([]string, 1, 1024),
+}
+
+// S interns s and returns its symbol. Safe for concurrent use; the
+// fast path (already interned) takes only a read lock.
+func S(s string) Sym {
+	table.RLock()
+	y, ok := table.ids[s]
+	table.RUnlock()
+	if ok {
+		return y
+	}
+	table.Lock()
+	defer table.Unlock()
+	if y, ok = table.ids[s]; ok {
+		return y
+	}
+	y = Sym(len(table.strs))
+	table.strs = append(table.strs, s)
+	table.ids[s] = y
+	return y
+}
+
+// SBytes interns the string spelled by b. On the hot path (key already
+// interned) the map lookup uses the compiler's string(b) lookup
+// optimization, so no allocation happens; only a first-ever key copies
+// b into a fresh string.
+func SBytes(b []byte) Sym {
+	table.RLock()
+	y, ok := table.ids[string(b)] // no alloc: map lookup special case
+	table.RUnlock()
+	if ok {
+		return y
+	}
+	return S(string(b))
+}
+
+// Str returns the string for an interned symbol. The returned string
+// is the canonical shared copy — callers must treat it as immutable.
+// Panics on a symbol that was never issued (including the zero Sym):
+// symbols are process-local and never persisted, so an unknown one is
+// always a logic error, not data corruption.
+func Str(y Sym) string {
+	table.RLock()
+	defer table.RUnlock()
+	return table.strs[y]
+}
+
+// Lookup reports the symbol for s without interning it.
+func Lookup(s string) (Sym, bool) {
+	table.RLock()
+	y, ok := table.ids[s]
+	table.RUnlock()
+	return y, ok
+}
+
+// Len returns the number of interned symbols (diagnostics).
+func Len() int {
+	table.RLock()
+	defer table.RUnlock()
+	return len(table.strs) - 1
+}

@@ -1,0 +1,95 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternRoundTrip(t *testing.T) {
+	a := S("alpha-key")
+	b := S("beta-key")
+	if a == b {
+		t.Fatal("distinct strings share a symbol")
+	}
+	if S("alpha-key") != a {
+		t.Fatal("re-interning changed the symbol")
+	}
+	if Str(a) != "alpha-key" || Str(b) != "beta-key" {
+		t.Fatalf("Str mismatch: %q %q", Str(a), Str(b))
+	}
+	if y, ok := Lookup("alpha-key"); !ok || y != a {
+		t.Fatalf("Lookup = %v,%v", y, ok)
+	}
+	if _, ok := Lookup("never-interned-key"); ok {
+		t.Fatal("Lookup invented a symbol")
+	}
+	if SBytes([]byte("alpha-key")) != a {
+		t.Fatal("SBytes disagrees with S")
+	}
+	if got := Str(SBytes([]byte("bytes-first-key"))); got != "bytes-first-key" {
+		t.Fatalf("SBytes first-intern = %q", got)
+	}
+}
+
+func TestZeroSymIsNeverIssued(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		if S(fmt.Sprintf("zero-check-%d", i)) == 0 {
+			t.Fatal("issued the reserved zero Sym")
+		}
+	}
+}
+
+// TestConcurrentIntern hammers the table from many goroutines over an
+// overlapping key space and verifies global consistency: one symbol per
+// string, every symbol resolving back to its string. Run under -race
+// (CI does) this is the table's concurrency proof.
+func TestConcurrentIntern(t *testing.T) {
+	const goroutines = 16
+	const keys = 400
+	results := make([][]Sym, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]Sym, keys)
+			for i := 0; i < keys; i++ {
+				// Each key is interned by every goroutine; half via S,
+				// half via SBytes, with interleaved Str/Lookup reads.
+				k := fmt.Sprintf("conc-key-%d", i)
+				if (g+i)%2 == 0 {
+					out[i] = S(k)
+				} else {
+					out[i] = SBytes([]byte(k))
+				}
+				if Str(out[i]) != k {
+					panic("Str mismatch under concurrency")
+				}
+				if y, ok := Lookup(k); !ok || y != out[i] {
+					panic("Lookup mismatch under concurrency")
+				}
+			}
+			results[g] = out
+		}()
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < keys; i++ {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d got a different symbol for key %d", g, i)
+			}
+		}
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	key := []byte("bench-hot-key|freq")
+	S(string(key))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SBytes(key)
+	}
+}

@@ -13,6 +13,14 @@
 // simulator wrapper (Node), the plain Majority-Rule miner, and — in
 // encrypted form — the secure broker all drive. Keeping it pure makes
 // the protocol unit-testable against a ground-truth oracle.
+//
+// Instances are flyweights: edge state lives in parallel slices in
+// insertion order (two allocations per node, not one per edge), the
+// received totals are maintained incrementally so every Δ quantity is
+// O(1), and evaluate reuses one outgoing buffer — a steady-state vote
+// or receive event allocates nothing. At mega-grid scale (100k–1M
+// instances in one process) these constants are what bounds memory and
+// step latency; see DESIGN.md §12.
 package majority
 
 import "fmt"
@@ -41,7 +49,23 @@ type Instance struct {
 	lambdaN, lambdaD int64
 	localSum         int64 // sum^⊥u — local votes in favour
 	localCount       int64 // count^⊥u — local votes cast
-	edges            map[NeighborID]*edgeState
+
+	// ids and edges are parallel slices in neighbor insertion order;
+	// all iteration is deterministic. Lookup is a linear scan — overlay
+	// degrees are small (trees, BA with small m), and the scan is
+	// cheaper than a map until degrees far beyond any overlay here.
+	ids   []NeighborID
+	edges []edgeState
+
+	// Received totals over all edges, maintained incrementally so Δ^u
+	// and per-edge payloads are O(1) instead of O(degree) (which made
+	// evaluate O(degree²) — quadratic on hub nodes).
+	recvSumTotal, recvCountTotal int64
+
+	// out is the reusable buffer evaluate fills; the slice returned by
+	// AddNeighbor/SetLocalVote/OnReceive is valid until the next call
+	// on this instance.
+	out []Outgoing
 }
 
 // NewInstance creates a vote with majority ratio lambdaN/lambdaD
@@ -50,40 +74,34 @@ func NewInstance(lambdaN, lambdaD int64) *Instance {
 	if lambdaD <= 0 {
 		panic(fmt.Sprintf("majority: lambdaD = %d", lambdaD))
 	}
-	return &Instance{lambdaN: lambdaN, lambdaD: lambdaD, edges: map[NeighborID]*edgeState{}}
+	return &Instance{lambdaN: lambdaN, lambdaD: lambdaD}
 }
 
 // Lambda returns the majority ratio as (λn, λd).
 func (in *Instance) Lambda() (int64, int64) { return in.lambdaN, in.lambdaD }
 
-// Neighbors returns the currently known neighbor IDs in arbitrary
-// order.
+// Neighbors returns the currently known neighbor IDs in insertion
+// order (a copy).
 func (in *Instance) Neighbors() []NeighborID {
-	out := make([]NeighborID, 0, len(in.edges))
-	for v := range in.edges {
-		out = append(out, v)
-	}
-	return out
+	return append([]NeighborID(nil), in.ids...)
 }
 
-// edge returns (possibly creating) the state for neighbor v.
-func (in *Instance) edge(v NeighborID) *edgeState {
-	e, ok := in.edges[v]
-	if !ok {
-		e = &edgeState{}
-		in.edges[v] = e
+// edgeIndex returns (possibly creating) the edge slot for neighbor v.
+func (in *Instance) edgeIndex(v NeighborID) int {
+	for i, id := range in.ids {
+		if id == v {
+			return i
+		}
 	}
-	return e
+	in.ids = append(in.ids, v)
+	in.edges = append(in.edges, edgeState{})
+	return len(in.ids) - 1
 }
 
 // deltaU computes Δ^u = Σ_{v∈N} (λd·sum^vu − λn·count^vu), where N
 // includes the virtual neighbor ⊥ carrying the local vote.
 func (in *Instance) deltaU() int64 {
-	d := in.lambdaD*in.localSum - in.lambdaN*in.localCount
-	for _, e := range in.edges {
-		d += in.lambdaD*e.recvSum - in.lambdaN*e.recvCount
-	}
-	return d
+	return in.lambdaD*(in.localSum+in.recvSumTotal) - in.lambdaN*(in.localCount+in.recvCountTotal)
 }
 
 // deltaUV computes Δ^uv = λd(sum^vu+sum^uv) − λn(count^vu+count^uv)
@@ -105,35 +123,26 @@ func (in *Instance) LocalVote() (sum, count int64) { return in.localSum, in.loca
 // KnownSum returns the total ⟨sum, count⟩ this node currently bases its
 // decision on (its own vote plus everything received).
 func (in *Instance) KnownSum() (sum, count int64) {
-	sum, count = in.localSum, in.localCount
-	for _, e := range in.edges {
-		sum += e.recvSum
-		count += e.recvCount
-	}
-	return
+	return in.localSum + in.recvSumTotal, in.localCount + in.recvCountTotal
 }
 
-// payloadFor builds the message for v: local vote plus every other
-// neighbor's last received aggregate.
-func (in *Instance) payloadFor(v NeighborID) (sum, count int64) {
-	sum, count = in.localSum, in.localCount
-	for w, e := range in.edges {
-		if w == v {
-			continue
-		}
-		sum += e.recvSum
-		count += e.recvCount
-	}
-	return
+// payloadFor builds the message for the edge: local vote plus every
+// other neighbor's last received aggregate — the running totals minus
+// the recipient's own contribution.
+func (in *Instance) payloadFor(e *edgeState) (sum, count int64) {
+	return in.localSum + in.recvSumTotal - e.recvSum,
+		in.localCount + in.recvCountTotal - e.recvCount
 }
 
 // evaluate applies the Scalable-Majority send condition to every
 // neighbor and returns the messages that must go out. Sending to v
 // makes Δ^uv equal Δ^u, so a single pass reaches a local fixpoint.
+// The returned slice is reused by the next evaluation.
 func (in *Instance) evaluate() []Outgoing {
-	var out []Outgoing
+	in.out = in.out[:0]
 	du := in.deltaU()
-	for v, e := range in.edges {
+	for i := range in.edges {
+		e := &in.edges[i]
 		duv := in.deltaUV(e)
 		mustSend := !e.contacted ||
 			(duv >= 0 && duv > du) ||
@@ -141,37 +150,39 @@ func (in *Instance) evaluate() []Outgoing {
 		if !mustSend {
 			continue
 		}
-		s, c := in.payloadFor(v)
+		s, c := in.payloadFor(e)
 		e.sentSum, e.sentCount = s, c
 		e.contacted = true
-		out = append(out, Outgoing{To: v, Sum: s, Count: c})
+		in.out = append(in.out, Outgoing{To: in.ids[i], Sum: s, Count: c})
 	}
-	return out
+	return in.out
 }
 
 // AddNeighbor registers a new edge (initialization, or a resource
 // joining, §3's dynamic grid). It returns the first-contact messages
-// the protocol requires.
+// the protocol requires; the slice is valid until the next call.
 func (in *Instance) AddNeighbor(v NeighborID) []Outgoing {
-	in.edge(v)
+	in.edgeIndex(v)
 	return in.evaluate()
 }
 
 // SetLocalVote replaces the node's agglomerated local vote (the
-// accountant's ⟨sum^⊥u, count^⊥u⟩) and returns any induced messages.
-// Votes only accumulate in the paper's model, but the state machine
-// accepts any change (the secure layer's padding dance briefly sets
-// transient values).
+// accountant's ⟨sum^⊥u, count^⊥u⟩) and returns any induced messages;
+// the slice is valid until the next call. Votes only accumulate in the
+// paper's model, but the state machine accepts any change (the secure
+// layer's padding dance briefly sets transient values).
 func (in *Instance) SetLocalVote(sum, count int64) []Outgoing {
 	in.localSum, in.localCount = sum, count
 	return in.evaluate()
 }
 
-// OnReceive ingests a neighbor's message and returns induced messages.
-// An unknown sender is added as a neighbor first (first contact from
-// the other side).
+// OnReceive ingests a neighbor's message and returns induced messages;
+// the slice is valid until the next call. An unknown sender is added
+// as a neighbor first (first contact from the other side).
 func (in *Instance) OnReceive(from NeighborID, sum, count int64) []Outgoing {
-	e := in.edge(from)
+	e := &in.edges[in.edgeIndex(from)]
+	in.recvSumTotal += sum - e.recvSum
+	in.recvCountTotal += count - e.recvCount
 	e.recvSum, e.recvCount = sum, count
 	return in.evaluate()
 }

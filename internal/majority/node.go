@@ -16,8 +16,10 @@ type Node struct {
 	// initial vote installed at Init.
 	voteSum, voteCount int64
 	// staged vote applied at the next tick (database update arriving
-	// asynchronously from the data layer).
-	staged *Msg
+	// asynchronously from the data layer); held by value so staging
+	// allocates nothing.
+	staged    Msg
+	hasStaged bool
 	// MessagesSent counts protocol messages originated by this node.
 	MessagesSent int64
 }
@@ -45,9 +47,9 @@ func (n *Node) OnMessage(ctx *sim.Context, from sim.NodeID, payload any) {
 // OnTick applies any staged vote update; the protocol is otherwise
 // purely message driven.
 func (n *Node) OnTick(ctx *sim.Context) {
-	if n.staged != nil {
-		m := *n.staged
-		n.staged = nil
+	if n.hasStaged {
+		m := n.staged
+		n.hasStaged = false
 		n.voteSum, n.voteCount = m.Sum, m.Count
 		n.flush(ctx, n.Inst.SetLocalVote(m.Sum, m.Count))
 	}
@@ -57,7 +59,8 @@ func (n *Node) OnTick(ctx *sim.Context) {
 // next tick (a database update, §3's dynamic model). Safe to call from
 // outside the engine between steps.
 func (n *Node) StageVote(sum, count int64) {
-	n.staged = &Msg{Sum: sum, Count: count}
+	n.staged = Msg{Sum: sum, Count: count}
+	n.hasStaged = true
 }
 
 // Decision exposes the instance's current belief.

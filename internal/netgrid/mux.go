@@ -1,0 +1,295 @@
+package netgrid
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// muxVersion marks a resource-multiplexed frame. The payload layout is
+//
+//	[0]  version byte 0x9E
+//	[1:] uvarint source resource id ‖ uvarint destination resource id ‖
+//	     inner message frame (a complete 0x9C/0x9D wire frame, or any
+//	     opaque payload the registered handler understands)
+//
+// 0x9E sits beside the codec's 0x9C (compact) and 0x9D (causal
+// envelope) version bytes, so a multiplexed frame can never be confused
+// with a bare protocol frame, and the inner frame is passed through
+// untouched — the mux routes, it does not re-encode.
+const muxVersion = 0x9E
+
+// Mux multiplexes many co-located resources onto one TCP endpoint per
+// host. A mega-grid run placing 100k+ flyweight resources cannot open
+// a listener (plus supervisor, sender and reader goroutines) per
+// resource; with a Mux each *host* runs one Node, and frames carry a
+// resource-level (src, dst) routing header. Placement is a pure
+// function from resource id to host id that all hosts share (the
+// deployment's assignment of resources to machines), so:
+//
+//   - a send to a co-located resource never touches a socket — it is
+//     dispatched locally in FIFO order through the mux's own queue;
+//   - a send to a remote resource is wrapped in the 0x9E envelope and
+//     rides the single host-to-host TCP link, coalescing with all other
+//     traffic between the two hosts;
+//   - at ingress, a frame whose claimed source resource is not placed
+//     on the TCP-authenticated sending host is dropped (the host-level
+//     handshake already prevents host spoofing; this extends the check
+//     to resource granularity);
+//   - per-resource bans (quarantine of an evicted participant) filter
+//     at ingress and egress without severing the host link that other,
+//     honest co-located resources still share.
+type Mux struct {
+	host  int
+	node  *Node
+	place func(resource int) (host int)
+	logf  func(string, ...any)
+
+	mu       sync.Mutex
+	handlers map[int]Handler
+	banned   map[int]map[int]bool // owner resource -> peers it severed
+
+	qmu   sync.Mutex
+	queue []muxFrame
+	wake  chan struct{}
+
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed sync.Once
+}
+
+// muxFrame is one routed message awaiting local dispatch. pooled marks
+// loopback payloads owned by the mux (recycled after the handler
+// returns); ingress payloads belong to the reader's buffer and are
+// left alone.
+type muxFrame struct {
+	src, dst int
+	payload  []byte
+	pooled   bool
+}
+
+// MuxHandler is the resource-level receive callback: from is the
+// source *resource* id (not the host).
+//
+// (It is the same type as Handler; the alias documents intent at
+// Register call sites.)
+type MuxHandler = Handler
+
+// NewMux starts the host's shared TCP endpoint. place maps every
+// resource id to the host id it lives on and must be consistent across
+// all hosts.
+func NewMux(host int, place func(resource int) int, opt Options) (*Mux, error) {
+	if place == nil {
+		return nil, fmt.Errorf("netgrid: mux requires a placement function")
+	}
+	m := &Mux{
+		host:     host,
+		place:    place,
+		handlers: map[int]Handler{},
+		banned:   map[int]map[int]bool{},
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	node, err := StartWithOptions(host, m.ingress, opt)
+	if err != nil {
+		return nil, err
+	}
+	m.node = node
+	m.logf = node.opt.Logf
+	m.wg.Add(1)
+	go m.dispatchLoop()
+	return m, nil
+}
+
+// Node exposes the underlying host endpoint (Addr, Connect, WaitFor).
+func (m *Mux) Node() *Node { return m.node }
+
+// Addr returns the host's listen address.
+func (m *Mux) Addr() string { return m.node.Addr() }
+
+// Host returns the host id this mux serves.
+func (m *Mux) Host() int { return m.host }
+
+// Connect dials the given peer hosts (host id -> address); see
+// Node.Connect. Use Node().WaitFor as the startup barrier.
+func (m *Mux) Connect(hosts map[int]string) error { return m.node.Connect(hosts) }
+
+// Register installs the receive handler for a local resource. The
+// resource must be placed on this host.
+func (m *Mux) Register(resource int, h MuxHandler) error {
+	if got := m.place(resource); got != m.host {
+		return fmt.Errorf("netgrid: resource %d is placed on host %d, not %d", resource, got, m.host)
+	}
+	m.mu.Lock()
+	m.handlers[resource] = h
+	m.mu.Unlock()
+	return nil
+}
+
+// Ban severs the relationship between a local resource and a peer
+// resource: frames from peer to owner are dropped at ingress, and
+// owner's sends to peer vanish — without touching the host-level link
+// other co-located resources share. Idempotent; irreversible for the
+// life of the mux.
+func (m *Mux) Ban(owner, peer int) {
+	m.mu.Lock()
+	set := m.banned[owner]
+	if set == nil {
+		set = map[int]bool{}
+		m.banned[owner] = set
+	}
+	set[peer] = true
+	m.mu.Unlock()
+}
+
+// bannedPair reports whether owner has severed peer.
+func (m *Mux) bannedPair(owner, peer int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.banned[owner][peer]
+}
+
+// Send routes one frame from a local resource to any resource in the
+// grid. Like Node.Send, the mux owns the frame's buffer from this
+// point on — callers encode into getFrameBuf and must not retain it. A
+// co-located destination is dispatched locally; a remote one is
+// wrapped in the 0x9E envelope and sent over the host link (the usual
+// down-peer parking semantics apply).
+func (m *Mux) Send(from, to int, frame []byte) error {
+	if m.place(from) != m.host {
+		putFrameBuf(frame)
+		return fmt.Errorf("netgrid: resource %d is not local to host %d", from, m.host)
+	}
+	if m.bannedPair(from, to) {
+		putFrameBuf(frame)
+		return nil // severed on purpose: indistinguishable from a send
+	}
+	toHost := m.place(to)
+	if toHost == m.host {
+		m.enqueue(muxFrame{src: from, dst: to, payload: frame, pooled: true})
+		return nil
+	}
+	wb := getFrameBuf()
+	wb = appendMuxHeader(wb, from, to)
+	wb = append(wb, frame...)
+	putFrameBuf(frame)
+	return m.node.Send(toHost, wb)
+}
+
+// ingress runs on the Node's dispatch goroutine: it unwraps the 0x9E
+// envelope, validates the claimed source against the authenticated
+// sending host, and queues the inner frame for local dispatch.
+func (m *Mux) ingress(fromHost int, frame []byte) {
+	src, dst, inner, ok := splitMux(frame)
+	if !ok {
+		m.logf("netgrid mux %d: malformed 0x9E frame from host %d", m.host, fromHost)
+		return
+	}
+	if m.place(src) != fromHost {
+		m.logf("netgrid mux %d: host %d claimed resource %d placed on host %d",
+			m.host, fromHost, src, m.place(src))
+		return
+	}
+	if m.place(dst) != m.host {
+		m.logf("netgrid mux %d: misrouted frame for resource %d (host %d)",
+			m.host, dst, m.place(dst))
+		return
+	}
+	// inner aliases the reader's frame buffer, which is freshly
+	// allocated per wire frame and never recycled on the inbound path,
+	// so queuing it for asynchronous dispatch is safe.
+	m.enqueue(muxFrame{src: src, dst: dst, payload: inner})
+}
+
+// enqueue appends a frame for local dispatch and wakes the dispatcher;
+// it never blocks (the queue is unbounded — both producers must not
+// deadlock against the dispatch goroutine, which itself produces
+// loopback sends from inside handlers; host memory is bounded by the
+// peers' bounded transport queues upstream).
+func (m *Mux) enqueue(f muxFrame) {
+	m.qmu.Lock()
+	m.queue = append(m.queue, f)
+	m.qmu.Unlock()
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatchLoop serializes delivery to every local resource, mirroring
+// Node's single-inbox model: handlers need no internal locking against
+// each other.
+func (m *Mux) dispatchLoop() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-m.wake:
+		}
+		for {
+			m.qmu.Lock()
+			if len(m.queue) == 0 {
+				m.qmu.Unlock()
+				break
+			}
+			f := m.queue[0]
+			m.queue[0] = muxFrame{}
+			m.queue = m.queue[1:]
+			if len(m.queue) == 0 {
+				m.queue = nil
+			}
+			m.qmu.Unlock()
+			m.deliver(f)
+		}
+	}
+}
+
+// deliver hands one frame to its destination handler, applying the
+// ingress ban filter (frames already in flight when a ban landed, and
+// loopback frames whose ban raced the send).
+func (m *Mux) deliver(f muxFrame) {
+	m.mu.Lock()
+	h := m.handlers[f.dst]
+	blocked := m.banned[f.dst][f.src]
+	m.mu.Unlock()
+	if h != nil && !blocked {
+		h(f.src, f.payload)
+	}
+	if f.pooled {
+		putFrameBuf(f.payload)
+	}
+}
+
+// Close shuts down the dispatcher and the host endpoint.
+func (m *Mux) Close() {
+	m.closed.Do(func() { close(m.done) })
+	m.wg.Wait()
+	m.node.Close()
+}
+
+// appendMuxHeader appends the 0x9E routing header.
+func appendMuxHeader(dst []byte, src, to int) []byte {
+	dst = append(dst, muxVersion)
+	dst = binary.AppendUvarint(dst, uint64(src))
+	dst = binary.AppendUvarint(dst, uint64(to))
+	return dst
+}
+
+// splitMux parses a 0x9E frame into its routing pair and inner frame.
+func splitMux(frame []byte) (src, dst int, inner []byte, ok bool) {
+	if len(frame) < 3 || frame[0] != muxVersion {
+		return 0, 0, nil, false
+	}
+	rest := frame[1:]
+	s, k := binary.Uvarint(rest)
+	if k <= 0 || s > 1<<31 {
+		return 0, 0, nil, false
+	}
+	rest = rest[k:]
+	d, k := binary.Uvarint(rest)
+	if k <= 0 || d > 1<<31 {
+		return 0, 0, nil, false
+	}
+	return int(s), int(d), rest[k:], true
+}

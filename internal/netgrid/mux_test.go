@@ -1,0 +1,328 @@
+package netgrid
+
+import (
+	"bytes"
+	"encoding/gob"
+	mrand "math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"secmr/internal/majority"
+	"secmr/internal/topology"
+)
+
+// muxVoter hosts one flyweight majority.Instance behind a shared Mux.
+type muxVoter struct {
+	id  int
+	mu  sync.Mutex
+	ins *majority.Instance
+	mux *Mux
+}
+
+func (v *muxVoter) flush(out []majority.Outgoing) {
+	for _, o := range out {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(majority.Msg{Sum: o.Sum, Count: o.Count}); err != nil {
+			panic(err)
+		}
+		frame := append(getFrameBuf(), buf.Bytes()...)
+		if err := v.mux.Send(v.id, o.To, frame); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (v *muxVoter) handle(from int, frame []byte) {
+	var m majority.Msg
+	if err := gob.NewDecoder(bytes.NewReader(frame)).Decode(&m); err != nil {
+		return
+	}
+	v.mu.Lock()
+	// Copy out of the instance's reusable buffer before unlocking.
+	out := append([]majority.Outgoing(nil), v.ins.OnReceive(from, m.Sum, m.Count)...)
+	v.mu.Unlock()
+	v.flush(out)
+}
+
+func (v *muxVoter) decision() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.ins.Decision()
+}
+
+// TestMuxMajorityVoteAcrossHosts runs 12 resources spread over 3 host
+// endpoints — co-located resources share one TCP listener, loopback
+// traffic never touches a socket, and cross-host traffic rides the
+// single link per host pair inside 0x9E envelopes — and checks the
+// Scalable-Majority protocol still converges to the global vote.
+func TestMuxMajorityVoteAcrossHosts(t *testing.T) {
+	const (
+		nRes   = 12
+		nHosts = 3
+	)
+	place := func(res int) int { return res % nHosts }
+	rng := mrand.New(mrand.NewSource(11))
+	tree := topology.RandomTree(nRes, topology.DelayRange{Min: 1, Max: 1}, rng)
+
+	muxes := make([]*Mux, nHosts)
+	for h := 0; h < nHosts; h++ {
+		m, err := NewMux(h, place, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		muxes[h] = m
+		defer m.Close()
+	}
+	for h := 0; h < nHosts; h++ {
+		peers := map[int]string{}
+		for o := 0; o < h; o++ {
+			peers[o] = muxes[o].Addr()
+		}
+		if err := muxes[h].Connect(peers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for h := 0; h < nHosts; h++ {
+		var others []int
+		for o := 0; o < nHosts; o++ {
+			if o != h {
+				others = append(others, o)
+			}
+		}
+		if !muxes[h].Node().WaitFor(others, 10*time.Second) {
+			t.Fatalf("host %d never saw its peers", h)
+		}
+	}
+
+	voters := make([]*muxVoter, nRes)
+	for i := 0; i < nRes; i++ {
+		v := &muxVoter{id: i, ins: majority.NewInstance(1, 2), mux: muxes[place(i)]}
+		voters[i] = v
+		if err := muxes[place(i)].Register(i, v.handle); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var globalSum, globalCnt int64
+	for i, v := range voters {
+		cnt := int64(20 + i)
+		sum := int64(float64(cnt) * 0.7)
+		globalSum += sum
+		globalCnt += cnt
+		v.mu.Lock()
+		var out []majority.Outgoing
+		for _, w := range tree.Neighbors(i) {
+			out = append(out, v.ins.AddNeighbor(w)...)
+		}
+		out = append(out, v.ins.SetLocalVote(sum, cnt)...)
+		v.mu.Unlock()
+		v.flush(out)
+	}
+	want := 2*globalSum-globalCnt >= 0
+
+	deadline := time.After(15 * time.Second)
+	for {
+		agree := 0
+		for _, v := range voters {
+			if v.decision() == want {
+				agree++
+			}
+		}
+		if agree == nRes {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d resources agree after 15s", agree, nRes)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// TestMuxLoopbackAndRegister: co-located traffic is delivered without
+// any peer link, in order; Register rejects misplaced resources; Send
+// rejects non-local sources.
+func TestMuxLoopbackAndRegister(t *testing.T) {
+	place := func(res int) int { return res / 10 } // 0..9 on host 0
+	m, err := NewMux(0, place, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var mu sync.Mutex
+	var got []string
+	if err := m.Register(1, func(from int, frame []byte) {
+		mu.Lock()
+		got = append(got, string(frame))
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(42, func(int, []byte) {}); err == nil {
+		t.Fatal("registered a resource placed on another host")
+	}
+	if err := m.Send(42, 1, append(getFrameBuf(), 'x')); err == nil {
+		t.Fatal("send from a non-local resource accepted")
+	}
+
+	for _, s := range []string{"a", "b", "c"} {
+		if err := m.Send(2, 1, append(getFrameBuf(), s...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("loopback delivered %d/3 frames", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("loopback out of order: %q", got)
+	}
+}
+
+// TestMuxBanFiltersPerResource: banning (owner, peer) blocks that pair
+// in both directions — ingress and egress — while other resources on
+// the same hosts keep exchanging frames over the same TCP link.
+func TestMuxBanFiltersPerResource(t *testing.T) {
+	place := func(res int) int { return res % 2 }
+	a, err := NewMux(0, place, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewMux(1, place, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Connect(map[int]string{0: a.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Node().WaitFor([]int{1}, 5*time.Second) || !b.Node().WaitFor([]int{0}, 5*time.Second) {
+		t.Fatal("hosts never linked")
+	}
+
+	var toZero, toTwo atomic.Int64
+	if err := a.Register(0, func(int, []byte) { toZero.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Register(2, func(int, []byte) { toTwo.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resource 0 quarantines resource 1 (both directions).
+	a.Ban(0, 1)
+	if err := a.Send(0, 1, append(getFrameBuf(), 'x')); err != nil {
+		t.Fatalf("egress ban must swallow silently: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := b.Send(1, 0, append(getFrameBuf(), 'x')); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Send(1, 2, append(getFrameBuf(), 'y')); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for toTwo.Load() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("unbanned resource got %d/5 frames", toTwo.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := toZero.Load(); got != 0 {
+		t.Fatalf("banned pair delivered %d frames", got)
+	}
+}
+
+// TestMuxRejectsSpoofedSource: an envelope claiming a source resource
+// that is not placed on the TCP-authenticated sending host is dropped
+// at ingress.
+func TestMuxRejectsSpoofedSource(t *testing.T) {
+	place := func(res int) int { return res % 3 } // resource 2 lives on host 2
+	a, err := NewMux(0, place, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewMux(1, place, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Connect(map[int]string{0: a.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Node().WaitFor([]int{0}, 5*time.Second) {
+		t.Fatal("hosts never linked")
+	}
+
+	var legit, spoofed atomic.Int64
+	if err := a.Register(0, func(from int, frame []byte) {
+		if from == 2 {
+			spoofed.Add(1)
+		} else {
+			legit.Add(1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Host 1 forges an envelope claiming resource 2 (placed on host 2),
+	// then sends a legitimate frame from resource 1.
+	forged := appendMuxHeader(getFrameBuf(), 2, 0)
+	forged = append(forged, 'z')
+	if err := b.Node().Send(0, forged); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(1, 0, append(getFrameBuf(), 'k')); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for legit.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("legitimate frame never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if spoofed.Load() != 0 {
+		t.Fatal("spoofed source delivered")
+	}
+}
+
+// TestSplitMuxMalformed: truncated or garbage 0x9E frames parse to
+// !ok, never panic.
+func TestSplitMuxMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{muxVersion},
+		{muxVersion, 0x80},    // truncated uvarint
+		{muxVersion, 1},       // missing dst
+		{muxVersion, 1, 0x80}, // truncated dst
+		{0x9C, 1, 2, 3},       // wrong version byte
+		append([]byte{muxVersion}, bytes.Repeat([]byte{0xFF}, 12)...), // huge ids
+	}
+	for i, c := range cases {
+		if _, _, _, ok := splitMux(c); ok {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	src, dst, inner, ok := splitMux([]byte{muxVersion, 7, 9, 'p'})
+	if !ok || src != 7 || dst != 9 || string(inner) != "p" {
+		t.Fatalf("round trip: %d %d %q %v", src, dst, inner, ok)
+	}
+}

@@ -69,6 +69,26 @@ func Add(pub homo.Public, a, b *Counter) *Counter {
 	return fromVec(homo.AddVec(pub, a.vec(), b.vec()))
 }
 
+// AddInto accumulates b into acc componentwise in place: acc = acc+b.
+// Unlike Add it allocates no counter shell and no vec slices, so a
+// caller folding a whole neighbourhood into one reused scratch counter
+// generates no slice churn; the ciphertext objects themselves are
+// freshly produced (schemes treat ciphertexts as immutable), so acc's
+// previous field pointers — possibly shared with other counters — are
+// never mutated, only replaced.
+func AddInto(pub homo.Public, acc, b *Counter) {
+	if len(acc.Stamps) != len(b.Stamps) {
+		panic("oblivious: stamp slot mismatch")
+	}
+	acc.Sum = pub.Add(acc.Sum, b.Sum)
+	acc.Count = pub.Add(acc.Count, b.Count)
+	acc.Num = pub.Add(acc.Num, b.Num)
+	acc.Share = pub.Add(acc.Share, b.Share)
+	for i := range acc.Stamps {
+		acc.Stamps[i] = pub.Add(acc.Stamps[i], b.Stamps[i])
+	}
+}
+
 // Rerandomize refreshes every component so the recipient cannot tell
 // whether the counter changed (§5.2: "further rerandomized to conceal
 // from the receiver the fact that the counter was not changed").

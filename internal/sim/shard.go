@@ -1,0 +1,382 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"secmr/internal/obs"
+	"secmr/internal/topology"
+)
+
+// ShardedEngine is the shared-nothing parallel variant of Engine for
+// mega-grid runs (ISSUE 8: 100k–1M flyweight resources in one
+// process). Nodes are partitioned round-robin across shards; each
+// shard owns one event heap and, during the parallel phase of a step,
+// one goroutine that delivers its own nodes' due messages and ticks
+// its own nodes. Cross-shard sends are staged in per-shard outboxes
+// and exchanged single-threaded at the step barrier.
+//
+// Determinism argument (why a fixed seed yields results identical to
+// the single-threaded Engine, under any shard count):
+//
+//  1. Handlers only mutate their own node's state, and every link has
+//     delay ≥ 1, so nothing a node does at step t is observable by any
+//     other node within step t — the parallel phase is free of
+//     cross-node data flow by construction.
+//  2. Event order is content-addressed: the heap key
+//     (at, from, fseq, dup) is minted from the message identity alone,
+//     so each node's delivery sequence is the same no matter which
+//     goroutine enqueued the events or in what order.
+//  3. Fault decisions (Faults.copies) and per-node RNG streams are
+//     pure functions of the seed and message/node identity, never of
+//     scheduling.
+//  4. Within a shard, deliveries happen in heap order and ticks in
+//     ascending node id; both orders are scheduling-independent.
+//
+// Per-node trace subsequences (and therefore forensics.Merge output
+// over per-node sinks) are bit-identical to the single-threaded
+// engine's. An engine-wide trace sink still works, but the global
+// Seq interleave across shards is not deterministic — use per-resource
+// sinks (core.Config.Obs) when byte-stable merged traces matter.
+//
+// The full fault-injection middleware (Engine.Inject) consumes a
+// sequential RNG stream whose draw order is inherently
+// interleave-dependent; it is not supported here. Use the legacy
+// Faults knobs, which are hash-based.
+type ShardedEngine struct {
+	Graph  *topology.Graph
+	Faults Faults
+
+	nodes   []Node
+	ctxs    []Context
+	shards  []*shard
+	shardOf []int32
+	fseqs   []int64
+	clocks  []*obs.Clock // engine-owned clocks, indexed by node (lazily filled by the owner shard)
+	rngs    []*rand.Rand // per-node RNG streams (lazily filled by the owner shard)
+	seed    int64
+	now     int64
+	stats   Stats // Dropped/Duplicated accumulate here (barrier); Sent/Delivered live in shards
+	inited  bool
+
+	obsTr        *obs.Tracer
+	obsSent      *obs.Counter
+	obsDelivered *obs.Counter
+	obsDropped   *obs.Counter
+	obsDup       *obs.Counter
+	obsPending   *obs.Gauge
+	obsStep      *obs.Gauge
+}
+
+// shard is one shared-nothing partition: its heap, outbox, freelist
+// and counters are touched only by its own goroutine during the
+// parallel phase and only by the barrier thread between phases.
+type shard struct {
+	eng     *ShardedEngine
+	owned   []NodeID
+	queue   eventHeap
+	outbox  []*event
+	pool    eventPool
+	curHops int
+	sent    int64
+	deliv   int64
+}
+
+// NewShardedEngine builds a sharded engine over the graph with the
+// given shard count (clamped to [1, len(nodes)]); nodes[i] is hosted
+// at graph node i and owned by shard i%nshards. The same seed on any
+// shard count — including the single-threaded Engine — yields the
+// same protocol results.
+func NewShardedEngine(g *topology.Graph, nodes []Node, seed int64, nshards int) *ShardedEngine {
+	if len(nodes) != g.N {
+		panic(fmt.Sprintf("sim: %d nodes for a %d-node graph", len(nodes), g.N))
+	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	if n := len(nodes); nshards > n && n > 0 {
+		nshards = n
+	}
+	e := &ShardedEngine{
+		Graph:   g,
+		nodes:   nodes,
+		seed:    seed,
+		shardOf: make([]int32, len(nodes)),
+		fseqs:   make([]int64, len(nodes)),
+		clocks:  make([]*obs.Clock, len(nodes)),
+		rngs:    make([]*rand.Rand, len(nodes)),
+		ctxs:    make([]Context, len(nodes)),
+	}
+	e.shards = make([]*shard, nshards)
+	for s := range e.shards {
+		e.shards[s] = &shard{eng: e}
+	}
+	// Round-robin placement spreads hub nodes of skewed topologies
+	// (preferential attachment) across shards; pre-size each heap from
+	// its owners' total degree, the steady-state in-flight population.
+	degs := make([]int, nshards)
+	for i := range nodes {
+		s := i % nshards
+		e.shardOf[i] = int32(s)
+		e.shards[s].owned = append(e.shards[s].owned, i)
+		degs[s] += g.Degree(i)
+		e.ctxs[i] = Context{h: e.shards[s], self: i}
+	}
+	for s, sh := range e.shards {
+		sh.queue = make(eventHeap, 0, degs[s])
+	}
+	return e
+}
+
+// SetObs installs engine-level telemetry. Counters and gauges are
+// atomic and aggregate correctly across shards; trace events from
+// concurrent shards get per-sink Seq numbers in arrival order, so an
+// engine-wide sink's interleave is not deterministic (per-node
+// subsequences are — see the type comment).
+func (e *ShardedEngine) SetObs(sink *obs.Sink) {
+	reg := sink.Registry()
+	e.obsTr = sink.Tracer()
+	e.obsSent = reg.Counter("secmr_sim_messages_total", "Engine message outcomes.", "outcome", "sent")
+	e.obsDelivered = reg.Counter("secmr_sim_messages_total", "Engine message outcomes.", "outcome", "delivered")
+	e.obsDropped = reg.Counter("secmr_sim_messages_total", "Engine message outcomes.", "outcome", "dropped")
+	e.obsDup = reg.Counter("secmr_sim_messages_total", "Engine message outcomes.", "outcome", "duplicated")
+	e.obsPending = reg.Gauge("secmr_sim_pending_messages", "Undelivered messages in the engine queue.")
+	e.obsStep = reg.Gauge("secmr_sim_step", "Current simulation step.")
+}
+
+// Now returns the current step.
+func (e *ShardedEngine) Now() int64 { return e.now }
+
+// NumNodes returns the node count.
+func (e *ShardedEngine) NumNodes() int { return len(e.nodes) }
+
+// NumShards returns the shard count.
+func (e *ShardedEngine) NumShards() int { return len(e.shards) }
+
+// Node returns the hosted node i (for metric collection).
+func (e *ShardedEngine) Node(i NodeID) Node { return e.nodes[i] }
+
+// Pending reports the number of undelivered messages across shards.
+func (e *ShardedEngine) Pending() int {
+	n := 0
+	for _, s := range e.shards {
+		n += len(s.queue)
+	}
+	return n
+}
+
+// Stats returns a copy of the counters, aggregated across shards.
+func (e *ShardedEngine) Stats() Stats {
+	st := e.stats
+	for _, s := range e.shards {
+		st.Sent += s.sent
+		st.Delivered += s.deliv
+	}
+	return st
+}
+
+// clockOf mirrors Engine.clockOf; only the owner shard (or the
+// barrier thread) touches a node's clock slot, so no locking.
+func (e *ShardedEngine) clockOf(id NodeID) *obs.Clock {
+	if tc, ok := e.nodes[id].(TraceClocked); ok {
+		if ck := tc.TraceClock(); ck != nil {
+			return ck
+		}
+	}
+	if e.clocks[id] == nil {
+		e.clocks[id] = obs.NewClock()
+	}
+	return e.clocks[id]
+}
+
+// parallel runs fn once per shard, concurrently, and waits.
+func (e *ShardedEngine) parallel(fn func(s *shard)) {
+	if len(e.shards) == 1 {
+		fn(e.shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(e.shards))
+	for _, s := range e.shards {
+		go func(s *shard) {
+			defer wg.Done()
+			fn(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// init runs every node's Init (in parallel, per shard) and exchanges
+// the staged bootstrap sends, exactly matching the single-threaded
+// engine: Init runs at now=0, so a bootstrap send over a delay-d link
+// delivers at step d.
+func (e *ShardedEngine) init() {
+	if e.inited {
+		return
+	}
+	e.inited = true
+	e.parallel(func(s *shard) {
+		for _, id := range s.owned {
+			e.nodes[id].Init(&e.ctxs[id])
+		}
+	})
+	e.exchange()
+}
+
+// Step advances the simulation by one tick: a parallel phase in which
+// every shard delivers its due events (heap order) and ticks its nodes
+// (id order), then a single-threaded barrier phase that routes the
+// staged sends into the destination shards' heaps.
+func (e *ShardedEngine) Step() {
+	e.init()
+	e.now++
+	e.parallel(func(s *shard) { s.phaseA(e.now) })
+	e.exchange()
+	e.obsPending.Set(float64(e.Pending()))
+	e.obsStep.Set(float64(e.now))
+}
+
+// phaseA is a shard's parallel half-step.
+func (s *shard) phaseA(now int64) {
+	e := s.eng
+	for len(s.queue) > 0 && s.queue[0].at <= now {
+		ev := heap.Pop(&s.queue).(*event)
+		s.deliv++
+		e.obsDelivered.Inc()
+		lc := e.clockOf(ev.to).Merge(ev.cc.OSeq)
+		if e.obsTr != nil {
+			e.obsTr.Emit(obs.Event{Type: obs.EvMsgDeliver, Step: now, Node: ev.to, Peer: ev.from, LC: lc}.WithCausal(ev.cc))
+		}
+		s.curHops = ev.cc.Hops
+		e.nodes[ev.to].OnMessage(&e.ctxs[ev.to], ev.from, ev.payload)
+		s.curHops = 0
+		s.pool.put(ev)
+	}
+	for _, id := range s.owned {
+		e.nodes[id].OnTick(&e.ctxs[id])
+	}
+}
+
+// exchange is the barrier phase: route every staged send through fault
+// injection into its destination shard's heap. Runs single-threaded;
+// the order is deterministic (shard index, then staging order) but —
+// by the content-addressed heap key — delivery order would be the same
+// under any routing order.
+func (e *ShardedEngine) exchange() {
+	for _, s := range e.shards {
+		for i, ev := range s.outbox {
+			s.outbox[i] = nil
+			copies := e.Faults.copies(e.seed, ev.from, ev.to, ev.fseq)
+			if copies == 0 {
+				e.stats.Dropped++
+				e.obsDropped.Inc()
+				if e.obsTr != nil {
+					e.obsTr.Emit(obs.Event{Type: obs.EvMsgDrop, Step: e.now, Node: ev.from, Peer: ev.to, Detail: "injected"}.WithCausal(ev.cc))
+				}
+				s.pool.put(ev)
+				continue
+			}
+			ev.at = e.now + int64(e.Graph.Delay(ev.from, ev.to))
+			dst := e.shards[e.shardOf[ev.to]]
+			heap.Push(&dst.queue, ev)
+			if copies == 2 {
+				e.stats.Duplicated++
+				e.obsDup.Inc()
+				dup := dst.pool.get()
+				*dup = event{at: ev.at, from: ev.from, fseq: ev.fseq, dup: 1, to: ev.to, payload: ev.payload, cc: ev.cc}
+				heap.Push(&dst.queue, dup)
+			}
+		}
+		s.outbox = s.outbox[:0]
+	}
+}
+
+// hsend stages a message in the shard-local outbox; fault injection
+// and routing happen at the barrier. Everything consulted here — the
+// sender's fseq counter, trace clock and the graph — is owned by the
+// sending node's shard or immutable during the parallel phase.
+func (s *shard) hsend(from, to NodeID, payload any) {
+	e := s.eng
+	if !e.Graph.HasEdge(from, to) {
+		panic(fmt.Sprintf("sim: node %d sending to non-neighbor %d", from, to))
+	}
+	s.sent++
+	e.obsSent.Inc()
+	e.fseqs[from]++
+	cc := obs.CausalCtx{Origin: from, OSeq: e.clockOf(from).Tick(), Hops: s.curHops + 1}
+	if e.obsTr != nil {
+		e.obsTr.Emit(obs.Event{Type: obs.EvMsgSend, Step: e.now, Node: from, Peer: to, LC: cc.OSeq}.WithCausal(cc))
+	}
+	ev := s.pool.get()
+	*ev = event{at: -1, from: from, fseq: e.fseqs[from], to: to, payload: payload, cc: cc}
+	s.outbox = append(s.outbox, ev)
+}
+
+func (s *shard) hnow() int64 { return s.eng.now }
+
+func (s *shard) hneighbors(id NodeID) []int { return s.eng.Graph.Neighbors(id) }
+
+// hrand returns node id's private RNG stream, seeded from (engine
+// seed, id) so draws are reproducible under any shard count. Lazily
+// created by the owner shard (the only toucher of the slot).
+func (s *shard) hrand(id NodeID) *rand.Rand {
+	e := s.eng
+	if e.rngs[id] == nil {
+		e.rngs[id] = rand.New(rand.NewSource(int64(mix64(uint64(e.seed) ^ mix64(uint64(id)+0x1db3)))))
+	}
+	return e.rngs[id]
+}
+
+// AddLink inserts a new overlay edge at runtime and notifies both
+// endpoints, mirroring Engine.AddLink. Call between steps; the join
+// handlers run on the caller's goroutine and any sends they stage are
+// exchanged immediately.
+func (e *ShardedEngine) AddLink(u, v NodeID, delay int) {
+	e.init()
+	e.Graph.AddEdge(u, v, delay)
+	if j, ok := e.nodes[u].(NeighborJoiner); ok {
+		j.OnNeighborJoin(&e.ctxs[u], v)
+	}
+	if j, ok := e.nodes[v].(NeighborJoiner); ok {
+		j.OnNeighborJoin(&e.ctxs[v], u)
+	}
+	e.exchange()
+}
+
+// ReplaceNode swaps the node hosted at id. Call between steps.
+func (e *ShardedEngine) ReplaceNode(id NodeID, n Node) { e.nodes[id] = n }
+
+// Run advances n steps.
+func (e *ShardedEngine) Run(n int) {
+	for i := 0; i < n; i++ {
+		e.Step()
+	}
+}
+
+// RunUntil steps until pred returns true or maxSteps elapse, returning
+// the number of steps taken and whether pred was satisfied. pred runs
+// at the barrier (no shard goroutine is live), so it may inspect node
+// state freely.
+func (e *ShardedEngine) RunUntil(pred func() bool, maxSteps int) (int, bool) {
+	e.init()
+	for i := 0; i < maxSteps; i++ {
+		if pred() {
+			return i, true
+		}
+		e.Step()
+	}
+	return maxSteps, pred()
+}
+
+// Quiesce steps until no messages are pending or maxSteps elapse,
+// mirroring Engine.Quiesce.
+func (e *ShardedEngine) Quiesce(maxSteps int) (int, bool) {
+	if maxSteps < 1 {
+		return 0, e.Pending() == 0
+	}
+	e.Step()
+	n, ok := e.RunUntil(func() bool { return e.Pending() == 0 }, maxSteps-1)
+	return n + 1, ok
+}

@@ -6,16 +6,26 @@
 //
 // Time model: time advances in integer ticks ("steps" in the paper's
 // terminology). At each step the engine first delivers every message
-// whose delivery time has arrived — in deterministic (time, sequence)
-// order — and then calls OnTick on every node. A message sent at time
-// t over a link with delay d is delivered at time t+d (d ≥ 1), so
-// causality holds and a step's sends can never be observed within the
-// same step.
+// whose delivery time has arrived and then calls OnTick on every node.
+// A message sent at time t over a link with delay d is delivered at
+// time t+d (d ≥ 1), so causality holds and a step's sends can never be
+// observed within the same step.
 //
-// The engine is single-goroutine and fully deterministic for a given
-// seed, which the experiment harness relies on; internal/grid provides
-// the concurrent goroutine-per-resource runtime for the asynchrony
-// demonstrations.
+// Delivery order is content-addressed: events are ordered by
+// (deliver-at, sender, per-sender sequence, duplicate index), a total
+// order derived purely from each message's identity — never from the
+// engine's own execution interleave. That invariant is what lets the
+// sharded engine (ShardedEngine, shard.go) run per-shard event loops in
+// parallel and still reproduce this single-threaded engine's results
+// and traces bit-for-bit for a fixed seed: each node's inbound sequence
+// and tick schedule are the same under any shard count, and handlers
+// only ever touch their own node's state.
+//
+// The Engine type is single-goroutine and fully deterministic for a
+// given seed, which the experiment harness relies on; ShardedEngine is
+// the parallel shared-nothing variant for mega-grid runs, and
+// internal/grid provides the concurrent goroutine-per-resource runtime
+// for the asynchrony demonstrations.
 package sim
 
 import (
@@ -65,12 +75,19 @@ type TraceClocked interface {
 	TraceClock() *obs.Clock
 }
 
-// event is a scheduled message delivery.
+// event is a scheduled message delivery. Its ordering key
+// (at, from, fseq, dup) is minted from the message's identity alone:
+// fseq is the sender's send counter and dup distinguishes fault-
+// injected duplicates. Nothing in the key depends on when (or on which
+// goroutine) the send executed, which is the determinism foundation
+// the sharded engine stands on.
 type event struct {
-	at      int64
-	seq     int64
-	from    NodeID
-	to      NodeID
+	at   int64
+	from NodeID
+	fseq int64
+	dup  int32
+	to   NodeID
+	// payload is the message body.
 	payload any
 	// cc is the message's causal context, minted at send time;
 	// fault-injected duplicates share their original's identity.
@@ -81,10 +98,17 @@ type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	a, b := h[i], h[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	if a.from != b.from {
+		return a.from < b.from
+	}
+	if a.fseq != b.fseq {
+		return a.fseq < b.fseq
+	}
+	return a.dup < b.dup
 }
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
@@ -95,6 +119,26 @@ func (h *eventHeap) Pop() any {
 	old[n-1] = nil
 	*h = old[:n-1]
 	return e
+}
+
+// eventPool is a freelist of event structs. At scale the per-message
+// heap allocation is pure churn — every delivered event is recycled, so
+// the steady-state tick path allocates no events at all.
+type eventPool struct{ free []*event }
+
+func (p *eventPool) get() *event {
+	if n := len(p.free); n > 0 {
+		ev := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+func (p *eventPool) put(ev *event) {
+	*ev = event{}
+	p.free = append(p.free, ev)
 }
 
 // Stats aggregates engine-level counters.
@@ -109,9 +153,59 @@ type Stats struct {
 // link. It predates internal/faults and remains for lightweight tests;
 // the full model (partitions, crash schedules, jitter, deterministic
 // replay) is Engine.Inject.
+//
+// Decisions are a pure hash of (engine seed, sender, receiver, send
+// sequence) rather than draws from a sequential RNG stream, so a
+// message's fate never depends on how sends interleave — the property
+// that keeps the sharded engine's fault decisions identical to the
+// single-threaded engine's.
 type Faults struct {
 	DropProb float64 // probability a message is silently lost
 	DupProb  float64 // probability a message is delivered twice
+}
+
+// copies returns how many copies of the message should be scheduled:
+// 0 dropped, 1 normal, 2 duplicated.
+func (f Faults) copies(seed int64, from, to NodeID, fseq int64) int {
+	if f.DropProb <= 0 && f.DupProb <= 0 {
+		return 1
+	}
+	drop, dup := faultRolls(seed, from, to, fseq)
+	if f.DropProb > 0 && drop < f.DropProb {
+		return 0
+	}
+	if f.DupProb > 0 && dup < f.DupProb {
+		return 2
+	}
+	return 1
+}
+
+// mix64 is the splitmix64 finalizer — a cheap, well-distributed bit
+// mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// faultRolls derives two uniform [0,1) draws from a message identity.
+func faultRolls(seed int64, from, to NodeID, fseq int64) (a, b float64) {
+	h := mix64(uint64(seed)*0x9e3779b97f4a7c15 ^ mix64(uint64(from)+0xbf58476d1ce4e5b9) ^
+		mix64(uint64(to)+0x94d049bb133111eb) ^ uint64(fseq))
+	return float64(mix64(h+1)>>11) / (1 << 53), float64(mix64(h+2)>>11) / (1 << 53)
+}
+
+// host is what a Context needs from its hosting runtime; Engine and
+// the sharded engine's shards both implement it, so one Context type
+// (and therefore one Node interface) serves both engines.
+type host interface {
+	hsend(from, to NodeID, payload any)
+	hnow() int64
+	hneighbors(id NodeID) []int
+	hrand(id NodeID) *rand.Rand
 }
 
 // Engine hosts the nodes and drives time.
@@ -139,8 +233,10 @@ type Engine struct {
 	nodes  []Node
 	ctxs   []Context
 	queue  eventHeap
+	pool   eventPool
 	now    int64
-	seq    int64
+	seed   int64
+	fseqs  []int64 // per-sender send counters (the event-order key)
 	rng    *rand.Rand
 	stats  Stats
 	inited bool
@@ -165,17 +261,30 @@ type Engine struct {
 }
 
 // NewEngine builds an engine over the graph; nodes[i] is hosted at
-// graph node i.
+// graph node i. The event heap is pre-sized from the topology's total
+// degree — the steady-state in-flight population is about one message
+// per directed link, so the heap never reallocates mid-run.
 func NewEngine(g *topology.Graph, nodes []Node, seed int64) *Engine {
 	if len(nodes) != g.N {
 		panic(fmt.Sprintf("sim: %d nodes for a %d-node graph", len(nodes), g.N))
 	}
-	e := &Engine{Graph: g, nodes: nodes, rng: rand.New(rand.NewSource(seed))}
+	e := &Engine{Graph: g, nodes: nodes, seed: seed, rng: rand.New(rand.NewSource(seed))}
+	e.queue = make(eventHeap, 0, totalDegree(g))
+	e.fseqs = make([]int64, len(nodes))
 	e.ctxs = make([]Context, len(nodes))
 	for i := range e.ctxs {
-		e.ctxs[i] = Context{engine: e, self: i}
+		e.ctxs[i] = Context{h: e, self: i}
 	}
 	return e
+}
+
+// totalDegree sums deg(u) over all nodes (= 2·|E|).
+func totalDegree(g *topology.Graph) int {
+	n := 0
+	for u := 0; u < g.N; u++ {
+		n += g.Degree(u)
+	}
+	return n
 }
 
 // SetObs installs engine-level telemetry: message counters, the
@@ -262,6 +371,7 @@ func (e *Engine) Step() {
 			if e.obsTr != nil {
 				e.obsTr.Emit(obs.Event{Type: obs.EvMsgDrop, Step: e.now, Node: ev.from, Peer: ev.to, Detail: faults.CauseCrash}.WithCausal(ev.cc))
 			}
+			e.pool.put(ev)
 			continue
 		}
 		e.stats.Delivered++
@@ -275,6 +385,7 @@ func (e *Engine) Step() {
 		e.curHops = ev.cc.Hops
 		e.nodes[ev.to].OnMessage(&e.ctxs[ev.to], ev.from, ev.payload)
 		e.curHops = 0
+		e.pool.put(ev)
 	}
 	for i := range e.nodes {
 		if e.Inject != nil && e.Inject.Down(i) {
@@ -366,6 +477,8 @@ func (e *Engine) send(from, to NodeID, payload any) {
 	}
 	e.stats.Sent++
 	e.obsSent.Inc()
+	e.fseqs[from]++
+	fseq := e.fseqs[from]
 	// Mint the message's causal identity: one sender-clock tick per send,
 	// shared by every fault-injected duplicate. Hops chains through the
 	// delivery currently being handled, if any.
@@ -408,12 +521,14 @@ func (e *Engine) send(from, to NodeID, payload any) {
 				at = e.lastAt[link] // jitter must not reorder a FIFO link
 			}
 			e.lastAt[link] = at
-			e.seq++
-			heap.Push(&e.queue, &event{at: at, seq: e.seq, from: from, to: to, payload: payload, cc: cc})
+			ev := e.pool.get()
+			*ev = event{at: at, from: from, fseq: fseq, dup: int32(i), to: to, payload: payload, cc: cc}
+			heap.Push(&e.queue, ev)
 		}
 		return
 	}
-	if e.Faults.DropProb > 0 && e.rng.Float64() < e.Faults.DropProb {
+	copies := e.Faults.copies(e.seed, from, to, fseq)
+	if copies == 0 {
 		e.stats.Dropped++
 		e.obsDropped.Inc()
 		if e.obsTr != nil {
@@ -421,38 +536,47 @@ func (e *Engine) send(from, to NodeID, payload any) {
 		}
 		return
 	}
-	copies := 1
-	if e.Faults.DupProb > 0 && e.rng.Float64() < e.Faults.DupProb {
-		copies = 2
+	if copies == 2 {
 		e.stats.Duplicated++
 		e.obsDup.Inc()
 	}
 	for c := 0; c < copies; c++ {
-		e.seq++
-		heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, from: from, to: to, payload: payload, cc: cc})
+		ev := e.pool.get()
+		*ev = event{at: e.now + delay, from: from, fseq: fseq, dup: int32(c), to: to, payload: payload, cc: cc}
+		heap.Push(&e.queue, ev)
 	}
 }
+
+// host implementation.
+func (e *Engine) hsend(from, to NodeID, payload any) { e.send(from, to, payload) }
+func (e *Engine) hnow() int64                        { return e.now }
+func (e *Engine) hneighbors(id NodeID) []int         { return e.Graph.Neighbors(id) }
+func (e *Engine) hrand(NodeID) *rand.Rand            { return e.rng }
 
 // Context is the capability handed to a node's callbacks; it is valid
 // only for the duration of the callback's hosting engine.
 type Context struct {
-	engine *Engine
-	self   NodeID
+	h    host
+	self NodeID
 }
 
 // Self returns the node's ID.
 func (c *Context) Self() NodeID { return c.self }
 
 // Now returns the current step.
-func (c *Context) Now() int64 { return c.engine.now }
+func (c *Context) Now() int64 { return c.h.hnow() }
 
 // Send schedules a message to a neighbor; delivery happens after the
 // link's propagation delay.
-func (c *Context) Send(to NodeID, payload any) { c.engine.send(c.self, to, payload) }
+func (c *Context) Send(to NodeID, payload any) { c.h.hsend(c.self, to, payload) }
 
 // Neighbors returns the node's adjacency list (do not mutate).
-func (c *Context) Neighbors() []int { return c.engine.Graph.Neighbors(c.self) }
+func (c *Context) Neighbors() []int { return c.h.hneighbors(c.self) }
 
-// Rand returns the engine's deterministic RNG. Nodes must use it (and
-// not global rand) to keep runs reproducible.
-func (c *Context) Rand() *rand.Rand { return c.engine.rng }
+// Rand returns a deterministic RNG. Nodes must use it (and not global
+// rand) to keep runs reproducible. On the single-threaded engine it is
+// one engine-wide stream; on the sharded engine each node gets its own
+// seed-derived stream (a shared stream would make draw order depend on
+// scheduling), so protocols that consume randomness reproduce across
+// shard counts but not across the engine kinds.
+func (c *Context) Rand() *rand.Rand { return c.h.hrand(c.self) }

@@ -19,23 +19,26 @@ import (
 
 // Graph is an undirected graph over nodes 0..N−1 with per-edge
 // propagation delays measured in simulation ticks.
+//
+// Storage is two parallel ragged arrays: adj[u][i] is u's i-th
+// neighbor and dly[u][i] that edge's delay. The historical
+// map[[2]int]int delay index cost ~50 bytes/edge of map overhead and a
+// hash per lookup; at mega-grid scale (1M nodes, 2M+ edges) the
+// parallel-slice form is several times smaller and a Delay/HasEdge
+// probe is a short linear scan of one adjacency list — overlay degrees
+// are small, and even BA hubs beat the hash until degrees far beyond
+// anything the generators produce.
 type Graph struct {
-	N     int
-	adj   [][]int        // adjacency lists, sorted insertion order
-	delay map[[2]int]int // canonical (min,max) edge -> delay
-	pos   [][2]float64   // optional node coordinates (Waxman)
+	N   int
+	adj [][]int      // adjacency lists, insertion order
+	dly [][]int      // dly[u][i] = delay of edge (u, adj[u][i])
+	m   int          // edge count
+	pos [][2]float64 // optional node coordinates (Waxman)
 }
 
 // NewGraph returns an empty graph with n nodes.
 func NewGraph(n int) *Graph {
-	return &Graph{N: n, adj: make([][]int, n), delay: map[[2]int]int{}}
-}
-
-func edgeKey(u, v int) [2]int {
-	if u > v {
-		u, v = v, u
-	}
-	return [2]int{u, v}
+	return &Graph{N: n, adj: make([][]int, n), dly: make([][]int, n)}
 }
 
 // AddEdge inserts an undirected edge with the given delay (≥1 is
@@ -48,31 +51,45 @@ func (g *Graph) AddEdge(u, v, delay int) {
 	if u < 0 || v < 0 || u >= g.N || v >= g.N {
 		panic(fmt.Sprintf("topology: edge (%d,%d) outside [0,%d)", u, v, g.N))
 	}
-	k := edgeKey(u, v)
-	if _, ok := g.delay[k]; ok {
+	if g.HasEdge(u, v) {
 		return
 	}
 	if delay < 1 {
 		delay = 1
 	}
-	g.delay[k] = delay
 	g.adj[u] = append(g.adj[u], v)
+	g.dly[u] = append(g.dly[u], delay)
 	g.adj[v] = append(g.adj[v], u)
+	g.dly[v] = append(g.dly[v], delay)
+	g.m++
 }
 
-// HasEdge reports whether (u,v) is present.
+// HasEdge reports whether (u,v) is present (scans the smaller
+// adjacency list).
 func (g *Graph) HasEdge(u, v int) bool {
-	_, ok := g.delay[edgeKey(u, v)]
-	return ok
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Delay returns the propagation delay of edge (u,v); panics if absent.
 func (g *Graph) Delay(u, v int) int {
-	d, ok := g.delay[edgeKey(u, v)]
-	if !ok {
-		panic(fmt.Sprintf("topology: no edge (%d,%d)", u, v))
+	a, b := u, v
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
 	}
-	return d
+	for i, w := range g.adj[a] {
+		if w == b {
+			return g.dly[a][i]
+		}
+	}
+	panic(fmt.Sprintf("topology: no edge (%d,%d)", u, v))
 }
 
 // Neighbors returns u's adjacency list (shared slice; do not mutate).
@@ -82,19 +99,23 @@ func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
 func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
 
 // NumEdges returns |E|.
-func (g *Graph) NumEdges() int { return len(g.delay) }
+func (g *Graph) NumEdges() int { return g.m }
 
-// Edges returns every edge with its delay, in unspecified order.
+// Edge is one undirected edge with its delay.
 type Edge struct {
 	U, V  int
 	Delay int
 }
 
-// Edges lists all edges.
+// Edges lists all edges (U < V), in adjacency order.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, len(g.delay))
-	for k, d := range g.delay {
-		out = append(out, Edge{U: k[0], V: k[1], Delay: d})
+	out := make([]Edge, 0, g.m)
+	for u := 0; u < g.N; u++ {
+		for i, v := range g.adj[u] {
+			if u < v {
+				out = append(out, Edge{U: u, V: v, Delay: g.dly[u][i]})
+			}
+		}
 	}
 	return out
 }
@@ -202,27 +223,42 @@ func (d DelayRange) draw(rng *rand.Rand) int {
 // existing nodes chosen proportionally to their degree — the model
 // BRITE implements and the paper's topologies follow ([4]).
 func BarabasiAlbert(n, m int, delays DelayRange, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	BarabasiAlbertStream(n, m, delays, rng, func(u, v, delay int) {
+		g.AddEdge(u, v, delay)
+	})
+	return g
+}
+
+// BarabasiAlbertStream runs the same preferential-attachment process as
+// BarabasiAlbert but hands each edge to emit instead of materializing a
+// Graph — cmd/topogen uses it to write million-node topologies straight
+// to disk. The process never produces duplicate edges (each new node's
+// targets are distinct and the node itself is fresh), so emit sees each
+// undirected edge exactly once with u > v for attachment edges. The rng
+// consumption order is identical to BarabasiAlbert's, so both produce
+// the same graph for the same seed.
+func BarabasiAlbertStream(n, m int, delays DelayRange, rng *rand.Rand, emit func(u, v, delay int)) {
 	if m < 1 {
 		panic("topology: BA requires m >= 1")
 	}
 	if n < m+1 {
 		panic("topology: BA requires n > m")
 	}
-	g := NewGraph(n)
 	// repeated holds one entry per edge endpoint, so sampling uniformly
 	// from it is degree-proportional sampling.
-	var repeated []int
+	repeated := make([]int, 0, 2*((m-1)+(n-m)*m))
 	// Core: path over the first m nodes (connected, minimal bias).
 	for i := 1; i < m; i++ {
-		g.AddEdge(i-1, i, delays.draw(rng))
+		emit(i-1, i, delays.draw(rng))
 		repeated = append(repeated, i-1, i)
 	}
 	if m == 1 {
 		repeated = append(repeated, 0)
 	}
+	targets := make([]int, 0, m) // insertion order, so runs are deterministic
 	for u := m; u < n; u++ {
-		chosen := map[int]bool{}
-		var targets []int // insertion order, so runs are deterministic
+		targets = targets[:0]
 		for len(targets) < m {
 			var v int
 			if len(repeated) == 0 {
@@ -230,17 +266,25 @@ func BarabasiAlbert(n, m int, delays DelayRange, rng *rand.Rand) *Graph {
 			} else {
 				v = repeated[rng.Intn(len(repeated))]
 			}
-			if v != u && !chosen[v] {
-				chosen[v] = true
+			if v == u {
+				continue
+			}
+			dup := false
+			for _, w := range targets {
+				if w == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
 				targets = append(targets, v)
 			}
 		}
 		for _, v := range targets {
-			g.AddEdge(u, v, delays.draw(rng))
+			emit(u, v, delays.draw(rng))
 			repeated = append(repeated, u, v)
 		}
 	}
-	return g
 }
 
 // Waxman places nodes uniformly in the unit square and connects u,v
