@@ -1,11 +1,26 @@
 package secmr
 
 import (
+	"os"
 	"testing"
 
 	"secmr/internal/ktp"
 	"secmr/internal/metrics"
 )
+
+// chaosCrypto selects the crypto backend for the Byzantine chaos
+// acceptance test. CI's crypto-backend matrix sets SECMR_CHAOS_CRYPTO
+// to rerun the identical scenario over the Shamir share backend;
+// unset, the test keeps its fast transparent default.
+func chaosCrypto(t *testing.T) Crypto {
+	t.Helper()
+	v := os.Getenv("SECMR_CHAOS_CRYPTO")
+	if v == "" {
+		return CryptoPlain
+	}
+	t.Logf("crypto backend from SECMR_CHAOS_CRYPTO: %s", v)
+	return Crypto(v)
+}
 
 // TestByzantineQuarantineChaosConverges is the PR's acceptance test: a
 // 20-resource grid with two live Byzantine members — one forging its
@@ -28,6 +43,7 @@ func TestByzantineQuarantineChaosConverges(t *testing.T) {
 	db := smallDB(2000, 5)
 	grid, err := NewGrid(db, GridConfig{
 		Algorithm: AlgorithmSecure, Resources: 20, K: k,
+		Crypto:  chaosCrypto(t),
 		MinFreq: 0.15, MinConf: 0.7, ScanBudget: 50,
 		MaxRuleItems: 2, Seed: 5, Audit: true,
 		Quarantine: QuarantineConfig{Enabled: true},

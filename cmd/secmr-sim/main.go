@@ -60,6 +60,7 @@ func main() {
 		steps     = flag.Int("steps", 3000, "maximum simulation steps")
 		sample    = flag.Int("sample", 50, "sampling period for the convergence table")
 		paillier  = flag.Int("paillier", 0, "Paillier modulus bits (0 = plain stand-in scheme)")
+		crypto    = flag.String("crypto", "", "crypto backend: plain, paillier, elgamal or shamir (empty = plain, or paillier when -paillier is set)")
 		seed      = flag.Int64("seed", 1, "seed")
 		csvPath   = flag.String("csv", "", "also write the convergence series as CSV to this file")
 
@@ -169,6 +170,7 @@ func main() {
 		Resources: *resources, K: *k,
 		MinFreq: *minFreq, MinConf: *minConf,
 		ScanBudget: *budget, MaxRuleItems: *maxRule,
+		Crypto:       secmr.Crypto(*crypto),
 		PaillierBits: *paillier, Seed: *seed,
 		Faults: faultCfg, Persist: persistCfg,
 		Adversaries: advSpecs,

@@ -7,6 +7,7 @@ import (
 	"secmr/internal/homo"
 	"secmr/internal/ktp"
 	"secmr/internal/oblivious"
+	"secmr/internal/shamir"
 )
 
 // TestChaosConvergesUnderDropsDupAndCrash is the headline robustness
@@ -70,9 +71,26 @@ func TestChaosConvergesUnderDropsDupAndCrash(t *testing.T) {
 // TestChaosPartitionNeverLeaksSubK partitions the grid, heals it, and
 // verifies from the audit trail that no controller ever granted a
 // fresh answer a literal k-TTP would reject — the k-gate holds even
-// while groups are frozen by the partition and surge on heal.
+// while groups are frozen by the partition and surge on heal. Table-
+// driven over the transparent scheme and the Shamir share backend:
+// under Shamir the k-gate is the OUTER layer of a two-layer defence
+// (any sub-k share coalition is also information-theoretically blind),
+// and this test is the tentpole's clean-k-TTP-audit acceptance check.
 func TestChaosPartitionNeverLeaksSubK(t *testing.T) {
-	scheme := homo.NewPlain(96)
+	for _, tc := range []struct {
+		name   string
+		scheme func() homo.Scheme
+	}{
+		{"plain", func() homo.Scheme { return homo.NewPlain(96) }},
+		{"shamir", func() homo.Scheme {
+			return shamir.MustNew(shamir.Params{K: 3, N: 7, W: 1})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) { chaosPartitionNeverLeaksSubK(t, tc.scheme()) })
+	}
+}
+
+func chaosPartitionNeverLeaksSubK(t *testing.T, scheme homo.Scheme) {
 	const k = 3
 	e, resources, _ := buildSecureGrid(t, scheme, 6, k, 31,
 		func(cfg *Config) {

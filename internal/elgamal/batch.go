@@ -12,7 +12,9 @@ import (
 // concurrent use — keys and fixed-base tables are immutable once built
 // (sync.Once), scratch big.Ints come from a sync.Pool, and the noise
 // pool is channel-backed — so each element runs the serial operation on
-// a worker and lands at its input's index.
+// a worker and lands at its input's index. As in paillier, cheap ops
+// (Add, ScalarMul) dispatch via homo.ParallelForCheap so short vectors
+// skip the pool; expensive ops (Encrypt, Rerandomize) always fan out.
 
 // EncryptVec encrypts every plaintext in parallel.
 func (s *Scheme) EncryptVec(ms []*big.Int) []*homo.Ciphertext {
@@ -27,7 +29,7 @@ func (s *Scheme) AddVec(a, b []*homo.Ciphertext) []*homo.Ciphertext {
 		panic("elgamal: AddVec length mismatch")
 	}
 	out := make([]*homo.Ciphertext, len(a))
-	homo.ParallelFor(len(a), func(i int) { out[i] = s.Add(a[i], b[i]) })
+	homo.ParallelForCheap(len(a), func(i int) { out[i] = s.Add(a[i], b[i]) })
 	return out
 }
 
@@ -44,7 +46,7 @@ func (s *Scheme) ScalarVec(ms []int64, xs []*homo.Ciphertext) []*homo.Ciphertext
 		panic("elgamal: ScalarVec length mismatch")
 	}
 	out := make([]*homo.Ciphertext, len(xs))
-	homo.ParallelFor(len(xs), func(i int) { out[i] = s.ScalarMul(ms[i], xs[i]) })
+	homo.ParallelForCheap(len(xs), func(i int) { out[i] = s.ScalarMul(ms[i], xs[i]) })
 	return out
 }
 

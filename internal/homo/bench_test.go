@@ -13,6 +13,7 @@ package homo_test
 
 import (
 	"crypto/rand"
+	"fmt"
 	"math/big"
 	mrand "math/rand"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"secmr/internal/homo"
 	"secmr/internal/oblivious"
 	"secmr/internal/paillier"
+	"secmr/internal/shamir"
 )
 
 const (
@@ -202,6 +204,126 @@ func BenchmarkCounterAddMulti(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		oblivious.Add(s, x, y)
+	}
+}
+
+// --- Shamir backend ----------------------------------------------------
+
+// benchShamir mirrors the facade's default committee sizing for the
+// chaos-scale grids (k=2): 2-of-6 unpacked sharing.
+func benchShamir(b *testing.B) *shamir.Scheme {
+	b.Helper()
+	s, err := shamir.New(shamir.Params{K: 2, N: 6, W: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkShamirObliviousAddVec is the Shamir counterpart of the
+// acceptance benchmark BenchmarkObliviousAddVec: the same 20-element
+// oblivious counter addition, but over share vectors — componentwise
+// field adds instead of modmuls in Z*_{N²}.
+func BenchmarkShamirObliviousAddVec(b *testing.B) {
+	s := benchShamir(b)
+	x, y := benchCounters(b, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oblivious.Add(s, x, y)
+	}
+}
+
+func BenchmarkShamirObliviousAddSerial(b *testing.B) {
+	s := benchShamir(b)
+	serial := serialOnly{s}
+	x, y := benchCounters(b, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oblivious.Add(serial, x, y)
+	}
+}
+
+func BenchmarkShamirEncrypt(b *testing.B) {
+	s := benchShamir(b)
+	m := big.NewInt(123456)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Encrypt(m)
+	}
+}
+
+func BenchmarkShamirDecrypt(b *testing.B) {
+	s := benchShamir(b)
+	c := s.EncryptInt(123456)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Decrypt(c)
+	}
+}
+
+func BenchmarkShamirAdd(b *testing.B) {
+	s := benchShamir(b)
+	x, y := s.EncryptInt(41), s.EncryptInt(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(x, y)
+	}
+}
+
+func BenchmarkShamirRerandomize(b *testing.B) {
+	s := benchShamir(b)
+	x := s.EncryptInt(41)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Rerandomize(x)
+	}
+}
+
+func BenchmarkShamirRerandomizeVec(b *testing.B) {
+	s := benchShamir(b)
+	cs := benchVec(b, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		homo.RerandomizeVec(s, cs)
+	}
+}
+
+// --- small-vector cutoff -----------------------------------------------
+
+// BenchmarkAddVecCrossover pins the serial/pool crossover for cheap
+// vector ops (the SmallBatchCutoff satellite): Paillier AddVec at
+// protocol-relevant lengths, once forced through the worker pool
+// (cutoff 0) and once forced serial (huge cutoff). On multi-core
+// runners the pool rows only win at len ≳ the default cutoff of 64;
+// the 20-element counter vectors sit firmly on the serial side.
+func BenchmarkAddVecCrossover(b *testing.B) {
+	s, _ := benchSchemes(b)
+	for _, n := range []int{4, 20, 64, 256} {
+		ms := make([]*big.Int, n)
+		for i := range ms {
+			ms[i] = big.NewInt(int64(i * 13))
+		}
+		xs := homo.EncryptVec(s, ms)
+		for _, mode := range []struct {
+			name   string
+			cutoff int
+		}{{"pool", 0}, {"serial", 1 << 30}} {
+			b.Run(fmt.Sprintf("len=%d/%s", n, mode.name), func(b *testing.B) {
+				defer homo.SetSmallBatchCutoff(homo.SmallBatchCutoff())
+				homo.SetSmallBatchCutoff(mode.cutoff)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.AddVec(xs, xs)
+				}
+			})
+		}
 	}
 }
 

@@ -41,6 +41,48 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// smallBatchCutoff is the vector length below which CHEAP batch
+// operations (ciphertext adds, scalar muls — a few modular
+// multiplications each) run serially instead of dispatching to the
+// pool. BENCH_homo.json showed the dispatch overhead inverting the
+// win on protocol-sized vectors: ObliviousAddVec (20 elements) ran
+// 107.6 µs at procs=4 versus 63.7 µs serial. Expensive per-element
+// ops (encrypt, rerandomize: modular exponentiations) amortize the
+// dispatch even at length 2 and never consult the cutoff.
+// BenchmarkAddVecCrossover pins the crossover region; 64 comfortably
+// covers every counter vector the protocol ships while still fanning
+// out bulk work.
+var smallBatchCutoff atomic.Int64
+
+func init() { smallBatchCutoff.Store(64) }
+
+// SmallBatchCutoff returns the current cheap-op serial cutoff.
+func SmallBatchCutoff() int { return int(smallBatchCutoff.Load()) }
+
+// SetSmallBatchCutoff sets the vector length below which cheap batch
+// ops bypass the worker pool. n ≤ 0 sends every length to the pool
+// (the pre-cutoff behavior, useful for benchmarking the dispatch
+// overhead itself).
+func SetSmallBatchCutoff(n int) {
+	if n < 0 {
+		n = 0
+	}
+	smallBatchCutoff.Store(int64(n))
+}
+
+// ParallelForCheap is ParallelFor for cheap per-element work: vectors
+// shorter than SmallBatchCutoff run inline on the caller, longer ones
+// fan out normally.
+func ParallelForCheap(n int, fn func(i int)) {
+	if n < SmallBatchCutoff() {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	ParallelFor(n, fn)
+}
+
 var (
 	poolOnce  sync.Once
 	poolTasks chan func()

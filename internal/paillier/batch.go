@@ -12,7 +12,10 @@ import (
 // keys, sync.Pool scratch, channel-backed noise pool), so each element
 // simply runs the serial operation on a worker; outputs land at their
 // input's index, making the batch plaintext-identical to the serial
-// loop.
+// loop. Cheap elementwise ops (Add, ScalarMul — a few modular
+// multiplications) go through homo.ParallelForCheap, which keeps
+// protocol-sized vectors off the pool entirely; expensive ops
+// (Encrypt, Rerandomize — modular exponentiations) always fan out.
 
 // EncryptVec encrypts every plaintext in parallel.
 func (s *Scheme) EncryptVec(ms []*big.Int) []*homo.Ciphertext {
@@ -27,7 +30,7 @@ func (s *Scheme) AddVec(a, b []*homo.Ciphertext) []*homo.Ciphertext {
 		panic("paillier: AddVec length mismatch")
 	}
 	out := make([]*homo.Ciphertext, len(a))
-	homo.ParallelFor(len(a), func(i int) { out[i] = s.Add(a[i], b[i]) })
+	homo.ParallelForCheap(len(a), func(i int) { out[i] = s.Add(a[i], b[i]) })
 	return out
 }
 
@@ -44,7 +47,7 @@ func (s *Scheme) ScalarVec(ms []int64, xs []*homo.Ciphertext) []*homo.Ciphertext
 		panic("paillier: ScalarVec length mismatch")
 	}
 	out := make([]*homo.Ciphertext, len(xs))
-	homo.ParallelFor(len(xs), func(i int) { out[i] = s.ScalarMul(ms[i], xs[i]) })
+	homo.ParallelForCheap(len(xs), func(i int) { out[i] = s.ScalarMul(ms[i], xs[i]) })
 	return out
 }
 

@@ -25,6 +25,7 @@ import (
 	"secmr/internal/elgamal"
 	"secmr/internal/homo"
 	"secmr/internal/paillier"
+	"secmr/internal/shamir"
 )
 
 // Scheme kind bytes in key.bin — the secmr-keys on-disk vocabulary.
@@ -32,11 +33,12 @@ const (
 	schemePlain    = 1
 	schemePaillier = 2
 	schemeElGamal  = 3
+	schemeShamir   = 4
 )
 
 // ExportScheme serializes a grid cryptosystem's key material: one kind
 // byte followed by the scheme's own private-key blob (the same
-// encoding secmr-keys writes). Only the three concrete schemes are
+// encoding secmr-keys writes). Only the four concrete schemes are
 // supported — wrappers (telemetry instrumentation) must be unwrapped
 // by the caller first.
 func ExportScheme(s homo.Scheme) ([]byte, error) {
@@ -55,6 +57,17 @@ func ExportScheme(s homo.Scheme) ([]byte, error) {
 			return nil, fmt.Errorf("persist: exporting elgamal key: %w", err)
 		}
 		return append([]byte{schemeElGamal}, blob...), nil
+	case *shamir.Scheme:
+		// The sharing geometry is the whole key material: hiding is
+		// information-theoretic (there is no secret key to persist),
+		// and ciphertexts carry their full share vectors, so a fresh
+		// instance with the same geometry decrypts every snapshot.
+		p := sc.Params()
+		out := []byte{schemeShamir}
+		out = binary.AppendUvarint(out, uint64(p.K))
+		out = binary.AppendUvarint(out, uint64(p.N))
+		out = binary.AppendUvarint(out, uint64(p.W))
+		return out, nil
 	default:
 		return nil, fmt.Errorf("persist: cannot export key material for scheme %T", s)
 	}
@@ -76,6 +89,20 @@ func LoadScheme(data []byte) (homo.Scheme, error) {
 		return paillier.Import(data[1:])
 	case schemeElGamal:
 		return elgamal.Import(data[1:])
+	case schemeShamir:
+		rest := data[1:]
+		var vals [3]uint64
+		for i := range vals {
+			v, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return nil, fmt.Errorf("persist: malformed shamir key material")
+			}
+			vals[i], rest = v, rest[n:]
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("persist: trailing bytes in shamir key material")
+		}
+		return shamir.New(shamir.Params{K: int(vals[0]), N: int(vals[1]), W: int(vals[2])})
 	default:
 		return nil, fmt.Errorf("persist: unknown scheme kind %d", kind)
 	}
@@ -91,6 +118,8 @@ func SchemeKindName(kind byte) string {
 		return "paillier"
 	case schemeElGamal:
 		return "elgamal"
+	case schemeShamir:
+		return "shamir"
 	default:
 		return fmt.Sprintf("unknown(%d)", kind)
 	}

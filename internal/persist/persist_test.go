@@ -13,6 +13,7 @@ import (
 	"secmr/internal/homo"
 	"secmr/internal/metrics"
 	"secmr/internal/quest"
+	"secmr/internal/shamir"
 	"secmr/internal/sim"
 	"secmr/internal/topology"
 )
@@ -295,6 +296,49 @@ func TestRecoverWithoutSchemeLoadsKeys(t *testing.T) {
 		if s1 != s2 || c1 != c2 || n1 != n2 {
 			t.Fatalf("rule %s: aggregates diverged under reloaded keys", r.Key())
 		}
+	}
+}
+
+// TestExportSchemeShamirRoundTrip: the geometry is the entire key
+// material, so the round trip preserves (K, N, W) and the rebuilt
+// instance adopts and decrypts ciphertexts dealt before the export.
+func TestExportSchemeShamirRoundTrip(t *testing.T) {
+	orig, err := shamir.New(shamir.Params{K: 2, N: 6, W: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ExportScheme(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SchemeKindName(blob[0]); got != "shamir" {
+		t.Fatalf("kind byte names %q", got)
+	}
+	s, err := LoadScheme(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, ok := s.(*shamir.Scheme)
+	if !ok {
+		t.Fatalf("round trip produced %T", s)
+	}
+	if re.Params() != orig.Params() {
+		t.Fatalf("params drifted: %+v vs %+v", re.Params(), orig.Params())
+	}
+	// Ciphertexts are self-contained share vectors: the reloaded
+	// instance must adopt and open a pre-export dealing.
+	c, err := re.Adopt(orig.EncryptInt(424242))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.DecryptSigned(c).Int64(); got != 424242 {
+		t.Fatalf("reloaded scheme decrypted %d", got)
+	}
+	if _, err := LoadScheme(blob[:2]); err == nil {
+		t.Fatal("truncated shamir key material accepted")
+	}
+	if _, err := LoadScheme(append(blob, 7)); err == nil {
+		t.Fatal("trailing bytes in shamir key material accepted")
 	}
 }
 

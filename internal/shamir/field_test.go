@@ -1,0 +1,142 @@
+package shamir
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+)
+
+// bigP is the modulus as a big.Int, the oracle for field arithmetic.
+var bigP = new(big.Int).SetUint64(P)
+
+func bigMod(op func(z, a, b *big.Int) *big.Int, a, b uint64) uint64 {
+	z := op(new(big.Int), new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+	return z.Mod(z, bigP).Uint64()
+}
+
+// interestingResidues covers the boundary cases every field op must
+// survive: 0, 1, P−1, powers of two straddling the fold boundary, and
+// a spread of random residues.
+func interestingResidues(rng *rand.Rand, extra int) []uint64 {
+	vals := []uint64{0, 1, 2, P - 1, P - 2, 1 << 31, 1 << 60, (1 << 60) + 12345}
+	for i := 0; i < extra; i++ {
+		vals = append(vals, rng.Uint64N(P))
+	}
+	return vals
+}
+
+func TestFieldOpsAgainstBigInt(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	vals := interestingResidues(rng, 64)
+	for _, a := range vals {
+		for _, b := range vals {
+			if got, want := fieldAdd(a, b), bigMod((*big.Int).Add, a, b); got != want {
+				t.Fatalf("fieldAdd(%d,%d) = %d, want %d", a, b, got, want)
+			}
+			if got, want := fieldSub(a, b), bigMod((*big.Int).Sub, a, b); got != want {
+				t.Fatalf("fieldSub(%d,%d) = %d, want %d", a, b, got, want)
+			}
+			if got, want := fieldMul(a, b), bigMod((*big.Int).Mul, a, b); got != want {
+				t.Fatalf("fieldMul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldInv(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, a := range interestingResidues(rng, 128) {
+		if a == 0 {
+			continue
+		}
+		if got := fieldMul(a, fieldInv(a)); got != 1 {
+			t.Fatalf("a·a⁻¹ = %d for a=%d, want 1", got, a)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fieldInv(0) did not panic")
+		}
+	}()
+	fieldInv(0)
+}
+
+func TestFieldReduceAndEncode(t *testing.T) {
+	cases := []uint64{0, 1, P - 1, P, P + 1, 2 * P, 2*P + 1, ^uint64(0)}
+	for _, x := range cases {
+		want := new(big.Int).SetUint64(x)
+		want.Mod(want, bigP)
+		if got := fieldReduce(x); got != want.Uint64() {
+			t.Fatalf("fieldReduce(%d) = %d, want %s", x, got, want)
+		}
+	}
+	for _, m := range []int64{0, 1, -1, 42, -42, 1 << 62, -(1 << 62), -9223372036854775808} {
+		want := new(big.Int).SetInt64(m)
+		want.Mod(want, bigP)
+		if got := fieldEncodeInt64(m); got != want.Uint64() {
+			t.Fatalf("fieldEncodeInt64(%d) = %d, want %s", m, got, want)
+		}
+	}
+}
+
+func TestHornerEval(t *testing.T) {
+	// f(x) = 7 + 3x + 5x² evaluated against explicit arithmetic.
+	coeffs := []uint64{7, 3, 5}
+	for _, x := range []uint64{0, 1, 2, P - 1, 123456789} {
+		want := fieldAdd(7, fieldAdd(fieldMul(3, x), fieldMul(5, fieldMul(x, x))))
+		if got := hornerEval(coeffs, x); got != want {
+			t.Fatalf("hornerEval at x=%d: got %d want %d", x, got, want)
+		}
+	}
+	if got := hornerEval(nil, 99); got != 0 {
+		t.Fatalf("empty polynomial evaluated to %d", got)
+	}
+}
+
+func TestBatchKernels(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	const n = 257 // odd length: exercises any unrolled tail
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64N(P)
+		b[i] = rng.Uint64N(P)
+	}
+	m := rng.Uint64N(P)
+
+	dst := make([]uint64, n)
+	AddSlices(dst, a, b)
+	for i := range dst {
+		if dst[i] != fieldAdd(a[i], b[i]) {
+			t.Fatalf("AddSlices[%d] mismatch", i)
+		}
+	}
+	SubSlices(dst, a, b)
+	for i := range dst {
+		if dst[i] != fieldSub(a[i], b[i]) {
+			t.Fatalf("SubSlices[%d] mismatch", i)
+		}
+	}
+	ScaleSlice(dst, a, m)
+	for i := range dst {
+		if dst[i] != fieldMul(a[i], m) {
+			t.Fatalf("ScaleSlice[%d] mismatch", i)
+		}
+	}
+	wantDot := uint64(0)
+	for i := range a {
+		wantDot = fieldAdd(wantDot, fieldMul(a[i], b[i]))
+	}
+	if got := Dot(a, b); got != wantDot {
+		t.Fatalf("Dot = %d, want %d", got, wantDot)
+	}
+
+	// Aliasing: dst == a must be safe.
+	aCopy := append([]uint64(nil), a...)
+	AddSlices(aCopy, aCopy, b)
+	for i := range aCopy {
+		if aCopy[i] != fieldAdd(a[i], b[i]) {
+			t.Fatalf("aliased AddSlices[%d] mismatch", i)
+		}
+	}
+}

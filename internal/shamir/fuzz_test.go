@@ -1,0 +1,49 @@
+package shamir_test
+
+import (
+	"bytes"
+	"testing"
+
+	"secmr/internal/homo"
+	"secmr/internal/shamir"
+)
+
+// FuzzDecodeShare feeds arbitrary bytes through the wire decoder and
+// share adoption path. Invariants: no panic anywhere; whatever Adopt
+// accepts must decrypt without panicking and re-encode canonically
+// (byte-identical), so a hostile peer can neither crash a node with a
+// crafted share vector nor smuggle two wire forms of one ciphertext.
+func FuzzDecodeShare(f *testing.F) {
+	s, err := shamir.New(shamir.Params{K: 2, N: 4, W: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Seed with a valid wire share, a truncation, and junk.
+	valid := s.AppendCiphertext(nil, s.EncryptInt(123456))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x00})
+	f.Add(bytes.Repeat([]byte{0xFF}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, n, err := homo.ReadCiphertext(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("ReadCiphertext consumed %d of %d bytes", n, len(data))
+		}
+		adopted, err := s.Adopt(c)
+		if err != nil {
+			return
+		}
+		// Accepted shares must be fully well-formed: decrypt cannot
+		// panic and the encoding must be canonical.
+		_ = s.DecryptSigned(adopted)
+		re := s.AppendCiphertext(nil, adopted)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("adopted share re-encodes differently: %x vs %x", re, data[:n])
+		}
+	})
+}

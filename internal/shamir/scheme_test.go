@@ -1,0 +1,264 @@
+package shamir_test
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand/v2"
+	"testing"
+
+	"secmr/internal/homo"
+	"secmr/internal/shamir"
+)
+
+func newScheme(t testing.TB, p shamir.Params) *shamir.Scheme {
+	t.Helper()
+	s, err := shamir.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSchemeSemanticsVsExactOracle drives a random op sequence through
+// the scheme while mirroring it in exact big.Int arithmetic, and
+// demands the decrypted residue equal the true value mod P at every
+// step — chained scalar-muls grow without bound, so the oracle must be
+// exact, not another fixed-width scheme.
+func TestSchemeSemanticsVsExactOracle(t *testing.T) {
+	s := newScheme(t, shamir.Params{K: 2, N: 6, W: 1})
+	rng := rand.New(rand.NewPCG(21, 22))
+
+	type pair struct {
+		sh *homo.Ciphertext
+		pl *big.Int
+	}
+	vals := make([]pair, 0, 32)
+	for i := 0; i < 16; i++ {
+		m := rng.Int64N(1<<40) - 1<<39
+		vals = append(vals, pair{s.EncryptInt(m), big.NewInt(m)})
+	}
+	fieldP := s.PlaintextSpace()
+	check := func(p pair) {
+		got := s.Decrypt(p.sh)
+		want := homo.EncodeMod(p.pl, fieldP)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("plaintext mismatch: shamir %s, oracle %s", got, want)
+		}
+	}
+	for step := 0; step < 200; step++ {
+		a := vals[rng.IntN(len(vals))]
+		b := vals[rng.IntN(len(vals))]
+		var next pair
+		switch rng.IntN(4) {
+		case 0:
+			next = pair{s.Add(a.sh, b.sh), new(big.Int).Add(a.pl, b.pl)}
+		case 1:
+			next = pair{s.Sub(a.sh, b.sh), new(big.Int).Sub(a.pl, b.pl)}
+		case 2:
+			m := rng.Int64N(2001) - 1000
+			next = pair{s.ScalarMul(m, a.sh), new(big.Int).Mul(a.pl, big.NewInt(m))}
+		case 3:
+			next = pair{s.Rerandomize(a.sh), a.pl}
+		}
+		check(next)
+		vals[rng.IntN(len(vals))] = next
+	}
+}
+
+func TestEncryptDecryptModularValues(t *testing.T) {
+	s := newScheme(t, shamir.Params{K: 3, N: 8, W: 1})
+	p := s.PlaintextSpace()
+	cases := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		new(big.Int).Sub(p, big.NewInt(1)),
+		new(big.Int).Neg(big.NewInt(7)), // reduced mod P on encrypt
+	}
+	for _, m := range cases {
+		want := new(big.Int).Mod(m, p)
+		if got := s.Decrypt(s.Encrypt(m)); got.Cmp(want) != 0 {
+			t.Fatalf("Decrypt(Encrypt(%s)) = %s, want %s", m, got, want)
+		}
+	}
+	if got := s.Decrypt(s.EncryptZero()); got.Sign() != 0 {
+		t.Fatalf("EncryptZero decrypted to %s", got)
+	}
+}
+
+// TestRerandomizeFreshensShares: the plaintext survives but the share
+// vector must change — a broker relaying unrefreshed vectors would let
+// recipients correlate counter traffic.
+func TestRerandomizeFreshensShares(t *testing.T) {
+	s := newScheme(t, shamir.Params{K: 2, N: 5, W: 1})
+	c := s.EncryptInt(42)
+	r := s.Rerandomize(c)
+	if s.DecryptSigned(r).Int64() != 42 {
+		t.Fatal("Rerandomize changed the plaintext")
+	}
+	if c.V.Cmp(r.V) == 0 {
+		t.Fatal("Rerandomize left the share vector unchanged")
+	}
+}
+
+func TestBatchOpsMatchSerial(t *testing.T) {
+	s := newScheme(t, shamir.Params{K: 2, N: 6, W: 1})
+	rng := rand.New(rand.NewPCG(23, 24))
+	const n = 33
+	ms := make([]*big.Int, n)
+	scalars := make([]int64, n)
+	for i := range ms {
+		ms[i] = big.NewInt(rng.Int64N(1 << 32))
+		scalars[i] = rng.Int64N(201) - 100
+	}
+	xs := s.EncryptVec(ms)
+	ys := s.EncryptZeroVec(n)
+	if len(xs) != n || len(ys) != n {
+		t.Fatal("vec length mismatch")
+	}
+	for i, y := range ys {
+		if s.Decrypt(y).Sign() != 0 {
+			t.Fatalf("EncryptZeroVec[%d] nonzero", i)
+		}
+	}
+	for i, c := range s.AddVec(xs, ys) {
+		if got := s.Decrypt(c); got.Cmp(ms[i]) != 0 {
+			t.Fatalf("AddVec[%d] = %s, want %s", i, got, ms[i])
+		}
+	}
+	for i, c := range s.ScalarVec(scalars, xs) {
+		want := new(big.Int).Mul(ms[i], big.NewInt(scalars[i]))
+		if got := s.DecryptSigned(c); got.Cmp(want) != 0 {
+			t.Fatalf("ScalarVec[%d] = %s, want %s", i, got, want)
+		}
+	}
+	for i, c := range s.RerandomizeVec(xs) {
+		if got := s.Decrypt(c); got.Cmp(ms[i]) != 0 {
+			t.Fatalf("RerandomizeVec[%d] = %s, want %s", i, got, ms[i])
+		}
+		if c.V.Cmp(xs[i].V) == 0 {
+			t.Fatalf("RerandomizeVec[%d] left shares unchanged", i)
+		}
+	}
+}
+
+func TestPackedWidthScheme(t *testing.T) {
+	// W > 1 geometries still behave as a scalar scheme on slot 0.
+	s := newScheme(t, shamir.Params{K: 2, N: 8, W: 3})
+	c := s.Add(s.EncryptInt(100), s.EncryptInt(-58))
+	if got := s.DecryptSigned(c).Int64(); got != 42 {
+		t.Fatalf("packed scheme decrypted %d, want 42", got)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	s := newScheme(t, shamir.Params{K: 2, N: 6, W: 1})
+	c := s.EncryptInt(123456789)
+	buf := s.AppendCiphertext(nil, c)
+	if len(buf) > s.MaxCiphertextBytes() {
+		t.Fatalf("wire form %d bytes exceeds MaxCiphertextBytes %d", len(buf), s.MaxCiphertextBytes())
+	}
+	// The sentinel limb fixes the size exactly, not just bounds it.
+	if len(buf) != s.MaxCiphertextBytes() {
+		t.Fatalf("wire form %d bytes, want exactly %d", len(buf), s.MaxCiphertextBytes())
+	}
+	dec, n, err := homo.ReadCiphertext(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("ReadCiphertext consumed %d of %d bytes", n, len(buf))
+	}
+	adopted, err := s.Adopt(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DecryptSigned(adopted).Int64(); got != 123456789 {
+		t.Fatalf("round-tripped plaintext %d", got)
+	}
+	// Canonical: re-encoding the adopted ciphertext is byte-identical.
+	if !bytes.Equal(buf, s.AppendCiphertext(nil, adopted)) {
+		t.Fatal("re-encoding is not canonical")
+	}
+}
+
+func TestAdoptRejectsMalformed(t *testing.T) {
+	s := newScheme(t, shamir.Params{K: 2, N: 4, W: 1})
+	good := s.EncryptInt(7)
+
+	reject := func(name string, c *homo.Ciphertext) {
+		t.Helper()
+		if _, err := s.Adopt(c); err == nil {
+			t.Fatalf("%s: Adopt accepted malformed share vector", name)
+		}
+	}
+	reject("nil value", &homo.Ciphertext{})
+	reject("zero", &homo.Ciphertext{V: new(big.Int)})
+	reject("negative", &homo.Ciphertext{V: big.NewInt(-5)})
+
+	// Wrong geometry: a vector for a different committee size.
+	other := newScheme(t, shamir.Params{K: 2, N: 6, W: 1})
+	reject("wrong N", other.EncryptInt(7))
+
+	// Truncated wire bytes: drop the last byte and reparse.
+	buf := s.AppendCiphertext(nil, good)
+	if _, _, err := homo.ReadCiphertext(buf[:len(buf)-1]); err == nil {
+		t.Fatal("ReadCiphertext accepted truncated share bytes")
+	}
+
+	// Out-of-field share: force a limb to 2^61 (≥ P) while keeping the
+	// sentinel and bit length intact.
+	raw := make([]byte, 8*4+1)
+	new(big.Int).Set(good.V).FillBytes(raw)
+	raw[len(raw)-8] = 0xFF // top byte of share 0 → value ≥ 2^56·0xFF > P
+	bad := new(big.Int).SetBytes(raw)
+	reject("share ≥ P", &homo.Ciphertext{V: bad})
+
+	// Oversized: an extra high bit breaks the exact-length check.
+	over := new(big.Int).Lsh(big.NewInt(1), uint(64*4+3))
+	over.Or(over, good.V)
+	reject("excess bits", &homo.Ciphertext{V: over})
+
+	// A Paillier-sized random integer of the wrong shape.
+	reject("alien integer", &homo.Ciphertext{V: new(big.Int).Lsh(big.NewInt(12345), 200)})
+}
+
+func TestCrossInstanceMixupPanics(t *testing.T) {
+	a := newScheme(t, shamir.Params{K: 2, N: 4, W: 1})
+	b := newScheme(t, shamir.Params{K: 2, N: 4, W: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-instance Add did not panic")
+		}
+	}()
+	a.Add(a.EncryptInt(1), b.EncryptInt(2))
+}
+
+func TestSchemeName(t *testing.T) {
+	if got := newScheme(t, shamir.Params{K: 2, N: 6, W: 1}).Name(); got != "shamir61-2of6" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := newScheme(t, shamir.Params{K: 2, N: 8, W: 3}).Name(); got != "shamir61-2of8-w3" {
+		t.Fatalf("packed Name = %q", got)
+	}
+}
+
+func TestConcurrentEncrypt(t *testing.T) {
+	// The rng mutex must make concurrent dealing safe; run with -race.
+	s := newScheme(t, shamir.Params{K: 3, N: 8, W: 1})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				m := int64(g*1000 + i)
+				if got := s.DecryptSigned(s.EncryptInt(m)).Int64(); got != m {
+					t.Errorf("concurrent round-trip: got %d want %d", got, m)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

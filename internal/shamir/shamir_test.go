@@ -1,0 +1,183 @@
+package shamir
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func randResidues(rng *rand.Rand, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.Uint64N(P)
+	}
+	return out
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := []Params{{K: 1, N: 1, W: 1}, {K: 2, N: 6, W: 1}, {K: 3, N: 8, W: 4}, {K: 2, N: maxShares, W: 1}}
+	for _, p := range good {
+		if _, err := NewGeometry(p); err != nil {
+			t.Fatalf("NewGeometry(%+v): %v", p, err)
+		}
+	}
+	bad := []Params{
+		{K: 0, N: 3, W: 1},
+		{K: 2, N: 3, W: 0},
+		{K: 3, N: 2, W: 1},             // N < T
+		{K: 2, N: 3, W: 3},             // N < K+W-1
+		{K: 2, N: maxShares + 1, W: 1}, // committee cap
+	}
+	for _, p := range bad {
+		if _, err := NewGeometry(p); err == nil {
+			t.Fatalf("NewGeometry(%+v) accepted invalid params", p)
+		}
+	}
+}
+
+func TestDealReconstructRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for _, p := range []Params{
+		{K: 1, N: 1, W: 1},
+		{K: 2, N: 3, W: 1},
+		{K: 3, N: 7, W: 1},
+		{K: 2, N: 5, W: 2},
+		{K: 3, N: 10, W: 4},
+		{K: 5, N: 16, W: 3},
+	} {
+		g, err := NewGeometry(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			secrets := randResidues(rng, p.W)
+			aux := randResidues(rng, p.K-1)
+			shares := g.Deal(secrets, aux)
+			got := g.Reconstruct(shares)
+			for j := range secrets {
+				if got[j] != secrets[j] {
+					t.Fatalf("%+v trial %d: slot %d reconstructed %d, want %d", p, trial, j, got[j], secrets[j])
+				}
+				if s := g.ReconstructSlot(shares, j); s != secrets[j] {
+					t.Fatalf("%+v: ReconstructSlot(%d) = %d, want %d", p, j, s, secrets[j])
+				}
+			}
+		}
+	}
+}
+
+// TestDealLinearity verifies the property the whole homomorphic scheme
+// rests on: sharewise sums reconstruct to plaintext sums.
+func TestDealLinearity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	p := Params{K: 3, N: 9, W: 2}
+	g, err := NewGeometry(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := randResidues(rng, p.W), randResidues(rng, p.W)
+	sh1 := g.Deal(s1, randResidues(rng, p.K-1))
+	sh2 := g.Deal(s2, randResidues(rng, p.K-1))
+	sum := make([]uint64, p.N)
+	AddSlices(sum, sh1, sh2)
+	got := g.Reconstruct(sum)
+	for j := range got {
+		if want := fieldAdd(s1[j], s2[j]); got[j] != want {
+			t.Fatalf("slot %d: sum reconstructed %d, want %d", j, got[j], want)
+		}
+	}
+}
+
+// TestSubThresholdHiding is the constructive perfect-hiding witness:
+// for ANY two secret vectors s1 ≠ s2 and any K−1 observed shares of
+// s1, there exists a valid dealing of s2 that agrees exactly on those
+// shares. An adversary holding K−1 shares therefore cannot distinguish
+// any two secrets — the k-TTP property, information-theoretically.
+func TestSubThresholdHiding(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for _, p := range []Params{{K: 2, N: 4, W: 1}, {K: 3, N: 8, W: 2}, {K: 4, N: 12, W: 3}} {
+		g, err := NewGeometry(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1 := randResidues(rng, p.W)
+		s2 := randResidues(rng, p.W)
+		sh1 := g.Deal(s1, randResidues(rng, p.K-1))
+
+		// The adversary sees shares at points 1 … K−1.
+		observed := sh1[:p.K-1]
+
+		// Constructive witness: a degree-(T−1) polynomial is pinned by
+		// T = K+W−1 point values. Pin it to s2 at the W secret points
+		// and to the observed shares at points 1…K−1, then check it is
+		// a consistent dealing of s2 agreeing with the adversary's view.
+		T := p.Threshold()
+		xs := make([]uint64, T)
+		ys := make([]uint64, T)
+		for j := 0; j < p.W; j++ {
+			xs[j] = secretPoint(j)
+			ys[j] = s2[j]
+		}
+		for i := 0; i < p.K-1; i++ {
+			xs[p.W+i] = uint64(i + 1)
+			ys[p.W+i] = observed[i]
+		}
+		evalAt := func(y uint64) uint64 {
+			return Dot(lagrangeVector(xs, y), ys)
+		}
+		// The witness polynomial agrees with the adversary's view…
+		for i := 0; i < p.K-1; i++ {
+			if evalAt(uint64(i+1)) != observed[i] {
+				t.Fatalf("%+v: witness disagrees with observed share %d", p, i)
+			}
+		}
+		// …and its full share vector reconstructs to s2, not s1.
+		witness := make([]uint64, p.N)
+		for i := range witness {
+			witness[i] = evalAt(uint64(i + 1))
+		}
+		got := g.Reconstruct(witness)
+		for j := range got {
+			if got[j] != s2[j] {
+				t.Fatalf("%+v: witness reconstructs slot %d to %d, want s2=%d", p, j, got[j], s2[j])
+			}
+		}
+	}
+}
+
+// TestAuxRandomizesShares checks that redealing the same secret with
+// fresh aux randomness changes every share (K ≥ 2): the aux draws are
+// the hiding margin, so identical share vectors for a fixed plaintext
+// would be a catastrophic RNG failure.
+func TestAuxRandomizesShares(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	p := Params{K: 3, N: 6, W: 1}
+	g, err := NewGeometry(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []uint64{12345}
+	a := g.Deal(secret, randResidues(rng, p.K-1))
+	b := g.Deal(secret, randResidues(rng, p.K-1))
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == p.N {
+		t.Fatal("two independent dealings produced identical share vectors")
+	}
+}
+
+func TestReconstructPanicsBelowThreshold(t *testing.T) {
+	g, err := NewGeometry(Params{K: 3, N: 6, W: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reconstruct with sub-threshold shares did not panic")
+		}
+	}()
+	g.Reconstruct(make([]uint64, 2))
+}

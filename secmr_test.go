@@ -156,6 +156,66 @@ func TestElGamalBackedGrid(t *testing.T) {
 	}
 }
 
+func TestShamirBackedGrid(t *testing.T) {
+	db := smallDB(400, 31)
+	grid, err := NewGrid(db, GridConfig{
+		Algorithm: AlgorithmSecure, Resources: 3, K: 1,
+		Crypto:  CryptoShamir,
+		MinFreq: 0.2, MinConf: 0.7, ScanBudget: 50, MaxRuleItems: 2, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grid.RunUntilQuality(0.85, 1500) {
+		r, p := grid.Quality()
+		t.Fatalf("shamir grid stuck at recall=%.3f precision=%.3f", r, p)
+	}
+}
+
+// TestShamirPaillierMinedRulesParity is the tentpole correctness
+// criterion: on a fixed seed the scheme choice must not perturb the
+// protocol — the sim RNG stream is independent of the cryptosystem
+// (encryption randomness comes from separate sources) — so the mined
+// rule set of every resource must match rule-for-rule between the
+// Paillier and Shamir backends after the same number of steps.
+func TestShamirPaillierMinedRulesParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real crypto end-to-end")
+	}
+	db := smallDB(400, 37)
+	run := func(c Crypto) []RuleSet {
+		cfg := GridConfig{
+			Algorithm: AlgorithmSecure, Resources: 3, K: 1, Crypto: c,
+			MinFreq: 0.2, MinConf: 0.7, ScanBudget: 50, MaxRuleItems: 2, Seed: 37,
+		}
+		if c == CryptoPaillier {
+			cfg.PaillierBits = 128
+		}
+		grid, err := NewGrid(db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid.Step(600)
+		outs := make([]RuleSet, cfg.Resources)
+		for i := range outs {
+			outs[i] = grid.Output(i)
+		}
+		return outs
+	}
+	pail := run(CryptoPaillier)
+	sham := run(CryptoShamir)
+	for i := range pail {
+		if len(pail[i]) != len(sham[i]) {
+			t.Fatalf("resource %d: paillier mined %d rules, shamir %d", i, len(pail[i]), len(sham[i]))
+		}
+		for _, r := range pail[i].Sorted() {
+			if !sham[i].Has(r) {
+				t.Fatalf("resource %d: rule %s mined under paillier but not shamir", i, r.Key())
+			}
+		}
+	}
+}
+
 func TestCryptoValidation(t *testing.T) {
 	db := smallDB(100, 1)
 	if _, err := NewGrid(db, GridConfig{MinFreq: 0.5, MinConf: 0.5, Crypto: "rot13"}); err == nil {
