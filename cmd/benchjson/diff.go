@@ -1,11 +1,12 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+
+	"secmr/internal/benchfmt"
 )
 
 // Diff mode: `benchjson -diff old.json new.json` compares two
@@ -27,20 +28,13 @@ type diffRow struct {
 
 // loadResults reads one benchjson output file.
 func loadResults(path string) ([]result, error) {
-	data, err := os.ReadFile(path)
+	rs, err := benchfmt.ReadFile(path)
 	if os.IsNotExist(err) {
 		// A missing baseline is the classic silent-pass trap in CI: name
 		// it explicitly so the job fails loud instead of diffing nothing.
 		return nil, fmt.Errorf("benchmark file %s does not exist; generate it with `go test -bench . | benchjson > %s` and commit it as the baseline", path, path)
 	}
-	if err != nil {
-		return nil, err
-	}
-	var rs []result
-	if err := json.Unmarshal(data, &rs); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return rs, nil
+	return rs, err
 }
 
 // resultKey identifies a benchmark across runs.

@@ -17,23 +17,20 @@ package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+
+	"secmr/internal/benchfmt"
 )
 
-// result is one parsed benchmark line.
-type result struct {
-	Package string             `json:"package,omitempty"`
-	Name    string             `json:"name"`
-	Procs   int                `json:"procs,omitempty"`
-	Iters   int64              `json:"iterations"`
-	NsPerOp float64            `json:"ns_per_op,omitempty"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
+// result is one parsed benchmark line — the shared summary schema
+// every BENCH_*.json artifact uses (internal/benchfmt), so harnesses
+// that emit JSON directly (secmr-scale, secmr-load) diff with the
+// same tooling as `go test -bench` output.
+type result = benchfmt.Result
 
 func main() {
 	var (
@@ -97,9 +94,7 @@ func main() {
 			out[i].Package = pkg
 		}
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := benchfmt.WriteJSON(os.Stdout, out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,350 @@
+// Command secmr-load drives a running secmrd with a large population
+// of simulated clients and reports latency/throughput in the shared
+// benchjson schema.
+//
+// Clients are flyweights: -clients (100k+) logical streams, each
+// pinned to a tenant and tagged with its own identity, multiplexed
+// over a bounded worker pool (-workers) so the tool itself stays
+// cheap. Each request draws a fresh Quest-style transaction batch from
+// a seeded per-worker generator, so the data distribution matches the
+// paper's synthetic workloads and any two runs with the same seed
+// replay the same streams.
+//
+// While the load runs, a monitor goroutine polls /healthz once a
+// second; the summary records how often the service answered anything
+// but 200. At the end the tool scrapes /metrics for the server-side
+// view (RSS, admitted vs shed, store size) and emits one benchjson
+// result — diffable against a committed baseline with benchjson -diff.
+//
+//	secmr-load -addr 127.0.0.1:8080 -clients 100000 -duration 30s -out BENCH_service.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"secmr/internal/arm"
+	"secmr/internal/benchfmt"
+	"secmr/internal/quest"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "secmrd address (host:port)")
+		clients  = flag.Int("clients", 100000, "simulated client streams")
+		tenants  = flag.Int("tenants", 64, "tenants the clients are spread over")
+		workers  = flag.Int("workers", 8*runtime.NumCPU(), "concurrent request workers")
+		duration = flag.Duration("duration", 30*time.Second, "load duration")
+		batch    = flag.Int("batch", 32, "transactions per request")
+		preset   = flag.String("preset", "T5I2", "Quest preset for generated transactions")
+		items    = flag.Int("items", 0, "item-universe size for generated transactions (0 = preset default; match secmrd -seed.items)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("out", "", "benchjson output path (empty/- = stdout)")
+		name     = flag.String("name", "service-load", "benchmark name in the output")
+	)
+	flag.Parse()
+	if err := run(*addr, *clients, *tenants, *workers, *batch, *duration, *preset, *items, *seed, *out, *name); err != nil {
+		fmt.Fprintln(os.Stderr, "secmr-load:", err)
+		os.Exit(1)
+	}
+}
+
+// client is one flyweight stream: just its tenant and a request count.
+type client struct {
+	tenant string
+	sent   atomic.Int64
+}
+
+// worker owns a generator and a latency sample buffer; both stay
+// goroutine-local until the merge.
+type worker struct {
+	gen       *quest.Generator
+	latencies []float64 // milliseconds
+	requests  int64
+	accepted  int64
+	shed      int64
+	errors    int64
+}
+
+func run(addr string, nClients, nTenants, nWorkers, batch int, duration time.Duration, preset string, items int, seed int64, out, name string) error {
+	if nClients < 1 || nTenants < 1 || nWorkers < 1 || batch < 1 {
+		return fmt.Errorf("clients, tenants, workers and batch must be positive")
+	}
+	if nTenants > nClients {
+		nTenants = nClients
+	}
+	base := "http://" + addr
+
+	// The service must be up (and healthy) before the clock starts.
+	if code, err := probeHealth(base); err != nil {
+		return fmt.Errorf("initial /healthz probe: %w", err)
+	} else if code != http.StatusOK {
+		return fmt.Errorf("initial /healthz returned %d", code)
+	}
+
+	clientsPop := make([]*client, nClients)
+	for i := range clientsPop {
+		clientsPop[i] = &client{tenant: "tenant-" + strconv.Itoa(i%nTenants)}
+	}
+
+	params, err := quest.Preset(preset, batch, seed)
+	if err != nil {
+		return err
+	}
+	if items > 0 {
+		params.NumItems = items
+	}
+
+	transport := &http.Transport{
+		MaxIdleConns:        nWorkers * 2,
+		MaxIdleConnsPerHost: nWorkers * 2,
+	}
+	httpc := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+
+	// Health monitor: poll once a second for the whole run.
+	var healthChecks, healthFails atomic.Int64
+	stopMon := make(chan struct{})
+	var monWG sync.WaitGroup
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopMon:
+				return
+			case <-tick.C:
+				healthChecks.Add(1)
+				if code, err := probeHealth(base); err != nil || code != http.StatusOK {
+					healthFails.Add(1)
+				}
+			}
+		}
+	}()
+
+	var nextClient atomic.Int64
+	deadline := time.Now().Add(duration)
+	ws := make([]*worker, nWorkers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < nWorkers; w++ {
+		ws[w] = &worker{gen: quest.NewGenerator(withSeed(params, seed+int64(w)*7919))}
+		wg.Add(1)
+		go func(wk *worker) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				c := clientsPop[int(nextClient.Add(1)-1)%nClients]
+				wk.fire(httpc, base, c, batch)
+			}
+		}(ws[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopMon)
+	monWG.Wait()
+
+	// Merge worker-local samples.
+	var all []float64
+	var requests, accepted, shed, errors int64
+	for _, wk := range ws {
+		all = append(all, wk.latencies...)
+		requests += wk.requests
+		accepted += wk.accepted
+		shed += wk.shed
+		errors += wk.errors
+	}
+	sort.Float64s(all)
+
+	clientsTouched := nextClient.Load()
+	if clientsTouched > int64(nClients) {
+		clientsTouched = int64(nClients)
+	}
+
+	metrics := map[string]float64{
+		"clients":         float64(nClients),
+		"clients_touched": float64(clientsTouched),
+		"tenants":         float64(nTenants),
+		"workers":         float64(nWorkers),
+		"batch":           float64(batch),
+		"duration_s":      elapsed.Seconds(),
+		"requests":        float64(requests),
+		"accepted_txns":   float64(accepted),
+		"shed":            float64(shed),
+		"errors":          float64(errors),
+		"txns_per_s":      float64(accepted) / elapsed.Seconds(),
+		"requests_per_s":  float64(requests) / elapsed.Seconds(),
+		"p50_ms":          quantile(all, 0.50),
+		"p95_ms":          quantile(all, 0.95),
+		"p99_ms":          quantile(all, 0.99),
+		"max_ms":          quantile(all, 1),
+		"healthz_checks":  float64(healthChecks.Load()),
+		"healthz_fails":   float64(healthFails.Load()),
+	}
+
+	// Server-side counters: the authoritative accept/shed/RSS story.
+	if scraped, err := scrapeMetrics(httpc, base); err == nil {
+		for k, v := range scraped {
+			metrics[k] = v
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "secmr-load: metrics scrape failed:", err)
+	}
+
+	res := benchfmt.Result{
+		Package: "secmr/cmd/secmr-load",
+		Name:    fmt.Sprintf("%s/clients=%d", name, nClients),
+		Procs:   runtime.GOMAXPROCS(0),
+		Iters:   requests,
+		NsPerOp: mean(all) * 1e6,
+		Metrics: metrics,
+	}
+	return benchfmt.WriteFile(out, []benchfmt.Result{res})
+}
+
+// withSeed copies params with a new seed so each worker draws an
+// independent, reproducible stream.
+func withSeed(p quest.Params, seed int64) quest.Params {
+	p.Seed = seed
+	return p
+}
+
+// fire issues one ingest request for client c and records the outcome.
+func (wk *worker) fire(httpc *http.Client, base string, c *client, batch int) {
+	txns := make([][]int, batch)
+	for i := range txns {
+		tx := wk.gen.Next()
+		items := make([]int, len(tx))
+		for j, it := range arm.Itemset(tx) {
+			items[j] = int(it)
+		}
+		txns[i] = items
+	}
+	body, _ := json.Marshal(map[string]any{"txns": txns})
+	t0 := time.Now()
+	resp, err := httpc.Post(base+"/v1/tenants/"+c.tenant+"/txns", "application/json", bytes.NewReader(body))
+	ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+	wk.requests++
+	if err != nil {
+		wk.errors++
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	wk.latencies = append(wk.latencies, ms)
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		wk.accepted += int64(batch)
+		c.sent.Add(int64(batch))
+	case http.StatusTooManyRequests:
+		wk.shed++
+		// Honor the hint, but capped: the tool measures the service
+		// under sustained pressure, not a polite client.
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			d := time.Duration(ra) * time.Second
+			if d > 50*time.Millisecond {
+				d = 50 * time.Millisecond
+			}
+			time.Sleep(d)
+		}
+	default:
+		wk.errors++
+	}
+}
+
+func probeHealth(base string) (int, error) {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// scrapeMetrics pulls the server-side gauges/counters worth carrying
+// into the benchmark summary.
+func scrapeMetrics(httpc *http.Client, base string) (map[string]float64, error) {
+	resp, err := httpc.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	want := map[string]string{
+		"process_rss_mb":            "server_rss_mb",
+		"process_peak_rss_mb":       "server_peak_rss_mb",
+		"service_ingest_txns_total": "server_ingested_txns",
+		"service_shed_total":        "server_shed",
+		"service_steps":             "server_steps",
+		"store_rules":               "server_store_rules",
+		"service_tenants":           "server_tenants",
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		metric := fields[0]
+		if i := strings.IndexByte(metric, '{'); i >= 0 {
+			metric = metric[:i]
+		}
+		alias, ok := want[metric]
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		out[alias] += v // labelled series (service_shed_total{reason=...}) sum up
+	}
+	return out, sc.Err()
+}
+
+// quantile returns the q-quantile of sorted samples (ms), 0 when
+// empty.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -16,7 +16,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -26,19 +25,16 @@ import (
 	"strings"
 	"time"
 
+	"secmr/internal/benchfmt"
 	"secmr/internal/majority"
 	"secmr/internal/sim"
 	"secmr/internal/topology"
 )
 
-// result mirrors cmd/benchjson's per-benchmark object.
-type result struct {
-	Package string             `json:"package,omitempty"`
-	Name    string             `json:"name"`
-	Iters   int64              `json:"iterations"`
-	NsPerOp float64            `json:"ns_per_op,omitempty"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
+// result is the shared benchmark-summary schema (internal/benchfmt):
+// the emitted file diffs with `benchjson -diff` like every other
+// BENCH_*.json artifact.
+type result = benchfmt.Result
 
 func main() {
 	var (
@@ -67,19 +63,7 @@ func main() {
 		results = append(results, r)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "secmr-scale:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	if err := benchfmt.WriteFile(*out, results); err != nil {
 		fmt.Fprintln(os.Stderr, "secmr-scale:", err)
 		os.Exit(1)
 	}

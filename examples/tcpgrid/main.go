@@ -3,7 +3,10 @@
 // deployed over real TCP sockets on localhost. No simulator: each
 // resource is a network endpoint with its own step ticker, messages
 // are length-prefixed frames produced by the wire codec, and inbound
-// ciphertexts are validated (adopted) before use.
+// ciphertexts are validated (adopted) before use. Every link is
+// authenticated: each resource holds an ed25519 identity key, and the
+// handshake is a signed challenge-response verified against the
+// shared roster, so no endpoint can claim an id it lacks the key for.
 //
 // Run with: go run ./examples/tcpgrid
 package main
@@ -50,12 +53,18 @@ func main() {
 	overlay := topology.BarabasiAlbert(n, 2, topology.DelayRange{Min: 1, Max: 1}, rng)
 	tree := overlay.SpanningTree(0)
 
+	// The enrollment ceremony: every resource gets an identity key, and
+	// the public roster is distributed to all of them.
+	privs, roster := netgrid.DeriveIdentities(n, seed)
+
 	cfg := core.Config{Th: th, Universe: universe, ScanBudget: 50,
 		CandidateEvery: 5, K: k, MaxRuleItems: 3, IntraDelay: true}
 	hosts := make([]*netgrid.Host, n)
 	for i := 0; i < n; i++ {
 		res := core.NewResource(i, cfg, scheme, parts[i], nil, nil)
-		h, err := netgrid.NewHost(i, res, scheme)
+		h, err := netgrid.NewHostWithOptions(i, res, scheme, netgrid.Options{
+			Auth: &netgrid.AuthConfig{Priv: privs[i], Roster: roster},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,54 @@
+package arm
+
+// Feed supplies a resource's dynamic-database growth stream — the
+// paper's live-grid model, where the local database keeps growing
+// while the anytime algorithm runs. Each mining runtime pulls a
+// bounded number of transactions per step; everything pulled is
+// appended to the local partition and picked up by the incremental
+// scans.
+//
+// Implementations are driven from the resource's own serialization
+// context (the simulator loop, a netgrid host's mutex, the service's
+// mining loop). A feed that is also written from other goroutines —
+// a live ingestion endpoint — must do its own locking; the resource
+// only ever calls Pull and Tail.
+type Feed interface {
+	// Pull returns the next transaction. ok=false means nothing is
+	// available right now: a static feed is exhausted for good, a live
+	// feed may produce more on a later step — the miner simply stops
+	// growing for this step and asks again on the next.
+	Pull() (tx Transaction, ok bool)
+	// Tail returns the transactions buffered but not yet pulled, for
+	// snapshot serialization (the dynamic-database tail survives a
+	// crash-with-amnesia restart). Live feeds return their current
+	// queue; anything that arrives after the snapshot is lost like an
+	// in-flight message, which the protocol absorbs.
+	Tail() []Transaction
+}
+
+// SliceFeed adapts a fixed transaction slice to the Feed interface —
+// the historic NewGridWithFeed shape, and what snapshots restore to.
+type SliceFeed struct {
+	txs []Transaction
+	pos int
+}
+
+// NewSliceFeed wraps txs (nil is a valid, permanently-empty feed).
+func NewSliceFeed(txs []Transaction) *SliceFeed {
+	return &SliceFeed{txs: txs}
+}
+
+// Pull implements Feed.
+func (f *SliceFeed) Pull() (Transaction, bool) {
+	if f.pos >= len(f.txs) {
+		return nil, false
+	}
+	tx := f.txs[f.pos]
+	f.pos++
+	return tx, true
+}
+
+// Tail implements Feed.
+func (f *SliceFeed) Tail() []Transaction {
+	return f.txs[f.pos:]
+}

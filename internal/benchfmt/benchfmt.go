@@ -1,0 +1,65 @@
+// Package benchfmt is the shared benchmark-summary schema: one Result
+// per measured point, serialized as a JSON array. cmd/benchjson parses
+// `go test -bench` output into it and diffs two such files against
+// each other; the standalone harnesses (cmd/secmr-scale, the
+// cmd/secmr-load service load generator) emit it directly, so every
+// BENCH_*.json artifact in the repository — crypto, wire, persistence,
+// scale and service curves alike — goes through one diff/threshold
+// pipeline.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Result is one benchmark measurement. NsPerOp carries the headline
+// latency (wall clock for whole-run harnesses); every other number
+// rides in Metrics under its unit name, exactly as testing.B's
+// ReportMetric would emit it.
+type Result struct {
+	Package string             `json:"package,omitempty"`
+	Name    string             `json:"name"`
+	Procs   int                `json:"procs,omitempty"`
+	Iters   int64              `json:"iterations"`
+	NsPerOp float64            `json:"ns_per_op,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// WriteJSON renders results as the canonical indented JSON array.
+func WriteJSON(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// WriteFile writes results to path ("" or "-" = stdout).
+func WriteFile(path string, results []Result) error {
+	if path == "" || path == "-" {
+		return WriteJSON(os.Stdout, results)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, results); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a benchmark JSON artifact.
+func ReadFile(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("benchfmt: parsing %s: %w", path, err)
+	}
+	return out, nil
+}

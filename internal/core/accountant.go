@@ -22,9 +22,8 @@ type Accountant struct {
 	enc homo.Encryptor
 	pub homo.Public
 
-	db      *arm.Database
-	feed    []arm.Transaction
-	feedPos int
+	db   *arm.Database
+	feed Feed // dynamic growth source; nil = static database
 
 	// shares: plaintext share values per slot (slot 0 = ⊥/self). The
 	// accountant keeps plaintexts so it can re-issue encryptions for
@@ -67,7 +66,7 @@ type scanState struct {
 	sum, count int64
 }
 
-func newAccountant(id int, cfg Config, enc homo.Encryptor, pub homo.Public, local *arm.Database, feed []arm.Transaction) *Accountant {
+func newAccountant(id int, cfg Config, enc homo.Encryptor, pub homo.Public, local *arm.Database, feed Feed) *Accountant {
 	return &Accountant{
 		id: id, cfg: cfg, enc: enc, pub: pub,
 		db: local, feed: feed,
@@ -247,9 +246,14 @@ func (a *Accountant) register(rule arm.Rule, sym intern.Sym) {
 // up to ScanBudget transactions, staging an encrypted reply for each
 // rule whose counters changed.
 func (a *Accountant) tick() {
-	for i := 0; i < a.cfg.GrowthPerStep && a.feedPos < len(a.feed); i++ {
-		a.db.Append(a.feed[a.feedPos])
-		a.feedPos++
+	if a.feed != nil {
+		for i := 0; i < a.cfg.GrowthPerStep; i++ {
+			tx, ok := a.feed.Pull()
+			if !ok {
+				break
+			}
+			a.db.Append(tx)
+		}
 	}
 	for i, s := range a.scans {
 		if s.pos >= a.db.Len() {

@@ -154,7 +154,7 @@ func TestAccountantFeedGrowth(t *testing.T) {
 		arm.NewItemset(1), arm.NewItemset(1), arm.NewItemset(1),
 		arm.NewItemset(1), arm.NewItemset(1),
 	}
-	a := newAccountant(1, cfg, s, s, &arm.Database{}, feed)
+	a := newAccountant(1, cfg, s, s, &arm.Database{}, NewSliceFeed(feed))
 	a.setup(nil)
 	rule := arm.NewRule(nil, arm.NewItemset(1), arm.ThresholdFreq)
 	a.register(rule, intern.S(rule.Key()))

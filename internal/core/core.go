@@ -250,6 +250,18 @@ type Resource struct {
 // adv, when non-nil, replaces the broker's honest payload construction
 // (the attack harness).
 func NewResource(id int, cfg Config, scheme homo.Scheme, local *arm.Database, feed []arm.Transaction, adv Adversary) *Resource {
+	var f Feed
+	if len(feed) > 0 {
+		f = NewSliceFeed(feed)
+	}
+	return NewResourceFeed(id, cfg, scheme, local, f, adv)
+}
+
+// NewResourceFeed is NewResource with a live growth source: feed may
+// be any Feed implementation — a bounded ingestion queue fed by
+// concurrent clients (internal/service), a generator, or the slice
+// adapter NewResource wraps for the static case. nil disables growth.
+func NewResourceFeed(id int, cfg Config, scheme homo.Scheme, local *arm.Database, feed Feed, adv Adversary) *Resource {
 	cfg = cfg.withDefaults()
 	r := &Resource{ID: id, cfg: cfg, reportsSeen: map[reportKey]bool{},
 		evicted: map[int]bool{}, accusers: map[int]map[int]bool{}}

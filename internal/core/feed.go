@@ -1,0 +1,12 @@
+package core
+
+import "secmr/internal/arm"
+
+// Feed is the dynamic-database growth source the accountant pulls
+// from (see arm.Feed — the interface lives in the vocabulary package
+// so every mining runtime shares it).
+type Feed = arm.Feed
+
+// NewSliceFeed wraps a fixed transaction slice (nil is a valid,
+// permanently-empty feed).
+func NewSliceFeed(txs []arm.Transaction) Feed { return arm.NewSliceFeed(txs) }

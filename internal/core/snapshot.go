@@ -212,7 +212,10 @@ func (r *Resource) EncodeState() []byte {
 	for _, tx := range a.db.Tx {
 		dst = appendItemset(dst, tx)
 	}
-	tail := a.feed[a.feedPos:]
+	var tail []arm.Transaction
+	if a.feed != nil {
+		tail = a.feed.Tail()
+	}
 	dst = binary.AppendUvarint(dst, uint64(len(tail)))
 	for _, tx := range tail {
 		dst = appendItemset(dst, tx)

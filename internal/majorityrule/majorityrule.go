@@ -217,9 +217,8 @@ type Resource struct {
 	ID  int
 	cfg Config
 
-	db      *arm.Database // local partition (grows from feed)
-	feed    []arm.Transaction
-	feedPos int
+	db   *arm.Database // local partition (grows from feed)
+	feed arm.Feed
 
 	cands map[string]*candidate
 	// order keeps candidate keys in creation order for deterministic
@@ -234,6 +233,18 @@ type Resource struct {
 // partition. feed supplies the dynamic growth (§6: +20 per step); nil
 // for a static database.
 func NewResource(id int, cfg Config, local *arm.Database, feed []arm.Transaction) *Resource {
+	var f arm.Feed
+	if len(feed) > 0 {
+		f = arm.NewSliceFeed(feed)
+	}
+	return NewResourceFeed(id, cfg, local, f)
+}
+
+// NewResourceFeed is NewResource with a live growth source: the feed
+// is pulled GrowthPerStep transactions at a time on each tick, so a
+// queue-backed feed turns the resource into the paper's dynamic
+// database without precomputing the stream.
+func NewResourceFeed(id int, cfg Config, local *arm.Database, feed arm.Feed) *Resource {
 	cfg = cfg.withDefaults()
 	r := &Resource{ID: id, cfg: cfg, db: local, feed: feed, cands: map[string]*candidate{}}
 	for _, i := range cfg.Universe {
@@ -325,10 +336,15 @@ func (r *Resource) OnTick(ctx *sim.Context) {
 // growDB moves GrowthPerStep transactions from the feed into the local
 // database.
 func (r *Resource) growDB() {
-	n := r.cfg.GrowthPerStep
-	for i := 0; i < n && r.feedPos < len(r.feed); i++ {
-		r.db.Append(r.feed[r.feedPos])
-		r.feedPos++
+	if r.feed == nil {
+		return
+	}
+	for i := 0; i < r.cfg.GrowthPerStep; i++ {
+		tx, ok := r.feed.Pull()
+		if !ok {
+			break
+		}
+		r.db.Append(tx)
 	}
 }
 

@@ -1,0 +1,286 @@
+package netgrid
+
+import (
+	"crypto/ed25519"
+	mrand "math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"secmr/internal/arm"
+	"secmr/internal/core"
+	"secmr/internal/hashing"
+	"secmr/internal/homo"
+	"secmr/internal/quest"
+)
+
+// authPair starts two authenticated nodes sharing one roster.
+func authPair(t *testing.T) (a, b *Node, ra, rb *collector, privs []ed25519.PrivateKey, roster map[int]ed25519.PublicKey) {
+	t.Helper()
+	privs, roster = DeriveIdentities(2, 7)
+	ra, rb = &collector{}, &collector{}
+	var err error
+	a, err = StartWithOptions(0, ra.handle, Options{
+		ReconnectBase: 5 * time.Millisecond,
+		Auth:          &AuthConfig{Priv: privs[0], Roster: roster},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err = StartWithOptions(1, rb.handle, Options{
+		ReconnectBase: 5 * time.Millisecond,
+		Auth:          &AuthConfig{Priv: privs[1], Roster: roster},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return a, b, ra, rb, privs, roster
+}
+
+// TestAuthHandshakeDelivers proves the signed handshake is not just a
+// gate: an authenticated link carries traffic both ways.
+func TestAuthHandshakeDelivers(t *testing.T) {
+	a, b, ra, rb, _, _ := authPair(t)
+	if err := a.Connect(map[int]string{1: b.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if !a.WaitFor([]int{1}, 5*time.Second) || !b.WaitFor([]int{0}, 5*time.Second) {
+		t.Fatal("authenticated link never came up")
+	}
+	if err := a.Send(1, []byte("signed-up")); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitFrames(t, rb, 1, 5*time.Second); got[0] != "signed-up" {
+		t.Fatalf("b received %q", got[0])
+	}
+	if err := b.Send(0, []byte("signed-down")); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitFrames(t, ra, 1, 5*time.Second); got[0] != "signed-down" {
+		t.Fatalf("a received %q", got[0])
+	}
+}
+
+// expectChallenge dials an authenticated node raw and returns the
+// nonce it challenges with.
+func expectChallenge(t *testing.T, addr string) (net.Conn, []byte) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	kind, _, nonce, err := readFrame(conn)
+	if err != nil || kind != kindChallenge || len(nonce) != nonceLen {
+		t.Fatalf("challenge read: kind=%d len=%d err=%v", kind, len(nonce), err)
+	}
+	return conn, nonce
+}
+
+// expectClosed asserts the acceptor hung up on us without delivering
+// anything further.
+func expectClosed(t *testing.T, conn net.Conn, what string) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	_, _, _, err := readFrame(conn)
+	// Any close flavor is fine; no error or a timeout means the
+	// acceptor kept the impostor around instead of rejecting it.
+	if err == nil {
+		t.Fatalf("%s: connection stayed open", what)
+	}
+	if os.IsTimeout(err) {
+		t.Fatalf("%s: acceptor neither answered nor hung up", what)
+	}
+}
+
+// TestAuthRejectsImpostors drives the accept-side handshake with every
+// flavor of bad hello: the legacy unsigned frame, a signature from a
+// key outside the roster, a claim to an id whose key the dialer does
+// not hold, and a replay of a previously valid signed hello against a
+// fresh challenge. None may produce an adopted peer or deliver frames.
+func TestAuthRejectsImpostors(t *testing.T) {
+	_, b, _, rb, privs, _ := authPair(t)
+	outsider, _ := DeriveIdentities(3, 99) // keys no roster holds
+
+	// Legacy unsigned hello, the pre-auth wire protocol.
+	conn, _ := expectChallenge(t, b.Addr())
+	if err := writeFrame(conn, kindHello, 0, []byte("1.2.3.4:1")); err != nil {
+		t.Fatal(err)
+	}
+	expectClosed(t, conn, "unsigned hello")
+	conn.Close()
+
+	// Signature by a key that is not id 0's roster key.
+	conn, nonce := expectChallenge(t, b.Addr())
+	sig := ed25519.Sign(outsider[0], helloSigMsg(nonce, 0, "1.2.3.4:1"))
+	if err := writeFrame(conn, kindHelloAuth, 0, encodeHelloAuth("1.2.3.4:1", sig)); err != nil {
+		t.Fatal(err)
+	}
+	expectClosed(t, conn, "wrong key")
+	conn.Close()
+
+	// Valid key, but claiming an id not enrolled in the roster.
+	conn, nonce = expectChallenge(t, b.Addr())
+	sig = ed25519.Sign(outsider[2], helloSigMsg(nonce, 7, "1.2.3.4:1"))
+	if err := writeFrame(conn, kindHelloAuth, 7, encodeHelloAuth("1.2.3.4:1", sig)); err != nil {
+		t.Fatal(err)
+	}
+	expectClosed(t, conn, "unknown id")
+	conn.Close()
+
+	// Replay: a hello legitimately signed by id 0 for one challenge is
+	// useless against the next one.
+	conn, nonce = expectChallenge(t, b.Addr())
+	captured := encodeHelloAuth("1.2.3.4:1", ed25519.Sign(privs[0], helloSigMsg(nonce, 0, "1.2.3.4:1")))
+	conn.Close() // abandon: the signed hello is "captured" instead
+	conn, _ = expectChallenge(t, b.Addr())
+	if err := writeFrame(conn, kindHelloAuth, 0, captured); err != nil {
+		t.Fatal(err)
+	}
+	expectClosed(t, conn, "replayed hello")
+	conn.Close()
+
+	// None of the impostors became a peer or delivered a frame.
+	if b.peer(0) != nil || b.peer(7) != nil {
+		t.Fatal("impostor handshake registered a peer")
+	}
+	if got := rb.got(); len(got) != 0 {
+		t.Fatalf("impostor frames reached the handler: %q", got)
+	}
+}
+
+// TestAuthEvictedKeyHolderStaysOut: a banned peer is refused even with
+// valid key material — eviction overrides enrollment.
+func TestAuthEvictedKeyHolderStaysOut(t *testing.T) {
+	a, b, _, rb, _, _ := authPair(t)
+	b.Ban(0)
+	a.Connect(map[int]string{1: b.Addr()}) // dial may "succeed" locally; no payload may cross
+	for i := 0; i < 40; i++ {
+		a.Send(1, []byte("ghost"))
+		time.Sleep(3 * time.Millisecond)
+	}
+	if got := rb.got(); len(got) != 0 {
+		t.Fatalf("banned-but-enrolled peer delivered %d frames", len(got))
+	}
+}
+
+// TestAuthConfigValidation: malformed key material fails at Start, not
+// at first handshake.
+func TestAuthConfigValidation(t *testing.T) {
+	if _, err := StartWithOptions(0, func(int, []byte) {}, Options{
+		Auth: &AuthConfig{Priv: make([]byte, 7)},
+	}); err == nil {
+		t.Fatal("short private key accepted")
+	}
+	privs, _ := DeriveIdentities(1, 1)
+	if _, err := StartWithOptions(0, func(int, []byte) {}, Options{
+		Auth: &AuthConfig{Priv: privs[0], Roster: map[int]ed25519.PublicKey{3: make([]byte, 5)}},
+	}); err == nil {
+		t.Fatal("short roster key accepted")
+	}
+}
+
+// TestLoadOrCreateIdentity: first call mints and persists, the second
+// returns the same key; a corrupt file is an error, not a silent new
+// identity.
+func TestLoadOrCreateIdentity(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "identity.key")
+	k1, err := LoadOrCreateIdentity(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := LoadOrCreateIdentity(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k1.Equal(k2) {
+		t.Fatal("restart changed the identity")
+	}
+	if err := os.WriteFile(path, []byte("junk"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOrCreateIdentity(path); err == nil {
+		t.Fatal("corrupt identity file accepted")
+	}
+}
+
+// TestDeriveIdentitiesDeterministic: the ceremony replays from its
+// seed.
+func TestDeriveIdentitiesDeterministic(t *testing.T) {
+	p1, r1 := DeriveIdentities(3, 42)
+	p2, r2 := DeriveIdentities(3, 42)
+	for i := range p1 {
+		if !p1[i].Equal(p2[i]) || !r1[i].Equal(r2[i]) {
+			t.Fatalf("identity %d differs across same-seed derivations", i)
+		}
+	}
+	p3, _ := DeriveIdentities(3, 43)
+	if p1[0].Equal(p3[0]) {
+		t.Fatal("different seeds derived the same identity")
+	}
+}
+
+// TestHostsMineOverAuthenticatedLinks runs the full protocol over TCP
+// with signed handshakes on every link: the grid must bootstrap and
+// keep mining exactly as it does unauthenticated.
+func TestHostsMineOverAuthenticatedLinks(t *testing.T) {
+	const n = 3
+	seed := int64(5)
+	privs, roster := DeriveIdentities(n, seed)
+	scheme := homo.NewPlain(96)
+	rng := mrand.New(mrand.NewSource(seed))
+	global := quest.Generate(quest.Params{NumTransactions: n * 100, NumItems: 12,
+		NumPatterns: 6, AvgTransLen: 4, AvgPatternLen: 2, Seed: seed})
+	universe := arm.Itemset{}
+	for i := 0; i < 12; i++ {
+		universe = append(universe, arm.Item(i))
+	}
+	parts := hashing.Partition(global, n, rng)
+	cfg := core.Config{Th: arm.Thresholds{MinFreq: 0.2, MinConf: 0.7},
+		Universe: universe, ScanBudget: 40, CandidateEvery: 5, K: 2,
+		MaxRuleItems: 2, IntraDelay: true}
+
+	hosts := make([]*Host, n)
+	for i := 0; i < n; i++ {
+		res := core.NewResource(i, cfg, scheme, parts[i], nil, nil)
+		h, err := NewHostWithOptions(i, res, scheme, Options{
+			ReconnectBase: 5 * time.Millisecond,
+			Auth:          &AuthConfig{Priv: privs[i], Roster: roster},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[i] = h
+		defer h.Close()
+	}
+	for i := 1; i < n; i++ {
+		if err := hosts[i].Node().Connect(map[int]string{0: hosts[0].Node().Addr()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !hosts[0].Node().WaitFor([]int{1, 2}, 10*time.Second) {
+		t.Fatal("authenticated star never connected")
+	}
+	hosts[0].Run([]int{1, 2}, 2*time.Millisecond)
+	hosts[1].Run([]int{0}, 2*time.Millisecond)
+	hosts[2].Run([]int{0}, 2*time.Millisecond)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rules, halted := hosts[0].Snapshot()
+		if halted {
+			t.Fatal("grid halted over authenticated transport")
+		}
+		if rules > 0 {
+			return // mined something end to end
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no rules mined over authenticated links")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -115,6 +115,14 @@ type Options struct {
 	// counters, a parked-queue gauge, and reconnect / heartbeat-miss
 	// trace events. All hooks are nil-safe.
 	Obs *obs.Sink
+	// Auth, when set, requires authenticated handshakes: inbound
+	// connections must answer a nonce challenge with a hello signed by
+	// a roster identity key, and outbound dials expect the challenge
+	// and sign. Unsigned hellos are rejected at accept time, so a
+	// spoofed or evicted endpoint cannot claim an id it lacks the key
+	// for. Nil (the default) keeps the legacy unauthenticated
+	// handshake. All nodes of a grid must agree on this setting.
+	Auth *AuthConfig
 	// Clock, when set, is the node's causal trace clock: inbound frames
 	// carrying a causal context (core.AppendMessageCtx) merge their
 	// origin clock value into it before dispatch, so the handler's own
@@ -238,12 +246,19 @@ type inFrame struct {
 // address so the accepting side can dial back when healing the link.
 // A batch frame coalesces several data messages into one TCP write:
 // its payload is a repetition of uvarint(len) ‖ message bytes.
+// With authentication enabled (Options.Auth) the plain hello is
+// replaced by a challenge-response pair: the acceptor opens with a
+// kindChallenge frame carrying a random nonce, and the dialer answers
+// kindHelloAuth — listen address plus an ed25519 signature over the
+// nonce, its id and that address (see auth.go).
 const (
-	kindHello = 0
-	kindData  = 1
-	kindPing  = 2
-	kindPong  = 3
-	kindBatch = 4
+	kindHello     = 0
+	kindData      = 1
+	kindPing      = 2
+	kindPong      = 3
+	kindBatch     = 4
+	kindChallenge = 5
+	kindHelloAuth = 6
 )
 
 // defaultMaxFrameBytes is the coalescing budget when
@@ -268,6 +283,9 @@ func Start(id int, handler Handler) (*Node, error) {
 // StartWithOptions is Start with explicit transport tuning.
 func StartWithOptions(id int, handler Handler, opt Options) (*Node, error) {
 	opt = opt.withDefaults()
+	if err := opt.Auth.validate(); err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", opt.ListenAddr)
 	if err != nil {
 		return nil, err
@@ -335,16 +353,16 @@ func (n *Node) acceptLoop() {
 		go func() {
 			defer n.wg.Done()
 			conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
-			kind, from, payload, err := readFrame(conn)
+			from, addr, ok := n.inboundHandshake(conn)
 			n.mu.Lock()
 			delete(n.pending, conn)
 			n.mu.Unlock()
-			if err != nil || kind != kindHello || n.Banned(from) {
+			if !ok || n.Banned(from) {
 				conn.Close()
 				return
 			}
 			conn.SetReadDeadline(time.Time{})
-			p := n.ensurePeer(from, string(payload))
+			p := n.ensurePeer(from, addr)
 			if p == nil || !n.adopt(p, conn, from) {
 				conn.Close()
 				return
@@ -580,7 +598,7 @@ func (n *Node) dialPeer(p *peer) bool {
 	if err != nil {
 		return false
 	}
-	if err := writeFrame(conn, kindHello, n.id, []byte(n.Addr())); err != nil {
+	if !n.outboundHandshake(conn) {
 		conn.Close()
 		return false
 	}
@@ -614,8 +632,10 @@ func (n *Node) readLoop(p *peer, conn net.Conn) {
 		case kindPong:
 			// lastSeen refreshed above; nothing else to do.
 		case kindHello:
-			// Idempotent re-hello: refresh the peer's dial address.
-			if from == p.id && len(payload) > 0 {
+			// Idempotent re-hello: refresh the peer's dial address. An
+			// authenticated grid never trusts unsigned hellos, not even
+			// on an established link.
+			if n.opt.Auth == nil && from == p.id && len(payload) > 0 {
 				p.mu.Lock()
 				p.addr = string(payload)
 				p.mu.Unlock()

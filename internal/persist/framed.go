@@ -1,0 +1,50 @@
+package persist
+
+import "os"
+
+// Exported framed-log primitives for other durable components (the
+// service's result store) that want this package's crash semantics —
+// CRC-framed append-only records with torn-tail truncation, and
+// fsync'd tmp→rename snapshot publication — without carrying a full
+// per-resource Journal.
+
+// FramedRecord is one decoded record of a framed log.
+type FramedRecord struct {
+	Type byte
+	Body []byte
+}
+
+// AppendFramed frames [typ ‖ payload] into dst using the WAL record
+// format (uvarint length ‖ CRC32 ‖ body).
+func AppendFramed(dst []byte, typ byte, payload []byte) []byte {
+	body := make([]byte, 0, 1+len(payload))
+	body = append(body, typ)
+	body = append(body, payload...)
+	return appendRecord(dst, body)
+}
+
+// ScanFramed walks a framed-log image, returning every valid record
+// and the length of the valid prefix. Scanning stops — without error —
+// at the first torn or corrupted record; appenders must truncate the
+// file to validLen before writing again.
+func ScanFramed(data []byte) (records []FramedRecord, validLen int) {
+	raw, n := scanWAL(data)
+	if len(raw) == 0 {
+		return nil, n
+	}
+	records = make([]FramedRecord, len(raw))
+	for i, r := range raw {
+		records[i] = FramedRecord{Type: r.typ, Body: r.body}
+	}
+	return records, n
+}
+
+// WriteFileSync writes data and fsyncs before closing, so a subsequent
+// rename never exposes a file whose bytes are still in flight.
+func WriteFileSync(path string, data []byte, perm os.FileMode) error {
+	return writeFileSync(path, data, perm)
+}
+
+// SyncDir fsyncs a directory so a rename within it is durable
+// (best-effort; see syncDir).
+func SyncDir(dir string) { syncDir(dir) }

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"secmr/internal/arm"
+)
+
+// liveFeed is the bridge between a tenant ingestion handler and a grid
+// resource: an unbounded-by-itself FIFO whose admission is bounded
+// upstream (token buckets + the global in-flight byte budget), drained
+// by the mining loop at GrowthPerStep transactions per step.
+//
+// Push runs on HTTP handler goroutines; Pull and Tail run inside
+// Grid.Step / snapshot under the grid mutex — hence the local lock.
+type liveFeed struct {
+	mu       sync.Mutex
+	q        []arm.Transaction
+	costs    []int64 // per-transaction byte charge, parallel to q
+	inflight *atomic.Int64
+}
+
+func newLiveFeed(inflight *atomic.Int64) *liveFeed {
+	return &liveFeed{inflight: inflight}
+}
+
+// txCost is the byte charge one transaction holds against the global
+// in-flight budget while queued: its item payload plus slice overhead.
+func txCost(tx arm.Transaction) int64 {
+	return int64(len(tx))*8 + 24
+}
+
+// push enqueues a batch whose cost was already admitted against the
+// budget.
+func (f *liveFeed) push(txs []arm.Transaction) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, tx := range txs {
+		f.q = append(f.q, tx)
+		f.costs = append(f.costs, txCost(tx))
+	}
+}
+
+// Pull implements arm.Feed: pop one transaction and release its budget
+// charge.
+func (f *liveFeed) Pull() (arm.Transaction, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.q) == 0 {
+		return nil, false
+	}
+	tx := f.q[0]
+	f.inflight.Add(-f.costs[0])
+	f.q, f.costs = f.q[1:], f.costs[1:]
+	if len(f.q) == 0 {
+		// Reset the backing arrays so a drained feed doesn't pin the
+		// high-water-mark allocation forever.
+		f.q, f.costs = nil, nil
+	}
+	return tx, true
+}
+
+// Tail implements arm.Feed: the still-queued transactions, for grid
+// snapshots.
+func (f *liveFeed) Tail() []arm.Transaction {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]arm.Transaction(nil), f.q...)
+}
+
+// depth returns the queued transaction count.
+func (f *liveFeed) depth() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.q)
+}

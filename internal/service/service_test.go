@@ -1,0 +1,364 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"secmr"
+	"secmr/internal/arm"
+	"secmr/internal/store"
+)
+
+// testSeed is a small correlated bootstrap database: {1,2} is frequent
+// everywhere, so every resource's mined set is non-empty within a few
+// steps.
+func testSeed() *secmr.Database {
+	var txs []arm.Transaction
+	for i := 0; i < 30; i++ {
+		txs = append(txs, arm.NewItemset(1, 2))
+	}
+	for i := 0; i < 10; i++ {
+		txs = append(txs, arm.NewItemset(3))
+	}
+	return arm.NewDatabase(txs...)
+}
+
+func testConfig(st store.Store) Config {
+	return Config{
+		Grid: secmr.GridConfig{
+			Algorithm: secmr.AlgorithmPlain, Resources: 4,
+			MinFreq: 0.3, MinConf: 0.6, Seed: 7,
+		},
+		Seed:         testSeed(),
+		Store:        st,
+		StepEvery:    time.Millisecond,
+		PublishEvery: 2,
+	}
+}
+
+func post(t *testing.T, srv *httptest.Server, path string, body any) *http.Response {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestServiceIngestMineQuery(t *testing.T) {
+	s, err := New(testConfig(store.NewMem()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Ingest a strongly-correlated batch for tenant "acme".
+	batch := map[string]any{"txns": [][]int{{1, 2}, {1, 2}, {1, 2}, {1, 2, 3}, {2}}}
+	resp := post(t, srv, "/v1/tenants/acme/txns", batch)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	ack := decode[ingestResponse](t, resp)
+	if ack.Accepted != 5 {
+		t.Fatalf("accepted %d", ack.Accepted)
+	}
+
+	// Mine until the store holds a publish for acme.
+	s.Start()
+	deadline := time.Now().Add(10 * time.Second)
+	var rules rulesResponse
+	for {
+		resp, err := http.Get(srv.URL + "/v1/tenants/acme/rules")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rules = decode[rulesResponse](t, resp)
+		if rules.Epoch > 0 && len(rules.Rules) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no published rules before deadline: %+v", rules)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The ingested transactions must have been drained into the grid.
+	if got := s.inflight.Load(); got != 0 {
+		t.Fatalf("inflight bytes %d after mining", got)
+	}
+
+	// Filters must narrow the result.
+	resp, err = http.Get(srv.URL + "/v1/tenants/acme/rules?min_support=1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decode[rulesResponse](t, resp); len(got.Rules) != 0 {
+		t.Fatalf("min_support=1.1 must filter everything, got %d", len(got.Rules))
+	}
+
+	// Cursor semantics: since=current epoch yields an empty delta.
+	resp, err = http.Get(srv.URL + fmt.Sprintf("/v1/tenants/acme/rules?since=%d", rules.Epoch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decode[rulesResponse](t, resp); got.Epoch < rules.Epoch {
+		t.Fatalf("epoch went backwards: %d < %d", got.Epoch, rules.Epoch)
+	}
+
+	// Tenant listing includes acme with its assignment.
+	resp, err = http.Get(srv.URL + "/v1/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing := decode[map[string][]tenantInfo](t, resp)
+	if len(listing["tenants"]) != 1 || listing["tenants"][0].ID != "acme" {
+		t.Fatalf("tenants: %+v", listing)
+	}
+
+	// Healthz is 200 with service fields.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d", resp.StatusCode)
+	}
+	health := decode[map[string]any](t, resp)
+	if health["status"] != "ok" {
+		t.Fatalf("health: %+v", health)
+	}
+}
+
+func TestServiceRateLimitShedding(t *testing.T) {
+	now := time.Unix(1000, 0)
+	cfg := testConfig(store.NewMem())
+	cfg.TenantRate = 10
+	cfg.TenantBurst = 5
+	cfg.Now = func() time.Time { return now }
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	batch := map[string]any{"txns": [][]int{{1}, {2}, {3}}}
+	if resp := post(t, srv, "/v1/tenants/a/txns", batch); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first batch: %d", resp.StatusCode)
+	}
+	// 2 tokens left; a 3-txn batch must shed with a Retry-After hint.
+	resp := post(t, srv, "/v1/tenants/a/txns", batch)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("expected 429, got %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	resp.Body.Close()
+	if got := s.cShedRate.Value(); cfg.Obs != nil && got != 1 {
+		t.Fatalf("shed counter %d", got)
+	}
+	// Tenants are isolated: tenant b still has a full bucket.
+	if resp := post(t, srv, "/v1/tenants/b/txns", batch); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tenant b: %d", resp.StatusCode)
+	}
+	// After the refill window the same tenant is admitted again.
+	now = now.Add(time.Second)
+	if resp := post(t, srv, "/v1/tenants/a/txns", batch); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-refill: %d", resp.StatusCode)
+	}
+}
+
+func TestServiceInflightBudgetShedding(t *testing.T) {
+	cfg := testConfig(store.NewMem())
+	cfg.Obs = secmr.NewTelemetry()
+	cfg.MaxInflightBytes = 200 // a handful of transactions
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	big := map[string]any{"txns": [][]int{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}}
+	if resp := post(t, srv, "/v1/tenants/a/txns", big); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first batch: %d", resp.StatusCode)
+	}
+	resp := post(t, srv, "/v1/tenants/a/txns", big)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("expected 429 over budget, got %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	resp.Body.Close()
+	if got := s.cShedBytes.Value(); got != 1 {
+		t.Fatalf("inflight shed counter %d", got)
+	}
+	// Mining drains the queue and releases the budget; ingest recovers
+	// without any client-side state.
+	s.Start()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp := post(t, srv, "/v1/tenants/a/txns", big)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("budget never released by the mining loop")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServiceRestartKeepsTenantsAndEpochs(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(st)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	batch := map[string]any{"txns": [][]int{{1, 2}, {1, 2}, {1, 2}}}
+	for _, tenant := range []string{"beta", "alpha"} {
+		if resp := post(t, srv, "/v1/tenants/"+tenant+"/txns", batch); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest %s: %d", tenant, resp.StatusCode)
+		}
+	}
+	s.Start()
+	deadline := time.Now().Add(10 * time.Second)
+	var before rulesResponse
+	for {
+		resp, err := http.Get(srv.URL + "/v1/tenants/alpha/rules")
+		if err != nil {
+			t.Fatal(err)
+		}
+		before = decode[rulesResponse](t, resp)
+		if before.Epoch > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no publish before restart")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	srv.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same store directory.
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := testConfig(st2)
+	s2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	srv2 := httptest.NewServer(s2.Handler())
+	defer srv2.Close()
+
+	// Both tenants are known again, rules survive, and the epoch never
+	// goes backwards.
+	resp, err := http.Get(srv2.URL + "/v1/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing := decode[map[string][]tenantInfo](t, resp)
+	if len(listing["tenants"]) != 2 {
+		t.Fatalf("tenants after restart: %+v", listing)
+	}
+	resp, err = http.Get(srv2.URL + "/v1/tenants/alpha/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := decode[rulesResponse](t, resp)
+	if recovered.Epoch < before.Epoch {
+		t.Fatalf("epoch went backwards across restart: %d < %d", recovered.Epoch, before.Epoch)
+	}
+	if len(recovered.Rules) == 0 {
+		t.Fatal("published rules lost across restart")
+	}
+	// New publishes must be accepted (epoch continuity): run until the
+	// epoch advances past the recovered one.
+	s2.Start()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(srv2.URL + "/v1/tenants/alpha/rules")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := decode[rulesResponse](t, resp)
+		if got.Epoch > recovered.Epoch {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no post-restart publish accepted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServiceRejectsBadInput(t *testing.T) {
+	s, err := New(testConfig(store.NewMem()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	for _, tc := range []struct {
+		path string
+		body string
+		want int
+	}{
+		{"/v1/tenants/bad%20id/txns", `{"txns":[[1]]}`, http.StatusBadRequest},
+		{"/v1/tenants/a/txns", `{"txns":[]}`, http.StatusBadRequest},
+		{"/v1/tenants/a/txns", `{"txns":[[-1]]}`, http.StatusBadRequest},
+		{"/v1/tenants/a/txns", `not json`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(srv.URL+tc.path, "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %q: status %d want %d", tc.path, tc.body, resp.StatusCode, tc.want)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/tenants/a/rules?min_support=zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad filter: %d", resp.StatusCode)
+	}
+}

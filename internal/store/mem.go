@@ -1,0 +1,61 @@
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// Mem is the in-memory Store: full semantics, no durability. The
+// zero-dependency choice for tests and for running the service with
+// durability switched off.
+type Mem struct {
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+}
+
+// NewMem builds an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{tenants: map[string]*tenantState{}}
+}
+
+func (m *Mem) state(tenant string) *tenantState {
+	t, ok := m.tenants[tenant]
+	if !ok {
+		t = &tenantState{rules: map[string]Record{}}
+		m.tenants[tenant] = t
+	}
+	return t
+}
+
+// Put implements Store.
+func (m *Mem) Put(tenant string, epoch int64, rules []Rule) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state(tenant).apply(epoch, rules)
+}
+
+// Query implements Store.
+func (m *Mem) Query(tenant string, q Query) (Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.tenants[tenant]
+	if !ok {
+		return Result{}, nil
+	}
+	return t.query(q), nil
+}
+
+// Tenants implements Store.
+func (m *Mem) Tenants() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.tenants))
+	for id := range m.tenants {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close implements Store.
+func (m *Mem) Close() error { return nil }

@@ -1,0 +1,153 @@
+// Package store is the mining service's durable result store: the
+// latest published rule set per tenant, with per-rule change epochs so
+// consumers can poll with a cursor instead of re-reading everything.
+//
+// Two implementations share one interface — an in-memory store for
+// tests, and a file-backed store built on the persist package's framed
+// WAL + fsync'd snapshot primitives, giving the service's published
+// results the same kill -9 durability the grid's protocol state has.
+package store
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rule is one published rule with the statistics consumers filter on.
+type Rule struct {
+	// Key is the canonical rule key (arm.Rule.Key form, e.g.
+	// "1,2=>3;conf" / "=>1,2;freq").
+	Key string `json:"rule"`
+	// Support is the publishing resource's local support estimate.
+	Support float64 `json:"support"`
+	// Confidence is the local confidence (1 for frequency facts).
+	Confidence float64 `json:"confidence"`
+}
+
+// Record is a stored rule: the published statistics plus change
+// tracking. A Deleted record is a tombstone — the rule left the
+// tenant's mined set at Epoch — kept so cursor consumers observe
+// removals, and dropped from plain (cursor-less) queries.
+type Record struct {
+	Rule
+	// Epoch is the publish epoch that last changed this record.
+	Epoch int64 `json:"epoch"`
+	// Deleted marks a tombstone.
+	Deleted bool `json:"deleted,omitempty"`
+}
+
+// Query filters a tenant's records.
+type Query struct {
+	// MinSupport / MinConfidence drop live rules scoring below the
+	// bound. Tombstones are exempt (their statistics are stale).
+	MinSupport    float64
+	MinConfidence float64
+	// Since, when positive, returns only records whose Epoch is
+	// strictly greater — the cursor form. Cursor queries include
+	// tombstones; pass the returned Result.Epoch as the next Since.
+	Since int64
+	// Limit bounds the result length (0 = unlimited). Records are
+	// sorted by descending support then key before the cut.
+	Limit int
+}
+
+// Result is one query answer.
+type Result struct {
+	// Epoch is the tenant's current publish epoch: the cursor to pass
+	// as Query.Since on the next poll.
+	Epoch int64 `json:"epoch"`
+	// Rules is the filtered, sorted record list.
+	Rules []Record `json:"rules"`
+	// Truncated reports that Limit cut the list short.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// Store persists per-tenant published rule sets.
+type Store interface {
+	// Put replaces tenant's rule set at the given publish epoch.
+	// Epochs must be strictly increasing per tenant; a stale epoch is
+	// rejected. Rules whose statistics are unchanged keep their old
+	// epoch (so cursors skip them); rules absent from the new set are
+	// tombstoned at this epoch.
+	Put(tenant string, epoch int64, rules []Rule) error
+	// Query answers q against tenant's current state. An unknown
+	// tenant yields an empty Result, not an error.
+	Query(tenant string, q Query) (Result, error)
+	// Tenants returns the known tenant ids, sorted.
+	Tenants() []string
+	// Close releases resources; the store must not be used after.
+	Close() error
+}
+
+// tenantState is the in-memory image both implementations share.
+type tenantState struct {
+	epoch int64
+	rules map[string]Record
+}
+
+// apply merges one Put into the state, returning an error on a stale
+// epoch. Shared by the live path and WAL replay so recovery rebuilds
+// byte-identical state.
+func (t *tenantState) apply(epoch int64, rules []Rule) error {
+	if epoch <= t.epoch {
+		return fmt.Errorf("store: stale epoch %d (current %d)", epoch, t.epoch)
+	}
+	next := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		next[r.Key] = true
+		old, ok := t.rules[r.Key]
+		if ok && !old.Deleted && old.Support == r.Support && old.Confidence == r.Confidence {
+			continue // unchanged: keep the old epoch so cursors skip it
+		}
+		t.rules[r.Key] = Record{Rule: r, Epoch: epoch}
+	}
+	for key, old := range t.rules {
+		if !next[key] && !old.Deleted {
+			old.Deleted = true
+			old.Epoch = epoch
+			t.rules[key] = old
+		}
+	}
+	t.epoch = epoch
+	return nil
+}
+
+// query answers q against the state.
+func (t *tenantState) query(q Query) Result {
+	res := Result{Epoch: t.epoch}
+	for _, r := range t.rules {
+		if q.Since > 0 {
+			if r.Epoch <= q.Since {
+				continue
+			}
+		} else if r.Deleted {
+			continue
+		}
+		if !r.Deleted && (r.Support < q.MinSupport || r.Confidence < q.MinConfidence) {
+			continue
+		}
+		res.Rules = append(res.Rules, r)
+	}
+	sort.Slice(res.Rules, func(i, j int) bool {
+		if res.Rules[i].Support != res.Rules[j].Support {
+			return res.Rules[i].Support > res.Rules[j].Support
+		}
+		return res.Rules[i].Key < res.Rules[j].Key
+	})
+	if q.Limit > 0 && len(res.Rules) > q.Limit {
+		res.Rules = res.Rules[:q.Limit]
+		res.Truncated = true
+	}
+	return res
+}
+
+// liveRules counts non-tombstone records.
+func (t *tenantState) liveRules() int {
+	n := 0
+	for _, r := range t.rules {
+		if !r.Deleted {
+			n++
+		}
+	}
+	return n
+}

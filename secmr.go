@@ -76,7 +76,16 @@ type (
 	// QuarantineConfig enables eviction instead of halt on corroborated
 	// malicious reports (see core.QuarantineConfig).
 	QuarantineConfig = core.QuarantineConfig
+	// FeedSource is a live dynamic-database growth stream: the resource
+	// pulls up to GridConfig.GrowthPerStep transactions from it per step.
+	// Implementations written from other goroutines (a live ingestion
+	// endpoint) must do their own locking; see arm.Feed.
+	FeedSource = arm.Feed
 )
+
+// NewSliceFeed wraps a fixed transaction slice as a FeedSource — the
+// static shape NewGridWithFeed uses under the hood.
+func NewSliceFeed(txs []Transaction) FeedSource { return arm.NewSliceFeed(txs) }
 
 // AdversarySpec plants a live adversary inside one resource of an
 // AlgorithmSecure grid: the resource runs the full honest protocol but
@@ -448,7 +457,9 @@ type Grid struct {
 	cfg    GridConfig
 	engine *sim.Engine
 	miners []miner
+	parts  []*arm.Database  // local partitions, indexed by resource
 	secure []*core.Resource // non-nil entries only for AlgorithmSecure
+	closed bool
 	inject *faults.Injector // non-nil when cfg.Faults or a scheduled adversary is set
 	truth  RuleSet
 	step   int
@@ -459,6 +470,9 @@ type Grid struct {
 	// stopPool stops the cryptosystem's background noise workers
 	// (non-nil only when cfg.NoisePool > 0 started one).
 	stopPool func()
+	// intros tracks introspection servers started via ServeIntrospection
+	// so Close can stop them deterministically.
+	intros []*IntrospectionServer
 
 	// Durability plumbing; populated only when cfg.Persist is set.
 	coreCfg  core.Config // per-resource config sans feed, for recovery
@@ -487,6 +501,24 @@ func NewGrid(db *Database, cfg GridConfig) (*Grid, error) {
 // transactions, absorbed at cfg.GrowthPerStep per step — the paper's
 // dynamic-database model. feeds may be nil or shorter than Resources.
 func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid, error) {
+	var srcs []FeedSource
+	if feeds != nil {
+		srcs = make([]FeedSource, len(feeds))
+		for i, f := range feeds {
+			if len(f) > 0 {
+				srcs[i] = NewSliceFeed(f)
+			}
+		}
+	}
+	return NewGridWithFeedSources(db, srcs, cfg)
+}
+
+// NewGridWithFeedSources is NewGridWithFeed with live growth sources:
+// each resource pulls from its FeedSource as it steps, so feeds backed
+// by a queue (e.g. a mining service's ingestion endpoint) grow the
+// grid's database while the anytime protocol runs. feeds may be nil,
+// shorter than Resources, or contain nil entries (static resources).
+func NewGridWithFeedSources(db *Database, feeds []FeedSource, cfg GridConfig) (*Grid, error) {
 	cfg = cfg.withDefaults()
 	if cfg.MinFreq <= 0 || cfg.MinFreq > 1 || cfg.MinConf <= 0 || cfg.MinConf > 1 {
 		return nil, fmt.Errorf("secmr: thresholds must be in (0,1]: MinFreq=%v MinConf=%v", cfg.MinFreq, cfg.MinConf)
@@ -617,9 +649,10 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 		}
 		g.flight = fr
 	}
+	g.parts = parts
 	nodes := make([]sim.Node, cfg.Resources)
 	for i := 0; i < cfg.Resources; i++ {
-		var feed []Transaction
+		var feed FeedSource
 		if i < len(feeds) {
 			feed = feeds[i]
 		}
@@ -635,7 +668,7 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 				Audit: cfg.Audit, Wire: cfg.Wire,
 				Quarantine: cfg.Quarantine}
 			g.coreCfg = c
-			r := core.NewResource(i, c, scheme, parts[i], feed, advFor[i])
+			r := core.NewResourceFeed(i, c, scheme, parts[i], feed, advFor[i])
 			if cfg.Persist != nil {
 				j, err := persist.Open(g.persistDir(i), i, persist.Options{
 					SnapshotEvery: cfg.Persist.SnapshotEvery,
@@ -660,7 +693,7 @@ func NewGridWithFeed(db *Database, feeds [][]Transaction, cfg GridConfig) (*Grid
 				ScanBudget: cfg.ScanBudget, CandidateEvery: cfg.CandidateEvery,
 				GrowthPerStep: cfg.GrowthPerStep, K: int64(cfg.K), Mode: mode,
 				MaxRuleItems: cfg.MaxRuleItems}
-			m = majorityrule.NewResource(i, c, parts[i], feed)
+			m = majorityrule.NewResourceFeed(i, c, parts[i], feed)
 		default:
 			return nil, fmt.Errorf("secmr: unknown algorithm %q", cfg.Algorithm)
 		}
@@ -755,6 +788,9 @@ func (g *Grid) Recoveries() int64 {
 func (g *Grid) Step(n int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.closed {
+		return
+	}
 	g.engine.Run(n)
 	g.step += n
 	g.healQuarantined()
@@ -834,13 +870,20 @@ func (g *Grid) evictionsLocked() []int {
 	return out
 }
 
-// Close stops the grid's background crypto workers (the noise pool
-// started by GridConfig.NoisePool). Idempotent, and the grid remains
-// fully usable afterwards — the pool is an optimization, not a
-// dependency.
+// Close shuts the grid down: stops the background crypto workers (the
+// noise pool started by GridConfig.NoisePool), detaches and closes the
+// durability journals, flushes a final flight-recorder dump, and stops
+// every introspection server started via ServeIntrospection.
+// Idempotent and safe to call concurrently with Step or SampleQuality
+// — both become no-ops once Close has run (read-only accessors like
+// Output, Quality and Stats keep working on the final state).
 func (g *Grid) Close() {
 	g.mu.Lock()
-	defer g.mu.Unlock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
 	if g.stopPool != nil {
 		g.stopPool()
 		g.stopPool = nil
@@ -854,6 +897,18 @@ func (g *Grid) Close() {
 		}
 		j.Close()
 		g.journals[i] = nil
+	}
+	// Final forensic flush: the trace ring and metrics snapshot would
+	// otherwise die with the process even though a recorder was asked
+	// for. Dump is nil-safe, so this costs nothing without FlightDir.
+	g.flight.Dump("close", map[string]any{"step": g.step})
+	intros := g.intros
+	g.intros = nil
+	g.mu.Unlock()
+	// Stop servers outside the lock: their health handlers take g.mu,
+	// so closing under it could deadlock with an in-flight probe.
+	for _, s := range intros {
+		s.Close()
 	}
 }
 
@@ -872,6 +927,53 @@ func (g *Grid) Output(i int) RuleSet {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.miners[i].Output()
+}
+
+// RuleScore is one mined rule annotated with the statistics a
+// consumer filters on. Support and Confidence are measured against
+// the scoring resource's local partition — the protocol never reveals
+// other participants' numbers, only the k-secure majority decision,
+// so local frequencies are the honest best estimate a resource can
+// publish without weakening the privacy model.
+type RuleScore struct {
+	Rule       Rule
+	Support    float64 // local frequency of the rule's item union
+	Confidence float64 // local conf(LHS⇒RHS); 1 for frequency facts
+}
+
+// ScoredOutput returns resource i's interim rule set annotated with
+// local support and confidence, sorted by descending support then
+// rule key for deterministic output.
+func (g *Grid) ScoredOutput(i int) []RuleScore {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := g.miners[i].Output()
+	db := g.parts[i]
+	scored := make([]RuleScore, 0, len(out))
+	for _, r := range out {
+		s := RuleScore{Rule: r, Confidence: 1}
+		if len(r.LHS) > 0 {
+			countLHS, countBoth := db.SupportPair(r.LHS, r.RHS)
+			if countLHS > 0 {
+				s.Confidence = float64(countBoth) / float64(countLHS)
+			} else {
+				s.Confidence = 0
+			}
+			if n := db.Len(); n > 0 {
+				s.Support = float64(countBoth) / float64(n)
+			}
+		} else {
+			s.Support = db.Freq(r.Union())
+		}
+		scored = append(scored, s)
+	}
+	sort.Slice(scored, func(a, b int) bool {
+		if scored[a].Support != scored[b].Support {
+			return scored[a].Support > scored[b].Support
+		}
+		return scored[a].Rule.Key() < scored[b].Rule.Key()
+	})
+	return scored
 }
 
 // Truth returns R[DB] computed centrally at construction time (static
@@ -908,6 +1010,11 @@ func (g *Grid) qualityLocked() (recall, precision float64) {
 func (g *Grid) SampleQuality() (recall, precision float64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.closed {
+		// Don't touch the watchdog or flight recorder after Close; the
+		// final quality numbers remain observable.
+		return g.qualityLocked()
+	}
 	var sumR, sumP float64
 	for i, m := range g.miners {
 		r, p := metrics.RecallPrecision(m.Output(), g.truth)
@@ -951,7 +1058,7 @@ func (g *Grid) ServeIntrospection(addr string) (*IntrospectionServer, error) {
 	if g.obs == nil {
 		return nil, fmt.Errorf("secmr: introspection needs GridConfig.Telemetry")
 	}
-	return obs.Serve(addr, obs.ServerOpts{
+	srv, err := obs.Serve(addr, obs.ServerOpts{
 		Registry: g.obs.Reg,
 		Tracer:   g.obs.Tr,
 		Health: func() map[string]any {
@@ -975,6 +1082,18 @@ func (g *Grid) ServeIntrospection(addr string) (*IntrospectionServer, error) {
 			}
 		},
 	})
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		srv.Close()
+		return nil, fmt.Errorf("secmr: grid is closed")
+	}
+	g.intros = append(g.intros, srv)
+	g.mu.Unlock()
+	return srv, nil
 }
 
 // RunUntilQuality steps the grid (in chunks) until both recall and
